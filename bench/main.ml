@@ -1,0 +1,169 @@
+(* The benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe            -- everything: all experiment
+                                            tables (E1..E10) followed by the
+                                            Bechamel micro-benchmarks
+     dune exec bench/main.exe e4         -- one experiment table
+     dune exec bench/main.exe tables     -- all tables, no micro-benchmarks
+     dune exec bench/main.exe micro      -- micro-benchmarks only
+
+   The tables are the paper's reproduced results (paper-vs-measured is
+   recorded in EXPERIMENTS.md); the micro-benchmarks measure the simulator's
+   wall-clock cost per representative run — one Test.make per experiment
+   workload. *)
+
+open Kernel
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: one per experiment's representative workload       *)
+
+let quiet = Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first []
+
+let run_once algo config schedule () =
+  ignore
+    (Sim.Runner.run algo config
+       ~proposals:(Sim.Runner.distinct_proposals config)
+       schedule)
+
+let bench_of_entry name entry config schedule =
+  Test.make ~name (Staged.stage (run_once entry.Expt.Registry.algo config schedule))
+
+let micro_tests () =
+  let c52 = Config.make ~n:5 ~t:2 in
+  let c94 = Config.make ~n:9 ~t:4 in
+  let c72 = Config.make ~n:7 ~t:2 in
+  [
+    (* E1: worst-case synchronous runs *)
+    bench_of_entry "e1/at2-chain-n5" Expt.Registry.at_plus_2 c52
+      (Workload.Cascade.chain c52);
+    bench_of_entry "e1/at2-chain-n9" Expt.Registry.at_plus_2 c94
+      (Workload.Cascade.chain c94);
+    bench_of_entry "e1/hr-coordkill-n5" Expt.Registry.hurfin_raynal c52
+      (Workload.Cascade.coordinator_killer c52 ~phase_rounds:2);
+    bench_of_entry "e1/ct-coordkill-n5" Expt.Registry.ct_diamond_s c52
+      (Workload.Cascade.coordinator_killer c52 ~phase_rounds:4);
+    (* E2: the attack schedule *)
+    bench_of_entry "e2/ws-witness-n5" Expt.Registry.floodset_ws c52
+      (Mc.Attack.witness_schedule c52);
+    (* E3: fast decision on the quiet run *)
+    bench_of_entry "e3/at2-quiet-n5" Expt.Registry.at_plus_2 c52 quiet;
+    bench_of_entry "e3/at2-slowC-quiet-n5" Expt.Registry.at_plus_2_slow c52
+      quiet;
+    (* E4: an asynchronous run that exercises the fallback *)
+    bench_of_entry "e4/ads-solo-n5" Expt.Registry.a_diamond_s c52
+      (Mc.Attack.solo_split_schedule c52);
+    (* E5: the optimized failure-free path *)
+    bench_of_entry "e5/at2opt-quiet-n5" Expt.Registry.at_plus_2_opt c52 quiet;
+    (* E6/E7: A(f+2) under the split-brain adversary *)
+    bench_of_entry "e6/af2-split-n7" Expt.Registry.af_plus_2 c72
+      (Workload.Cascade.split_brain c72 ~k:2 ~f:2);
+    bench_of_entry "e7/amr-split-n7" Expt.Registry.amr c72
+      (Workload.Cascade.split_brain c72 ~k:2 ~f:2);
+    (* E8: failure-detector checking *)
+    Test.make ~name:"e8/fd-check-n5"
+      (Staged.stage (fun () ->
+           let rng = Rng.create ~seed:7 in
+           let s =
+             Workload.Random_runs.eventually_synchronous rng c52 ~gst:4 ()
+           in
+           ignore (Fd.Check.eventual_strong_accuracy c52 s)));
+    (* E9: the partition demo *)
+    Test.make ~name:"e9/ct-naive-partition-n4"
+      (Staged.stage
+         (let c42 = Config.make ~n:4 ~t:2 in
+          run_once
+            (Sim.Algorithm.Packed (module Baselines.Ct_naive))
+            c42
+            (Workload.Partition.split c42 ~until:16)));
+    (* E10: simulator scaling *)
+    bench_of_entry "e10/at2-quiet-n25"
+      Expt.Registry.at_plus_2
+      (Config.make ~n:25 ~t:12)
+      quiet;
+    (* E6: the SCS early decider and the tightness adversary *)
+    bench_of_entry "e6/earlyfs-quiet-n5" Expt.Registry.early_floodset c52
+      quiet;
+    bench_of_entry "e6/af2-minority-n7" Expt.Registry.af_plus_2 c72
+      (Workload.Cascade.minority_keeper c72 ~f:2);
+    (* the DLS basic round model (Section 1.4) *)
+    bench_of_entry "dls/quiet-n5" Expt.Registry.dls c52 quiet;
+    (* schedule codec round-trip *)
+    Test.make ~name:"codec/roundtrip-witness-n5"
+      (Staged.stage
+         (let w = Mc.Attack.witness_schedule c52 in
+          fun () -> ignore (Sim.Codec.decode (Sim.Codec.encode w))));
+    (* the Fig. 1 five-run construction *)
+    Test.make ~name:"mc/figure1-n3"
+      (Staged.stage (fun () ->
+           ignore
+             (Mc.Figure1.against_floodset_ws (Config.make ~n:3 ~t:1))));
+    (* the model checker itself *)
+    Test.make ~name:"mc/exhaustive-sweep-n3"
+      (Staged.stage (fun () ->
+           let c31 = Config.make ~n:3 ~t:1 in
+           ignore
+             (Mc.Exhaustive.sweep ~algo:Expt.Registry.at_plus_2.Expt.Registry.algo
+                ~config:c31
+                ~proposals:(Sim.Runner.distinct_proposals c31)
+                ())));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let table = ref (Stats.Table.make ~headers:[ "benchmark"; "time/run" ]) in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let cell =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) ->
+                if est > 1_000_000.0 then
+                  Printf.sprintf "%.2f ms" (est /. 1_000_000.0)
+                else if est > 1_000.0 then
+                  Printf.sprintf "%.2f us" (est /. 1_000.0)
+                else Printf.sprintf "%.0f ns" est
+            | Some [] | None -> "-"
+          in
+          table := Stats.Table.add_row !table [ name; cell ])
+        analysis)
+    tests;
+  Format.printf "Micro-benchmarks (Bechamel, monotonic clock):@.%a@."
+    Stats.Table.render !table
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+
+let run_tables () = Expt.Suite.run_all Format.std_formatter
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | _ :: [] ->
+      run_tables ();
+      run_micro ()
+  | _ :: [ "tables" ] -> run_tables ()
+  | _ :: [ "micro" ] -> run_micro ()
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match Expt.Suite.find name with
+          | Some e ->
+              e.Expt.Suite.run Format.std_formatter;
+              Format.print_newline ()
+          | None ->
+              Format.eprintf
+                "unknown experiment %S (e1..e10, tables, micro)@." name;
+              exit 2)
+        names

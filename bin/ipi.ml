@@ -1,0 +1,276 @@
+(* ipi — "the inherent price of indulgence" command-line driver.
+
+   Subcommands:
+     ipi list                      algorithms and experiments
+     ipi experiments [NAME ...]    run all (or the named) experiments
+     ipi run ...                   run one algorithm on one schedule
+     ipi attack ...                run the lower-bound attacks *)
+
+open Kernel
+
+let std = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Arguments shared by subcommands                                      *)
+
+let algo_arg =
+  let doc = "Algorithm label (see `ipi list`)." in
+  Cmdliner.Arg.(
+    value & opt string "A(t+2)" & info [ "a"; "algo" ] ~docv:"LABEL" ~doc)
+
+let n_arg =
+  Cmdliner.Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Processes.")
+
+let t_arg =
+  Cmdliner.Arg.(
+    value & opt int 2 & info [ "t" ] ~docv:"T" ~doc:"Crash resilience bound.")
+
+let seed_arg =
+  Cmdliner.Arg.(
+    value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let lookup_algo label =
+  match Expt.Registry.find label with
+  | Some entry -> entry
+  | None ->
+      Format.eprintf "unknown algorithm %S; try `ipi list`@." label;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* ipi list                                                             *)
+
+let list_cmd =
+  let run () =
+    Format.fprintf std "Algorithms:@.";
+    List.iter
+      (fun e ->
+        Format.fprintf std "  %-14s %-10s %s@." e.Expt.Registry.label
+          (Sim.Model.to_string e.Expt.Registry.model)
+          e.Expt.Registry.reference)
+      Expt.Registry.all;
+    Format.fprintf std "@.Experiments:@.";
+    List.iter
+      (fun e ->
+        Format.fprintf std "  %-5s %s@." e.Expt.Suite.name e.Expt.Suite.title)
+      Expt.Suite.all
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "list" ~doc:"List algorithms and experiments.")
+    Cmdliner.Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* ipi experiments                                                      *)
+
+let experiments_cmd =
+  let names_arg =
+    Cmdliner.Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME" ~doc:"Experiment ids (default: all).")
+  in
+  let run names =
+    let selected =
+      match names with
+      | [] -> Expt.Suite.all
+      | names ->
+          List.map
+            (fun name ->
+              match Expt.Suite.find name with
+              | Some e -> e
+              | None ->
+                  Format.eprintf "unknown experiment %S; try `ipi list`@." name;
+                  exit 2)
+            names
+    in
+    List.iter
+      (fun e ->
+        e.Expt.Suite.run std;
+        Format.fprintf std "@.")
+      selected
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures.")
+    Cmdliner.Term.(const run $ names_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi run                                                              *)
+
+let read_schedule_file path =
+  let contents =
+    try
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Format.eprintf "cannot read %s: %s@." path msg;
+      exit 2
+  in
+  match Sim.Codec.decode contents with
+  | Ok schedule -> schedule
+  | Error msg ->
+      Format.eprintf "cannot parse %s: %s@." path msg;
+      exit 2
+
+let schedule_of_name config ~seed ~gst = function
+  | file when String.length file > 1 && file.[0] = '@' ->
+      read_schedule_file (String.sub file 1 (String.length file - 1))
+  | "quiet" -> Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first []
+  | "chain" -> Workload.Cascade.chain config
+  | "coordkill2" -> Workload.Cascade.coordinator_killer config ~phase_rounds:2
+  | "coordkill4" -> Workload.Cascade.coordinator_killer config ~phase_rounds:4
+  | "witness" -> Mc.Attack.witness_schedule config
+  | "solo" -> Mc.Attack.solo_split_schedule config
+  | "random-sync" ->
+      Workload.Random_runs.synchronous_with_delays (Rng.create ~seed) config ()
+  | "random-es" ->
+      Workload.Random_runs.eventually_synchronous (Rng.create ~seed) config
+        ~gst ()
+  | other ->
+      Format.eprintf
+        "unknown schedule %S (quiet|chain|coordkill2|coordkill4|witness|solo|random-sync|random-es)@."
+        other;
+      exit 2
+
+let run_cmd =
+  let schedule_arg =
+    Cmdliner.Arg.(
+      value & opt string "quiet"
+      & info [ "s"; "schedule" ] ~docv:"SCHEDULE"
+          ~doc:
+            "quiet | chain | coordkill2 | coordkill4 | witness | solo | \
+             random-sync | random-es")
+  in
+  let gst_arg =
+    Cmdliner.Arg.(
+      value & opt int 4
+      & info [ "gst" ] ~docv:"GST" ~doc:"gst for random-es schedules.")
+  in
+  let diagram_arg =
+    Cmdliner.Arg.(
+      value & flag & info [ "d"; "diagram" ] ~doc:"Print the run diagram.")
+  in
+  let dump_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:
+            "Save the schedule to $(docv) in the text format `ipi run -s \
+             @$(docv)` replays.")
+  in
+  let run label n t seed schedule_name gst diagram dump =
+    let config = Config.make ~n ~t in
+    let entry = lookup_algo label in
+    let schedule = schedule_of_name config ~seed ~gst schedule_name in
+    (match Sim.Schedule.validate config schedule with
+    | Ok () -> ()
+    | Error e ->
+        Format.eprintf "invalid schedule: %s@." e;
+        exit 2);
+    (match dump with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Sim.Codec.encode schedule);
+        close_out oc;
+        Format.fprintf std "schedule saved to %s@." path
+    | None -> ());
+    let trace =
+      Sim.Runner.run ~record:true entry.Expt.Registry.algo config
+        ~proposals:(Sim.Runner.distinct_proposals config)
+        schedule
+    in
+    Format.fprintf std "%a@." Sim.Trace.pp_summary trace;
+    List.iter
+      (fun v -> Format.fprintf std "VIOLATION: %a@." Sim.Props.pp_violation v)
+      (Sim.Props.check trace);
+    if diagram then Format.fprintf std "@.%a@." Sim.Trace.pp_diagram trace
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "run" ~doc:"Run one algorithm on one schedule.")
+    Cmdliner.Term.(
+      const run $ algo_arg $ n_arg $ t_arg $ seed_arg $ schedule_arg $ gst_arg
+      $ diagram_arg $ dump_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi attack                                                           *)
+
+let attack_cmd =
+  let run label n t =
+    let config = Config.make ~n ~t in
+    let entry = lookup_algo label in
+    let report = Mc.Attack.run_witness entry.Expt.Registry.algo config in
+    Format.fprintf std "%a@.@." Mc.Attack.pp_report report;
+    Format.fprintf std "%a@." Sim.Trace.pp_diagram report.Mc.Attack.trace;
+    if report.Mc.Attack.violations = [] then
+      Format.fprintf std "@.%s survives the lower-bound construction.@." label
+    else exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "attack"
+       ~doc:"Run the proof-guided ES attack against an algorithm.")
+    Cmdliner.Term.(const run $ algo_arg $ n_arg $ t_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi figure1                                                          *)
+
+let figure1_cmd =
+  let run n t =
+    let config = Config.make ~n ~t in
+    let outcome = Mc.Figure1.against_floodset_ws config in
+    Format.fprintf std "%a@." Mc.Figure1.pp_outcome outcome;
+    Format.fprintf std "@.The five schedules:@.";
+    List.iter
+      (fun (name, s) ->
+        Format.fprintf std "@.--- %s ---@.%s" name (Sim.Codec.encode s))
+      [
+        ("s1", outcome.Mc.Figure1.s1);
+        ("s0", outcome.Mc.Figure1.s0);
+        ("a2", outcome.Mc.Figure1.a2);
+        ("a1", outcome.Mc.Figure1.a1);
+        ("a0", outcome.Mc.Figure1.a0);
+      ];
+    if not (Mc.Figure1.all_hold outcome) then exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "figure1"
+       ~doc:
+         "Build and machine-check the five-run lower-bound construction of \
+          the paper's Fig. 1 against FloodSetWS.")
+    Cmdliner.Term.(const run $ n_arg $ t_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi verify                                                           *)
+
+let verify_cmd =
+  let run () =
+    Format.fprintf std "re-checking every headline claim of the paper...@.";
+    if not (Expt.Verify.print std (Expt.Verify.run ())) then exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "verify"
+       ~doc:
+         "Re-run the reproduction certificate: every headline claim, \
+          checked against fresh simulations; non-zero exit on any \
+          mismatch.")
+    Cmdliner.Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "ipi" ~version:"1.0.0"
+      ~doc:
+        "The inherent price of indulgence (Dutta & Guerraoui, PODC 2002): \
+         simulator, algorithms, lower-bound checker and experiments."
+  in
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info
+          [
+            list_cmd;
+            experiments_cmd;
+            run_cmd;
+            attack_cmd;
+            figure1_cmd;
+            verify_cmd;
+          ]))

@@ -1,0 +1,116 @@
+open Kernel
+
+type msg =
+  | Est of { phase : int; est : Value.t }
+  | Cand of { phase : int; cand : Value.t }
+  | Decide of Value.t
+
+type state = {
+  config : Config.t;
+  me : Pid.t;
+  est : Value.t;
+  cand : Value.t;  (* leader's estimate adopted in the first subround *)
+  decision : Value.t option;
+  halted : bool;
+}
+
+let name = "AMR-leader"
+let model = Sim.Model.Es
+
+let init config me v =
+  Config.validate_third config;
+  { config; me; est = v; cand = v; decision = None; halted = false }
+
+let phase_of round = (Round.to_int round - 1) / 2
+let subround_of round = (Round.to_int round - 1) mod 2
+
+let on_send st round =
+  match st.decision with
+  | Some v -> Decide v
+  | None -> (
+      let phase = phase_of round in
+      match subround_of round with
+      | 0 -> Est { phase; est = st.est }
+      | _ -> Cand { phase; cand = st.cand })
+
+let find_decide inbox =
+  List.find_map
+    (fun (e : msg Sim.Envelope.t) ->
+      match e.payload with Decide v -> Some v | _ -> None)
+    inbox
+
+(* The n - t messages with the lowest sender ids among the current-round
+   messages matching [select]; the inbox arrives sorted by sender id. *)
+let lowest_quorum st ~round ~select inbox =
+  let matching =
+    List.filter_map
+      (fun (e : msg Sim.Envelope.t) ->
+        if Sim.Envelope.is_current e ~round then
+          Option.map (fun x -> (e.src, x)) (select e.payload)
+        else None)
+      inbox
+  in
+  Listx.take (Config.quorum st.config) matching
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ -> { st with halted = true }
+  | None -> (
+      match find_decide inbox with
+      | Some v -> { st with decision = Some v }
+      | None -> (
+          let phase = phase_of round in
+          match subround_of round with
+          | 0 -> (
+              let ests =
+                lowest_quorum st ~round
+                  ~select:(function
+                    | Est e when e.phase = phase -> Some e.est
+                    | _ -> None)
+                  inbox
+              in
+              (* The leader is the minimum-id sender: the head of the sorted
+                 quorum. *)
+              match ests with
+              | (_, leader_est) :: _ -> { st with cand = leader_est }
+              | [] -> st)
+          | _ -> (
+              let cands =
+                lowest_quorum st ~round
+                  ~select:(function
+                    | Cand c when c.phase = phase -> Some c.cand
+                    | _ -> None)
+                  inbox
+              in
+              let quorum = Config.quorum st.config in
+              let values = List.map snd cands in
+              if List.length values < quorum then st
+              else if Listx.all_equal ~equal:Value.equal values then
+                { st with decision = Some (List.hd values) }
+              else
+                let threshold = quorum - Config.t st.config in
+                match
+                  List.find_opt
+                    (fun (_, count) -> count >= threshold)
+                    (Listx.occurrences ~compare:Value.compare values)
+                with
+                | Some (v, _) -> { st with est = v }
+                | None -> { st with est = Value.minimum values })))
+
+let decision st = st.decision
+let halted st = st.halted
+
+let wire_size = function Est _ | Cand _ -> 12 | Decide _ -> 8
+
+let pp_msg ppf = function
+  | Est e -> Format.fprintf ppf "est(ph%d,%a)" e.phase Value.pp e.est
+  | Cand c -> Format.fprintf ppf "cand(ph%d,%a)" c.phase Value.pp c.cand
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[est=%a cand=%a%a@]" Value.pp st.est Value.pp st.cand
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()

@@ -1,0 +1,23 @@
+(** The leader-based consensus algorithm of Mostefaoui–Raynal (PPL 11(1),
+    2001 — reference [14]), translated to ES with the leader oracle of the
+    paper's footnote 10: on receiving the messages of a round, the leader is
+    the process with the minimum id among the senders.
+
+    [A_{f+2}] (Fig. 5) is the paper's optimised version of this algorithm;
+    the un-optimised original is the baseline of experiment E7. It requires
+    [t < n/3] and runs {e two}-round phases:
+
+    + everyone broadcasts its estimate; each process adopts as candidate the
+      estimate of its current leader (minimum-id sender among the [n - t]
+      lowest-id messages it selects);
+    + everyone broadcasts its candidate; on [n - t] unanimous candidates a
+      process decides; a candidate occurring at least [n - 2t] times is
+      adopted as the new estimate; otherwise the minimum candidate is.
+
+    Because recovering from a crashed leader costs a full two-round phase,
+    a run that becomes synchronous after round [k] with [f] later crashes
+    can be delayed to round [k + 2f + 2] — the complexity the paper's
+    footnote 10 attributes to this algorithm, against [k + f + 2] for
+    [A_{f+2}]. *)
+
+include Sim.Algorithm.S

@@ -1,0 +1,5 @@
+include Ct_generic.Make (struct
+  let name = "CT-<>S"
+  let threshold = Kernel.Config.majority
+  let validate = Kernel.Config.validate_indulgent
+end)

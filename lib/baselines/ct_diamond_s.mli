@@ -1,0 +1,27 @@
+(** Rotating-coordinator consensus with majority locking — the Chandra–Toueg
+    <>S algorithm (reference [2]) transposed to the round-based ES model, as
+    the paper's footnote 7 prescribes for the underlying module [C] of
+    [A_{t+2}].
+
+    Requires [0 < t < n/2]. Each phase [phi] (coordinator
+    [p_{(phi mod n) + 1}]) takes four rounds:
+
+    + everyone sends its timestamped estimate;
+    + the coordinator, if it received a majority of phase-[phi] estimates,
+      proposes the estimate with the highest timestamp;
+    + processes that received the proposal adopt it (stamping it with the
+      phase) and ack; the rest nack;
+    + the coordinator, on a majority of acks, broadcasts DECIDE.
+
+    Uniform agreement is the classic locking argument: a decided value was
+    adopted by a majority, every later coordinator reads a majority of
+    estimates, and majorities intersect, so the highest-timestamped estimate
+    it sees is the locked value. Termination holds in every ES run: after the
+    schedule's gst the first phase whose coordinator is correct decides.
+
+    Synchronous worst case: crashing the coordinators of the first [t] phases
+    wastes four rounds each, so a global decision can be delayed to round
+    [4t + 4] — far beyond [t + 2], which is why [A_{t+2}] does not run [C] on
+    the fast path at all. *)
+
+include Sim.Algorithm.S

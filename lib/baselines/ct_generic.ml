@@ -1,0 +1,186 @@
+open Kernel
+
+module Make (Q : sig
+  val name : string
+  val threshold : Kernel.Config.t -> int
+  val validate : Kernel.Config.t -> unit
+end) =
+struct
+type msg =
+  | Est of { phase : int; est : Value.t; ts : int }
+  | Proposal of { phase : int; value : Value.t }
+  | Ack of { phase : int; positive : bool }
+  | Decide of Value.t
+  | Dummy
+
+type state = {
+  config : Config.t;
+  me : Pid.t;
+  est : Value.t;
+  ts : int;  (* 0 = initial; phi + 1 = adopted in phase phi *)
+  gathered : (Value.t * int) list;  (* coordinator: phase estimates *)
+  proposal : Value.t option;  (* this phase's coordinator proposal, if seen *)
+  pending_decide : Value.t option;  (* coordinator: locked, announce next round *)
+  decision : Value.t option;
+  relayed : bool;  (* the DECIDE broadcast round has been sent *)
+  halted : bool;
+}
+
+let name = Q.name
+let model = Sim.Model.Es
+
+let init config me v =
+  Q.validate config;
+  {
+    config;
+    me;
+    est = v;
+    ts = 0;
+    gathered = [];
+    proposal = None;
+    pending_decide = None;
+    decision = None;
+    relayed = false;
+    halted = false;
+  }
+
+let phase_of round = (Round.to_int round - 1) / 4
+let subround_of round = (Round.to_int round - 1) mod 4
+
+let coordinator config phase =
+  Pid.of_int ((phase mod Config.n config) + 1)
+
+let is_coordinator st round =
+  Pid.equal st.me (coordinator st.config (phase_of round))
+
+(* The estimate with the highest timestamp; ties broken towards the smallest
+   value for determinism. *)
+let best_estimate gathered =
+  match gathered with
+  | [] -> invalid_arg "Ct_diamond_s.best_estimate: empty"
+  | first :: rest ->
+      let better (v, ts) (v', ts') =
+        if ts' > ts || (ts' = ts && Value.compare v' v < 0) then (v', ts')
+        else (v, ts)
+      in
+      fst (List.fold_left better first rest)
+
+let on_send st round =
+  match st.decision with
+  | Some v -> Decide v
+  | None -> (
+      match subround_of round with
+      | 0 -> Est { phase = phase_of round; est = st.est; ts = st.ts }
+      | 1 ->
+          if is_coordinator st round then
+            match st.gathered with
+            | gathered when List.length gathered >= Q.threshold st.config
+              ->
+                Proposal
+                  { phase = phase_of round; value = best_estimate gathered }
+            | _ -> Dummy
+          else Dummy
+      | 2 ->
+          Ack { phase = phase_of round; positive = st.proposal <> None }
+      | _ -> (
+          match st.pending_decide with
+          | Some v when is_coordinator st round -> Decide v
+          | _ -> Dummy))
+
+let find_decide inbox =
+  List.find_map
+    (fun (e : msg Sim.Envelope.t) ->
+      match e.payload with Decide v -> Some v | _ -> None)
+    inbox
+
+let current_payloads ~round inbox =
+  List.filter_map
+    (fun (e : msg Sim.Envelope.t) ->
+      if Sim.Envelope.is_current e ~round then Some (e.src, e.payload)
+      else None)
+    inbox
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ ->
+      (* The send phase of this round broadcast DECIDE; we may now return. *)
+      { st with relayed = true; halted = true }
+  | None -> (
+      match find_decide inbox with
+      | Some v -> { st with decision = Some v }
+      | None -> (
+          let phase = phase_of round in
+          let current = current_payloads ~round inbox in
+          match subround_of round with
+          | 0 ->
+              let gathered =
+                if is_coordinator st round then
+                  List.filter_map
+                    (fun (_, payload) ->
+                      match payload with
+                      | Est e when e.phase = phase -> Some (e.est, e.ts)
+                      | _ -> None)
+                    current
+                else []
+              in
+              { st with gathered; proposal = None; pending_decide = None }
+          | 1 -> (
+              let coord = coordinator st.config phase in
+              match
+                List.find_map
+                  (fun (src, payload) ->
+                    match payload with
+                    | Proposal p when p.phase = phase && Pid.equal src coord
+                      ->
+                        Some p.value
+                    | _ -> None)
+                  current
+              with
+              | Some v ->
+                  { st with proposal = Some v; est = v; ts = phase + 1 }
+              | None -> { st with proposal = None })
+          | 2 ->
+              if is_coordinator st round then begin
+                let positive_acks =
+                  Listx.count
+                    (fun (_, payload) ->
+                      match payload with
+                      | Ack a -> a.phase = phase && a.positive
+                      | _ -> false)
+                    current
+                in
+                if positive_acks >= Q.threshold st.config then
+                  (* Own est is the proposal: the coordinator adopted its own
+                     proposal when it received it in the previous round. *)
+                  { st with pending_decide = Some st.est }
+                else { st with pending_decide = None }
+              end
+              else st
+          | _ -> { st with gathered = []; proposal = None; pending_decide = None }))
+
+let decision st = st.decision
+let halted st = st.halted
+
+let wire_size = function
+  | Est _ -> 16
+  | Proposal _ -> 12
+  | Ack _ -> 5
+  | Decide _ -> 8
+  | Dummy -> 0
+
+let pp_msg ppf = function
+  | Est e -> Format.fprintf ppf "est(ph%d,%a,ts%d)" e.phase Value.pp e.est e.ts
+  | Proposal p -> Format.fprintf ppf "prop(ph%d,%a)" p.phase Value.pp p.value
+  | Ack a -> Format.fprintf ppf "%s(ph%d)" (if a.positive then "ack" else "nack") a.phase
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+  | Dummy -> Format.fprintf ppf "dummy"
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[est=%a ts=%d%a@]" Value.pp st.est st.ts
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()
+
+end

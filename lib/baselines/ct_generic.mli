@@ -1,0 +1,22 @@
+(** The rotating-coordinator consensus skeleton shared by {!Ct_diamond_s}
+    and {!Ct_naive}, parameterised by the quorum the coordinator needs for
+    gathering estimates and counting acks.
+
+    With the {e majority} threshold this is the Chandra–Toueg <>S algorithm
+    and uniform agreement holds for [t < n/2] (majorities intersect, so a
+    locked value is visible to every later coordinator). With the weaker
+    [n - t] threshold and [t >= n/2], two disjoint halves of the system can
+    each assemble a "quorum" — experiment E9 partitions the network and
+    makes the naive variant decide two different values, reproducing the
+    resilience price of indulgence ([t < n/2] is necessary, reference [2]). *)
+
+module Make (Q : sig
+  val name : string
+
+  val threshold : Kernel.Config.t -> int
+  (** Messages the coordinator needs to propose, and acks it needs to
+      decide. *)
+
+  val validate : Kernel.Config.t -> unit
+  (** Resilience regime check performed at [init]. *)
+end) : Sim.Algorithm.S

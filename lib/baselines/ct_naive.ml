@@ -1,0 +1,5 @@
+include Ct_generic.Make (struct
+  let name = "CT-naive"
+  let threshold = Kernel.Config.quorum
+  let validate = fun _ -> ()
+end)

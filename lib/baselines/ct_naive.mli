@@ -1,0 +1,8 @@
+(** {!Ct_generic} with the naive [n - t] threshold and no resilience check:
+    a deliberately broken "indulgent" algorithm for [t >= n/2], used by
+    experiment E9 to reproduce the impossibility of indulgent consensus
+    without a correct majority (reference [2] of the paper). Safe when
+    [t < n/2] only by accident of scheduling — do not use it for anything
+    but the demonstration. *)
+
+include Sim.Algorithm.S

@@ -1,0 +1,197 @@
+open Kernel
+
+type lock = { value : Value.t; phase : int }
+
+type msg =
+  | Report of { phase : int; est : Value.t; lock : lock option }
+  | Propose of { phase : int; value : Value.t }
+  | Ack of { phase : int }
+  | Decide of Value.t
+  | Dummy
+
+type state = {
+  config : Config.t;
+  me : Pid.t;
+  est : Value.t;
+  lock : lock option;
+  gathered : (Value.t * lock option) list;  (* leader: phase reports *)
+  accepted : bool;  (* this phase's proposal was received and locked *)
+  pending_decide : Value.t option;
+  decision : Value.t option;
+  halted : bool;
+}
+
+let name = "DLS"
+let model = Sim.Model.Dls_basic
+
+let init config me v =
+  Config.validate_indulgent config;
+  {
+    config;
+    me;
+    est = v;
+    lock = None;
+    gathered = [];
+    accepted = false;
+    pending_decide = None;
+    decision = None;
+    halted = false;
+  }
+
+let phase_of round = (Round.to_int round - 1) / 4
+let subround_of round = (Round.to_int round - 1) mod 4
+let leader config phase = Pid.of_int ((phase mod Config.n config) + 1)
+let is_leader st round = Pid.equal st.me (leader st.config (phase_of round))
+
+(* The value of the highest-phase lock among the reports, or the minimum
+   estimate when nobody is locked. Ties towards the smaller value. *)
+let proposal_value gathered =
+  let best_lock =
+    List.fold_left
+      (fun acc (_, lock) ->
+        match (acc, lock) with
+        | None, l -> l
+        | Some a, Some l
+          when l.phase > a.phase
+               || (l.phase = a.phase && Value.compare l.value a.value < 0) ->
+            Some l
+        | Some _, _ -> acc)
+      None gathered
+  in
+  match best_lock with
+  | Some l -> l.value
+  | None -> Value.minimum (List.map fst gathered)
+
+let on_send st round =
+  match st.decision with
+  | Some v -> Decide v
+  | None -> (
+      let phase = phase_of round in
+      match subround_of round with
+      | 0 -> Report { phase; est = st.est; lock = st.lock }
+      | 1 ->
+          if
+            is_leader st round
+            && List.length st.gathered >= Config.quorum st.config
+          then Propose { phase; value = proposal_value st.gathered }
+          else Dummy
+      | 2 -> if st.accepted then Ack { phase } else Dummy
+      | _ -> (
+          match st.pending_decide with
+          | Some v when is_leader st round -> Decide v
+          | _ -> Dummy))
+
+let find_decide inbox =
+  List.find_map
+    (fun (e : msg Sim.Envelope.t) ->
+      match e.payload with Decide v -> Some v | _ -> None)
+    inbox
+
+let current ~round inbox =
+  List.filter_map
+    (fun (e : msg Sim.Envelope.t) ->
+      if Sim.Envelope.is_current e ~round then Some (e.src, e.payload)
+      else None)
+    inbox
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ ->
+      (* Unlike the ES algorithms, a decider must NOT stop after one relay:
+         the basic round model has no reliable channels, so a single DECIDE
+         broadcast can be entirely lost before stabilisation, and the
+         remaining processes may be too few to assemble a report quorum on
+         their own. Broadcasting DECIDE forever is the standard remedy —
+         after stabilisation one round suffices to finish everyone. *)
+      st
+  | None -> (
+      match find_decide inbox with
+      | Some v -> { st with decision = Some v }
+      | None -> (
+          let phase = phase_of round in
+          let msgs = current ~round inbox in
+          match subround_of round with
+          | 0 ->
+              let gathered =
+                if is_leader st round then
+                  List.filter_map
+                    (fun (_, payload) ->
+                      match payload with
+                      | Report r when r.phase = phase -> Some (r.est, r.lock)
+                      | _ -> None)
+                    msgs
+                else []
+              in
+              { st with gathered; accepted = false; pending_decide = None }
+          | 1 -> (
+              let from_leader =
+                List.find_map
+                  (fun (src, payload) ->
+                    match payload with
+                    | Propose p
+                      when p.phase = phase
+                           && Pid.equal src (leader st.config phase) ->
+                        Some p.value
+                    | _ -> None)
+                  msgs
+              in
+              match from_leader with
+              | Some v ->
+                  {
+                    st with
+                    accepted = true;
+                    est = v;
+                    lock = Some { value = v; phase };
+                  }
+              | None -> { st with accepted = false })
+          | 2 ->
+              if is_leader st round then begin
+                let acks =
+                  Listx.count
+                    (fun (_, payload) ->
+                      match payload with
+                      | Ack a -> a.phase = phase
+                      | _ -> false)
+                    msgs
+                in
+                if acks >= Config.t st.config + 1 then
+                  (* The leader accepted its own proposal, so est = v. *)
+                  { st with pending_decide = Some st.est }
+                else st
+              end
+              else st
+          | _ ->
+              { st with gathered = []; accepted = false; pending_decide = None }))
+
+let decision st = st.decision
+let halted st = st.halted
+
+let wire_size = function
+  | Report { lock = Some _; _ } -> 4 + 8 + 1 + 12
+  | Report { lock = None; _ } -> 4 + 8 + 1
+  | Propose _ -> 12
+  | Ack _ -> 4
+  | Decide _ -> 8
+  | Dummy -> 0
+
+let pp_lock ppf l = Format.fprintf ppf "(%a,ph%d)" Value.pp l.value l.phase
+
+let pp_msg ppf = function
+  | Report r ->
+      Format.fprintf ppf "report(ph%d,%a,%a)" r.phase Value.pp r.est
+        (Format.pp_print_option pp_lock)
+        r.lock
+  | Propose p -> Format.fprintf ppf "propose(ph%d,%a)" p.phase Value.pp p.value
+  | Ack a -> Format.fprintf ppf "ack(ph%d)" a.phase
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+  | Dummy -> Format.pp_print_string ppf "dummy"
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[est=%a lock=%a%a@]" Value.pp st.est
+    (Format.pp_print_option pp_lock)
+    st.lock
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()

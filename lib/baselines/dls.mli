@@ -1,0 +1,36 @@
+(** Consensus in the fail-stop basic round model — the algorithm of Dwork,
+    Lynch and Stockmeyer (JACM 35(2), 1988 — reference [6]), reconstructed
+    for crash faults with [n >= 2t + 1].
+
+    The paper's Section 1.4 identifies the DLS basic round model with the
+    variant of ES that drops t-resilience and loses delayed messages; this
+    algorithm is the natural resident of that model, and also runs unchanged
+    on ES schedules (which only deliver more).
+
+    Rotating-leader phases of four rounds (phase [k], leader
+    [p_{(k mod n)+1}]):
+
+    + everyone reports its estimate and its current lock to the leader;
+    + the leader, {e if it heard at least [n - t] reports}, proposes the
+      value of the highest-phase lock reported (or the minimum estimate if
+      none) — the gathering quorum is what makes locks visible: any [t+1]
+      lockers intersect any [n - t] reporters;
+    + processes that received the proposal lock [(v, k)], adopt [v] and
+      ack;
+    + the leader, on [t + 1] acks, broadcasts DECIDE — at least one acker
+      is correct and carries the lock forever, so by induction every later
+      proposal equals [v].
+
+    Deciders keep broadcasting DECIDE {e forever} (they never halt): with
+    no reliable channels, a one-shot relay can be lost wholesale before
+    stabilisation, stranding a correct process that can no longer assemble
+    a report quorum from the survivors — a liveness bug the random-schedule
+    property tests caught, kept as a pinned regression.
+
+    Before stabilisation whole phases can be mute (the model may lose
+    anything); after it, the first phase with a correct leader decides, so
+    every run terminates by stabilisation + [4(n+1)] rounds, and a
+    synchronous run in which the first [t] leaders crash decides at
+    [4t + 4] — another baseline far above the [t + 2] of [A_{t+2}]. *)
+
+include Sim.Algorithm.S

@@ -1,0 +1,77 @@
+open Kernel
+
+type msg = Flood of Value.t | Decide of Value.t
+
+type state = {
+  config : Config.t;
+  est : Value.t;
+  prev_heard : Pid.Set.t option;  (* sender set of the previous round *)
+  decision : Value.t option;
+  halted : bool;
+}
+
+let name = "EarlyFS"
+let model = Sim.Model.Scs
+
+let init config _me v =
+  { config; est = v; prev_heard = None; decision = None; halted = false }
+
+let on_send st _round =
+  match st.decision with Some v -> Decide v | None -> Flood st.est
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ -> { st with halted = true }
+  | None -> (
+      match
+        List.find_map
+          (fun (e : msg Sim.Envelope.t) ->
+            match e.payload with Decide v -> Some v | Flood _ -> None)
+          inbox
+      with
+      | Some v -> { st with decision = Some v }
+      | None ->
+          let current =
+            List.filter_map
+              (fun (e : msg Sim.Envelope.t) ->
+                match e.payload with
+                | Flood v when Sim.Envelope.is_current e ~round ->
+                    Some (e.src, v)
+                | Flood _ | Decide _ -> None)
+              inbox
+          in
+          let heard =
+            List.fold_left
+              (fun acc (src, _) -> Pid.Set.add src acc)
+              Pid.Set.empty current
+          in
+          let est =
+            Value.minimum (st.est :: List.map snd current)
+          in
+          let stable =
+            match st.prev_heard with
+            | Some prev -> Pid.Set.equal prev heard
+            | None -> false
+          in
+          let decision =
+            if stable || Round.to_int round >= Config.t st.config + 1 then
+              Some est
+            else None
+          in
+          { st with est; prev_heard = Some heard; decision })
+
+let decision st = st.decision
+let halted st = st.halted
+let wire_size = function Flood _ | Decide _ -> 8
+
+let pp_msg ppf = function
+  | Flood v -> Format.fprintf ppf "flood(%a)" Value.pp v
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[est=%a%a@]" Value.pp st.est
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()

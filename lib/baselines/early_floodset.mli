@@ -1,0 +1,24 @@
+(** Early-deciding uniform consensus in the synchronous crash-stop model —
+    the algorithm behind references [4] (Charron-Bost–Schiper) and [11]
+    (Keidar–Rajsbaum): global decision by round [min(f + 2, t + 1)] where
+    [f] is the number of crashes that {e actually} occur.
+
+    Processes flood estimates as in FloodSet and additionally watch the set
+    of processes they hear from. A process decides its estimate at the end
+    of the first round [r >= 2] whose sender set equals the previous
+    round's: two personally-clean rounds mean every estimate the process
+    could be missing has already reached everybody it could disagree with.
+    Deciding at the {e first} clean round would not be uniform — the round-1
+    sender set has no predecessor to compare against, and deciding on it is
+    exactly the mistake that loses uniform agreement when all early
+    deciders subsequently crash (the f + 2 lower bound for uniform
+    consensus [4, 11]; the exhaustive sweeps in the test suite find the
+    violation if the rule is weakened). Unconditionally, round [t + 1]
+    decides (the FloodSet fallback), so the bound is [min(f+2, t+1)].
+
+    Section 6 of the paper contrasts exactly these quantities: SCS reaches
+    [f + 2] with reliable failure detection, ES needs [f + 2] too but only
+    achieves it for [t < n/3] via [A_{f+2}] (and [t < n/2] via the paper's
+    follow-up [5]). *)
+
+include Sim.Algorithm.S

@@ -1,0 +1,74 @@
+open Kernel
+
+type msg = Flood of Value.Set.t | Decide of Value.t
+
+type state = {
+  config : Config.t;
+  seen : Value.Set.t;
+  decision : Value.t option;
+  halted : bool;
+}
+
+let name = "FloodSet"
+let model = Sim.Model.Scs
+
+let init config _pid v =
+  { config; seen = Value.Set.singleton v; decision = None; halted = false }
+
+let last_flood_round st = Config.t st.config + 1
+
+let on_send st _round =
+  match st.decision with
+  | Some v -> Decide v
+  | None -> Flood st.seen
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ ->
+      (* Decision already broadcast in this round's send phase; return. *)
+      { st with halted = true }
+  | None ->
+      (* Only same-round messages: SCS has no delayed deliveries, so on an
+         ES schedule a synchronous run must look exactly like an SCS run to
+         this algorithm (DECIDE echoes are accepted whenever they arrive). *)
+      let seen =
+        List.fold_left
+          (fun acc (e : msg Sim.Envelope.t) ->
+            match e.payload with
+            | Flood values when Sim.Envelope.is_current e ~round ->
+                Value.Set.union values acc
+            | Flood _ -> acc
+            | Decide v -> Value.Set.add v acc)
+          st.seen inbox
+      in
+      if Round.to_int round >= last_flood_round st then
+        { st with seen; decision = Some (Value.Set.min_elt seen) }
+      else { st with seen }
+
+let decision st = st.decision
+let halted st = st.halted
+
+let wire_size = function
+  | Flood values -> 4 + (8 * Value.Set.cardinal values)
+  | Decide _ -> 8
+
+let pp_msg ppf = function
+  | Flood values ->
+      Format.fprintf ppf "flood{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Value.pp)
+        (Value.Set.elements values)
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[seen={%a}%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Value.pp)
+    (Value.Set.elements st.seen)
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()

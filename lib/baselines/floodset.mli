@@ -1,0 +1,11 @@
+(** The FloodSet consensus algorithm for the synchronous crash-stop model
+    (Lynch, {e Distributed Algorithms}, 1996 — reference [13] of the paper).
+
+    Every process floods the set of values it has seen for [t + 1] rounds and
+    decides the minimum at the end of round [t + 1]. In SCS this is optimal:
+    every run reaches a global decision at round [t + 1], matching the [t + 1]
+    lower bound. It is {e not} indulgent: experiment E9 runs it on an ES
+    schedule with a delayed message and exhibits an agreement violation,
+    which is why the whole indulgence question arises. *)
+
+include Sim.Algorithm.S

@@ -1,0 +1,76 @@
+open Kernel
+
+type msg = Estimate of Ws_flood.payload | Decide of Value.t
+
+type state = {
+  config : Config.t;
+  me : Pid.t;
+  flood : Ws_flood.t;
+  decision : Value.t option;
+  halted : bool;
+}
+
+let name = "FloodSetWS"
+
+(* Designed for the synchronous model enriched with a perfect failure
+   detector; its guarantees hold exactly on synchronous schedules. *)
+let model = Sim.Model.Scs
+
+let init config me v =
+  { config; me; flood = Ws_flood.init v; decision = None; halted = false }
+
+let decision_round st = Config.t st.config + 1
+
+let on_send st _round =
+  match st.decision with
+  | Some v -> Decide v
+  | None -> Estimate (Ws_flood.payload st.flood)
+
+let estimate_envelopes ~round inbox =
+  List.filter_map
+    (fun (e : msg Sim.Envelope.t) ->
+      match e.payload with
+      | Estimate p when Sim.Envelope.is_current e ~round ->
+          Some { e with payload = p }
+      | Estimate _ | Decide _ -> None)
+    inbox
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ -> { st with halted = true }
+  | None -> (
+      match
+        List.find_map
+          (fun (e : msg Sim.Envelope.t) ->
+            match e.payload with Decide v -> Some v | Estimate _ -> None)
+          inbox
+      with
+      | Some v -> { st with decision = Some v }
+      | None ->
+          let current = estimate_envelopes ~round inbox in
+          let flood =
+            Ws_flood.compute ~n:(Config.n st.config) ~me:st.me st.flood
+              current
+          in
+          if Round.to_int round >= decision_round st then
+            { st with flood; decision = Some flood.Ws_flood.est }
+          else { st with flood })
+
+let decision st = st.decision
+let halted st = st.halted
+
+let wire_size = function
+  | Estimate p -> Ws_flood.payload_bytes p
+  | Decide _ -> 8
+
+let pp_msg ppf = function
+  | Estimate p -> Format.fprintf ppf "est(%a)" Ws_flood.pp_payload p
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[%a%a@]" Ws_flood.pp st.flood
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()

@@ -1,0 +1,17 @@
+(** FloodSetWS — flooding consensus with a perfect failure detector
+    (Charron-Bost, Guerraoui, Schiper, DSN 2000 — reference [3]).
+
+    The processes flood (estimate, suspicion-set) pairs for [t + 1] rounds
+    and decide their estimate at the end of round [t + 1]. With perfect
+    failure detection — in our round model, in {e synchronous} runs — every
+    run reaches a global decision at round [t + 1]: the suspicion-free
+    elimination argument makes all estimates equal by then.
+
+    FloodSetWS is the algorithm [A_{t+2}] is built from, and it is the
+    canonical "fast but not indulgent" algorithm: it decides at [t + 1] in
+    every synchronous run, so by Proposition 1 it {e must} lose uniform
+    agreement in some asynchronous ES run. The model checker's attack
+    synthesiser (experiment E2) finds exactly such a run, realising the
+    paper's lower-bound construction. *)
+
+include Sim.Algorithm.S

@@ -1,0 +1,131 @@
+open Kernel
+
+type echo = Val of Value.t | Bot
+
+type msg =
+  | Current of { phase : int; est : Value.t }  (* coordinator broadcast *)
+  | Echo of { phase : int; echo : echo }
+  | Decide of Value.t
+  | Dummy
+
+type state = {
+  config : Config.t;
+  me : Pid.t;
+  est : Value.t;
+  heard : Value.t option;  (* coordinator value received in this phase *)
+  decision : Value.t option;
+  halted : bool;
+}
+
+let name = "HR-<>S"
+let model = Sim.Model.Es
+
+let init config me v =
+  Config.validate_indulgent config;
+  { config; me; est = v; heard = None; decision = None; halted = false }
+
+let phase_of round = (Round.to_int round - 1) / 2
+let subround_of round = (Round.to_int round - 1) mod 2
+let coordinator config phase = Pid.of_int ((phase mod Config.n config) + 1)
+
+let on_send st round =
+  match st.decision with
+  | Some v -> Decide v
+  | None -> (
+      let phase = phase_of round in
+      match subround_of round with
+      | 0 ->
+          if Pid.equal st.me (coordinator st.config phase) then
+            Current { phase; est = st.est }
+          else Dummy
+      | _ -> (
+          match st.heard with
+          | Some v -> Echo { phase; echo = Val v }
+          | None -> Echo { phase; echo = Bot }))
+
+let find_decide inbox =
+  List.find_map
+    (fun (e : msg Sim.Envelope.t) ->
+      match e.payload with Decide v -> Some v | _ -> None)
+    inbox
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ -> { st with halted = true }
+  | None -> (
+      match find_decide inbox with
+      | Some v -> { st with decision = Some v }
+      | None -> (
+          let phase = phase_of round in
+          let current =
+            List.filter_map
+              (fun (e : msg Sim.Envelope.t) ->
+                if Sim.Envelope.is_current e ~round then
+                  Some (e.src, e.payload)
+                else None)
+              inbox
+          in
+          match subround_of round with
+          | 0 ->
+              let coord = coordinator st.config phase in
+              let heard =
+                List.find_map
+                  (fun (src, payload) ->
+                    match payload with
+                    | Current c when c.phase = phase && Pid.equal src coord ->
+                        Some c.est
+                    | _ -> None)
+                  current
+              in
+              { st with heard }
+          | _ ->
+              let echoes =
+                List.filter_map
+                  (fun (_, payload) ->
+                    match payload with
+                    | Echo e when e.phase = phase -> Some e.echo
+                    | _ -> None)
+                  current
+              in
+              let values =
+                List.filter_map
+                  (function Val v -> Some v | Bot -> None)
+                  echoes
+              in
+              let unanimous =
+                List.length echoes >= Config.quorum st.config
+                && List.length values = List.length echoes
+              in
+              let st = { st with heard = None } in
+              if unanimous then { st with decision = Some (List.hd values) }
+              else (
+                match values with
+                | v :: _ -> { st with est = v }
+                | [] -> st)))
+
+let decision st = st.decision
+let halted st = st.halted
+
+let wire_size = function
+  | Current _ -> 12
+  | Echo _ -> 13
+  | Decide _ -> 8
+  | Dummy -> 0
+
+let pp_echo ppf = function
+  | Val v -> Value.pp ppf v
+  | Bot -> Format.pp_print_string ppf "_|_"
+
+let pp_msg ppf = function
+  | Current c -> Format.fprintf ppf "coord(ph%d,%a)" c.phase Value.pp c.est
+  | Echo e -> Format.fprintf ppf "echo(ph%d,%a)" e.phase pp_echo e.echo
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+  | Dummy -> Format.fprintf ppf "dummy"
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[est=%a%a@]" Value.pp st.est
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()

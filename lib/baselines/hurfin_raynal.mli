@@ -1,0 +1,27 @@
+(** The Hurfin–Raynal <>S consensus algorithm (Distributed Computing 12(4),
+    1999 — reference [10]), reconstructed in the round-based ES model.
+
+    This was the most efficient indulgent algorithm in worst-case synchronous
+    runs before [A_{t+2}]: the paper cites it as having a synchronous run
+    that needs [2t + 2] rounds for a global decision. Its structure is a
+    rotating coordinator with {e two} rounds per phase:
+
+    + the phase's coordinator broadcasts its estimate;
+    + every process echoes the coordinator's value, or ⊥ if it suspects the
+      coordinator; a process that sees a full quorum of [n - t] echoes all
+      carrying the same value decides it, and a process that sees at least
+      one non-⊥ echo adopts the value.
+
+    Safety: all non-⊥ echoes of a phase carry the same value (the
+    coordinator's, crash faults only); if somebody decides [v] on [n - t]
+    unanimous echoes, any other quorum of echoes intersects it in at least
+    [n - 2t >= 1] processes (since [t < n/2]), so everyone else at least
+    adopts [v] and later phases can only propose [v].
+
+    Crashing the coordinators of the first [t] phases wastes two rounds
+    each; the phase of the first surviving coordinator completes in two more,
+    hence the [2t + 2] worst case that E1 measures — exactly the complexity
+    the paper attributes to [10], which is what the comparison against
+    [A_{t+2}]'s [t + 2] needs. *)
+
+include Sim.Algorithm.S

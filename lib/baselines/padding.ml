@@ -1,0 +1,49 @@
+open Kernel
+
+module Make
+    (A : Sim.Algorithm.S) (D : sig
+      val rounds : int
+    end) =
+struct
+  type state = A.state
+  type msg = Idle | Inner of A.msg
+
+  let name = Format.sprintf "%s+pad%d" A.name D.rounds
+  let model = A.model
+  let init = A.init
+  let shift round = Round.to_int round - D.rounds
+
+  let on_send st round =
+    if shift round <= 0 then Idle
+    else Inner (A.on_send st (Round.of_int (shift round)))
+
+  let on_receive st round inbox =
+    if shift round <= 0 then st
+    else
+      let inner_inbox =
+        List.filter_map
+          (fun (e : msg Sim.Envelope.t) ->
+            match e.payload with
+            | Idle -> None
+            | Inner payload ->
+                let sent = shift e.sent in
+                if sent <= 0 then None
+                else
+                  Some
+                    (Sim.Envelope.make ~src:e.src ~sent:(Round.of_int sent)
+                       payload))
+          inbox
+      in
+      A.on_receive st (Round.of_int (shift round)) inner_inbox
+
+  let decision = A.decision
+  let halted = A.halted
+
+  let wire_size = function Idle -> 0 | Inner m -> A.wire_size m
+
+  let pp_msg ppf = function
+    | Idle -> Format.pp_print_string ppf "idle"
+    | Inner m -> A.pp_msg ppf m
+
+  let pp_state = A.pp_state
+end

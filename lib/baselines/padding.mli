@@ -1,0 +1,13 @@
+(** A combinator that makes any algorithm artificially slower by prefixing
+    [D.rounds] idle rounds (dummy messages, ignored inboxes) before the inner
+    algorithm starts.
+
+    [A_{t+2}] guarantees its fast-decision property {e regardless of the time
+    complexity of C} (Section 3); plugging [Pad (Ct_diamond_s) (struct let
+    rounds = 40 end)] in as [C] lets experiment E3 check that claim
+    mechanically: synchronous runs still globally decide at [t + 2] even when
+    the fallback path is absurdly slow. *)
+
+module Make (A : Sim.Algorithm.S) (D : sig
+  val rounds : int
+end) : Sim.Algorithm.S

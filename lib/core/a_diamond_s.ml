@@ -1,0 +1,9 @@
+include
+  At_plus_2.Make
+    (Baselines.Hurfin_raynal)
+    (struct
+      let failure_free_optimization = false
+      let exchange_suspicions = true
+    end)
+
+let name = "A<>S[HR]"

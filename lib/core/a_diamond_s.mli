@@ -1,0 +1,16 @@
+(** [A_<>S] — the <>S-based variant of [A_{t+2}] (Section 5.1, Fig. 3).
+
+    The paper obtains [A_<>S] from [A_{t+2}] by (1) replacing the underlying
+    consensus module [C] with any <>S-based consensus algorithm [C'], and
+    (2) changing the receive guards to "wait for [n - t] messages and for a
+    message from every process the local <>S module does not suspect".
+
+    In the round-based simulation the second modification is observationally
+    the Section-4 suspicion derivation the engine already implements — the
+    round-[k] suspicion set {e is} the simulated <>S output — so the variant
+    is realised by instantiating the [A_{t+2}] functor with the <>S-based
+    consensus of Hurfin–Raynal as [C']. It retains the fast-decision
+    property: global decision at round [t + 2] in every synchronous run,
+    against the [2t + 2] worst case of using [C'] alone. *)
+
+include Sim.Algorithm.S

@@ -1,0 +1,100 @@
+open Kernel
+
+module Generic (G : sig
+  val name : string
+  val validate : Config.t -> unit
+end) =
+struct
+type msg = Est of Value.t | Decide of Value.t
+
+type state = {
+  config : Config.t;
+  me : Pid.t;
+  est : Value.t;
+  decision : Value.t option;
+  announced : bool;  (* the decision has been broadcast *)
+  halted : bool;
+}
+
+let name = G.name
+let model = Sim.Model.Es
+
+let init config me v =
+  G.validate config;
+  { config; me; est = v; decision = None; announced = false; halted = false }
+
+let on_send st _round =
+  match st.decision with Some v -> Decide v | None -> Est st.est
+
+let find_decide inbox =
+  List.find_map
+    (fun (e : msg Sim.Envelope.t) ->
+      match e.payload with Decide v -> Some v | Est _ -> None)
+    inbox
+
+(* msgSet: the n - t current-round estimates with the lowest sender ids
+   (the inbox arrives sorted by sender id). *)
+let msg_set st ~round inbox =
+  List.filter_map
+    (fun (e : msg Sim.Envelope.t) ->
+      match e.payload with
+      | Est v when Sim.Envelope.is_current e ~round -> Some v
+      | Est _ | Decide _ -> None)
+    inbox
+  |> Listx.take (Config.quorum st.config)
+
+let on_receive st round inbox =
+  match st.decision with
+  | Some _ -> { st with announced = true; halted = true }
+  | None -> (
+      match find_decide inbox with
+      | Some v -> { st with decision = Some v }
+      | None -> (
+          let quorum = Config.quorum st.config in
+          let values = msg_set st ~round inbox in
+          if List.length values < quorum then
+            (* Possible only when decided processes already returned; their
+               DECIDE is in flight to us. *)
+            st
+          else if Listx.all_equal ~equal:Value.equal values then
+            { st with decision = Some (List.hd values) }
+          else
+            let threshold = quorum - Config.t st.config in
+            match
+              List.find_opt
+                (fun (_, count) -> count >= threshold)
+                (Listx.occurrences ~compare:Value.compare values)
+            with
+            | Some (v, _) -> { st with est = v }
+            | None -> { st with est = Value.minimum values }))
+
+let decision st = st.decision
+let halted st = st.halted
+
+let wire_size = function Est _ -> 8 | Decide _ -> 8
+
+let pp_msg ppf = function
+  | Est v -> Format.fprintf ppf "est(%a)" Value.pp v
+  | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+
+let pp_state ppf st =
+  Format.fprintf ppf "@[est=%a%a@]" Value.pp st.est
+    (fun ppf () ->
+      match st.decision with
+      | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+      | None -> ())
+    ()
+
+end
+
+include Generic (struct
+  let name = "A(f+2)"
+  let validate = Config.validate_third
+end)
+
+(* The E11 ablation: the same protocol with the t < n/3 guard removed. Its
+   counting rule is unsound outside that regime. *)
+module Unguarded = Generic (struct
+  let name = "A(f+2)-guard"
+  let validate = fun (_ : Config.t) -> ()
+end)

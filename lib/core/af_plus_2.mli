@@ -1,0 +1,34 @@
+(** [A_{f+2}] — the fast-eventual-decision algorithm for [t < n/3]
+    (Section 6, Fig. 5).
+
+    An optimised version of the second leader-based algorithm of
+    Mostefaoui–Raynal. Every round, every process floods its estimate. On
+    receiving the messages of round [k] a process:
+
+    - decides the value of any DECIDE message received (from round [k] or a
+      lower round);
+    - otherwise forms [msgSet], the [n - t] current-round messages with the
+      lowest sender ids, and (a) decides if all carry the same estimate,
+      (b) adopts a value occurring at least [n - 2t] times, or (c) adopts
+      the minimum estimate in [msgSet].
+
+    A process that decides broadcasts its decision in the next round and
+    returns.
+
+    Safety rests on the [t < n/3] counting observation: if a value [v]
+    fills an entire [n - t] selection, every other [n - t] selection
+    contains [v] at least [n - 2t] times and every other value fewer.
+
+    {e Fast eventual decision} (Lemma 15): in a run that is synchronous
+    after round [k] with [f <= t] crashes after round [k], every process
+    that decides does so by round [k + f + 2]. With [k = 0] this gives
+    early decision at [f + 2] in synchronous runs — one round above the
+    [f + 1] of SCS, and matching the [f + 2] lower bound the paper derives
+    from Proposition 1. *)
+
+include Sim.Algorithm.S
+
+module Unguarded : Sim.Algorithm.S
+(** The same protocol with the [t < n/3] guard removed — the E11 ablation.
+    With [t >= n/3] the counting observation fails and a partition makes two
+    blocks decide differently; never use outside the demonstration. *)

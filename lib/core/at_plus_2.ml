@@ -1,0 +1,234 @@
+open Kernel
+module Ws = Baselines.Ws_flood
+
+module Make
+    (C : Sim.Algorithm.S) (P : sig
+      val failure_free_optimization : bool
+      val exchange_suspicions : bool
+    end) =
+struct
+  type msg =
+    | Estimate of Ws.payload  (* Phase 1, rounds 1..t+1 *)
+    | New_estimate of Value.t option  (* round t+2; None encodes ⊥ *)
+    | Decide of Value.t  (* rounds >= 3 (with the optimization) or t+3 *)
+    | Underlying of C.msg  (* the embedded module C, rounds >= t+3 *)
+
+  type stage =
+    | Phase1 of Ws.t
+    | Deciding  (* decided: broadcast DECIDE once, then return *)
+    | Fallback of C.state
+
+  type state = {
+    config : Config.t;
+    me : Pid.t;
+    proposal : Value.t;
+    vc : Value.t;  (* the proposal for C (Fig. 2 line 17 / Fig. 4 line 6.8) *)
+    stage : stage;
+    decision : Value.t option;
+    halted : bool;
+  }
+
+  let name =
+    Format.sprintf "A(t+2)%s%s[%s]"
+      (if P.failure_free_optimization then "+ff" else "")
+      (if P.exchange_suspicions then "" else "-halt")
+      C.name
+
+  let model = Sim.Model.Es
+
+  let init config me v =
+    Config.validate_indulgent config;
+    {
+      config;
+      me;
+      proposal = v;
+      vc = v;
+      stage = Phase1 (Ws.init v);
+      decision = None;
+      halted = false;
+    }
+
+  let last_flood_round st = Config.t st.config + 1
+  let exchange_round st = Config.t st.config + 2
+
+  (* C runs with its own round numbering starting right after the exchange
+     round: its round r is the system's round t + 2 + r. *)
+  let relative st round = Round.to_int round - exchange_round st
+
+  let new_estimate st flood =
+    if Ws.detects_false_suspicion flood ~config:st.config then None
+    else Some flood.Ws.est
+
+  let on_send st round =
+    match st.stage with
+    | Deciding -> (
+        match st.decision with
+        | Some v -> Decide v
+        | None -> assert false)
+    | Phase1 flood ->
+        if Round.to_int round <= last_flood_round st then
+          let payload = Ws.payload flood in
+          Estimate
+            (if P.exchange_suspicions then payload
+             else { payload with Ws.p_halt = Pid.Set.empty })
+        else New_estimate (new_estimate st flood)
+    | Fallback c -> Underlying (C.on_send c (Round.of_int (relative st round)))
+
+  let find_decide inbox =
+    List.find_map
+      (fun (e : msg Sim.Envelope.t) ->
+        match e.payload with Decide v -> Some v | _ -> None)
+      inbox
+
+  let current_estimates ~round inbox =
+    List.filter_map
+      (fun (e : msg Sim.Envelope.t) ->
+        match e.payload with
+        | Estimate p when Sim.Envelope.is_current e ~round ->
+            Some { e with payload = p }
+        | _ -> None)
+      inbox
+
+  let current_new_estimates ~round inbox =
+    List.filter_map
+      (fun (e : msg Sim.Envelope.t) ->
+        match e.payload with
+        | New_estimate nE when Sim.Envelope.is_current e ~round -> Some nE
+        | _ -> None)
+      inbox
+
+  (* Fig. 4: after receiving the messages of round 2, decide if the round-1
+     exchange was provably complete and suspicion-free; pre-load [vc] if it
+     was merely suspicion-free as far as visible. *)
+  let apply_optimization st estimates =
+    let suspicion_free =
+      List.for_all
+        (fun (e : Ws.payload Sim.Envelope.t) ->
+          Pid.Set.is_empty e.payload.Ws.p_halt)
+        estimates
+    in
+    if not suspicion_free then `Continue st
+    else
+      let ests =
+        List.map (fun (e : Ws.payload Sim.Envelope.t) -> e.payload.Ws.p_est)
+          estimates
+      in
+      if List.length estimates = Config.n st.config then
+        `Decided
+          {
+            st with
+            decision = Some (Value.minimum ests);
+            stage = Deciding;
+          }
+      else `Continue { st with vc = Value.minimum ests }
+
+  let receive_phase1 st flood round inbox =
+    let estimates = current_estimates ~round inbox in
+    if Round.to_int round <= last_flood_round st then
+      let continue st =
+        let flood =
+          Ws.compute ~n:(Config.n st.config) ~me:st.me flood estimates
+        in
+        { st with stage = Phase1 flood }
+      in
+      if P.failure_free_optimization && Round.to_int round = 2 then
+        match apply_optimization st estimates with
+        | `Decided st -> st
+        | `Continue st -> continue st
+      else continue st
+    else begin
+      (* Round t+2: the new-estimate exchange. *)
+      let n_es = current_new_estimates ~round inbox in
+      let values = List.filter_map Fun.id n_es in
+      if values <> [] && List.length values = List.length n_es then
+        { st with decision = Some (Value.minimum values); stage = Deciding }
+      else
+        let vc = match values with v :: _ -> v | [] -> st.vc in
+        let c = C.init st.config st.me vc in
+        { st with vc; stage = Fallback c }
+    end
+
+  let receive_fallback st c round inbox =
+    let inner =
+      List.filter_map
+        (fun (e : msg Sim.Envelope.t) ->
+          match e.payload with
+          | Underlying payload ->
+              let sent = relative st e.sent in
+              if sent >= 1 then
+                Some (Sim.Envelope.make ~src:e.src ~sent:(Round.of_int sent) payload)
+              else None
+          | _ -> None)
+        inbox
+    in
+    let c = C.on_receive c (Round.of_int (relative st round)) inner in
+    { st with stage = Fallback c; decision = C.decision c }
+
+  let on_receive st round inbox =
+    match st.stage with
+    | Deciding -> { st with halted = true }
+    | (Phase1 _ | Fallback _) as stage -> (
+        match find_decide inbox with
+        | Some v -> { st with decision = Some v; stage = Deciding }
+        | None -> (
+            match stage with
+            | Phase1 flood -> receive_phase1 st flood round inbox
+            | Fallback c -> receive_fallback st c round inbox
+            | Deciding -> assert false))
+
+  let decision st =
+    match st.stage with Fallback c -> C.decision c | _ -> st.decision
+
+  let halted st =
+    match st.stage with Fallback c -> C.halted c | _ -> st.halted
+
+  let wire_size = function
+    | Estimate p -> Ws.payload_bytes p
+    | New_estimate _ -> 9
+    | Decide _ -> 8
+    | Underlying m -> C.wire_size m
+
+  let pp_msg ppf = function
+    | Estimate p -> Format.fprintf ppf "est(%a)" Ws.pp_payload p
+    | New_estimate (Some v) -> Format.fprintf ppf "nE(%a)" Value.pp v
+    | New_estimate None -> Format.fprintf ppf "nE(_|_)"
+    | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+    | Underlying m -> Format.fprintf ppf "C:%a" C.pp_msg m
+
+  let pp_state ppf st =
+    match st.stage with
+    | Phase1 flood -> Format.fprintf ppf "@[phase1 %a@]" Ws.pp flood
+    | Deciding ->
+        Format.fprintf ppf "@[decided %a@]"
+          (Format.pp_print_option Value.pp)
+          st.decision
+    | Fallback c -> Format.fprintf ppf "@[C %a@]" C.pp_state c
+end
+
+module No_opt = struct
+  let failure_free_optimization = false
+  let exchange_suspicions = true
+end
+
+module With_opt = struct
+  let failure_free_optimization = true
+  let exchange_suspicions = true
+end
+
+module Ablated = struct
+  let failure_free_optimization = false
+  let exchange_suspicions = false
+end
+
+module Standard = Make (Baselines.Ct_diamond_s) (No_opt)
+module Optimized = Make (Baselines.Ct_diamond_s) (With_opt)
+
+module Padded_ct =
+  Baselines.Padding.Make
+    (Baselines.Ct_diamond_s)
+    (struct
+      let rounds = 40
+    end)
+
+module Slow_fallback = Make (Padded_ct) (No_opt)
+module No_halt_exchange = Make (Baselines.Ct_diamond_s) (Ablated)

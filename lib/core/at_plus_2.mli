@@ -1,0 +1,62 @@
+(** [A_{t+2}] — the paper's matching algorithm (Fig. 2), with the
+    failure-free optimization of Fig. 4 as an option.
+
+    The algorithm solves uniform consensus in ES for [0 < t < n/2] and has
+    the {e fast decision} property: in every synchronous run, every process
+    that decides does so by round [t + 2] — matching the lower bound of
+    Proposition 1 and beating the [2t + 2] of Hurfin–Raynal.
+
+    {b Phase 1} (rounds [1 .. t+1]): flood [(est, Halt)] pairs and run the
+    compute() of {!Baselines.Ws_flood}: converge estimates to the minimum
+    while tracking mutual suspicions. Its {e elimination property} (Lemma 6):
+    any two processes that reach round [t + 2] either hold the same estimate
+    or at least one of them has [|Halt| > t], which by Lemma 13 certifies a
+    false suspicion somewhere in the run.
+
+    {b Phase 2} (round [t + 2]): each process sends a new estimate [nE] —
+    its estimate if [|Halt| <= t], and ⊥ otherwise. By elimination, at most
+    one distinct non-⊥ value circulates. A process receiving {e only} non-⊥
+    values decides one of them, broadcasts DECIDE in round [t + 3], and
+    returns; everyone else proposes a received non-⊥ value (or its own
+    proposal if all were ⊥) to the underlying consensus module [C], which
+    runs from round [t + 3] on and eventually decides. Fast decision is
+    independent of [C]'s complexity — instantiate [C] with
+    {!Baselines.Padding.Make} to check.
+
+    A process that receives a DECIDE message decides that value, relays the
+    DECIDE once, and returns.
+
+    With [failure_free_optimization] (Fig. 4), a process that receives
+    round-2 messages from all [n] processes, every one carrying [Halt = ∅],
+    decides immediately (round 2) — complete exchange in round 1 forces all
+    estimates equal to the global minimum — and a process that merely sees
+    no suspicion pre-loads its [C]-proposal with that estimate. *)
+
+module Make
+    (C : Sim.Algorithm.S) (P : sig
+      val failure_free_optimization : bool
+
+      val exchange_suspicions : bool
+      (** [true] is the paper's algorithm. [false] is the E11 {e ablation}:
+          ESTIMATE messages carry an empty Halt set, so suspicions are
+          tracked locally but never exchanged. The elimination property
+          (Lemma 6) then fails — a falsely-suspected process never learns it
+          is being accused, keeps [|Halt| <= t], and sends a non-⊥ new
+          estimate that can differ from everyone else's, breaking uniform
+          agreement in asynchronous runs. *)
+    end) : Sim.Algorithm.S
+
+module Standard : Sim.Algorithm.S
+(** [Make (Baselines.Ct_diamond_s)] without the optimization — the paper's
+    plain [A_{t+2}]. *)
+
+module Optimized : Sim.Algorithm.S
+(** [Standard] plus the Fig. 4 failure-free optimization. *)
+
+module Slow_fallback : Sim.Algorithm.S
+(** [C] padded with 40 idle rounds: the fast-decision independence ablation
+    (experiment E3). *)
+
+module No_halt_exchange : Sim.Algorithm.S
+(** The Lemma-6 ablation (suspicions never exchanged) — unsafe by design;
+    experiment E11 exhibits its agreement violation. *)

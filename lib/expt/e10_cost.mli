@@ -1,0 +1,22 @@
+(** Experiment E10 — engineering cost: rounds to quiescence and total
+    message copies per algorithm on the failure-free run, as [n] grows.
+    (Wall-clock micro-benchmarks of the same runs live in [bench/main.ml]
+    under Bechamel.) The shape to expect: every algorithm sends
+    [O(rounds * n^2)] copies; [A_{t+2}]'s round count grows with [t] while
+    HR's and CT's failure-free cost stays constant — the flip side of their
+    worse worst case. *)
+
+type row = {
+  label : string;
+  n : int;
+  t : int;
+  decision_round : int;
+  quiescent_round : int;
+  messages : int;
+  bytes : int;
+}
+
+val measure : (int * int) list -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

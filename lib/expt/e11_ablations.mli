@@ -1,0 +1,28 @@
+(** Experiment E11 — ablations: each safety mechanism the design calls out,
+    removed, must break in exactly the predicted way.
+
+    + {e Halt exchange} (Fig. 2 lines 31–35). Without exchanging suspicion
+      sets, the elimination property (Lemma 6) fails: a falsely-suspected
+      process keeps [|Halt| <= t], sends a non-⊥ new estimate different from
+      everyone else's, and the round-[t+2] rule decides on conflicting
+      values. The extended solo-split schedule (p1 delayed through round
+      t+2) breaks the ablated algorithm while the real [A_{t+2}] survives —
+      and in {e synchronous} runs the ablated variant still decides at t+2:
+      the suspicion exchange buys precisely the asynchronous safety.
+    + {e The t < n/3 guard of A_{f+2}}. Without it, at (n=4, t=2) the
+      [n - 2t = 0] occurrence threshold is vacuous and a partition makes
+      the two halves decide different values; the guarded algorithm refuses
+      the configuration at [init]. *)
+
+type row = {
+  ablation : string;
+  scenario : string;
+  guarded : string;  (** what the paper's version does *)
+  ablated : string;  (** what the ablated version does *)
+  as_predicted : bool;
+}
+
+val measure : unit -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

@@ -1,0 +1,119 @@
+open Kernel
+
+let name = "e12"
+let title = "E12: average-case crossover - optimistic vs flat decision cost"
+
+type row = {
+  crashes : int;
+  samples : int;
+  hr_mean : float;
+  hr_max : int;
+  at2_mean : float;
+  at2_max : int;
+  opt_mean : float;
+  opt_max : int;
+  ct_mean : float;
+  ct_max : int;
+}
+
+(* A random synchronous schedule with exactly [crashes] crashes (rejection
+   sampling over the generator's 0..max uniform count). *)
+let schedule_with_crashes rng config ~crashes =
+  let rec draw () =
+    let s =
+      Workload.Random_runs.synchronous_with_delays rng config
+        ~max_crashes:crashes ()
+    in
+    if Sim.Schedule.crash_count s = crashes then s else draw ()
+  in
+  draw ()
+
+let stats entry config schedules =
+  let rounds =
+    List.map
+      (fun schedule ->
+        let trace =
+          Sim.Runner.run entry.Registry.algo config
+            ~proposals:(Sim.Runner.distinct_proposals config)
+            schedule
+        in
+        (match Sim.Props.check trace with
+        | [] -> ()
+        | vs ->
+            failwith
+              (Format.asprintf "%s: %a" entry.Registry.label
+                 (Format.pp_print_list Sim.Props.pp_violation)
+                 vs));
+        match Sim.Trace.global_decision_round trace with
+        | Some r -> Round.to_int r
+        | None -> failwith (entry.Registry.label ^ ": no decision"))
+      schedules
+  in
+  match Stats.Summary.of_list rounds with
+  | Some s -> (s.Stats.Summary.mean, s.Stats.Summary.max)
+  | None -> (0., 0)
+
+let measure ?(seed = 83) ?(samples = 200) config =
+  List.map
+    (fun crashes ->
+      let rng = Rng.create ~seed:(seed + crashes) in
+      let schedules =
+        List.init samples (fun _ -> schedule_with_crashes rng config ~crashes)
+      in
+      let hr_mean, hr_max = stats Registry.hurfin_raynal config schedules in
+      let at2_mean, at2_max = stats Registry.at_plus_2 config schedules in
+      let opt_mean, opt_max = stats Registry.at_plus_2_opt config schedules in
+      let ct_mean, ct_max = stats Registry.ct_diamond_s config schedules in
+      {
+        crashes;
+        samples;
+        hr_mean;
+        hr_max;
+        at2_mean;
+        at2_max;
+        opt_mean;
+        opt_max;
+        ct_mean;
+        ct_max;
+      })
+    (Listx.range 0 (Config.t config))
+
+let cell_mean m = Printf.sprintf "%.2f" m
+
+let run ppf =
+  let config = Config.make ~n:5 ~t:2 in
+  let rows = measure config in
+  let table =
+    List.fold_left
+      (fun table r ->
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int r.crashes;
+            cell_mean r.hr_mean;
+            Stats.Table.cell_int r.hr_max;
+            cell_mean r.at2_mean;
+            Stats.Table.cell_int r.at2_max;
+            cell_mean r.opt_mean;
+            Stats.Table.cell_int r.opt_max;
+            cell_mean r.ct_mean;
+            Stats.Table.cell_int r.ct_max;
+          ])
+      (Stats.Table.make
+         ~headers:
+           [
+             "crashes";
+             "HR mean";
+             "HR max";
+             "A(t+2) mean";
+             "max";
+             "A(t+2)+ff mean";
+             "max";
+             "CT mean";
+             "max";
+           ])
+      rows
+  in
+  Format.fprintf ppf
+    "@[<v>%s (n=5, t=2; %d random synchronous runs per row)@,%a@,@]" title
+    (match rows with r :: _ -> r.samples | [] -> 0)
+    Stats.Table.render table

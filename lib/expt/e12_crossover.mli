@@ -1,0 +1,31 @@
+(** Experiment E12 — where the crossover falls (Section 1.1's practical
+    motivation: "in many real systems, most runs are actually synchronous",
+    and among those most are failure-free).
+
+    Hurfin–Raynal is {e optimistic}: 2 rounds when its first coordinator
+    survives, up to [2t + 2] when coordinators keep dying. The plain
+    [A_{t+2}] is {e flat}: always [t + 2]. The Fig. 4 optimization makes
+    [A_{t+2}] optimistic too (2 rounds failure-free) without giving up the
+    [t + 2] ceiling. This experiment sweeps the number of crashes and
+    reports the mean and worst global decision round of each algorithm over
+    random synchronous runs — showing where the optimistic baselines lose
+    their lead and that the optimized algorithm dominates: never worse than
+    either, best or tied in every regime. *)
+
+type row = {
+  crashes : int;  (** exactly this many crashes per sampled run *)
+  samples : int;
+  hr_mean : float;
+  hr_max : int;
+  at2_mean : float;
+  at2_max : int;
+  opt_mean : float;
+  opt_max : int;
+  ct_mean : float;
+  ct_max : int;
+}
+
+val measure : ?seed:int -> ?samples:int -> Kernel.Config.t -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

@@ -1,0 +1,27 @@
+(** Experiment E1 — the headline table: worst-case global decision round in
+    synchronous runs, per algorithm and resilience (Sections 1.4 and 3).
+
+    Paper predictions: FloodSet / FloodSetWS decide by [t+1] (the SCS
+    optimum); every indulgent algorithm needs at least [t+2] (Proposition
+    1); [A_{t+2}] and its variants achieve exactly [t+2]; Hurfin–Raynal hits
+    [2t+2]; CT-<>S hits [4t+4]. The "price of indulgence" is the [t+2] vs
+    [t+1] gap; the payoff over prior indulgent algorithms is the [t+2] vs
+    [2t+2] gap. *)
+
+type row = {
+  label : string;
+  n : int;
+  t : int;
+  predicted : int;
+  measured : int;
+  indulgent : bool;
+}
+
+val measure : ?seed:int -> ?samples:int -> (int * int) list -> row list
+(** One row per (config, applicable algorithm). *)
+
+val run : Format.formatter -> unit
+(** Print the table for {!Measure.standard_configs}. *)
+
+val name : string
+val title : string

@@ -1,0 +1,28 @@
+(** Experiment E3 — Fig. 2's fast-decision property: in {e every}
+    synchronous run of [A_{t+2}], every process that decides does so by
+    round [t + 2] (Lemma 13), independently of the underlying consensus
+    module [C].
+
+    Checked three ways: exhaustive serial sweeps over all binary inputs for
+    small systems; deterministic cascades plus random synchronous schedules
+    (with crash-round delays, the part SCS does not even allow) for larger
+    ones; and the same again with [C] padded by 40 idle rounds — the
+    padding must not move a single synchronous decision. The sweeps also
+    confirm the decision round is {e exactly} [t + 2]: the algorithm never
+    decides earlier without the Fig. 4 optimization, so the bound is tight
+    run-by-run, not just in the worst case. *)
+
+type row = {
+  variant : string;
+  n : int;
+  t : int;
+  min_decision : int;
+  max_decision : int;
+  runs : int;
+  safe : bool;
+}
+
+val measure : ?seed:int -> (int * int) list -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

@@ -1,0 +1,89 @@
+open Kernel
+
+let name = "e4"
+let title = "E4: A<>S under a gst sweep (vs Hurfin-Raynal alone)"
+
+type row = {
+  gst : int;
+  a_ds_worst : int;
+  hr_worst : int;
+  a_ds_safe : bool;
+  hr_safe : bool;
+  all_terminated : bool;
+}
+
+let worst_over entry config ~gst ~samples ~seed =
+  let proposals = Sim.Runner.distinct_proposals config in
+  let rng = Rng.create ~seed in
+  let schedules =
+    Seq.init samples (fun _ ->
+        if gst = 1 then Workload.Random_runs.synchronous_with_delays rng config ()
+        else Workload.Random_runs.eventually_synchronous rng config ~gst ())
+  in
+  let outcome =
+    Workload.Search.over ~algo:entry.Registry.algo ~config ~proposals schedules
+  in
+  let unterminated =
+    List.exists
+      (fun (_, vs) ->
+        List.exists
+          (function
+            | Sim.Props.Termination _ | Sim.Props.Unsettled _ -> true
+            | _ -> false)
+          vs)
+      outcome.Workload.Search.violations
+  in
+  let unsafe =
+    List.exists
+      (fun (_, vs) ->
+        List.exists
+          (function
+            | Sim.Props.Validity _ | Sim.Props.Agreement _ -> true
+            | _ -> false)
+          vs)
+      outcome.Workload.Search.violations
+  in
+  (outcome.Workload.Search.worst_round, not unsafe, not unterminated)
+
+let measure ?(seed = 31) ?(samples = 120) config gsts =
+  List.map
+    (fun gst ->
+      let a_ds_worst, a_ds_safe, a_ds_term =
+        worst_over Registry.a_diamond_s config ~gst ~samples ~seed
+      in
+      let hr_worst, hr_safe, hr_term =
+        worst_over Registry.hurfin_raynal config ~gst ~samples ~seed
+      in
+      {
+        gst;
+        a_ds_worst;
+        hr_worst;
+        a_ds_safe;
+        hr_safe;
+        all_terminated = a_ds_term && hr_term;
+      })
+    gsts
+
+let run ppf =
+  let config = Config.make ~n:5 ~t:2 in
+  let rows = measure config [ 1; 2; 4; 6; 8 ] in
+  let table =
+    List.fold_left
+      (fun table r ->
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int r.gst;
+            Stats.Table.cell_int r.a_ds_worst;
+            Stats.Table.cell_int r.hr_worst;
+            Stats.Table.cell_check r.a_ds_safe;
+            Stats.Table.cell_check r.hr_safe;
+            Stats.Table.cell_check r.all_terminated;
+          ])
+      (Stats.Table.make
+         ~headers:
+           [ "gst"; "A<>S worst"; "HR worst"; "A<>S safe"; "HR safe"; "terminated" ])
+      rows
+  in
+  Format.fprintf ppf
+    "@[<v>%s (n=5, t=2; gst=1 rows are synchronous: A<>S = t+2 = 4)@,%a@,@]"
+    title Stats.Table.render table

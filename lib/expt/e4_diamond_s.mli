@@ -1,0 +1,22 @@
+(** Experiment E4 — the <>S variant (Section 5.1, Fig. 3): [A_<>S] keeps the
+    [t + 2] fast decision in synchronous runs, and in asynchronous runs it
+    terminates (correctly) once the simulated <>S stabilises — measured here
+    as the worst decision round over random ES schedules while sweeping the
+    global stabilisation round. The contrast column runs the underlying
+    Hurfin–Raynal algorithm alone on the same schedules: [A_<>S] matches it
+    asymptotically but beats it by [t] rounds when the run happens to be
+    synchronous. *)
+
+type row = {
+  gst : int;
+  a_ds_worst : int;
+  hr_worst : int;
+  a_ds_safe : bool;
+  hr_safe : bool;
+  all_terminated : bool;
+}
+
+val measure : ?seed:int -> ?samples:int -> Kernel.Config.t -> int list -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

@@ -1,0 +1,20 @@
+(** Experiment E5 — the failure-free optimization (Section 5.2, Fig. 4).
+
+    In the failure-free synchronous run, the optimized [A_{t+2}] reaches a
+    global decision at round 2, matching the two-round lower bound for
+    well-behaved runs ([11]); the unoptimized algorithm still needs [t + 2].
+    With crashes the optimization must not cost anything: the worst case
+    over synchronous runs stays at most [t + 2], and safety is preserved on
+    asynchronous schedules. *)
+
+type row = {
+  label : string;
+  failure_free : int;  (** global decision round, quiet run *)
+  sync_worst : int;
+  safe_async : bool;
+}
+
+val measure : ?seed:int -> Kernel.Config.t -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

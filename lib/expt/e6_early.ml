@@ -1,0 +1,92 @@
+open Kernel
+
+let name = "e6"
+let title = "E6: early decision - rounds vs actual failures f"
+
+type row = {
+  f : int;
+  af2_worst : int;
+  at2_worst : int;
+  floodset_worst : int;
+  early_fs_worst : int;
+}
+
+let worst entry config ~f ~samples ~seed =
+  let proposals = Sim.Runner.distinct_proposals config in
+  let algo = entry.Registry.algo in
+  let rng = Rng.create ~seed in
+  let random =
+    Seq.init samples (fun _ ->
+        Workload.Random_runs.synchronous rng config ~max_crashes:f ())
+  in
+  let cascades =
+    if f = 0 then Seq.empty
+    else
+      List.to_seq
+        [
+          Workload.Cascade.leader_killer config ~f ~stride:1 ~start:Round.first;
+          Workload.Cascade.silent_crashes config
+            ~rounds:(List.map Round.of_int (Listx.range 1 f));
+          Workload.Cascade.split_brain config ~k:0 ~f;
+          Workload.Cascade.minority_keeper config ~f;
+        ]
+  in
+  let outcome =
+    Workload.Search.over ~algo ~config ~proposals (Seq.append cascades random)
+  in
+  (match outcome.Workload.Search.violations with
+  | [] -> ()
+  | (s, vs) :: _ ->
+      failwith
+        (Format.asprintf "%s: %a under %a" entry.Registry.label
+           (Format.pp_print_list Sim.Props.pp_violation)
+           vs Sim.Schedule.pp s));
+  outcome.Workload.Search.worst_round
+
+let measure ?(seed = 53) ?(samples = 200) config =
+  List.map
+    (fun f ->
+      {
+        f;
+        af2_worst = worst Registry.af_plus_2 config ~f ~samples ~seed;
+        at2_worst = worst Registry.at_plus_2 config ~f ~samples ~seed;
+        floodset_worst = worst Registry.floodset config ~f ~samples ~seed;
+        early_fs_worst = worst Registry.early_floodset config ~f ~samples ~seed;
+      })
+    (Listx.range 0 (Config.t config))
+
+let run ppf =
+  let config = Config.make ~n:7 ~t:2 in
+  let rows = measure config in
+  let table =
+    List.fold_left
+      (fun table r ->
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int r.f;
+            Stats.Table.cell_int (r.f + 2);
+            Stats.Table.cell_int r.af2_worst;
+            Stats.Table.cell_int r.at2_worst;
+            Stats.Table.cell_int r.floodset_worst;
+            Stats.Table.cell_int r.early_fs_worst;
+            Stats.Table.cell_check (r.af2_worst <= r.f + 2);
+            Stats.Table.cell_check
+              (r.early_fs_worst <= min (r.f + 2) (Config.t config + 1));
+          ])
+      (Stats.Table.make
+         ~headers:
+           [
+             "f";
+             "bound f+2";
+             "A(f+2)";
+             "A(t+2)";
+             "FloodSet";
+             "EarlyFS(SCS)";
+             "A(f+2) <= f+2";
+             "EarlyFS <= min(f+2,t+1)";
+           ])
+      rows
+  in
+  Format.fprintf ppf
+    "@[<v>%s (n=7, t=2: A(t+2) is stuck at t+2=4, A(f+2) tracks f)@,%a@,@]"
+    title Stats.Table.render table

@@ -1,0 +1,23 @@
+(** Experiment E6 — early decision (Section 6, first paragraph).
+
+    For runs with at most [f <= t] crashes, the paper derives an [f + 2]
+    lower bound for synchronous runs of any ES consensus algorithm (one
+    round above the [f + 1] of SCS), and reports (via [5]) that it is
+    tight. [A_{f+2}] achieves it for [t < n/3]: its decision round tracks
+    the number of {e actual} failures. [A_{t+2}] by contrast always pays
+    for the worst case: [t + 2] rounds even in a failure-free run — the
+    cost of resilience-oblivious flooding, and exactly why Section 6 asks
+    the early-decision question. *)
+
+type row = {
+  f : int;
+  af2_worst : int;  (** worst over synchronous runs with at most f crashes *)
+  at2_worst : int;
+  floodset_worst : int;  (** plain FloodSet: always t+1 *)
+  early_fs_worst : int;  (** the SCS early decider: min(f+2, t+1) *)
+}
+
+val measure : ?seed:int -> ?samples:int -> Kernel.Config.t -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

@@ -1,0 +1,90 @@
+open Kernel
+
+let name = "e7"
+let title = "E7: fast eventual decision - k+f+2 vs k+2f+2"
+
+type row = {
+  k : int;
+  f : int;
+  af2_worst : int;
+  af2_bound : int;
+  amr_worst : int;
+  amr_bound : int;
+}
+
+let worst entry config ~k ~f ~samples ~seed =
+  let proposals = Sim.Runner.distinct_proposals config in
+  let algo = entry.Registry.algo in
+  let rng = Rng.create ~seed in
+  let random =
+    Seq.init samples (fun _ ->
+        Workload.Random_runs.synchronous_after rng config ~k ~f ())
+  in
+  let crafted =
+    List.to_seq
+      [
+        Workload.Cascade.split_brain config ~k ~f;
+        Workload.Cascade.split_then_minority config ~k ~f;
+      ]
+  in
+  let outcome =
+    Workload.Search.over ~algo ~config ~proposals (Seq.append crafted random)
+  in
+  (match outcome.Workload.Search.violations with
+  | [] -> ()
+  | (s, vs) :: _ ->
+      failwith
+        (Format.asprintf "%s: %a under %a" entry.Registry.label
+           (Format.pp_print_list Sim.Props.pp_violation)
+           vs Sim.Schedule.pp s));
+  outcome.Workload.Search.worst_round
+
+let measure ?(seed = 61) ?(samples = 100) config ~ks =
+  List.concat_map
+    (fun k ->
+      List.map
+        (fun f ->
+          {
+            k;
+            f;
+            af2_worst = worst Registry.af_plus_2 config ~k ~f ~samples ~seed;
+            af2_bound = k + f + 2;
+            amr_worst = worst Registry.amr config ~k ~f ~samples ~seed;
+            amr_bound = k + (2 * f) + 2;
+          })
+        (Listx.range 0 (Config.t config)))
+    ks
+
+let run ppf =
+  let config = Config.make ~n:7 ~t:2 in
+  let rows = measure config ~ks:[ 0; 2; 4 ] in
+  let table =
+    List.fold_left
+      (fun table r ->
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int r.k;
+            Stats.Table.cell_int r.f;
+            Stats.Table.cell_int r.af2_worst;
+            Stats.Table.cell_int r.af2_bound;
+            Stats.Table.cell_check (r.af2_worst <= r.af2_bound);
+            Stats.Table.cell_int r.amr_worst;
+            Stats.Table.cell_int r.amr_bound;
+            Stats.Table.cell_check (r.amr_worst <= r.amr_bound);
+          ])
+      (Stats.Table.make
+         ~headers:
+           [
+             "k";
+             "f";
+             "A(f+2)";
+             "k+f+2";
+             "in bound";
+             "AMR";
+             "k+2f+2";
+             "in bound";
+           ])
+      rows
+  in
+  Format.fprintf ppf "@[<v>%s (n=7, t=2 = 3t+1 regime)@,%a@,@]" title
+    Stats.Table.render table

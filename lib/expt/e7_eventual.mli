@@ -1,0 +1,25 @@
+(** Experiment E7 — fast eventual decision (Section 6, Fig. 5, footnote 10).
+
+    For runs that become synchronous after round [k] with [f] crashes after
+    [k], the paper proves [A_{f+2}] globally decides by round [k + f + 2]
+    (for [t < n/3]), and notes that the unoptimised leader-based AMR would
+    need up to [k + 2f + 2] on such runs. The workload is the split-brain
+    adversary of {!Workload.Cascade.split_brain} (asynchronous prefix that
+    provably stalls quorum-counting for [n = 3t + 1], then [f] partial-
+    delivery crashes), plus random synchronous-after-[k] schedules. Both
+    algorithms are checked against their own bound; the table shows
+    [A_{f+2}]'s bound is strictly tighter as [f] grows. *)
+
+type row = {
+  k : int;
+  f : int;
+  af2_worst : int;
+  af2_bound : int;  (** k + f + 2 *)
+  amr_worst : int;
+  amr_bound : int;  (** k + 2f + 2 *)
+}
+
+val measure : ?seed:int -> ?samples:int -> Kernel.Config.t -> ks:int list -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

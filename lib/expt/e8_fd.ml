@@ -1,0 +1,85 @@
+open Kernel
+
+let name = "e8"
+let title = "E8: failure detectors simulated from ES"
+
+type row = {
+  gst : int;
+  runs : int;
+  completeness_ok : int;
+  dp_accuracy_ok : int;
+  ds_accuracy_ok : int;
+  p_accuracy_ok : int;
+  max_stabilisation : int;
+}
+
+let measure ?(seed = 71) ?(samples = 60) config gsts =
+  List.map
+    (fun gst ->
+      let rng = Rng.create ~seed in
+      let completeness = ref 0
+      and dp = ref 0
+      and ds = ref 0
+      and p = ref 0
+      and stab = ref 0 in
+      for _ = 1 to samples do
+        let schedule =
+          if gst = 1 then
+            Workload.Random_runs.synchronous_with_delays rng config ()
+          else Workload.Random_runs.eventually_synchronous rng config ~gst ()
+        in
+        let r1 = Fd.Check.strong_completeness config schedule in
+        if r1.Fd.Check.holds then incr completeness;
+        let r2 = Fd.Check.eventual_strong_accuracy config schedule in
+        if r2.Fd.Check.holds then incr dp;
+        let r3, _ = Fd.Check.eventual_weak_accuracy config schedule in
+        if r3.Fd.Check.holds then incr ds;
+        let r4 = Fd.Check.perfect_accuracy config schedule in
+        if r4.Fd.Check.holds then incr p;
+        stab :=
+          max !stab
+            (Round.to_int (Fd.Simulate.stabilisation_round config schedule))
+      done;
+      {
+        gst;
+        runs = samples;
+        completeness_ok = !completeness;
+        dp_accuracy_ok = !dp;
+        ds_accuracy_ok = !ds;
+        p_accuracy_ok = !p;
+        max_stabilisation = !stab;
+      })
+    gsts
+
+let run ppf =
+  let config = Config.make ~n:5 ~t:2 in
+  let rows = measure config [ 1; 3; 5; 8 ] in
+  let table =
+    List.fold_left
+      (fun table r ->
+        Stats.Table.add_row table
+          [
+            Stats.Table.cell_int r.gst;
+            Stats.Table.cell_int r.runs;
+            Printf.sprintf "%d/%d" r.completeness_ok r.runs;
+            Printf.sprintf "%d/%d" r.dp_accuracy_ok r.runs;
+            Printf.sprintf "%d/%d" r.ds_accuracy_ok r.runs;
+            Printf.sprintf "%d/%d" r.p_accuracy_ok r.runs;
+            Stats.Table.cell_int r.max_stabilisation;
+          ])
+      (Stats.Table.make
+         ~headers:
+           [
+             "gst";
+             "runs";
+             "completeness";
+             "<>P accuracy";
+             "<>S accuracy";
+             "P accuracy";
+             "max stabilisation";
+           ])
+      rows
+  in
+  Format.fprintf ppf
+    "@[<v>%s (n=5, t=2; P accuracy can fail only when gst > 1)@,%a@,@]" title
+    Stats.Table.render table

@@ -1,0 +1,24 @@
+(** Experiment E8 — simulating <>P and <>S from ES (Section 4).
+
+    The paper's simulation sets the failure-detector output at each round to
+    the set of processes whose round message did not arrive in-round. Over
+    random ES schedules the experiment checks, per run: strong completeness
+    (always holds), <>P eventual strong accuracy and <>S eventual weak
+    accuracy (hold with a stabilisation round bounded by the schedule's
+    gst/last crash), and P accuracy (holds exactly on the runs without
+    false suspicions — synchronous runs). *)
+
+type row = {
+  gst : int;
+  runs : int;
+  completeness_ok : int;
+  dp_accuracy_ok : int;
+  ds_accuracy_ok : int;
+  p_accuracy_ok : int;  (** expected ~ all for gst=1, few otherwise *)
+  max_stabilisation : int;
+}
+
+val measure : ?seed:int -> ?samples:int -> Kernel.Config.t -> int list -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

@@ -1,0 +1,97 @@
+open Kernel
+
+let name = "e9"
+let title = "E9: the resilience price - majority is necessary"
+
+type demo = {
+  what : string;
+  algorithm : string;
+  n : int;
+  t : int;
+  violated : bool;
+  expected_violation : bool;
+}
+
+let solo_split_demo entry config ~expected =
+  let report = Mc.Attack.run_solo_split entry.Registry.algo config in
+  {
+    what = "solo split (crash-free asynchrony)";
+    algorithm = entry.Registry.label;
+    n = Config.n config;
+    t = Config.t config;
+    violated = report.Mc.Attack.violations <> [];
+    expected_violation = expected;
+  }
+
+let partition_demo () =
+  (* t >= n/2: both halves of a 4-process system can stand alone. *)
+  let config = Config.make ~n:4 ~t:2 in
+  let schedule = Workload.Partition.split config ~until:16 in
+  let proposals = Sim.Runner.distinct_proposals config in
+  let trace =
+    Sim.Runner.run
+      (Sim.Algorithm.Packed (module Baselines.Ct_naive))
+      config ~proposals schedule
+  in
+  {
+    what = "partition with t >= n/2";
+    algorithm = "CT-naive";
+    n = 4;
+    t = 2;
+    violated = Sim.Props.check_agreement trace <> [];
+    expected_violation = true;
+  }
+
+let guard_demo () =
+  let config = Config.make ~n:4 ~t:2 in
+  let refused =
+    match
+      Sim.Runner.run Registry.ct_diamond_s.Registry.algo config
+        ~proposals:(Sim.Runner.distinct_proposals config)
+        (Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first [])
+    with
+    | (_ : Sim.Trace.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  {
+    what = "guarded CT refuses t >= n/2";
+    algorithm = "CT-<>S";
+    n = 4;
+    t = 2;
+    violated = refused;  (* here "violated" = refused, the expected outcome *)
+    expected_violation = true;
+  }
+
+let measure () =
+  let config = Config.make ~n:5 ~t:2 in
+  [
+    solo_split_demo Registry.floodset config ~expected:true;
+    solo_split_demo Registry.floodset_ws config ~expected:true;
+    solo_split_demo Registry.early_floodset config ~expected:true;
+    solo_split_demo Registry.at_plus_2 config ~expected:false;
+    solo_split_demo Registry.hurfin_raynal config ~expected:false;
+    partition_demo ();
+    guard_demo ();
+  ]
+
+let run ppf =
+  let rows = measure () in
+  let table =
+    List.fold_left
+      (fun table d ->
+        Stats.Table.add_row table
+          [
+            d.what;
+            d.algorithm;
+            Stats.Table.cell_int d.n;
+            Stats.Table.cell_int d.t;
+            Stats.Table.cell_bool d.violated;
+            Stats.Table.cell_bool d.expected_violation;
+            Stats.Table.cell_check (d.violated = d.expected_violation);
+          ])
+      (Stats.Table.make
+         ~headers:
+           [ "scenario"; "algorithm"; "n"; "t"; "broken"; "expected"; "match" ])
+      rows
+  in
+  Format.fprintf ppf "@[<v>%s@,%a@,@]" title Stats.Table.render table

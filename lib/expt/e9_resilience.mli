@@ -1,0 +1,30 @@
+(** Experiment E9 — why indulgence, and what it costs in resilience
+    (Section 1.1, references [2] and [9]).
+
+    Three demonstrations:
+
+    + {e Non-indulgent algorithms break under asynchrony}: the crash-free
+      solo-split schedule (p1's messages delayed for [t + 1] rounds) makes
+      FloodSet and FloodSetWS violate uniform agreement; [A_{t+2}] survives
+      it. This motivates indulgence in the first place.
+    + {e Indulgence needs a correct majority}: with [t >= n/2], a partition
+      schedule in which each half forms an [n - t] "quorum" makes the
+      naive-threshold coordinator algorithm (CT with quorum [n - t] instead
+      of a majority) decide two different values. [t < n/2] is necessary —
+      the {e resilience} price of indulgence, complementing the one-round
+      {e time} price.
+    + The properly-guarded CT refuses [t >= n/2] configurations outright. *)
+
+type demo = {
+  what : string;
+  algorithm : string;
+  n : int;
+  t : int;
+  violated : bool;  (** agreement/validity broken, as predicted? *)
+  expected_violation : bool;
+}
+
+val measure : unit -> demo list
+val run : Format.formatter -> unit
+val name : string
+val title : string

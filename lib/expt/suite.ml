@@ -1,0 +1,54 @@
+type experiment = {
+  name : string;
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+let all =
+  [
+    { name = E1_price.name; title = E1_price.title; run = E1_price.run };
+    {
+      name = E2_lower_bound.name;
+      title = E2_lower_bound.title;
+      run = E2_lower_bound.run;
+    };
+    {
+      name = E3_fast_decision.name;
+      title = E3_fast_decision.title;
+      run = E3_fast_decision.run;
+    };
+    {
+      name = E4_diamond_s.name;
+      title = E4_diamond_s.title;
+      run = E4_diamond_s.run;
+    };
+    {
+      name = E5_failure_free.name;
+      title = E5_failure_free.title;
+      run = E5_failure_free.run;
+    };
+    { name = E6_early.name; title = E6_early.title; run = E6_early.run };
+    { name = E7_eventual.name; title = E7_eventual.title; run = E7_eventual.run };
+    { name = E8_fd.name; title = E8_fd.title; run = E8_fd.run };
+    {
+      name = E9_resilience.name;
+      title = E9_resilience.title;
+      run = E9_resilience.run;
+    };
+    { name = E10_cost.name; title = E10_cost.title; run = E10_cost.run };
+    {
+      name = E11_ablations.name;
+      title = E11_ablations.title;
+      run = E11_ablations.run;
+    };
+    {
+      name = E12_crossover.name;
+      title = E12_crossover.title;
+      run = E12_crossover.run;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let run_all ppf =
+  List.iter (fun e -> Format.fprintf ppf "%t@.@." (fun ppf -> e.run ppf)) all

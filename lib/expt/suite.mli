@@ -1,0 +1,13 @@
+(** The full experiment suite, indexed for the CLI and the bench harness. *)
+
+type experiment = {
+  name : string;  (** short id: "e1" .. "e10" *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : experiment list
+val find : string -> experiment option
+
+val run_all : Format.formatter -> unit
+(** Run every experiment in order, separated by blank lines. *)

@@ -1,0 +1,12 @@
+(** The reproduction certificate: one call that re-checks every headline
+    claim of the paper against freshly-run simulations and reports a
+    pass/fail checklist. [ipi verify] exposes it on the command line; the
+    test suite runs it too. All checks are deterministic (fixed seeds). *)
+
+type check = { claim : string; ok : bool }
+
+val run : unit -> check list
+val all_ok : check list -> bool
+
+val print : Format.formatter -> check list -> bool
+(** Pretty-print the checklist; returns {!all_ok}. *)

@@ -1,0 +1,141 @@
+open Kernel
+
+type report = {
+  holds : bool;
+  witness_round : Round.t option;
+  counterexample : (Pid.t * Pid.t * Round.t) option;
+}
+
+let window config schedule =
+  ignore config;
+  let last_crash =
+    Pid.Set.fold
+      (fun p acc ->
+        match Sim.Schedule.crash_round schedule p with
+        | Some r -> max acc (Round.to_int r)
+        | None -> acc)
+      (Sim.Schedule.faulty schedule) 0
+  in
+  max (Sim.Schedule.horizon schedule) last_crash + 1
+
+let correct_processes config schedule =
+  List.filter
+    (fun p -> Sim.Schedule.crash_round schedule p = None)
+    (Config.processes config)
+
+(* The first round [R <= window] such that [prop] holds at every round in
+   [R .. window]. Rounds past the window behave identically to the window
+   round (fully synchronous, all crashes done), so holding at the window
+   round means holding forever after. *)
+let first_stable_round config schedule prop =
+  let w = window config schedule in
+  let rec scan_back k stable =
+    if k < 1 then stable
+    else if prop (Round.of_int k) then scan_back (k - 1) k
+    else stable
+  in
+  let stable = scan_back w (w + 1) in
+  if stable <= w then Some (Round.of_int stable) else None
+
+let strong_completeness config schedule =
+  let faulty = Sim.Schedule.faulty schedule in
+  let correct = correct_processes config schedule in
+  let holds_at round =
+    List.for_all
+      (fun receiver ->
+        let out = Simulate.output config schedule ~receiver ~round in
+        Pid.Set.for_all
+          (fun suspect ->
+            (* Only required once the suspect has actually crashed. *)
+            match Sim.Schedule.crash_round schedule suspect with
+            | Some r when Round.(r < round) -> Pid.Set.mem suspect out
+            | _ -> true)
+          faulty)
+      correct
+  in
+  match first_stable_round config schedule holds_at with
+  | Some r -> { holds = true; witness_round = Some r; counterexample = None }
+  | None -> { holds = false; witness_round = None; counterexample = None }
+
+let eventual_strong_accuracy config schedule =
+  let correct = correct_processes config schedule in
+  let correct_set = Pid.Set.of_list (List.map Fun.id correct) in
+  let holds_at round =
+    List.for_all
+      (fun receiver ->
+        let out = Simulate.output config schedule ~receiver ~round in
+        Pid.Set.is_empty (Pid.Set.inter out correct_set))
+      correct
+  in
+  match first_stable_round config schedule holds_at with
+  | Some r -> { holds = true; witness_round = Some r; counterexample = None }
+  | None -> { holds = false; witness_round = None; counterexample = None }
+
+let eventual_weak_accuracy config schedule =
+  let correct = correct_processes config schedule in
+  let never_suspected_from candidate round0 =
+    let w = window config schedule in
+    let ok = ref true in
+    for k = Round.to_int round0 to w do
+      let round = Round.of_int k in
+      List.iter
+        (fun receiver ->
+          if
+            Simulate.completes schedule receiver round
+            && Pid.Set.mem candidate
+                 (Simulate.output config schedule ~receiver ~round)
+          then ok := false)
+        correct
+    done;
+    !ok
+  in
+  let best =
+    List.find_map
+      (fun candidate ->
+        let holds_at round =
+          List.for_all
+            (fun receiver ->
+              not
+                (Pid.Set.mem candidate
+                   (Simulate.output config schedule ~receiver ~round)))
+            correct
+        in
+        match first_stable_round config schedule holds_at with
+        | Some r when never_suspected_from candidate r -> Some (candidate, r)
+        | _ -> None)
+      correct
+  in
+  match best with
+  | Some (candidate, r) ->
+      ( { holds = true; witness_round = Some r; counterexample = None },
+        Some candidate )
+  | None ->
+      ({ holds = false; witness_round = None; counterexample = None }, None)
+
+let false_suspicions config schedule =
+  let w = window config schedule in
+  let acc = ref [] in
+  for k = 1 to w do
+    let round = Round.of_int k in
+    List.iter
+      (fun receiver ->
+        if Simulate.completes schedule receiver round then
+          Pid.Set.iter
+            (fun suspect ->
+              let crashed_by_now =
+                match Sim.Schedule.crash_round schedule suspect with
+                | Some r -> Round.(r <= round)
+                | None -> false
+              in
+              if not crashed_by_now then
+                acc := (receiver, suspect, round) :: !acc)
+            (Simulate.output config schedule ~receiver ~round))
+      (Config.processes config)
+  done;
+  List.rev !acc
+
+let perfect_accuracy config schedule =
+  match false_suspicions config schedule with
+  | [] -> { holds = true; witness_round = Some Round.first; counterexample = None }
+  | first :: _ ->
+      { holds = false; witness_round = None; counterexample = Some first }

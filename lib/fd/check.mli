@@ -1,0 +1,43 @@
+(** Checkers for the failure-detector axioms over a simulated history.
+
+    Every checker evaluates the Section-4 simulation on a finite window that
+    provably covers the interesting prefix (past the schedule's horizon and
+    past every crash the output is exactly the crashed set, so all eventual
+    properties have stabilised by then). *)
+
+open Kernel
+
+type report = {
+  holds : bool;
+  witness_round : Round.t option;
+      (** for eventual properties: the first round from which the property
+          holds forever *)
+  counterexample : (Pid.t * Pid.t * Round.t) option;
+      (** for perpetual properties: [(receiver, suspect, round)] of the
+          first violation *)
+}
+
+val strong_completeness : Config.t -> Sim.Schedule.t -> report
+(** Eventually every faulty process is permanently suspected by every
+    correct process. Always holds for the Section-4 simulation; the report's
+    [witness_round] measures {e when} it stabilises. *)
+
+val eventual_strong_accuracy : Config.t -> Sim.Schedule.t -> report
+(** <>P accuracy: a round from which no correct process is suspected by any
+    correct process. *)
+
+val eventual_weak_accuracy :
+  Config.t -> Sim.Schedule.t -> (report * Pid.t option)
+(** <>S accuracy: some correct process eventually never suspected by correct
+    processes; also returns that process. *)
+
+val perfect_accuracy : Config.t -> Sim.Schedule.t -> report
+(** P accuracy: no process is suspected before the round in which it
+    crashes. Holds in synchronous runs; asynchronous runs give a
+    counterexample — the false suspicion at the heart of the paper. *)
+
+val false_suspicions : Config.t -> Sim.Schedule.t -> (Pid.t * Pid.t * Round.t) list
+(** Every [(receiver, suspect, round)] where [receiver] suspects a process
+    that has not crashed in that round or earlier: the run's false
+    suspicions (Section 1.2). Empty iff the run is synchronous, up to
+    crash-round delays. *)

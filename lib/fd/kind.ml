@@ -1,0 +1,13 @@
+type t = P | Diamond_p | Diamond_s
+
+let equal a b =
+  match (a, b) with
+  | P, P | Diamond_p, Diamond_p | Diamond_s, Diamond_s -> true
+  | _ -> false
+
+let to_string = function
+  | P -> "P"
+  | Diamond_p -> "<>P"
+  | Diamond_s -> "<>S"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

@@ -1,0 +1,19 @@
+(** The failure-detector classes the paper works with (Section 4).
+
+    All output a set of suspected processes at each process and satisfy
+    {e strong completeness} (eventually every crashed process is permanently
+    suspected by every correct process). They differ in accuracy:
+
+    - [P] (perfect): no process is suspected before it crashes;
+    - [Diamond_p] (eventually perfect): eventual strong accuracy — there is a
+      time after which correct processes are not suspected by any correct
+      process;
+    - [Diamond_s] (eventually strong): eventual weak accuracy — there is a
+      time after which {e some} correct process is never suspected by any
+      correct process. *)
+
+type t = P | Diamond_p | Diamond_s
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

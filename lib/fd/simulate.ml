@@ -1,0 +1,73 @@
+open Kernel
+
+let completes schedule p round =
+  match Sim.Schedule.crash_round schedule p with
+  | Some r -> Round.(r > round)
+  | None -> true
+
+let output config schedule ~receiver ~round =
+  if not (completes schedule receiver round) then
+    invalid_arg
+      (Format.asprintf "Fd.Simulate.output: %a does not complete round %d"
+         Pid.pp receiver (Round.to_int round));
+  let n = Config.n config in
+  let arrives_in_round src =
+    if Pid.equal src receiver then true
+    else
+      match Sim.Schedule.crash_round schedule src with
+      | Some r when Round.(r < round) -> false (* sent nothing *)
+      | _ -> Sim.Schedule.fate schedule ~src ~dst:receiver ~round = Sim.Schedule.Same_round
+  in
+  List.fold_left
+    (fun acc src ->
+      if arrives_in_round src then acc else Pid.Set.add src acc)
+    Pid.Set.empty (Pid.all ~n)
+
+let history config schedule ~rounds =
+  let acc = ref [] in
+  List.iter
+    (fun receiver ->
+      for k = 1 to rounds do
+        let round = Round.of_int k in
+        if completes schedule receiver round then
+          acc :=
+            (receiver, round, output config schedule ~receiver ~round) :: !acc
+      done)
+    (Config.processes config);
+  List.rev !acc
+
+let stabilisation_round config schedule =
+  let crashed_by round =
+    Pid.Set.filter
+      (fun p ->
+        match Sim.Schedule.crash_round schedule p with
+        | Some r -> Round.(r < round)
+        | None -> false)
+      (Pid.Set.universe ~n:(Config.n config))
+  in
+  let exact_at round =
+    List.for_all
+      (fun receiver ->
+        (not (completes schedule receiver round))
+        || Pid.Set.equal
+             (output config schedule ~receiver ~round)
+             (Pid.Set.remove receiver (crashed_by round)))
+      (Config.processes config)
+  in
+  (* Past the horizon and past every crash the output is exact, so scanning a
+     finite window suffices. *)
+  let last_crash =
+    Pid.Set.fold
+      (fun p acc ->
+        match Sim.Schedule.crash_round schedule p with
+        | Some r -> max acc (Round.to_int r)
+        | None -> acc)
+      (Sim.Schedule.faulty schedule) 0
+  in
+  let window = max (Sim.Schedule.horizon schedule) last_crash + 1 in
+  let rec scan_back k stable =
+    if k < 1 then stable
+    else if exact_at (Round.of_int k) then scan_back (k - 1) k
+    else stable
+  in
+  Round.of_int (scan_back window (window + 1))

@@ -1,0 +1,35 @@
+(** The failure-detector simulation of Section 4.
+
+    To simulate a round-based model enriched with [<>P] or [<>S] from ES, the
+    paper sets the simulated output at a process, upon receiving the messages
+    of round [k], to the set of processes from which no round-[k] message was
+    received in round [k] — i.e. exactly the round's suspicions.
+
+    Given a schedule, this module computes that output {e without} running
+    any algorithm: whether the round-[k] message from [p_j] reaches [p_i] in
+    round [k] is fully determined by the schedule. Rounds past the schedule's
+    horizon behave synchronously, so the output there is exactly the set of
+    crashed processes. *)
+
+open Kernel
+
+val output :
+  Config.t -> Sim.Schedule.t -> receiver:Pid.t -> round:Round.t -> Pid.Set.t
+(** The simulated failure-detector output at [receiver] for the given round:
+    processes whose round message does not arrive in-round (because they
+    crashed earlier, crashed while sending, or their message is delayed or
+    lost). A process never suspects itself. Raises [Invalid_argument] if
+    [receiver] does not complete that round (crashed before or during). *)
+
+val completes : Sim.Schedule.t -> Pid.t -> Round.t -> bool
+(** Whether the process completes the round under this schedule. *)
+
+val history :
+  Config.t -> Sim.Schedule.t -> rounds:int -> (Pid.t * Round.t * Pid.Set.t) list
+(** [(receiver, round, suspected)] for every process and round [1..rounds]
+    the process completes. *)
+
+val stabilisation_round : Config.t -> Sim.Schedule.t -> Round.t
+(** The first round from which the simulated output is exact at every
+    correct process (suspected = crashed) and stays so forever: an upper
+    bound witness for both completeness and accuracy. *)

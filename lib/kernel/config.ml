@@ -1,0 +1,29 @@
+type t = { n : int; t : int }
+
+let make ~n ~t =
+  if n < 1 then invalid_arg "Config.make: need at least one process";
+  if t < 0 then invalid_arg "Config.make: t must be non-negative";
+  if t >= n then invalid_arg "Config.make: t must be smaller than n";
+  { n; t }
+
+let n c = c.n
+let t c = c.t
+let quorum c = c.n - c.t
+let majority c = (c.n / 2) + 1
+let has_majority_resilience c = 0 < c.t && 2 * c.t < c.n
+let has_third_resilience c = 0 <= c.t && 3 * c.t < c.n
+
+let validate_indulgent c =
+  if not (has_majority_resilience c) then
+    invalid_arg
+      (Format.asprintf
+         "indulgent consensus requires 0 < t < n/2, got n=%d t=%d" c.n c.t)
+
+let validate_third c =
+  if not (has_third_resilience c) then
+    invalid_arg
+      (Format.asprintf "A_{f+2} requires t < n/3, got n=%d t=%d" c.n c.t)
+
+let processes c = Pid.all ~n:c.n
+let equal a b = a.n = b.n && a.t = b.t
+let pp ppf c = Format.fprintf ppf "(n=%d, t=%d)" c.n c.t

@@ -1,0 +1,47 @@
+(** Static system parameters of a run: the number of processes [n] and the
+    resilience bound [t] (maximum number of processes that may crash).
+
+    The paper works with three resilience regimes:
+    - SCS algorithms (FloodSet): any [t < n] (its [t+1] lower bound needs
+      [t <= n-2]);
+    - indulgent / ES algorithms ([A_{t+2}], Hurfin-Raynal, Chandra-Toueg):
+      [0 < t < n/2] — a majority of correct processes is necessary for any
+      indulgent consensus algorithm;
+    - the fast-eventual-decision algorithm [A_{f+2}] of Section 6:
+      [t < n/3]. *)
+
+type t = private { n : int; t : int }
+
+val make : n:int -> t:int -> t
+(** [make ~n ~t] is the configuration with [n] processes of which at most [t]
+    may crash. Raises [Invalid_argument] unless [n >= 1] and [0 <= t < n]. *)
+
+val n : t -> int
+val t : t -> int
+
+val quorum : t -> int
+(** [quorum c] is [n - t], the number of round-[k] messages every process that
+    completes round [k] is guaranteed to receive (t-resilience, Section
+    1.2). *)
+
+val majority : t -> int
+(** [majority c] is the smallest integer strictly greater than [n/2]. *)
+
+val has_majority_resilience : t -> bool
+(** [0 < t < n/2]: the regime required by indulgent consensus ([A_{t+2}],
+    Proposition 1). *)
+
+val has_third_resilience : t -> bool
+(** [0 <= t < n/3]: the regime required by [A_{f+2}] (Section 6). *)
+
+val validate_indulgent : t -> unit
+(** Raises [Invalid_argument] unless {!has_majority_resilience}. *)
+
+val validate_third : t -> unit
+(** Raises [Invalid_argument] unless {!has_third_resilience}. *)
+
+val processes : t -> Pid.t list
+(** All process ids [p1 .. pn]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = int
+
+let of_int i =
+  if i < 1 then invalid_arg "Pid.of_int: process ids are 1-based";
+  i
+
+let to_int p = p
+let compare = Int.compare
+let equal = Int.equal
+let hash p = p
+let pp ppf p = Format.fprintf ppf "p%d" p
+let to_string p = Format.asprintf "%a" pp p
+let all ~n = List.init n (fun i -> i + 1)
+let others ~n p = List.filter (fun q -> q <> p) (all ~n)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Set.Make (Ord)
+
+  let pp ppf s =
+    let pp_sep ppf () = Format.fprintf ppf ",@ " in
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list ~pp_sep pp)
+      (elements s)
+
+  let of_ints is = of_list (List.map of_int is)
+  let universe ~n = of_list (all ~n)
+end
+
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,52 @@
+(** Process identifiers.
+
+    The paper's system is [Pi = {p1, p2, ..., pn}]; a {!t} is the index [i] of
+    process [p_i], always in [1..n]. The total order on indices is significant:
+    several algorithms break ties by process id (e.g. the leader oracle of the
+    paper's footnote 10 picks the minimum id among round senders). *)
+
+type t
+(** The identifier of one process. *)
+
+val of_int : int -> t
+(** [of_int i] is the id of process [p_i]. Raises [Invalid_argument] when
+    [i < 1]: ids are 1-based, matching the paper's notation. *)
+
+val to_int : t -> int
+(** [to_int p] is the 1-based index of [p]. *)
+
+val compare : t -> t -> int
+(** Total order by index. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["p3"]. *)
+
+val to_string : t -> string
+
+val all : n:int -> t list
+(** [all ~n] is [[p1; ...; pn]] in increasing order. *)
+
+val others : n:int -> t -> t list
+(** [others ~n p] is every process in [all ~n] except [p], in increasing
+    order. *)
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints as ["{p1, p4}"]. *)
+
+  val of_ints : int list -> t
+  (** [of_ints [1; 4]] is [{p1, p4}]. *)
+
+  val universe : n:int -> t
+  (** [universe ~n] is the set of all [n] processes. *)
+end
+
+module Map : Map.S with type key = t
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let bits64 g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = Int64.to_int (bits64 g) in
+  { state = Int64.of_int seed }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (bits64 g) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in g lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let float g bound =
+  let mask53 = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float mask53 /. 9007199254740992.0 *. bound
+
+let pick g = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let pick_opt g = function [] -> None | xs -> Some (pick g xs)
+
+let shuffle g xs =
+  let arr = Array.of_list xs in
+  let len = Array.length arr in
+  for i = len - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let subset g xs = List.filter (fun _ -> bool g) xs
+
+let sample g k xs =
+  let len = List.length xs in
+  if k >= len then xs
+  else begin
+    (* Reservoir-free: mark k distinct positions, then filter in order. *)
+    let chosen = Hashtbl.create k in
+    let rec fill remaining =
+      if remaining > 0 then begin
+        let i = int g len in
+        if Hashtbl.mem chosen i then fill remaining
+        else begin
+          Hashtbl.add chosen i ();
+          fill (remaining - 1)
+        end
+      end
+    in
+    fill k;
+    List.filteri (fun i _ -> Hashtbl.mem chosen i) xs
+  end

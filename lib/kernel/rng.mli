@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomised component of the reproduction — schedule generators,
+    random searches, property tests not driven by QCheck — draws from this
+    generator so that runs are reproducible from a single integer seed. The
+    implementation is the standard splitmix64 sequence, chosen because it is
+    tiny, fast, splittable and has well-understood statistical quality. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s continuation. *)
+
+val bits64 : t -> int64
+(** Next 64 raw bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [lo, hi] inclusive; requires [lo <= hi]. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_opt : t -> 'a list -> 'a option
+(** [None] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform permutation. *)
+
+val subset : t -> 'a list -> 'a list
+(** Each element kept independently with probability 1/2. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample g k xs] is a uniform [k]-subset of [xs] (all of [xs] if
+    [k >= length xs]), in the original order. *)

@@ -1,0 +1,33 @@
+type t = int
+
+let first = 1
+
+let of_int r =
+  if r < 1 then invalid_arg "Round.of_int: rounds are numbered from 1";
+  r
+
+let to_int r = r
+let succ r = r + 1
+let pred r = if r <= 1 then None else Some (r - 1)
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) = Stdlib.( <= )
+let ( < ) = Stdlib.( < )
+let ( >= ) = Stdlib.( >= )
+let ( > ) = Stdlib.( > )
+let max = Stdlib.max
+
+let add r d =
+  let r' = r + d in
+  if r' < 1 then invalid_arg "Round.add: result below round 1";
+  r'
+
+let diff a b = a - b
+
+let iter_up_to r ~f =
+  for k = 1 to r do
+    f k
+  done
+
+let pp = Format.pp_print_int
+let to_string = string_of_int

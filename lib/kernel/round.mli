@@ -1,0 +1,42 @@
+(** Round numbers.
+
+    Computation proceeds in rounds numbered from 1 (Section 1.2). A round has
+    a send phase followed by a receive phase; round arithmetic appears all
+    over the complexity claims ([t+1], [t+2], [2t+2], [k+f+2], ...), so we
+    keep rounds abstract to avoid mixing them up with other integers. *)
+
+type t
+(** A round number, always >= 1. *)
+
+val first : t
+(** Round 1, the first round of every run. *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] when the argument is < 1. *)
+
+val to_int : t -> int
+val succ : t -> t
+
+val pred : t -> t option
+(** [pred r] is the previous round, or [None] for round 1. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val max : t -> t -> t
+
+val add : t -> int -> t
+(** [add r d] is round [r + d]; raises [Invalid_argument] if the result would
+    be < 1. *)
+
+val diff : t -> t -> int
+(** [diff a b] is [to_int a - to_int b]. *)
+
+val iter_up_to : t -> f:(t -> unit) -> unit
+(** [iter_up_to r ~f] applies [f] to rounds [1, 2, ..., r] in order. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,33 @@
+type t = int
+
+let of_int v = v
+let to_int v = v
+let zero = 0
+let one = 1
+let compare = Int.compare
+let equal = Int.equal
+let min = Stdlib.min
+
+let minimum = function
+  | [] -> invalid_arg "Value.minimum: empty list"
+  | v :: vs -> List.fold_left min v vs
+
+let tag ~proposer ~n raw =
+  if n < 1 then invalid_arg "Value.tag: n must be positive";
+  (raw * n) + (Pid.to_int proposer - 1)
+
+let untag ~n v =
+  if n < 1 then invalid_arg "Value.untag: n must be positive";
+  (v / n, Pid.of_int ((v mod n) + 1))
+
+let pp = Format.pp_print_int
+let to_string = string_of_int
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

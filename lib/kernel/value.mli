@@ -1,0 +1,45 @@
+(** Proposal and decision values.
+
+    The paper assumes "the set of proposal values in a run is a totally
+    ordered set" (assumption 4 of Section 3), e.g. by tagging each proposal
+    with the proposer's index. We represent values as integers, which gives
+    the total order directly; {!tag} implements the paper's tagging scheme
+    when distinct proposals must be guaranteed distinct.
+
+    Binary consensus (Section 2's lower-bound setting) uses {!zero} and
+    {!one}. *)
+
+type t
+(** A consensus value. *)
+
+val of_int : int -> t
+val to_int : t -> int
+
+val zero : t
+(** The binary value 0. *)
+
+val one : t
+(** The binary value 1. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+
+val minimum : t list -> t
+(** [minimum vs] is the least element of [vs]. Raises [Invalid_argument] on
+    the empty list. *)
+
+val tag : proposer:Pid.t -> n:int -> int -> t
+(** [tag ~proposer ~n raw] makes proposals totally ordered and distinct across
+    proposers, as in the paper's assumption 4: the value is [raw * n + (i-1)]
+    for proposer [p_i], so comparing tagged values compares [raw] first and
+    breaks ties by proposer id. *)
+
+val untag : n:int -> t -> int * Pid.t
+(** Inverse of {!tag}: recovers [(raw, proposer)]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,93 @@
+open Kernel
+
+type result = {
+  runs : int;
+  max_decision : int;
+  min_decision : int;
+  max_witness : Serial.choice list option;
+  violations : (Serial.choice list * Sim.Props.violation list) list;
+  undecided_runs : int;
+}
+
+let empty =
+  {
+    runs = 0;
+    max_decision = 0;
+    min_decision = max_int;
+    max_witness = None;
+    violations = [];
+    undecided_runs = 0;
+  }
+
+let add_run acc ~choices ~trace =
+  let acc = { acc with runs = acc.runs + 1 } in
+  let acc =
+    match Sim.Props.check trace with
+    | [] -> acc
+    | vs ->
+        let undecided =
+          List.exists
+            (function
+              | Sim.Props.Termination _ | Sim.Props.Unsettled _ -> true
+              | Sim.Props.Validity _ | Sim.Props.Agreement _ -> false)
+            vs
+        in
+        {
+          acc with
+          violations = (choices, vs) :: acc.violations;
+          undecided_runs = (acc.undecided_runs + if undecided then 1 else 0);
+        }
+  in
+  match Sim.Trace.global_decision_round trace with
+  | None -> acc
+  | Some r ->
+      let r = Round.to_int r in
+      let acc =
+        if r > acc.max_decision then
+          { acc with max_decision = r; max_witness = Some choices }
+        else acc
+      in
+      if r < acc.min_decision then { acc with min_decision = r } else acc
+
+let sweep ?(policy = Serial.Prefixes) ?horizon ~algo ~config ~proposals () =
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let acc = ref empty in
+  Serial.enumerate ~policy config ~horizon ~f:(fun choices ->
+      let schedule = Serial.to_schedule config choices in
+      let trace = Sim.Runner.run algo config ~proposals schedule in
+      acc := add_run !acc ~choices ~trace);
+  !acc
+
+let binary_assignments config =
+  let n = Config.n config in
+  List.map
+    (fun ones -> Sim.Runner.binary_proposals config ~ones:(Pid.Set.of_list ones))
+    (Listx.subsets (Pid.all ~n))
+
+let merge a b =
+  {
+    runs = a.runs + b.runs;
+    max_decision = max a.max_decision b.max_decision;
+    min_decision = min a.min_decision b.min_decision;
+    max_witness =
+      (if b.max_decision > a.max_decision then b.max_witness
+       else a.max_witness);
+    violations = a.violations @ b.violations;
+    undecided_runs = a.undecided_runs + b.undecided_runs;
+  }
+
+let sweep_binary ?policy ?horizon ~algo ~config () =
+  List.fold_left
+    (fun acc proposals ->
+      merge acc (sweep ?policy ?horizon ~algo ~config ~proposals ()))
+    empty (binary_assignments config)
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%d run(s); global decision rounds in [%s, %d]; %d violation(s); \
+     %d undecided@]"
+    r.runs
+    (if r.min_decision = max_int then "-" else string_of_int r.min_decision)
+    r.max_decision
+    (List.length r.violations)
+    r.undecided_runs

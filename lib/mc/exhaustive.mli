@@ -1,0 +1,45 @@
+(** Exhaustive sweeps over serial synchronous runs: the mechanised side of
+    the paper's complexity claims for small systems.
+
+    For a deterministic algorithm and fixed proposals, the serial adversary's
+    choices determine the run completely, so enumerating all choice
+    sequences up to a horizon visits {e every} serial run prefix. A sweep
+    reports the worst (and best) global decision round and every consensus
+    violation found — e.g. [A_{t+2}] sweeps must show max = min = [t + 2]
+    with zero violations, while FloodSet shows [t + 1]. *)
+
+open Kernel
+
+type result = {
+  runs : int;
+  max_decision : int;  (** worst global decision round over all runs *)
+  min_decision : int;
+  max_witness : Serial.choice list option;
+  violations : (Serial.choice list * Sim.Props.violation list) list;
+  undecided_runs : int;
+      (** runs where some correct process never decided within the engine
+          bound — must be 0 for every terminating algorithm *)
+}
+
+val sweep :
+  ?policy:Serial.policy ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  result
+(** Enumerate every serial run whose crashes happen within [horizon] rounds
+    (default [t + 2]; crashes later than that cannot affect the decision
+    rounds of any algorithm here) under [policy] (default [Prefixes]). *)
+
+val sweep_binary :
+  ?policy:Serial.policy ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  unit ->
+  result
+(** {!sweep} over {e all} [2^n] binary proposal assignments, aggregated. *)
+
+val pp_result : Format.formatter -> result -> unit

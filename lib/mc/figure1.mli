@@ -1,0 +1,80 @@
+(** The five-run construction of Claim 5.1 — the paper's Fig. 1 — executable
+    and machine-checked.
+
+    The heart of the lower-bound proof considers an algorithm that globally
+    decides at round [t + 1] in every synchronous run, takes a bivalent
+    [(t-1)]-round serial partial run, and builds five runs that differ only
+    in whether one process [P] really crashed or was merely slow, and in
+    whether one pivot process [Q] heard it:
+
+    - [s1] — synchronous: the chain prefix, then [P] crashes in round [t]
+      heard by nobody. 1-valent: [Q] decides 1 at [t + 1].
+    - [s0] — synchronous: same, but [Q] alone hears [P]. 0-valent: [Q]
+      decides 0 at [t + 1].
+    - [a2] — asynchronous: [P] does {e not} crash, its round-[t] messages
+      are merely delayed past round [t + 1] (everyone falsely suspects
+      [P]); [Q] crashes at [t + 1] before sending. Reaches a global
+      decision at some round [k'].
+    - [a1] — like [a2] through round [t], but [Q] survives round [t + 1]:
+      everyone falsely suspects [Q] (its messages are delayed past [k']),
+      [Q] falsely suspects [P], and [Q] crashes at [t + 2]. {b [Q] cannot
+      distinguish [a1] from [s1]} at the end of round [t + 1] — so it
+      decides 1.
+    - [a0] — like [s0] through round [t] ([Q] alone hears [P], whose
+      messages to the others are delayed), then as [a1]. {b [Q] cannot
+      distinguish [a0] from [s0]} — so it decides 0.
+
+    Every process other than [Q] receives identical messages in [a2], [a1]
+    and [a0] through round [k'], so they decide the same value in all three
+    — and [Q] has already decided both 0 and 1. One of [a1], [a0] violates
+    uniform agreement, in a legal ES run: the algorithm cannot have been
+    safe and [t + 1]-fast.
+
+    [Make] builds the five schedules for any [0 < t < n/2] (prefix = the
+    standard chain carrying the minority value to [P = p_t]; pivot
+    [Q = p_n]) and checks every claim above {e computationally}: the
+    indistinguishability statements compare the pivot's full local state
+    across runs, round by round. *)
+
+open Kernel
+
+type relation = {
+  description : string;
+  holds : bool;
+}
+
+type outcome = {
+  config : Config.t;
+  p : Pid.t;  (** the process crashed-or-slandered in round t *)
+  q : Pid.t;  (** the pivot *)
+  k' : int;  (** global decision round of [a2] *)
+  s1 : Sim.Schedule.t;
+  s0 : Sim.Schedule.t;
+  a2 : Sim.Schedule.t;
+  a1 : Sim.Schedule.t;
+  a0 : Sim.Schedule.t;
+  q_decision_s1 : Value.t option;
+  q_decision_s0 : Value.t option;
+  q_decision_a1 : Value.t option;
+  q_decision_a0 : Value.t option;
+  relations : relation list;
+      (** each proof obligation with its checked status *)
+  agreement_violated : bool;
+      (** [a1] or [a0] violates uniform agreement — the contradiction *)
+}
+
+val all_hold : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+module Make (A : Sim.Algorithm.S) : sig
+  val run : Config.t -> outcome
+  (** Build the five runs against [A] and check every relation. Meaningful
+      for algorithms that decide at [t + 1] in synchronous runs (the
+      proof's premise); for indulgent algorithms the decision relations
+      simply fail to produce a violation, which is the expected outcome. *)
+end
+
+val against_floodset_ws : Config.t -> outcome
+(** The construction against the canonical [t + 1]-round algorithm; the
+    test suite asserts that every relation holds and agreement breaks for
+    every [0 < t < n/2] up to [n = 9]. *)

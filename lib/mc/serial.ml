@@ -1,0 +1,72 @@
+open Kernel
+
+type choice = No_crash | Crash of { victim : Pid.t; receivers : Pid.Set.t }
+
+let pp_choice ppf = function
+  | No_crash -> Format.pp_print_string ppf "-"
+  | Crash { victim; receivers } ->
+      Format.fprintf ppf "%a!%a" Pid.pp victim Pid.Set.pp receivers
+
+type policy = All_subsets | Prefixes
+
+let receiver_sets ~policy ~survivors =
+  match policy with
+  | All_subsets -> List.map Pid.Set.of_list (Listx.subsets survivors)
+  | Prefixes -> List.map Pid.Set.of_list (Listx.prefixes survivors)
+
+let choices ~policy config ~alive ~crashes_left =
+  ignore config;
+  if crashes_left <= 0 then [ No_crash ]
+  else
+    let victims = Pid.Set.elements alive in
+    No_crash
+    :: List.concat_map
+         (fun victim ->
+           let survivors =
+             Pid.Set.elements (Pid.Set.remove victim alive)
+           in
+           List.map
+             (fun receivers -> Crash { victim; receivers })
+             (receiver_sets ~policy ~survivors))
+         victims
+
+let to_schedule config choices =
+  let n = Config.n config in
+  let plan_of = function
+    | No_crash -> Sim.Schedule.empty_plan
+    | Crash { victim; receivers } ->
+        {
+          Sim.Schedule.crashes = [ victim ];
+          lost =
+            List.filter_map
+              (fun dst ->
+                if Pid.Set.mem dst receivers then None else Some (victim, dst))
+              (Pid.others ~n victim);
+          delayed = [];
+        }
+  in
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
+    (List.map plan_of choices)
+
+let enumerate ~policy config ~horizon ~f =
+  let n = Config.n config in
+  let rec go depth alive crashes_left prefix_rev =
+    if depth = 0 then f (List.rev prefix_rev)
+    else
+      List.iter
+        (fun choice ->
+          let alive', crashes_left' =
+            match choice with
+            | No_crash -> (alive, crashes_left)
+            | Crash { victim; _ } ->
+                (Pid.Set.remove victim alive, crashes_left - 1)
+          in
+          go (depth - 1) alive' crashes_left' (choice :: prefix_rev))
+        (choices ~policy config ~alive ~crashes_left)
+  in
+  go horizon (Pid.Set.universe ~n) (Config.t config) []
+
+let count ~policy config ~horizon =
+  let total = ref 0 in
+  enumerate ~policy config ~horizon ~f:(fun _ -> incr total);
+  !total

@@ -1,0 +1,46 @@
+(** Serial runs and their enumeration.
+
+    The lower-bound proof (Section 2) works with {e serial} runs: synchronous
+    runs in which at most one process crashes per round. This module
+    enumerates every serial schedule of a small system up to a crash horizon
+    — the adversary's full strategy space against a deterministic algorithm —
+    which is what makes valency computable.
+
+    A serial schedule is described by one {!choice} per round: either nobody
+    crashes, or one victim crashes and its round message reaches exactly the
+    given set of surviving processes (every other copy is lost). After the
+    horizon the run continues crash-free and synchronous forever. *)
+
+open Kernel
+
+type choice = No_crash | Crash of { victim : Pid.t; receivers : Pid.Set.t }
+
+val pp_choice : Format.formatter -> choice -> unit
+
+type policy =
+  | All_subsets  (** every receiver subset — exact but [O(2^n)] per victim *)
+  | Prefixes
+      (** receiver sets restricted to id-order prefixes of the survivors —
+          the adversary used in the classical [t+1] proof; polynomial
+          branching, enough to realise every bound in this repository *)
+
+val choices :
+  policy:policy -> Config.t -> alive:Pid.Set.t -> crashes_left:int -> choice list
+(** All legal choices for one round: [No_crash], plus every (victim,
+    receivers) pair permitted by the policy when the crash budget allows. *)
+
+val to_schedule : Config.t -> choice list -> Sim.Schedule.t
+(** The synchronous schedule whose round [k] applies the [k]-th choice. *)
+
+val enumerate :
+  policy:policy ->
+  Config.t ->
+  horizon:int ->
+  f:(choice list -> unit) ->
+  unit
+(** Apply [f] to every serial choice sequence of length [horizon] (with at
+    most [t] crashes in total). The number of sequences is exponential in
+    [horizon]; intended for [n <= 5]. *)
+
+val count : policy:policy -> Config.t -> horizon:int -> int
+(** Number of sequences {!enumerate} visits. *)

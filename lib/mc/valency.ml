@@ -1,0 +1,128 @@
+open Kernel
+
+type t = Zero | One | Bivalent
+
+let pp ppf = function
+  | Zero -> Format.pp_print_string ppf "0-valent"
+  | One -> Format.pp_print_string ppf "1-valent"
+  | Bivalent -> Format.pp_print_string ppf "bivalent"
+
+let equal a b =
+  match (a, b) with
+  | Zero, Zero | One, One | Bivalent, Bivalent -> true
+  | _ -> false
+
+(* Survivor set and crash budget left after a choice prefix. *)
+let after_prefix config prefix =
+  List.fold_left
+    (fun (alive, left) choice ->
+      match choice with
+      | Serial.No_crash -> (alive, left)
+      | Serial.Crash { victim; _ } -> (Pid.Set.remove victim alive, left - 1))
+    (Pid.Set.universe ~n:(Config.n config), Config.t config)
+    prefix
+
+exception Both_reachable
+
+let of_partial ?(policy = Serial.Prefixes) ?extension_rounds ~algo ~config
+    ~proposals prefix =
+  let extension_rounds =
+    Option.value extension_rounds ~default:(Config.t config + 2)
+  in
+  let saw_zero = ref false and saw_one = ref false in
+  let observe choices =
+    let schedule = Serial.to_schedule config choices in
+    let trace = Sim.Runner.run algo config ~proposals schedule in
+    match Sim.Trace.decided_values trace with
+    | [] ->
+        invalid_arg
+          "Valency.of_partial: a serial extension reached no decision"
+    | v :: _ ->
+        if Value.equal v Value.zero then saw_zero := true else saw_one := true;
+        if !saw_zero && !saw_one then raise Both_reachable
+  in
+  let rec explore depth alive left suffix_rev =
+    if depth = 0 then observe (prefix @ List.rev suffix_rev)
+    else
+      List.iter
+        (fun choice ->
+          let alive', left' =
+            match choice with
+            | Serial.No_crash -> (alive, left)
+            | Serial.Crash { victim; _ } ->
+                (Pid.Set.remove victim alive, left - 1)
+          in
+          explore (depth - 1) alive' left' (choice :: suffix_rev))
+        (Serial.choices ~policy config ~alive ~crashes_left:left)
+  in
+  let alive, left = after_prefix config prefix in
+  match explore extension_rounds alive left [] with
+  | () ->
+      if !saw_zero && !saw_one then Bivalent
+      else if !saw_zero then Zero
+      else if !saw_one then One
+      else invalid_arg "Valency.of_partial: no serial extension decided"
+  | exception Both_reachable -> Bivalent
+
+exception Found_assignment of Value.t Pid.Map.t
+
+let bivalent_initial ?policy ~algo ~config () =
+  let n = Config.n config in
+  match
+    List.iter
+      (fun ones ->
+        let proposals =
+          Sim.Runner.binary_proposals config ~ones:(Pid.Set.of_list ones)
+        in
+        match of_partial ?policy ~algo ~config ~proposals [] with
+        | Bivalent -> raise (Found_assignment proposals)
+        | Zero | One -> ())
+      (Listx.subsets (Pid.all ~n))
+  with
+  | () -> None
+  | exception Found_assignment proposals -> Some proposals
+
+exception Found_prefix of Serial.choice list
+
+let bivalent_at ?(policy = Serial.Prefixes) ~algo ~config ~proposals k =
+  let rec explore depth alive left prefix_rev =
+    if depth = 0 then begin
+      let prefix = List.rev prefix_rev in
+      match of_partial ~policy ~algo ~config ~proposals prefix with
+      | Bivalent -> raise (Found_prefix prefix)
+      | Zero | One -> ()
+    end
+    else
+      List.iter
+        (fun choice ->
+          let alive', left' =
+            match choice with
+            | Serial.No_crash -> (alive, left)
+            | Serial.Crash { victim; _ } ->
+                (Pid.Set.remove victim alive, left - 1)
+          in
+          explore (depth - 1) alive' left' (choice :: prefix_rev))
+        (Serial.choices ~policy config ~alive ~crashes_left:left)
+  in
+  match
+    explore k
+      (Pid.Set.universe ~n:(Config.n config))
+      (Config.t config) []
+  with
+  | () -> None
+  | exception Found_prefix prefix -> Some prefix
+
+let frontier ?(policy = Serial.Prefixes) ?max_k ~algo ~config ~proposals () =
+  let max_k = Option.value max_k ~default:(Config.t config + 2) in
+  (* Bivalence at k implies bivalence at k-1 (the prefix of a bivalent
+     partial run is bivalent), so scan upward until it first disappears. *)
+  let rec scan k best =
+    if k > max_k then best
+    else
+      match bivalent_at ~policy ~algo ~config ~proposals k with
+      | Some witness -> scan (k + 1) (k, witness)
+      | None -> best
+  in
+  match bivalent_at ~policy ~algo ~config ~proposals 0 with
+  | None -> (-1, [])
+  | Some w -> scan 1 (0, w)

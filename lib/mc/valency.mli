@@ -1,0 +1,76 @@
+(** Valency analysis of serial partial runs — the machinery of the
+    lower-bound proof (Section 2), made executable for small systems.
+
+    A [k]-round serial partial run is {e 0-valent} ({e 1-valent}) if every
+    serial extension decides 0 (resp. 1), and {e bivalent} if both decision
+    values are reachable. The proof of Proposition 1 hinges on how long an
+    adversary can keep a partial run bivalent:
+
+    - Lemma 3: some initial configuration is bivalent;
+    - Lemma 4: some [(t-1)]-round serial partial run is bivalent;
+    - Lemma 2/5: for an algorithm that globally decides at [t+1] in every
+      serial run, every [t]-round serial partial run must be univalent — and
+      the proof derives a contradiction from that using ES runs.
+
+    The {!frontier} of an algorithm is the largest [k] for which a bivalent
+    [k]-round serial partial run exists. Lemma 4 puts it at [>= t - 1] for
+    every consensus algorithm; for the algorithms here it is exactly
+    [t - 1]: after round [t] every serial partial run is univalent, yet the
+    paper shows that a [t+1]-round decider is still unsafe, because at round
+    [t + 1] some process cannot distinguish the univalent serial run it is
+    in from an {e asynchronous} ES run with the opposite decision — see
+    {!Attack}. That indistinguishability across the serial/ES boundary, not
+    serial bivalency itself, is where the extra round is lost. *)
+
+open Kernel
+
+type t = Zero | One | Bivalent
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val of_partial :
+  ?policy:Serial.policy ->
+  ?extension_rounds:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  Serial.choice list ->
+  t
+(** The valency of the serial partial run defined by the choice prefix, over
+    binary proposals. Serial extensions are explored with further adversary
+    choices for [extension_rounds] more rounds (default [t + 2] — beyond
+    any decision round of the algorithms here) and crash-free afterwards.
+    Raises [Invalid_argument] if no extension decides (non-binary inputs or
+    a non-terminating algorithm). *)
+
+val bivalent_initial :
+  ?policy:Serial.policy ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  unit ->
+  Value.t Pid.Map.t option
+(** A binary proposal assignment whose initial configuration is bivalent
+    (Lemma 3 promises one for 0 < t). *)
+
+val bivalent_at :
+  ?policy:Serial.policy ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  int ->
+  Serial.choice list option
+(** [bivalent_at ... k] is a bivalent [k]-round serial partial run extending
+    the given initial configuration, if one exists. *)
+
+val frontier :
+  ?policy:Serial.policy ->
+  ?max_k:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  int * Serial.choice list
+(** The largest [k <= max_k] (default [t + 2]) with a bivalent [k]-round
+    serial partial run, together with a witness; [(-1, [])] when even the
+    initial configuration is univalent. *)

@@ -1,0 +1,70 @@
+(** The interface every round-based consensus algorithm implements.
+
+    An algorithm is a deterministic automaton per process (Section 1.2): in
+    the send phase of round [k] it produces one message, broadcast to all
+    processes (the engine routes a copy to everyone, including the sender —
+    real implementations would send point-to-point, but the paper assumes
+    without loss of generality that a round message is a single array sent to
+    all). In the receive phase it consumes the envelopes arriving in round
+    [k] and updates its state.
+
+    Decisions are observed through {!S.decision}; a process that has returned
+    from [propose] reports {!S.halted} and stops sending. *)
+
+open Kernel
+
+module type S = sig
+  type state
+  (** Local state of one process. *)
+
+  type msg
+  (** Round messages. Algorithms that conceptually send nothing in a round
+      send an explicit dummy constructor, since receiving {e any} round-[k]
+      message is what prevents suspicion. *)
+
+  val name : string
+
+  val model : Model.t
+  (** The model the algorithm is designed for. Running an SCS algorithm on
+      ES schedules is permitted by the engine — that mismatch is exactly what
+      experiment E9 demonstrates — but the properties it guarantees only hold
+      on schedules of its own model. *)
+
+  val init : Config.t -> Pid.t -> Value.t -> state
+  (** [init config pi v] is the state of process [pi] after [propose(v)] and
+      before round 1. *)
+
+  val on_send : state -> Round.t -> msg
+  (** The message broadcast in the send phase of the given round. *)
+
+  val on_receive : state -> Round.t -> msg Envelope.t list -> state
+  (** The receive phase: every envelope delivered in this round (current and
+      delayed), sorted by sender id. *)
+
+  val decision : state -> Value.t option
+  (** The value decided so far, if any. Once [Some v], it must stay [Some v]
+      forever (the checker enforces this). *)
+
+  val halted : state -> bool
+  (** The process has returned from [propose]: it will not send or receive
+      any further message. *)
+
+  val wire_size : msg -> int
+  (** Estimated payload size in bytes if the message were serialized (tags,
+      fixed-width ints, length-prefixed collections). Used by the cost
+      experiment (E10) to compare bytes-on-wire across algorithms; it does
+      not affect execution. Headers (sender, round) are accounted by the
+      engine. *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+  val pp_state : Format.formatter -> state -> unit
+end
+
+(* Per-copy header the engine charges on top of [wire_size]: sender id
+   (2 bytes), round number (4) and a message tag (1). *)
+let header_bytes = 7
+
+type packed = Packed : (module S with type state = 's and type msg = 'm) -> packed
+
+let name (Packed (module A)) = A.name
+let model (Packed (module A)) = A.model

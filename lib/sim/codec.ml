@@ -1,0 +1,179 @@
+open Kernel
+
+let encode schedule =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "schedule %s gst=%d\n"
+       (Model.to_string (Schedule.model schedule))
+       (Round.to_int (Schedule.gst schedule)));
+  List.iteri
+    (fun idx (plan : Schedule.plan) ->
+      let groups = ref [] in
+      if plan.delayed <> [] then
+        groups :=
+          ("delay "
+          ^ String.concat " "
+              (List.map
+                 (fun (src, dst, until) ->
+                   Printf.sprintf "%s->%s@%d" (Pid.to_string src)
+                     (Pid.to_string dst) (Round.to_int until))
+                 plan.delayed))
+          :: !groups;
+      if plan.lost <> [] then
+        groups :=
+          ("lose "
+          ^ String.concat " "
+              (List.map
+                 (fun (src, dst) ->
+                   Printf.sprintf "%s->%s" (Pid.to_string src)
+                     (Pid.to_string dst))
+                 plan.lost))
+          :: !groups;
+      if plan.crashes <> [] then
+        groups :=
+          ("crash "
+          ^ String.concat " " (List.map Pid.to_string plan.crashes))
+          :: !groups;
+      if !groups <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "round %d: %s\n" (idx + 1)
+             (String.concat " | " !groups)))
+    (Schedule.plans schedule);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+let parse_pid token =
+  match
+    if String.length token > 1 && token.[0] = 'p' then
+      int_of_string_opt (String.sub token 1 (String.length token - 1))
+    else None
+  with
+  | Some i when i >= 1 -> Pid.of_int i
+  | _ -> parse_error "expected a process id like p3, got %S" token
+
+let parse_edge token =
+  match String.index_opt token '-' with
+  | Some i
+    when i + 1 < String.length token
+         && token.[i + 1] = '>' ->
+      let src = String.sub token 0 i in
+      let dst = String.sub token (i + 2) (String.length token - i - 2) in
+      (parse_pid src, dst)
+  | _ -> parse_error "expected src->dst, got %S" token
+
+let parse_lost token =
+  let src, dst = parse_edge token in
+  (src, parse_pid dst)
+
+let parse_delayed token =
+  let src, rest = parse_edge token in
+  match String.index_opt rest '@' with
+  | Some i ->
+      let dst = String.sub rest 0 i in
+      let round = String.sub rest (i + 1) (String.length rest - i - 1) in
+      let until =
+        match int_of_string_opt round with
+        | Some r when r >= 1 -> Round.of_int r
+        | _ -> parse_error "bad delivery round in %S" token
+      in
+      (src, parse_pid dst, until)
+  | None -> parse_error "expected src->dst@round, got %S" token
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_group group (plan : Schedule.plan) =
+  match words group with
+  | "crash" :: pids ->
+      { plan with Schedule.crashes = plan.crashes @ List.map parse_pid pids }
+  | "lose" :: edges ->
+      { plan with Schedule.lost = plan.lost @ List.map parse_lost edges }
+  | "delay" :: edges ->
+      { plan with Schedule.delayed = plan.delayed @ List.map parse_delayed edges }
+  | kw :: _ -> parse_error "unknown group %S (crash | lose | delay)" kw
+  | [] -> plan
+
+let parse_round_line line plans =
+  match String.index_opt line ':' with
+  | None -> parse_error "round line needs a colon: %S" line
+  | Some i ->
+      let head = String.sub line 0 i in
+      let body = String.sub line (i + 1) (String.length line - i - 1) in
+      let round =
+        match words head with
+        | [ "round"; k ] -> (
+            match int_of_string_opt k with
+            | Some k when k >= 1 -> k
+            | _ -> parse_error "bad round number in %S" head)
+        | _ -> parse_error "expected 'round <k>:', got %S" head
+      in
+      let plan =
+        List.fold_left
+          (fun plan group -> parse_group group plan)
+          Schedule.empty_plan
+          (String.split_on_char '|' body)
+      in
+      (round, plan) :: plans
+
+let decode text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    match lines with
+    | [] -> Error "empty schedule text"
+    | header :: rest ->
+        let model, gst =
+          match words header with
+          | [ "schedule"; model; gst ] ->
+              let model =
+                match String.uppercase_ascii model with
+                | "ES" -> Model.Es
+                | "SCS" -> Model.Scs
+                | "DLS" -> Model.Dls_basic
+                | other -> parse_error "unknown model %S" other
+              in
+              let gst =
+                match String.split_on_char '=' gst with
+                | [ "gst"; v ] -> (
+                    match int_of_string_opt v with
+                    | Some g when g >= 1 -> Round.of_int g
+                    | _ -> parse_error "bad gst in %S" gst)
+                | _ -> parse_error "expected gst=<round>, got %S" gst
+              in
+              (model, gst)
+          | _ ->
+              parse_error "expected header 'schedule <ES|SCS> gst=<k>', got %S"
+                header
+        in
+        let indexed =
+          List.fold_left (fun plans line -> parse_round_line line plans) [] rest
+        in
+        let horizon =
+          List.fold_left (fun acc (k, _) -> max acc k) 0 indexed
+        in
+        let plans =
+          List.map
+            (fun k ->
+              match List.assoc_opt k indexed with
+              | Some plan -> plan
+              | None -> Schedule.empty_plan)
+            (Listx.range 1 horizon)
+        in
+        Ok (Schedule.make ~model ~gst plans)
+  with Parse msg -> Error msg
+
+let decode_exn text =
+  match decode text with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Codec.decode: " ^ msg)

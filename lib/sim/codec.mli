@@ -1,0 +1,27 @@
+(** A line-oriented text format for schedules, so that interesting
+    adversaries (counterexamples found by the search, worst-case witnesses)
+    can be saved, shared and replayed exactly.
+
+    Format:
+    {[
+      schedule ES gst=3
+      round 1: delay p1->p3@4 p1->p4@4
+      round 2: crash p2 | lose p2->p3 p2->p4
+    ]}
+
+    The header names the model ([ES] or [SCS]) and the gst round. Each
+    [round k:] line lists that round's plan as [|]-separated groups:
+    [crash p...], [lose src->dst ...], [delay src->dst@round ...]. Rounds
+    not listed have empty plans; the horizon is the largest round listed
+    (trailing empty rounds are not representable, and are semantically
+    irrelevant). Whitespace between tokens is free; lines starting with [#]
+    are comments. *)
+
+val encode : Schedule.t -> string
+
+val decode : string -> (Schedule.t, string) result
+(** Parses the format above. The result is structurally well-formed but not
+    validated against any configuration — run {!Schedule.validate} with
+    your [Config.t] afterwards. *)
+
+val decode_exn : string -> Schedule.t

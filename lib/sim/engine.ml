@@ -1,0 +1,240 @@
+open Kernel
+module Int_map = Map.Make (Int)
+
+(* Generous: room for the schedule itself, the asynchronous prefix, and a
+   full rotation of coordinator phases after gst for the slowest algorithm
+   (4 rounds per phase, up to n phases), plus the t+3 framing of A_{t+2}. *)
+let default_max_rounds config schedule =
+  Schedule.horizon schedule
+  + Round.to_int (Schedule.gst schedule)
+  + (5 * (Config.n config + 2))
+  + Config.t config + 10
+
+module Make (A : Algorithm.S) = struct
+  type proc =
+    | Running of A.state
+    | Done of Round.t * A.state  (* halted (returned) in the given round *)
+    | Crashed of Round.t
+
+  type sys = {
+    config : Config.t;
+    next_round : Round.t;
+    procs : proc Pid.Map.t;
+    pending : A.msg Envelope.t list Pid.Map.t Int_map.t;
+        (* delivery round -> receiver -> envelopes *)
+    rev_decisions : Trace.decision list;
+    rev_records : Trace.round_record list;
+    recording : bool;
+  }
+
+  let start config ~proposals =
+    let n = Config.n config in
+    let procs =
+      List.fold_left
+        (fun acc p ->
+          match Pid.Map.find_opt p proposals with
+          | Some v -> Pid.Map.add p (Running (A.init config p v)) acc
+          | None ->
+              invalid_arg
+                (Format.asprintf "Engine.start: no proposal for %a" Pid.pp p))
+        Pid.Map.empty (Pid.all ~n)
+    in
+    {
+      config;
+      next_round = Round.first;
+      procs;
+      pending = Int_map.empty;
+      rev_decisions = [];
+      rev_records = [];
+      recording = false;
+    }
+
+  let next_round sys = sys.next_round
+  let decisions sys = List.rev sys.rev_decisions
+
+  let state_of sys p =
+    match Pid.Map.find_opt p sys.procs with
+    | Some (Running st) | Some (Done (_, st)) -> Some st
+    | Some (Crashed _) | None -> None
+
+  let alive sys =
+    Pid.Map.fold
+      (fun p proc acc -> match proc with Running _ -> p :: acc | _ -> acc)
+      sys.procs []
+    |> List.rev
+
+  let crashed sys =
+    Pid.Map.fold
+      (fun p proc acc ->
+        match proc with Crashed r -> (p, r) :: acc | _ -> acc)
+      sys.procs []
+    |> List.rev
+
+  let all_halted sys =
+    Pid.Map.for_all
+      (fun _ proc -> match proc with Running _ -> false | _ -> true)
+      sys.procs
+
+  let enqueue pending ~deliver_round ~dst env =
+    let k = Round.to_int deliver_round in
+    let per_dst =
+      Option.value (Int_map.find_opt k pending) ~default:Pid.Map.empty
+    in
+    let queue = Option.value (Pid.Map.find_opt dst per_dst) ~default:[] in
+    Int_map.add k (Pid.Map.add dst (env :: queue) per_dst) pending
+
+  let fate_in (plan : Schedule.plan) ~src ~dst =
+    if
+      List.exists
+        (fun (i, j) -> Pid.equal i src && Pid.equal j dst)
+        plan.Schedule.lost
+    then Schedule.Lost
+    else
+      match
+        List.find_opt
+          (fun (i, j, _) -> Pid.equal i src && Pid.equal j dst)
+          plan.Schedule.delayed
+      with
+      | Some (_, _, until) -> Schedule.Delayed_until until
+      | None -> Schedule.Same_round
+
+  let step sys (plan : Schedule.plan) =
+    let config = sys.config in
+    let n = Config.n config in
+    let round = sys.next_round in
+    (* Send phase: every running process broadcasts. *)
+    let senders =
+      Pid.Map.fold
+        (fun p proc acc ->
+          match proc with Running st -> (p, st) :: acc | _ -> acc)
+        sys.procs []
+      |> List.rev
+    in
+    let bytes_sent = ref 0 in
+    let pending =
+      List.fold_left
+        (fun pending (src, st) ->
+          let payload = A.on_send st round in
+          if sys.recording then
+            bytes_sent :=
+              !bytes_sent
+              + (n * (Algorithm.header_bytes + A.wire_size payload));
+          let env = Envelope.make ~src ~sent:round payload in
+          List.fold_left
+            (fun pending dst ->
+              if Pid.equal src dst then
+                enqueue pending ~deliver_round:round ~dst env
+              else
+                match fate_in plan ~src ~dst with
+                | Schedule.Same_round ->
+                    enqueue pending ~deliver_round:round ~dst env
+                | Schedule.Delayed_until until ->
+                    enqueue pending ~deliver_round:until ~dst env
+                | Schedule.Lost -> pending)
+            pending (Pid.all ~n))
+        sys.pending senders
+    in
+    (* Crashes take effect before the receive phase: a process crashing in
+       round k does not complete round k. *)
+    let procs =
+      List.fold_left
+        (fun procs victim ->
+          match Pid.Map.find_opt victim procs with
+          | Some (Running _) -> Pid.Map.add victim (Crashed round) procs
+          | Some (Done _) | Some (Crashed _) | None -> procs)
+        sys.procs plan.Schedule.crashes
+    in
+    (* Receive phase. *)
+    let due =
+      Option.value
+        (Int_map.find_opt (Round.to_int round) pending)
+        ~default:Pid.Map.empty
+    in
+    let pending = Int_map.remove (Round.to_int round) pending in
+    let deliveries = ref [] in
+    let new_decisions = ref [] in
+    let procs =
+      Pid.Map.mapi
+        (fun p proc ->
+          match proc with
+          | Crashed _ | Done _ -> proc
+          | Running st ->
+              let inbox =
+                Option.value (Pid.Map.find_opt p due) ~default:[]
+                |> List.sort Envelope.compare_src
+              in
+              if sys.recording then
+                List.iter
+                  (fun (e : _ Envelope.t) ->
+                    deliveries := (e.src, p, e.sent) :: !deliveries)
+                  inbox;
+              let before = A.decision st in
+              let st' = A.on_receive st round inbox in
+              let after = A.decision st' in
+              (match (before, after) with
+              | Some v, Some w when not (Value.equal v w) ->
+                  failwith
+                    (Format.asprintf
+                       "%s: %a changed its decision from %a to %a in round %d"
+                       A.name Pid.pp p Value.pp v Value.pp w
+                       (Round.to_int round))
+              | Some _, None ->
+                  failwith
+                    (Format.asprintf "%s: %a retracted its decision" A.name
+                       Pid.pp p)
+              | None, Some v ->
+                  new_decisions :=
+                    { Trace.pid = p; round; value = v } :: !new_decisions
+              | None, None | Some _, Some _ -> ());
+              if A.halted st' then Done (round, st') else Running st')
+        procs
+    in
+    let new_decisions =
+      List.sort
+        (fun (a : Trace.decision) b -> Pid.compare a.pid b.pid)
+        !new_decisions
+    in
+    let record =
+      if sys.recording then
+        [
+          {
+            Trace.round;
+            senders = List.map fst senders;
+            crashed_now = plan.Schedule.crashes;
+            delivered = List.rev !deliveries;
+            bytes_sent = !bytes_sent;
+            new_decisions;
+          };
+        ]
+      else []
+    in
+    {
+      sys with
+      next_round = Round.succ round;
+      procs;
+      pending;
+      rev_decisions = List.rev_append new_decisions sys.rev_decisions;
+      rev_records = record @ sys.rev_records;
+    }
+
+  let run ?(record = false) ?max_rounds config ~proposals schedule =
+    let max_rounds =
+      Option.value max_rounds ~default:(default_max_rounds config schedule)
+    in
+    let rec loop sys =
+      if all_halted sys || Round.to_int sys.next_round > max_rounds then sys
+      else loop (step sys (Schedule.plan_at schedule sys.next_round))
+    in
+    let sys = loop { (start config ~proposals) with recording = record } in
+    {
+      Trace.algorithm = A.name;
+      config;
+      proposals;
+      schedule;
+      decisions = decisions sys;
+      crashes = crashed sys;
+      rounds_executed = Round.to_int sys.next_round - 1;
+      all_halted = all_halted sys;
+      records = List.rev sys.rev_records;
+    }
+end

@@ -1,0 +1,60 @@
+(** The round-based execution engine.
+
+    [Make (A)] interprets algorithm [A] under a schedule: each round, alive
+    non-halted processes produce their round message ({!S.on_send}); the
+    engine routes every copy according to the schedule's fate for that
+    [(src, dst, round)] triple; crashes take effect (a process crashing in
+    round [k] sends — subject to the schedule — but does not receive in round
+    [k] and disappears afterwards); then surviving processes consume the
+    envelopes arriving this round ({!S.on_receive}).
+
+    The engine is purely functional: {!Make.step} returns a new system state,
+    so the model checker can branch over adversary choices while sharing the
+    common prefix. *)
+
+open Kernel
+
+module Make (A : Algorithm.S) : sig
+  type sys
+  (** Immutable global state between rounds. *)
+
+  val start : Config.t -> proposals:Value.t Pid.Map.t -> sys
+  (** Initial state: every process has proposed. [proposals] must bind
+      exactly [p1..pn]. *)
+
+  val next_round : sys -> Round.t
+  (** The round the next {!step} will execute (round 1 initially). *)
+
+  val step : sys -> Schedule.plan -> sys
+  (** Execute one full round under the given per-round plan. Raises
+      [Failure] if the algorithm violates decision stability (changes a
+      decided value). *)
+
+  val decisions : sys -> Trace.decision list
+  (** Chronological. *)
+
+  val state_of : sys -> Pid.t -> A.state option
+  (** The local state of a process, unless it crashed. *)
+
+  val alive : sys -> Pid.t list
+  (** Processes still running (not crashed, not halted). *)
+
+  val crashed : sys -> (Pid.t * Round.t) list
+  val all_halted : sys -> bool
+
+  val run :
+    ?record:bool ->
+    ?max_rounds:int ->
+    Config.t ->
+    proposals:Value.t Pid.Map.t ->
+    Schedule.t ->
+    Trace.t
+  (** Run to completion: steps through the schedule (empty plans past its
+      horizon) until every non-crashed process has halted or [max_rounds]
+      rounds have executed. The default bound is generous enough for every
+      algorithm in this repository to terminate after the schedule's gst.
+      [record] (default [false]) fills {!Trace.t.records} for diagrams. *)
+end
+
+val default_max_rounds : Config.t -> Schedule.t -> int
+(** The bound [run] uses when [max_rounds] is omitted. *)

@@ -1,0 +1,15 @@
+open Kernel
+
+type 'm t = { src : Pid.t; sent : Round.t; payload : 'm }
+
+let make ~src ~sent payload = { src; sent; payload }
+let is_current e ~round = Round.equal e.sent round
+
+let compare_src a b =
+  match Pid.compare a.src b.src with
+  | 0 -> Round.compare a.sent b.sent
+  | c -> c
+
+let pp pp_payload ppf e =
+  Format.fprintf ppf "@[<h>%a@@%a:%a@]" Pid.pp e.src Round.pp e.sent pp_payload
+    e.payload

@@ -1,0 +1,18 @@
+(** A message in transit or delivered: the payload together with its sender
+    and the round in which it was sent.
+
+    In ES a message can be received in a round strictly higher than [sent];
+    algorithms distinguish "current-round" messages (which define suspicion)
+    from late ones by comparing [sent] with the receive round. *)
+
+open Kernel
+
+type 'm t = { src : Pid.t; sent : Round.t; payload : 'm }
+
+val make : src:Pid.t -> sent:Round.t -> 'm -> 'm t
+val is_current : 'm t -> round:Round.t -> bool
+
+val compare_src : 'm t -> 'm t -> int
+(** Order by sender id (inboxes are sorted with this for determinism). *)
+
+val pp : (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

@@ -1,0 +1,32 @@
+open Kernel
+
+type 'm t = 'm Envelope.t list
+
+let current inbox ~round =
+  List.sort Envelope.compare_src
+    (List.filter (fun e -> Envelope.is_current e ~round) inbox)
+
+let late inbox ~round =
+  List.sort Envelope.compare_src
+    (List.filter (fun e -> not (Envelope.is_current e ~round)) inbox)
+
+let senders inbox ~round =
+  List.fold_left
+    (fun acc (e : _ Envelope.t) -> Pid.Set.add e.src acc)
+    Pid.Set.empty (current inbox ~round)
+
+let suspected ~n inbox ~round =
+  Pid.Set.diff (Pid.Set.universe ~n) (senders inbox ~round)
+
+let payloads inbox = List.map (fun (e : _ Envelope.t) -> e.payload) inbox
+let current_payloads inbox ~round = payloads (current inbox ~round)
+
+let from inbox ~src ~round =
+  List.find_map
+    (fun (e : _ Envelope.t) ->
+      if Pid.equal e.src src && Envelope.is_current e ~round then
+        Some e.payload
+      else None)
+    inbox
+
+let count_current inbox ~round = List.length (current inbox ~round)

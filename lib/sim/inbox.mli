@@ -1,0 +1,34 @@
+(** Helpers over the list of envelopes delivered to a process in one round.
+
+    The receive phase of round [k] hands an algorithm every message arriving
+    in round [k]: the round-[k] messages delivered on time plus any delayed
+    messages whose delivery round is [k]. Suspicion (Section 1.2) is defined
+    from the current-round subset: [p_i] {e suspects} [p_j] in round [k] iff
+    no round-[k] message from [p_j] arrives in round [k]. *)
+
+open Kernel
+
+type 'm t = 'm Envelope.t list
+
+val current : 'm t -> round:Round.t -> 'm Envelope.t list
+(** Envelopes sent in the current round, sorted by sender. *)
+
+val late : 'm t -> round:Round.t -> 'm Envelope.t list
+(** Envelopes sent in earlier rounds (delayed deliveries), sorted by sender
+    then sent round. *)
+
+val senders : 'm t -> round:Round.t -> Pid.Set.t
+(** Senders of current-round envelopes. *)
+
+val suspected : n:int -> 'm t -> round:Round.t -> Pid.Set.t
+(** Complement of {!senders} in the whole process set: exactly the processes
+    the receiver suspects in this round, and also the round-[k] output of the
+    failure-detector simulation of Section 4. *)
+
+val payloads : 'm t -> 'm list
+val current_payloads : 'm t -> round:Round.t -> 'm list
+
+val from : 'm t -> src:Pid.t -> round:Round.t -> 'm option
+(** The payload of the current-round message from [src], if delivered. *)
+
+val count_current : 'm t -> round:Round.t -> int

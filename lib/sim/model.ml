@@ -1,0 +1,9 @@
+type t = Scs | Es | Dls_basic
+
+let equal a b =
+  match (a, b) with
+  | Scs, Scs | Es, Es | Dls_basic, Dls_basic -> true
+  | _ -> false
+
+let to_string = function Scs -> "SCS" | Es -> "ES" | Dls_basic -> "DLS"
+let pp ppf m = Format.pp_print_string ppf (to_string m)

@@ -1,0 +1,33 @@
+(** The two round-based models of Section 1.2.
+
+    {b SCS} — the synchronous crash-stop model: if [p_i] crashes in round [k],
+    any subset of its round-[k] messages may be lost and the rest are received
+    in round [k]; messages from non-crashed processes are received in the
+    round they were sent. No message is ever delayed.
+
+    {b ES} — the eventually synchronous model: runs may be "asynchronous" for
+    an arbitrary yet finite number of rounds and then become synchronous.
+    Every run satisfies (i) t-resilience: every process completing round [k]
+    receives round-[k] messages from at least [n - t] processes, (ii) reliable
+    channels: correct-to-correct messages are never lost but may be delayed,
+    and (iii) eventual synchrony: there is an unknown finite round [K] (the
+    schedule's [gst]) from which rounds behave synchronously. A run is
+    {e synchronous} when [K = 1]; per footnote 5, even then messages sent by a
+    process in its crash round may be delayed arbitrarily rather than lost. *)
+
+type t =
+  | Scs
+  | Es
+  | Dls_basic
+      (** The fail-stop {e basic round model} of Dwork, Lynch and Stockmeyer
+          (Sections 3.1/3.2.1 of [6]), which the paper's Section 1.4 notes
+          is exactly the variant of ES without the t-resilience property in
+          which all delayed messages are lost: before the (unknown, finite)
+          global stabilisation round any message may simply be lost; from
+          that round on, rounds behave synchronously. The lower-bound proof
+          simplifies trivially to this model, which {!Mc.Attack.solo_split_dls}
+          demonstrates. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,94 @@
+open Kernel
+
+type violation =
+  | Validity of { pid : Pid.t; value : Value.t }
+  | Agreement of {
+      pid_a : Pid.t;
+      value_a : Value.t;
+      pid_b : Pid.t;
+      value_b : Value.t;
+    }
+  | Termination of { undecided : Pid.t list }
+  | Unsettled of { undecided : Pid.t list }
+
+let pp_violation ppf = function
+  | Validity { pid; value } ->
+      Format.fprintf ppf "validity: %a decided %a, which nobody proposed"
+        Pid.pp pid Value.pp value
+  | Agreement { pid_a; value_a; pid_b; value_b } ->
+      Format.fprintf ppf "uniform agreement: %a decided %a but %a decided %a"
+        Pid.pp pid_a Value.pp value_a Pid.pp pid_b Value.pp value_b
+  | Termination { undecided } ->
+      Format.fprintf ppf "termination: correct process(es) %a never decide"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Pid.pp)
+        undecided
+  | Unsettled { undecided } ->
+      Format.fprintf ppf
+        "round bound hit with correct process(es) %a undecided"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Pid.pp)
+        undecided
+
+let validity_violations (trace : Trace.t) =
+  let proposed =
+    Pid.Map.fold
+      (fun _ v acc -> Value.Set.add v acc)
+      trace.proposals Value.Set.empty
+  in
+  List.filter_map
+    (fun (d : Trace.decision) ->
+      if Value.Set.mem d.value proposed then None
+      else Some (Validity { pid = d.pid; value = d.value }))
+    trace.decisions
+
+let agreement_violations (trace : Trace.t) =
+  match trace.decisions with
+  | [] -> []
+  | first :: rest ->
+      List.filter_map
+        (fun (d : Trace.decision) ->
+          if Value.equal d.value first.value then None
+          else
+            Some
+              (Agreement
+                 {
+                   pid_a = first.pid;
+                   value_a = first.value;
+                   pid_b = d.pid;
+                   value_b = d.value;
+                 }))
+        rest
+
+let undecided_correct (trace : Trace.t) =
+  List.filter
+    (fun p -> Trace.decision_of trace p = None)
+    (Trace.correct trace)
+
+let termination_violations (trace : Trace.t) =
+  match undecided_correct trace with
+  | [] -> []
+  | undecided ->
+      if trace.all_halted then [ Termination { undecided } ]
+      else [ Unsettled { undecided } ]
+
+let check_agreement trace = agreement_violations trace @ validity_violations trace
+let check trace = check_agreement trace @ termination_violations trace
+
+let assert_ok trace =
+  match check trace with
+  | [] -> ()
+  | violations ->
+      failwith
+        (Format.asprintf "@[<v>%a:@,%a@,%a@]" Format.pp_print_string
+           trace.algorithm
+           (Format.pp_print_list pp_violation)
+           violations Trace.pp_summary trace)
+
+let decided_by trace round =
+  undecided_correct trace = []
+  && List.for_all
+       (fun (d : Trace.decision) -> Round.(d.round <= round))
+       trace.decisions

@@ -1,0 +1,39 @@
+(** Consensus correctness properties, checked over a completed trace
+    (Section 1.3):
+
+    - {e validity}: if a process decides [v] then some process proposed [v];
+    - {e uniform agreement}: no two processes decide differently;
+    - {e termination}: every correct process eventually decides — checkable
+      only on traces that ran to quiescence, so it is reported as violated
+      when a correct process is still undecided once every process halted,
+      and as {!Unsettled} when the run hit its round bound first. *)
+
+open Kernel
+
+type violation =
+  | Validity of { pid : Pid.t; value : Value.t }
+      (** decided a value nobody proposed *)
+  | Agreement of { pid_a : Pid.t; value_a : Value.t; pid_b : Pid.t; value_b : Value.t }
+  | Termination of { undecided : Pid.t list }
+      (** correct processes that never decide *)
+  | Unsettled of { undecided : Pid.t list }
+      (** the run hit its round bound with correct processes undecided:
+          not a proof of non-termination, but reported so no test silently
+          passes on a truncated run *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Trace.t -> violation list
+(** All violations, most severe first. Empty = the trace satisfies uniform
+    consensus as far as observable. *)
+
+val check_agreement : Trace.t -> violation list
+(** Safety only (validity + uniform agreement): appropriate for runs whose
+    schedules deliberately break the algorithm's liveness assumptions. *)
+
+val assert_ok : Trace.t -> unit
+(** Raises [Failure] with a readable report when {!check} is non-empty. *)
+
+val decided_by : Trace.t -> Round.t -> bool
+(** Every correct process decided, and every decision happened at or before
+    the given round — the shape of the paper's fast-decision claims. *)

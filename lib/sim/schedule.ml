@@ -1,0 +1,318 @@
+open Kernel
+
+type fate = Same_round | Delayed_until of Round.t | Lost
+
+type plan = {
+  crashes : Pid.t list;
+  lost : (Pid.t * Pid.t) list;
+  delayed : (Pid.t * Pid.t * Round.t) list;
+}
+
+let empty_plan = { crashes = []; lost = []; delayed = [] }
+
+type t = {
+  model : Model.t;
+  gst : Round.t;
+  plans : plan array;
+  crash_rounds : Round.t Pid.Map.t; (* derived index *)
+}
+
+let derive_crash_rounds plans =
+  let add_round acc round plan =
+    List.fold_left
+      (fun acc victim ->
+        if Pid.Map.mem victim acc then acc
+        else Pid.Map.add victim round acc)
+      acc plan.crashes
+  in
+  let _, map =
+    Array.fold_left
+      (fun (k, acc) plan -> (k + 1, add_round acc (Round.of_int k) plan))
+      (1, Pid.Map.empty) plans
+  in
+  map
+
+let make ~model ~gst plans =
+  let plans = Array.of_list plans in
+  { model; gst; plans; crash_rounds = derive_crash_rounds plans }
+
+let model s = s.model
+let gst s = s.gst
+let horizon s = Array.length s.plans
+
+let plan_at s round =
+  let k = Round.to_int round in
+  if k <= Array.length s.plans then s.plans.(k - 1) else empty_plan
+
+let plans s = Array.to_list s.plans
+let crash_round s p = Pid.Map.find_opt p s.crash_rounds
+
+let faulty s =
+  Pid.Map.fold (fun p _ acc -> Pid.Set.add p acc) s.crash_rounds Pid.Set.empty
+
+let crash_count s = Pid.Map.cardinal s.crash_rounds
+
+let crashes_after s round =
+  Pid.Map.fold
+    (fun _ r acc -> if Round.(r > round) then acc + 1 else acc)
+    s.crash_rounds 0
+
+let fate s ~src ~dst ~round =
+  let plan = plan_at s round in
+  if List.exists (fun (i, j) -> Pid.equal i src && Pid.equal j dst) plan.lost
+  then Lost
+  else
+    match
+      List.find_opt
+        (fun (i, j, _) -> Pid.equal i src && Pid.equal j dst)
+        plan.delayed
+    with
+    | Some (_, _, until) -> Delayed_until until
+    | None -> Same_round
+
+(* The minimal round from which every later round satisfies the synchrony
+   clauses: no loss or delay except for messages sent in their sender's crash
+   round. *)
+let effective_gst s =
+  let violates k plan =
+    let crashing src = crash_round s src = Some (Round.of_int k) in
+    List.exists (fun (src, _) -> not (crashing src)) plan.lost
+    || List.exists (fun (src, _, _) -> not (crashing src)) plan.delayed
+  in
+  let last_violation = ref 0 in
+  Array.iteri
+    (fun i plan -> if violates (i + 1) plan then last_violation := i + 1)
+    s.plans;
+  Round.of_int (!last_violation + 1)
+
+let synchronous s = Round.equal (effective_gst s) Round.first
+
+let synchronous_after s round =
+  Round.to_int (effective_gst s) <= Round.to_int round + 1
+
+let failure_free_synchronous s = synchronous s && crash_count s = 0
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+exception Bad of string
+
+let bad fmt = Format.kasprintf (fun msg -> raise (Bad msg)) fmt
+
+let check_pid config what p =
+  let i = Pid.to_int p in
+  if i < 1 || i > Config.n config then
+    bad "%s references %a, outside p1..p%d" what Pid.pp p (Config.n config)
+
+let validate_structure config s =
+  let n = Config.n config in
+  let seen_crash = Pid.Tbl.create n in
+  Array.iteri
+    (fun idx plan ->
+      let k = idx + 1 in
+      let round = Round.of_int k in
+      let crashed_before p =
+        match crash_round s p with
+        | Some r -> Round.(r < round)
+        | None -> false
+      in
+      List.iter
+        (fun victim ->
+          check_pid config "crash" victim;
+          if Pid.Tbl.mem seen_crash victim then
+            bad "%a crashes twice (second time in round %d)" Pid.pp victim k;
+          Pid.Tbl.add seen_crash victim round)
+        plan.crashes;
+      let check_entry what src dst =
+        check_pid config what src;
+        check_pid config what dst;
+        if Pid.equal src dst then
+          bad "round %d: %s entry for %a's own message (a process always \
+               receives its own message)"
+            k what Pid.pp src;
+        if crashed_before src then
+          bad "round %d: %s entry for %a which crashed earlier" k what Pid.pp
+            src
+        (* Entries towards an already-crashed receiver are moot — the
+           receiver can never receive anything — and are tolerated because
+           natural generators emit them. *)
+      in
+      List.iter (fun (src, dst) -> check_entry "lost" src dst) plan.lost;
+      List.iter
+        (fun (src, dst, until) ->
+          check_entry "delayed" src dst;
+          if Round.(until <= round) then
+            bad "round %d: delayed message to %a scheduled for round %d, not \
+                 strictly later"
+              k Pid.pp dst (Round.to_int until))
+        plan.delayed;
+      (* No duplicate (src, dst) verdicts within a round. *)
+      let pairs =
+        List.map (fun (s', d) -> (s', d)) plan.lost
+        @ List.map (fun (s', d, _) -> (s', d)) plan.delayed
+      in
+      let sorted =
+        List.sort
+          (fun (a, b) (c, d) ->
+            match Pid.compare a c with 0 -> Pid.compare b d | cmp -> cmp)
+          pairs
+      in
+      let rec check_dups = function
+        | (a, b) :: ((c, d) :: _ as rest) ->
+            if Pid.equal a c && Pid.equal b d then
+              bad "round %d: two fates for the message %a -> %a" k Pid.pp a
+                Pid.pp b;
+            check_dups rest
+        | _ -> ()
+      in
+      check_dups sorted)
+    s.plans;
+  if Pid.Tbl.length seen_crash > Config.t config then
+    bad "%d crashes but t = %d" (Pid.Tbl.length seen_crash) (Config.t config)
+
+let validate_fates s =
+  Array.iteri
+    (fun idx plan ->
+      let k = idx + 1 in
+      let round = Round.of_int k in
+      let crashing src = crash_round s src = Some round in
+      let before_gst = Round.(round < s.gst) in
+      List.iter
+        (fun (src, _) ->
+          match s.model with
+          | Model.Scs ->
+              if not (crashing src) then
+                bad
+                  "round %d: SCS loses a message from %a which does not \
+                   crash in that round"
+                  k Pid.pp src
+          | Model.Es ->
+              let src_faulty = crash_round s src <> None in
+              if not (crashing src || (before_gst && src_faulty)) then
+                bad
+                  "round %d: ES loses a message from %a, but %a is %s and \
+                   the round is %s gst"
+                  k Pid.pp src Pid.pp src
+                  (if src_faulty then "faulty" else "correct")
+                  (if before_gst then "before" else "at/after")
+          | Model.Dls_basic ->
+              (* No reliable channels before the stabilisation round: any
+                 message may be lost. *)
+              if not (before_gst || crashing src) then
+                bad
+                  "round %d: DLS loses a message from %a after the \
+                   stabilisation round outside its crash round"
+                  k Pid.pp src)
+        plan.lost;
+      List.iter
+        (fun (src, _, _) ->
+          match s.model with
+          | Model.Scs -> bad "round %d: SCS never delays messages" k
+          | Model.Dls_basic ->
+              bad
+                "round %d: the DLS basic round model loses delayed messages \
+                 instead of delivering them late"
+                k
+          | Model.Es ->
+              if not (before_gst || crashing src) then
+                bad
+                  "round %d: ES delays a message from %a after gst outside \
+                   its crash round"
+                  k Pid.pp src)
+        plan.delayed)
+    s.plans
+
+let validate_resilience config s =
+  match s.model with
+  | Model.Scs | Model.Dls_basic -> () (* t-resilience is an ES axiom only *)
+  | Model.Es ->
+      let n = Config.n config in
+      let quorum = Config.quorum config in
+      let all = Pid.all ~n in
+      Array.iteri
+        (fun idx plan ->
+          let k = idx + 1 in
+          let round = Round.of_int k in
+          let alive_at_start p =
+            match crash_round s p with
+            | Some r -> Round.(r >= round)
+            | None -> true
+          in
+          let completes p =
+            match crash_round s p with
+            | Some r -> Round.(r > round)
+            | None -> true
+          in
+          let senders = List.filter alive_at_start all in
+          List.iter
+            (fun dst ->
+              if completes dst then begin
+                let received =
+                  Listx.count
+                    (fun src ->
+                      Pid.equal src dst
+                      || fate s ~src ~dst ~round = Same_round)
+                    senders
+                in
+                if received < quorum then
+                  bad
+                    "round %d: %a receives only %d current-round messages, \
+                     t-resilience requires %d"
+                    k Pid.pp dst received quorum
+              end)
+            all;
+          ignore plan)
+        s.plans
+
+let validate config s =
+  try
+    if Round.to_int s.gst < 1 then bad "gst must be >= 1";
+    (match s.model with
+    | Model.Scs ->
+        if not (Round.equal s.gst Round.first) then
+          bad "SCS schedules must have gst = 1"
+    | Model.Es | Model.Dls_basic -> ());
+    validate_structure config s;
+    validate_fates s;
+    validate_resilience config s;
+    Ok ()
+  with Bad msg -> Error msg
+
+let validate_exn config s =
+  match validate config s with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Schedule.validate: " ^ msg)
+
+let pp_plan ppf (k, plan) =
+  let pp_pair ppf (a, b) = Format.fprintf ppf "%a->%a" Pid.pp a Pid.pp b in
+  let pp_delay ppf (a, b, r) =
+    Format.fprintf ppf "%a->%a@@%d" Pid.pp a Pid.pp b (Round.to_int r)
+  in
+  Format.fprintf ppf "@[<h>r%d:" k;
+  if plan.crashes <> [] then
+    Format.fprintf ppf " crash=%a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Pid.pp)
+      plan.crashes;
+  if plan.lost <> [] then
+    Format.fprintf ppf " lost=[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         pp_pair)
+      plan.lost;
+  if plan.delayed <> [] then
+    Format.fprintf ppf " delayed=[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         pp_delay)
+      plan.delayed;
+  if plan.crashes = [] && plan.lost = [] && plan.delayed = [] then
+    Format.fprintf ppf " quiet";
+  Format.fprintf ppf "@]"
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>%a schedule, gst=%d, %d planned round(s)%a@]"
+    Model.pp s.model (Round.to_int s.gst) (horizon s)
+    (fun ppf () ->
+      Array.iteri
+        (fun i plan -> Format.fprintf ppf "@,  %a" pp_plan (i + 1, plan))
+        s.plans)
+    ()

@@ -1,0 +1,113 @@
+(** Schedules: the adversary's complete description of one run.
+
+    A schedule fixes, for every round, which processes crash and what happens
+    to every message sent in that round (delivered in the same round, delayed
+    until a later round, or lost). Together with the processes' proposal
+    values it determines a run of a deterministic algorithm completely, which
+    is what makes the engine, the property tests and the model checker
+    reproducible.
+
+    Rounds beyond the {!horizon} are implicitly failure-free and synchronous:
+    every remaining message is delivered in its send round. A finite schedule
+    therefore describes an infinite run, matching the model's requirement
+    that asynchrony and crashes are finite phenomena.
+
+    {!validate} checks the schedule against every constraint of Section 1.2
+    for the chosen model (SCS or ES); generators in [Workload] produce valid
+    schedules by construction, and the property tests check that. *)
+
+open Kernel
+
+type fate =
+  | Same_round  (** delivered in the round it was sent *)
+  | Delayed_until of Round.t  (** received in a strictly later round *)
+  | Lost  (** never received *)
+
+type plan = {
+  crashes : Pid.t list;
+      (** processes crashing in this round; they send their round message
+          (subject to [lost]/[delayed] below) but do not complete the round
+          and take no further part in the run. A victim all of whose messages
+          are [lost] crashed "before sending". *)
+  lost : (Pid.t * Pid.t) list;
+      (** [(src, dst)]: the message sent by [src] in this round to [dst] is
+          lost. *)
+  delayed : (Pid.t * Pid.t * Round.t) list;
+      (** [(src, dst, r)]: the message sent by [src] in this round to [dst]
+          is received in round [r]. *)
+}
+
+val empty_plan : plan
+
+type t
+
+val make : model:Model.t -> gst:Round.t -> plan list -> t
+(** [make ~model ~gst plans] is the schedule whose round [k] follows
+    [List.nth plans (k-1)] (and {!empty_plan} past the end). [gst] is the
+    round [K] of eventual synchrony; it must be 1 for SCS. *)
+
+val model : t -> Model.t
+
+val gst : t -> Round.t
+(** The round [K] from which eventual synchrony holds. *)
+
+val effective_gst : t -> Round.t
+(** The {e minimal} round [K] such that every round [k >= K] satisfies the
+    synchrony clauses (only messages sent in their sender's crash round may
+    be lost or delayed). A schedule may declare a larger {!gst} than it
+    uses; the run's synchrony class is defined by this minimal value. *)
+
+val synchronous : t -> bool
+(** [effective_gst s = 1]: the paper's definition of a synchronous run. *)
+
+val synchronous_after : t -> Round.t -> bool
+(** [synchronous_after s k]: the run is synchronous after round [k]
+    (Section 6), i.e. [effective_gst s <= k + 1]. *)
+
+val horizon : t -> int
+(** Number of rounds with an explicit plan. *)
+
+val plan_at : t -> Round.t -> plan
+
+val plans : t -> plan list
+
+val crash_round : t -> Pid.t -> Round.t option
+(** The round in which a process crashes, if it is faulty. *)
+
+val faulty : t -> Pid.Set.t
+val crash_count : t -> int
+
+val crashes_after : t -> Round.t -> int
+(** Number of crashes occurring in rounds strictly greater than the given
+    round — the [f] of the fast-eventual-decision property (Section 6). *)
+
+val fate : t -> src:Pid.t -> dst:Pid.t -> round:Round.t -> fate
+(** What happens to the message sent by [src] to [dst] in [round] (assuming
+    [src] is alive to send it). *)
+
+val failure_free_synchronous : t -> bool
+
+val validate : Config.t -> t -> (unit, string) result
+(** Checks every model constraint:
+    - crash-stop: each victim crashes at most once, at most [t] crashes, and
+      no fate references a {e sender} already crashed in an earlier round
+      (entries towards an already-crashed receiver are moot and tolerated);
+    - self-delivery: a process always receives its own message in the same
+      round (assumption 2 of Section 3: no process ever suspects itself);
+    - reliable channels: a message is [Lost] only when its sender is faulty,
+      and (for ES) only in the sender's crash round or before [gst]; in SCS
+      only in the sender's crash round;
+    - eventual synchrony: from round [gst] on, only messages sent in their
+      sender's crash round may be delayed ([Delayed_until]) — footnote 5; in
+      SCS nothing is ever delayed;
+    - delays go strictly forward in time;
+    - t-resilience (ES): every process alive at the end of round [k] receives
+      round-[k] messages from at least [n - t] processes;
+    - bounds: every pid in [1..n], [Delayed_until] targets within sanity
+      bounds. *)
+
+val validate_exn : Config.t -> t -> unit
+(** Like {!validate} but raises [Invalid_argument]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact human-readable rendering (used in counterexample reports). *)

@@ -1,0 +1,141 @@
+open Kernel
+
+type decision = { pid : Pid.t; round : Round.t; value : Value.t }
+
+type round_record = {
+  round : Round.t;
+  senders : Pid.t list;
+  crashed_now : Pid.t list;
+  delivered : (Pid.t * Pid.t * Round.t) list;
+  bytes_sent : int;
+  new_decisions : decision list;
+}
+
+type t = {
+  algorithm : string;
+  config : Config.t;
+  proposals : Value.t Pid.Map.t;
+  schedule : Schedule.t;
+  decisions : decision list;
+  crashes : (Pid.t * Round.t) list;
+  rounds_executed : int;
+  all_halted : bool;
+  records : round_record list;
+}
+
+let decision_of trace pid =
+  List.find_opt (fun d -> Pid.equal d.pid pid) trace.decisions
+
+let decided_values trace = List.map (fun d -> d.value) trace.decisions
+
+let global_decision_round trace =
+  List.fold_left
+    (fun acc (d : decision) ->
+      match acc with
+      | None -> Some d.round
+      | Some r -> Some (Round.max r d.round))
+    None trace.decisions
+
+let first_decision_round trace =
+  List.fold_left
+    (fun acc (d : decision) ->
+      match acc with
+      | None -> Some d.round
+      | Some r -> if Round.(d.round < r) then Some d.round else Some r)
+    None trace.decisions
+
+let correct trace =
+  let faulty = List.map fst trace.crashes in
+  List.filter
+    (fun p -> not (List.exists (Pid.equal p) faulty))
+    (Config.processes trace.config)
+
+let pp_summary ppf trace =
+  let pp_decision ppf (d : decision) =
+    Format.fprintf ppf "%a:%a@@r%d" Pid.pp d.pid Value.pp d.value
+      (Round.to_int d.round)
+  in
+  Format.fprintf ppf
+    "@[<v>%s on %a, %s run: %d round(s) executed, %d crash(es)@,\
+     decisions: [%a]%a@]"
+    trace.algorithm Config.pp trace.config
+    (if Schedule.synchronous trace.schedule then "synchronous"
+     else "asynchronous")
+    trace.rounds_executed
+    (List.length trace.crashes)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_decision)
+    trace.decisions
+    (fun ppf () ->
+      match global_decision_round trace with
+      | Some r -> Format.fprintf ppf "@,global decision at round %d" (Round.to_int r)
+      | None -> Format.fprintf ppf "@,no decision")
+    ()
+
+(* One row per process, one cell per executed round. Cell contents:
+   "X" crash this round, "D=v" decision this round, "*" sent and received
+   normally, "." already crashed, "h" halted. A trailing legend lists the
+   off-schedule deliveries (delayed / lost messages). *)
+let pp_diagram ppf trace =
+  let n = Config.n trace.config in
+  let rounds = trace.rounds_executed in
+  let crash_round p =
+    List.assoc_opt p (List.map (fun (q, r) -> (q, r)) trace.crashes)
+  in
+  let decision_at p k =
+    List.find_opt
+      (fun d -> Pid.equal d.pid p && Round.to_int d.round = k)
+      trace.decisions
+  in
+  let record_at k =
+    List.find_opt (fun r -> Round.to_int r.round = k) trace.records
+  in
+  let cell p k =
+    match crash_round p with
+    | Some r when Round.to_int r < k -> "."
+    | Some r when Round.to_int r = k -> "X"
+    | _ -> (
+        match decision_at p k with
+        | Some d -> Format.asprintf "D=%a" Value.pp d.value
+        | None -> (
+            match record_at k with
+            | Some rec_ when not (List.exists (Pid.equal p) rec_.senders) ->
+                "h"
+            | _ -> "*"))
+  in
+  let width = 5 in
+  let pad s =
+    let len = String.length s in
+    if len >= width then s else s ^ String.make (width - len) ' '
+  in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "     ";
+  for k = 1 to rounds do
+    Format.fprintf ppf "%s" (pad (Printf.sprintf "r%d" k))
+  done;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-4s " (Pid.to_string p);
+      for k = 1 to rounds do
+        Format.fprintf ppf "%s" (pad (cell p k))
+      done;
+      Format.fprintf ppf "@,")
+    (Pid.all ~n);
+  (* Off-schedule message fates, from the schedule itself. *)
+  let sched = trace.schedule in
+  let horizon = min rounds (Schedule.horizon sched) in
+  for k = 1 to horizon do
+    let plan = Schedule.plan_at sched (Round.of_int k) in
+    List.iter
+      (fun (src, dst) ->
+        Format.fprintf ppf "  r%d: %a -> %a lost@," k Pid.pp src Pid.pp dst)
+      plan.Schedule.lost;
+    List.iter
+      (fun (src, dst, until) ->
+        Format.fprintf ppf "  r%d: %a -> %a delayed until r%d@," k Pid.pp src
+          Pid.pp dst (Round.to_int until))
+      plan.Schedule.delayed
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** The observable outcome of one simulated run. *)
+
+open Kernel
+
+type decision = { pid : Pid.t; round : Round.t; value : Value.t }
+
+type round_record = {
+  round : Round.t;
+  senders : Pid.t list;  (** processes that sent a message this round *)
+  crashed_now : Pid.t list;
+  delivered : (Pid.t * Pid.t * Round.t) list;
+      (** [(src, dst, sent)] for every envelope delivered this round *)
+  bytes_sent : int;
+      (** estimated bytes put on the wire this round: per sender,
+          [n] copies of (header + payload size) *)
+  new_decisions : decision list;
+}
+
+type t = {
+  algorithm : string;
+  config : Config.t;
+  proposals : Value.t Pid.Map.t;
+  schedule : Schedule.t;
+  decisions : decision list;  (** in deciding order, one per process *)
+  crashes : (Pid.t * Round.t) list;
+  rounds_executed : int;
+  all_halted : bool;
+      (** every non-crashed process returned before [rounds_executed] ran
+          out; [false] means the run hit the round bound *)
+  records : round_record list;  (** chronological; empty unless requested *)
+}
+
+val decision_of : t -> Pid.t -> decision option
+val decided_values : t -> Value.t list
+
+val global_decision_round : t -> Round.t option
+(** Section 1.3: the run achieves a global decision at round [k] when every
+    process that ever decides does so at round [<= k] and some process
+    decides at [k]; i.e. the maximum decision round. [None] when nobody
+    decided. *)
+
+val first_decision_round : t -> Round.t option
+
+val correct : t -> Pid.t list
+(** Processes that never crash in this run. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+val pp_diagram : Format.formatter -> t -> unit
+(** Fig.-1-style ASCII space/time diagram: one row per process, one column
+    per round, showing crashes ([X]), decisions ([D=v]) and off-schedule
+    message fates. Requires the trace to carry {!t.records}. *)

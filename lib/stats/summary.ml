@@ -1,0 +1,38 @@
+type t = { count : int; min : int; max : int; mean : float }
+
+let of_list = function
+  | [] -> None
+  | first :: rest as all ->
+      let count = List.length all in
+      let min, max, sum =
+        List.fold_left
+          (fun (mn, mx, sum) x -> (Stdlib.min mn x, Stdlib.max mx x, sum + x))
+          (first, first, first)
+          rest
+      in
+      Some { count; min; max; mean = float_of_int sum /. float_of_int count }
+
+let pp ppf s =
+  Format.fprintf ppf "n=%d min=%d max=%d mean=%.2f" s.count s.min s.max s.mean
+
+let messages_of_trace (trace : Sim.Trace.t) =
+  match trace.records with
+  | [] when trace.rounds_executed > 0 ->
+      invalid_arg "Summary.messages_of_trace: trace has no records"
+  | records ->
+      let n = Kernel.Config.n trace.config in
+      List.fold_left
+        (fun acc (r : Sim.Trace.round_record) ->
+          acc + (List.length r.senders * n))
+        0 records
+
+let rounds_to_quiescence (trace : Sim.Trace.t) = trace.rounds_executed
+
+let bytes_of_trace (trace : Sim.Trace.t) =
+  match trace.records with
+  | [] when trace.rounds_executed > 0 ->
+      invalid_arg "Summary.bytes_of_trace: trace has no records"
+  | records ->
+      List.fold_left
+        (fun acc (r : Sim.Trace.round_record) -> acc + r.bytes_sent)
+        0 records

@@ -1,0 +1,21 @@
+(** Aggregates over integer samples (decision rounds, message counts). *)
+
+type t = { count : int; min : int; max : int; mean : float }
+
+val of_list : int list -> t option
+(** [None] on the empty list. *)
+
+val pp : Format.formatter -> t -> unit
+
+val messages_of_trace : Sim.Trace.t -> int
+(** Total point-to-point message copies sent in the run: each sender
+    broadcasts to all [n] processes every round it participates in. The
+    trace must carry records (run with [~record:true]); raises
+    [Invalid_argument] otherwise. *)
+
+val rounds_to_quiescence : Sim.Trace.t -> int
+(** Rounds executed before every surviving process halted. *)
+
+val bytes_of_trace : Sim.Trace.t -> int
+(** Total estimated bytes on the wire (headers plus per-algorithm
+    {!Sim.Algorithm.S.wire_size} payload estimates). Requires records. *)

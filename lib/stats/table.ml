@@ -1,0 +1,44 @@
+type t = { headers : string list; rev_rows : string list list }
+
+let make ~headers = { headers; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length row) (List.length t.headers));
+  { t with rev_rows = row :: t.rev_rows }
+
+let add_rows t rows = List.fold_left add_row t rows
+
+let render ppf t =
+  let rows = List.rev t.rev_rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length t.headers)
+      rows
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let print_row row =
+    Format.fprintf ppf "| %s |@,"
+      (String.concat " | " (List.map2 pad row widths))
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  Format.fprintf ppf "@[<v>%s@," rule;
+  print_row t.headers;
+  Format.fprintf ppf "%s@," rule;
+  List.iter print_row rows;
+  Format.fprintf ppf "%s@]" rule
+
+let cell_int = string_of_int
+
+let cell_round = function
+  | Some r -> string_of_int (Kernel.Round.to_int r)
+  | None -> "-"
+
+let cell_bool b = if b then "yes" else "no"
+let cell_check b = if b then "ok" else "FAIL"

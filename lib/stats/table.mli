@@ -1,0 +1,20 @@
+(** Column-aligned text tables, the output format of every experiment. *)
+
+type t
+
+val make : headers:string list -> t
+val add_row : t -> string list -> t
+(** Raises [Invalid_argument] when the row width differs from the header. *)
+
+val add_rows : t -> string list list -> t
+val render : Format.formatter -> t -> unit
+
+val cell_int : int -> string
+val cell_round : Kernel.Round.t option -> string
+(** ["-"] for [None]. *)
+
+val cell_bool : bool -> string
+(** ["yes"] / ["no"]. *)
+
+val cell_check : bool -> string
+(** ["ok"] / ["FAIL"] — for property columns. *)

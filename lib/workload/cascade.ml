@@ -1,0 +1,148 @@
+open Kernel
+
+let lose_to_all ~n victim =
+  List.map (fun dst -> (victim, dst)) (Pid.others ~n victim)
+
+let lose_to_all_but ~n victim ~keep =
+  List.filter_map
+    (fun dst -> if Pid.equal dst keep then None else Some (victim, dst))
+    (Pid.others ~n victim)
+
+let chain config =
+  let n = Config.n config and t = Config.t config in
+  let plan_for k =
+    let victim = Pid.of_int k in
+    let keep = Pid.of_int (k + 1) in
+    {
+      Sim.Schedule.crashes = [ victim ];
+      lost = lose_to_all_but ~n victim ~keep;
+      delayed = [];
+    }
+  in
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
+    (List.map plan_for (Listx.range 1 t))
+
+let silent_crashes config ~rounds =
+  let n = Config.n config in
+  let horizon =
+    List.fold_left (fun acc r -> max acc (Round.to_int r)) 0 rounds
+  in
+  let victims = List.mapi (fun i r -> (Pid.of_int (i + 1), r)) rounds in
+  let plan_for k =
+    match
+      List.filter (fun (_, r) -> Round.to_int r = k) victims
+    with
+    | [] -> Sim.Schedule.empty_plan
+    | crashing ->
+        {
+          Sim.Schedule.crashes = List.map fst crashing;
+          lost = List.concat_map (fun (v, _) -> lose_to_all ~n v) crashing;
+          delayed = [];
+        }
+  in
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
+    (List.map plan_for (Listx.range 1 horizon))
+
+let coordinator_killer config ~phase_rounds =
+  if phase_rounds < 1 then
+    invalid_arg "Cascade.coordinator_killer: phases need at least one round";
+  let t = Config.t config in
+  let rounds =
+    List.map
+      (fun phase -> Round.of_int ((phase * phase_rounds) + 1))
+      (Listx.range 0 (t - 1))
+  in
+  silent_crashes config ~rounds
+
+let leader_killer config ~f ~stride ~start =
+  if f > Config.t config then
+    invalid_arg "Cascade.leader_killer: more crashes than t";
+  if stride < 1 then invalid_arg "Cascade.leader_killer: stride must be >= 1";
+  let rounds =
+    List.map
+      (fun i -> Round.add start (i * stride))
+      (Listx.range 0 (f - 1))
+  in
+  (* silent_crashes kills the lowest ids first, which are exactly the
+     successive min-id leaders. *)
+  silent_crashes config ~rounds
+
+let minority_keeper config ~f =
+  let n = Config.n config and t = Config.t config in
+  if f < 1 || f > t then
+    invalid_arg "Cascade.minority_keeper: needs 1 <= f <= t";
+  let keep_of r =
+    if r = 1 then List.map Pid.of_int (Listx.range 2 (t + 2))
+    else [ Pid.of_int (r + 1) ]
+  in
+  let plan_for r =
+    let victim = Pid.of_int r in
+    let keep = keep_of r in
+    {
+      Sim.Schedule.crashes = [ victim ];
+      lost =
+        List.filter
+          (fun (_, dst) -> not (List.exists (Pid.equal dst) keep))
+          (lose_to_all ~n victim);
+      delayed = [];
+    }
+  in
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
+    (List.map plan_for (Listx.range 1 f))
+
+let split_brain config ~k ~f =
+  let n = Config.n config and t = Config.t config in
+  if f > t then invalid_arg "Cascade.split_brain: f exceeds t";
+  let low_block = List.map Pid.of_int (Listx.range 1 (t + 1)) in
+  let high_block = List.map Pid.of_int (Listx.range (t + 2) n) in
+  let p1 = Pid.of_int 1 in
+  let prefix_plan round =
+    ignore round;
+    {
+      Sim.Schedule.crashes = [];
+      lost = [];
+      delayed =
+        List.map (fun dst -> (p1, dst, Round.of_int (k + 1))) high_block;
+    }
+  in
+  let crash_plan i =
+    (* Round k+i: p_i crashes, delivering only to the rest of the low
+       block. *)
+    let victim = Pid.of_int i in
+    let keep =
+      List.filter (fun p -> Pid.compare p victim > 0) low_block
+    in
+    {
+      Sim.Schedule.crashes = [ victim ];
+      lost =
+        List.filter
+          (fun (_, dst) -> not (List.exists (Pid.equal dst) keep))
+          (lose_to_all ~n victim);
+      delayed = [];
+    }
+  in
+  let plans =
+    List.map prefix_plan (Listx.range 1 k)
+    @ List.map crash_plan (Listx.range 1 f)
+  in
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:(Round.of_int (k + 1)) plans
+
+let split_then_minority config ~k ~f =
+  let prefix = Sim.Schedule.plans (split_brain config ~k ~f:0) in
+  let crashes =
+    if f = 0 then [] else Sim.Schedule.plans (minority_keeper config ~f)
+  in
+  Sim.Schedule.make ~model:Sim.Model.Es
+    ~gst:(Kernel.Round.of_int (k + 1))
+    (prefix @ crashes)
+
+let all_named config =
+  let t = Config.t config in
+  [
+    ("chain", chain config);
+    ( "silent-prefix",
+      silent_crashes config
+        ~rounds:(List.map Round.of_int (Listx.range 1 t)) );
+    ("coordinator-killer/2", coordinator_killer config ~phase_rounds:2);
+    ("coordinator-killer/4", coordinator_killer config ~phase_rounds:4);
+  ]

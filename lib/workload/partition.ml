@@ -1,0 +1,26 @@
+open Kernel
+
+let blocks config =
+  let n = Config.n config in
+  let half = (n + 1) / 2 in
+  let a = List.map Pid.of_int (Listx.range 1 half) in
+  let b = List.map Pid.of_int (Listx.range (half + 1) n) in
+  (a, b)
+
+let split config ~until =
+  let a, b = blocks config in
+  let quorum = Config.quorum config in
+  if List.length a < quorum || List.length b < quorum then
+    invalid_arg
+      (Format.asprintf
+         "Partition.split: blocks of %d and %d cannot each deliver %d \
+          current-round messages; needs t >= n/2"
+         (List.length a) (List.length b) quorum);
+  if until < 2 then invalid_arg "Partition.split: until must be >= 2";
+  let cross =
+    List.map (fun (x, y) -> (x, y, Round.of_int until)) (Listx.cartesian a b)
+    @ List.map (fun (y, x) -> (y, x, Round.of_int until)) (Listx.cartesian b a)
+  in
+  let plan = { Sim.Schedule.crashes = []; lost = []; delayed = cross } in
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:(Round.of_int until)
+    (List.map (fun _round -> plan) (Listx.range 1 (until - 1)))

@@ -1,0 +1,21 @@
+(** Network-partition schedules: two blocks of processes whose cross-block
+    messages are all delayed until a (late) gst.
+
+    Legal in ES only when each block can feed its members the [n - t]
+    current-round messages t-resilience demands, i.e. when both blocks have
+    at least [n - t] members — which is possible exactly when [t >= n/2],
+    the regime the paper excludes for indulgent consensus. Experiment E9
+    uses this to make the naive-quorum variant of CT decide differently on
+    the two sides: the executable content of "indulgent consensus needs a
+    majority of correct processes" (reference [2]). *)
+
+open Kernel
+
+val split : Config.t -> until:int -> Sim.Schedule.t
+(** Processes [p_1 .. p_{ceil(n/2)}] versus the rest; every cross-block
+    message of rounds [1 .. until - 1] is delayed to round [until]; gst is
+    [until]. Raises [Invalid_argument] when a block would be smaller than
+    [n - t] (the schedule would violate t-resilience). *)
+
+val blocks : Config.t -> Pid.t list * Pid.t list
+(** The two blocks {!split} uses. *)

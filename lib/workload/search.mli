@@ -1,0 +1,47 @@
+(** Worst-case search: drive an algorithm over a family of schedules and
+    keep the run with the latest global decision (checking consensus
+    properties along the way). *)
+
+open Kernel
+
+type outcome = {
+  worst_round : int;  (** latest global decision round observed *)
+  worst_schedule : Sim.Schedule.t option;
+  runs : int;
+  violations : (Sim.Schedule.t * Sim.Props.violation list) list;
+      (** schedules whose runs broke a consensus property *)
+}
+
+val over :
+  ?check:[ `Full | `Safety_only | `None ] ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  Sim.Schedule.t Seq.t ->
+  outcome
+(** Run every schedule in the (finite) sequence. [`Full] (default) checks
+    validity, agreement and termination; [`Safety_only] skips termination
+    (for runs designed to stall an algorithm); [`None] records rounds
+    only. *)
+
+val random_synchronous :
+  ?samples:int ->
+  ?with_delays:bool ->
+  seed:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  outcome
+(** {!over} on [samples] (default 300) random synchronous schedules. *)
+
+val random_es :
+  ?samples:int ->
+  ?gst:int ->
+  seed:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  outcome
+(** {!over} on random eventually-synchronous schedules (default gst 4). *)

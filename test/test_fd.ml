@@ -1,0 +1,150 @@
+open Kernel
+open Helpers
+
+let plan ?(crashes = []) ?(lost = []) ?(delayed = []) () =
+  {
+    Sim.Schedule.crashes = List.map Pid.of_int crashes;
+    lost = List.map (fun (a, b) -> (Pid.of_int a, Pid.of_int b)) lost;
+    delayed =
+      List.map
+        (fun (a, b, r) -> (Pid.of_int a, Pid.of_int b, Round.of_int r))
+        delayed;
+  }
+
+let es ~gst plans =
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:(Round.of_int gst) plans
+
+let c52 = config ~n:5 ~t:2
+
+let output cfg s ~receiver ~round =
+  Fd.Simulate.output cfg s ~receiver:(Pid.of_int receiver)
+    ~round:(Round.of_int round)
+
+let test_kind () =
+  check_string "P" "P" (Fd.Kind.to_string Fd.Kind.P);
+  check_string "<>P" "<>P" (Fd.Kind.to_string Fd.Kind.Diamond_p);
+  check_string "<>S" "<>S" (Fd.Kind.to_string Fd.Kind.Diamond_s);
+  check_bool "equal" true (Fd.Kind.equal Fd.Kind.P Fd.Kind.P);
+  check_bool "distinct" false (Fd.Kind.equal Fd.Kind.P Fd.Kind.Diamond_s)
+
+let test_output_quiet () =
+  check_bool "nobody suspected" true
+    (Pid.Set.is_empty (output c52 quiet_es ~receiver:1 ~round:1))
+
+let test_output_crashed_sender () =
+  let s = es ~gst:1 [ plan ~crashes:[ 2 ] ~lost:[ (2, 1) ] () ] in
+  check_bool "suspected at crash round when lost" true
+    (Pid.Set.mem (Pid.of_int 2) (output c52 s ~receiver:1 ~round:1));
+  check_bool "not suspected by a receiver that heard it" false
+    (Pid.Set.mem (Pid.of_int 2) (output c52 s ~receiver:3 ~round:1));
+  check_bool "suspected forever after" true
+    (Pid.Set.mem (Pid.of_int 2) (output c52 s ~receiver:3 ~round:2))
+
+let test_output_delay_is_false_suspicion () =
+  let s = es ~gst:3 [ plan ~delayed:[ (1, 3, 4) ] () ] in
+  check_bool "delayed message means suspicion" true
+    (Pid.Set.mem (Pid.of_int 1) (output c52 s ~receiver:3 ~round:1));
+  check_bool "only at that round" false
+    (Pid.Set.mem (Pid.of_int 1) (output c52 s ~receiver:3 ~round:2))
+
+let test_output_self () =
+  let s = es ~gst:3 [ plan ~delayed:[ (1, 3, 4) ] () ] in
+  check_bool "never self-suspect" false
+    (Pid.Set.mem (Pid.of_int 3) (output c52 s ~receiver:3 ~round:1))
+
+let test_output_rejects_crashed_receiver () =
+  let s = es ~gst:1 [ plan ~crashes:[ 2 ] () ] in
+  match output c52 s ~receiver:2 ~round:1 with
+  | (_ : Pid.Set.t) -> Alcotest.fail "should reject"
+  | exception Invalid_argument _ -> ()
+
+let test_history () =
+  let s =
+    es ~gst:1
+      [ plan ~crashes:[ 5 ] ~lost:[ (5, 1); (5, 2); (5, 3); (5, 4) ] () ]
+  in
+  let h = Fd.Simulate.history c52 s ~rounds:2 in
+  (* 4 survivors x 2 rounds; p5 completes nothing. *)
+  check_int "entries" 8 (List.length h);
+  check_bool "p5 suspected by all in round 1" true
+    (List.for_all
+       (fun (_, r, out) -> Round.to_int r <> 1 || Pid.Set.mem (Pid.of_int 5) out)
+       h)
+
+let test_stabilisation () =
+  check_int "quiet stabilises immediately" 1
+    (Round.to_int (Fd.Simulate.stabilisation_round c52 quiet_es));
+  let s = es ~gst:3 [ plan ~delayed:[ (1, 3, 4) ] () ] in
+  check_bool "delay pushes stabilisation past round 1" true
+    (Round.to_int (Fd.Simulate.stabilisation_round c52 s) > 1)
+
+let test_check_quiet () =
+  let r = Fd.Check.strong_completeness c52 quiet_es in
+  check_bool "completeness" true r.Fd.Check.holds;
+  let r = Fd.Check.eventual_strong_accuracy c52 quiet_es in
+  check_bool "<>P accuracy" true r.Fd.Check.holds;
+  let r, witness = Fd.Check.eventual_weak_accuracy c52 quiet_es in
+  check_bool "<>S accuracy" true r.Fd.Check.holds;
+  check_bool "<>S witness exists" true (witness <> None);
+  let r = Fd.Check.perfect_accuracy c52 quiet_es in
+  check_bool "P accuracy" true r.Fd.Check.holds;
+  check_int "no false suspicions" 0
+    (List.length (Fd.Check.false_suspicions c52 quiet_es))
+
+let test_check_async () =
+  let s = es ~gst:3 [ plan ~delayed:[ (1, 3, 4) ] () ] in
+  let r = Fd.Check.perfect_accuracy c52 s in
+  check_bool "P accuracy broken by a delay" false r.Fd.Check.holds;
+  check_bool "counterexample reported" true (r.Fd.Check.counterexample <> None);
+  check_int "exactly one false suspicion" 1
+    (List.length (Fd.Check.false_suspicions c52 s));
+  (match Fd.Check.false_suspicions c52 s with
+  | [ (receiver, suspect, round) ] ->
+      check_int "receiver" 3 (Pid.to_int receiver);
+      check_int "suspect" 1 (Pid.to_int suspect);
+      check_int "round" 1 (Round.to_int round)
+  | _ -> Alcotest.fail "unexpected count");
+  check_bool "<>P still holds" true
+    (Fd.Check.eventual_strong_accuracy c52 s).Fd.Check.holds
+
+(* Over random ES schedules: completeness and both eventual accuracies
+   always hold, and false suspicions exist iff the run is asynchronous. *)
+let prop_random_es =
+  qtest ~count:60 "axioms hold on random ES schedules"
+    QCheck.(pair int (int_range 1 6))
+    (fun (seed, gst) ->
+      let rng = Rng.create ~seed in
+      let s =
+        if gst = 1 then Workload.Random_runs.synchronous_with_delays rng c52 ()
+        else Workload.Random_runs.eventually_synchronous rng c52 ~gst ()
+      in
+      let completeness = (Fd.Check.strong_completeness c52 s).Fd.Check.holds in
+      let dp = (Fd.Check.eventual_strong_accuracy c52 s).Fd.Check.holds in
+      let ds = (fst (Fd.Check.eventual_weak_accuracy c52 s)).Fd.Check.holds in
+      let false_susp = Fd.Check.false_suspicions c52 s in
+      completeness && dp && ds
+      && (not (Sim.Schedule.synchronous s)) = (false_susp <> []))
+
+let () =
+  Alcotest.run "fd"
+    [
+      ( "simulate",
+        [
+          Alcotest.test_case "kinds" `Quick test_kind;
+          Alcotest.test_case "quiet output" `Quick test_output_quiet;
+          Alcotest.test_case "crashed sender" `Quick test_output_crashed_sender;
+          Alcotest.test_case "delay = false suspicion" `Quick
+            test_output_delay_is_false_suspicion;
+          Alcotest.test_case "no self-suspicion" `Quick test_output_self;
+          Alcotest.test_case "crashed receiver rejected" `Quick
+            test_output_rejects_crashed_receiver;
+          Alcotest.test_case "history" `Quick test_history;
+          Alcotest.test_case "stabilisation" `Quick test_stabilisation;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "quiet run" `Quick test_check_quiet;
+          Alcotest.test_case "async run" `Quick test_check_async;
+          prop_random_es;
+        ] );
+    ]

@@ -1,0 +1,306 @@
+open Kernel
+open Helpers
+
+let c31 = config ~n:3 ~t:1
+let c41 = config ~n:4 ~t:1
+let c52 = config ~n:5 ~t:2
+
+(* ------------------------------------------------------------------ *)
+(* Serial                                                              *)
+
+let test_serial_choices () =
+  let alive = Pid.Set.universe ~n:3 in
+  let all = Mc.Serial.choices ~policy:Mc.Serial.All_subsets c31 ~alive ~crashes_left:1 in
+  (* no-crash + 3 victims x 2^2 subsets *)
+  check_int "all-subsets branching" 13 (List.length all);
+  let pre = Mc.Serial.choices ~policy:Mc.Serial.Prefixes c31 ~alive ~crashes_left:1 in
+  (* no-crash + 3 victims x 3 prefixes *)
+  check_int "prefix branching" 10 (List.length pre);
+  let none = Mc.Serial.choices ~policy:Mc.Serial.Prefixes c31 ~alive ~crashes_left:0 in
+  check_int "no budget" 1 (List.length none)
+
+let test_serial_enumerate_count () =
+  (* depth 1: exactly the branching factor *)
+  check_int "depth 1" 13
+    (Mc.Serial.count ~policy:Mc.Serial.All_subsets c31 ~horizon:1);
+  (* depth 2 with budget 1: crash in round 1 leaves only No_crash after *)
+  check_int "depth 2" (12 + 13)
+    (Mc.Serial.count ~policy:Mc.Serial.All_subsets c31 ~horizon:2)
+
+let test_serial_to_schedule () =
+  let choices =
+    [
+      Mc.Serial.Crash
+        { victim = Pid.of_int 1; receivers = Pid.Set.of_ints [ 2 ] };
+      Mc.Serial.No_crash;
+    ]
+  in
+  let s = Mc.Serial.to_schedule c31 choices in
+  assert_valid c31 s;
+  check_bool "synchronous" true (Sim.Schedule.synchronous s);
+  check_bool "loses to p3" true
+    (Sim.Schedule.fate s ~src:(Pid.of_int 1) ~dst:(Pid.of_int 3)
+       ~round:Round.first
+    = Sim.Schedule.Lost);
+  check_bool "keeps p2" true
+    (Sim.Schedule.fate s ~src:(Pid.of_int 1) ~dst:(Pid.of_int 2)
+       ~round:Round.first
+    = Sim.Schedule.Same_round)
+
+let prop_serial_schedules_valid =
+  qtest ~count:1 "every enumerated serial schedule validates" QCheck.unit
+    (fun () ->
+      let ok = ref true in
+      Mc.Serial.enumerate ~policy:Mc.Serial.All_subsets c31 ~horizon:3
+        ~f:(fun choices ->
+          match
+            Sim.Schedule.validate c31 (Mc.Serial.to_schedule c31 choices)
+          with
+          | Ok () -> ()
+          | Error _ -> ok := false);
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive                                                          *)
+
+let test_exhaustive_floodset () =
+  let r =
+    Mc.Exhaustive.sweep ~policy:Mc.Serial.All_subsets ~algo:floodset
+      ~config:c31
+      ~proposals:(Sim.Runner.distinct_proposals c31)
+      ()
+  in
+  check_int "min = t+1" 2 r.Mc.Exhaustive.min_decision;
+  check_int "max = t+1" 2 r.Mc.Exhaustive.max_decision;
+  check_bool "no violations" true (r.Mc.Exhaustive.violations = []);
+  check_int "no undecided" 0 r.Mc.Exhaustive.undecided_runs
+
+let test_exhaustive_at2 () =
+  let r = Mc.Exhaustive.sweep_binary ~algo:at2 ~config:c41 () in
+  check_int "min = t+2" 3 r.Mc.Exhaustive.min_decision;
+  check_int "max = t+2" 3 r.Mc.Exhaustive.max_decision;
+  check_bool "no violations" true (r.Mc.Exhaustive.violations = []);
+  check_bool "many runs" true (r.Mc.Exhaustive.runs > 500)
+
+(* ------------------------------------------------------------------ *)
+(* Valency                                                             *)
+
+let ones_proposals cfg =
+  Sim.Runner.binary_proposals cfg
+    ~ones:(Pid.Set.of_ints (Listx.range 2 (Config.n cfg)))
+
+let test_valency_univalent_uniform () =
+  (* All-zero proposals: validity forces 0-valence. *)
+  let proposals =
+    Sim.Runner.binary_proposals c31 ~ones:Pid.Set.empty
+  in
+  check_bool "0-valent" true
+    (Mc.Valency.equal Mc.Valency.Zero
+       (Mc.Valency.of_partial ~algo:floodset_ws ~config:c31 ~proposals []))
+
+let test_valency_bivalent_initial () =
+  match Mc.Valency.bivalent_initial ~algo:floodset_ws ~config:c31 () with
+  | None -> Alcotest.fail "Lemma 3: a bivalent initial configuration exists"
+  | Some proposals ->
+      check_bool "it is bivalent" true
+        (Mc.Valency.equal Mc.Valency.Bivalent
+           (Mc.Valency.of_partial ~algo:floodset_ws ~config:c31 ~proposals []))
+
+let test_valency_frontier_floodset_ws () =
+  (* Lemma 4 gives a bivalent (t-1)-round run; the t-round partials of a
+     t+1-decider are univalent. *)
+  let k, _ =
+    Mc.Valency.frontier ~algo:floodset_ws ~config:c31
+      ~proposals:(ones_proposals c31) ()
+  in
+  check_int "frontier = t-1" 0 k
+
+let test_valency_frontier_at2 () =
+  let k, _ =
+    Mc.Valency.frontier ~algo:at2 ~config:c31 ~proposals:(ones_proposals c31)
+      ()
+  in
+  check_int "frontier = t-1" 0 k
+
+let test_valency_crash_changes_value () =
+  (* (0,1,1): p1 crashing silently at round 1 forces decision 1; quiet runs
+     decide 0 -> the empty prefix is bivalent, the one-round prefix where p1
+     dies silently is 1-valent. *)
+  let proposals = ones_proposals c31 in
+  let silent =
+    Mc.Serial.Crash { victim = Pid.of_int 1; receivers = Pid.Set.empty }
+  in
+  check_bool "empty prefix bivalent" true
+    (Mc.Valency.equal Mc.Valency.Bivalent
+       (Mc.Valency.of_partial ~algo:floodset_ws ~config:c31 ~proposals []));
+  check_bool "silent-crash prefix 1-valent" true
+    (Mc.Valency.equal Mc.Valency.One
+       (Mc.Valency.of_partial ~algo:floodset_ws ~config:c31 ~proposals
+          [ silent ]));
+  check_bool "no-crash prefix 0-valent" true
+    (Mc.Valency.equal Mc.Valency.Zero
+       (Mc.Valency.of_partial ~algo:floodset_ws ~config:c31 ~proposals
+          [ Mc.Serial.No_crash ]))
+
+(* ------------------------------------------------------------------ *)
+(* Attack                                                              *)
+
+let test_witness_breaks_floodset_ws () =
+  List.iter
+    (fun (n, t) ->
+      let cfg = config ~n ~t in
+      let r = Mc.Attack.floodset_ws_witness cfg in
+      check_bool
+        (Printf.sprintf "violation at n=%d t=%d" n t)
+        true
+        (List.exists
+           (function Sim.Props.Agreement _ -> true | _ -> false)
+           r.Mc.Attack.violations))
+    [ (3, 1); (4, 1); (5, 2); (7, 3); (9, 4) ]
+
+let test_witness_schedule_shape () =
+  let s = Mc.Attack.witness_schedule c52 in
+  assert_valid c52 s;
+  check_bool "asynchronous" false (Sim.Schedule.synchronous s);
+  (* t-1 chain crashes plus the final crash *)
+  check_int "crashes" 2 (Sim.Schedule.crash_count s);
+  check_bool "p_t stays correct" true
+    (Sim.Schedule.crash_round s (Pid.of_int 2) = None)
+
+let test_solo_split_breaks_floodset () =
+  let r = Mc.Attack.run_solo_split floodset c52 in
+  check_bool "violated" true (r.Mc.Attack.violations <> [])
+
+(* Section 1.4: the attack transfers to the DLS basic round model with the
+   isolating messages lost instead of delayed. *)
+let test_solo_split_dls () =
+  let s = Mc.Attack.solo_split_dls c52 in
+  assert_valid c52 s;
+  check_bool "DLS model" true
+    (Sim.Model.equal (Sim.Schedule.model s) Sim.Model.Dls_basic);
+  check_bool "no delayed messages at all" true
+    (List.for_all
+       (fun (p : Sim.Schedule.plan) -> p.Sim.Schedule.delayed = [])
+       (Sim.Schedule.plans s));
+  let r = Mc.Attack.run_solo_split_dls floodset_ws c52 in
+  check_bool "FloodSetWS violated in DLS" true (r.Mc.Attack.violations <> []);
+  let r2 = Mc.Attack.run_solo_split_dls floodset c52 in
+  check_bool "FloodSet violated in DLS" true (r2.Mc.Attack.violations <> [])
+
+let test_dls_model_rules () =
+  (* Delays are never legal in the DLS basic model; arbitrary pre-gst losses
+     are. *)
+  let dls ~gst plans =
+    Sim.Schedule.make ~model:Sim.Model.Dls_basic ~gst:(Round.of_int gst) plans
+  in
+  let lost_plan =
+    {
+      Sim.Schedule.crashes = [];
+      lost = [ (Pid.of_int 1, Pid.of_int 2) ];
+      delayed = [];
+    }
+  in
+  let delayed_plan =
+    {
+      Sim.Schedule.crashes = [];
+      lost = [];
+      delayed = [ (Pid.of_int 1, Pid.of_int 2, Round.of_int 3) ];
+    }
+  in
+  assert_valid c52 (dls ~gst:2 [ lost_plan ]);
+  assert_invalid c52 (dls ~gst:1 [ lost_plan ]);
+  assert_invalid c52 (dls ~gst:4 [ delayed_plan ])
+
+let test_survivors () =
+  List.iter
+    (fun algo ->
+      let r1 = Mc.Attack.run_witness algo c52 in
+      let r2 = Mc.Attack.run_solo_split algo c52 in
+      check_bool "witness survived" true (r1.Mc.Attack.violations = []);
+      check_bool "solo split survived" true (r2.Mc.Attack.violations = []))
+    [ at2; at2_opt; a_ds; hr; ct ]
+
+let test_search_finds_floodset_violation () =
+  let proposals = ones_proposals c52 in
+  match
+    Mc.Attack.search ~samples:300 ~seed:5 ~algo:floodset ~config:c52
+      ~proposals ()
+  with
+  | Some r -> check_bool "violations recorded" true (r.Mc.Attack.violations <> [])
+  | None -> Alcotest.fail "random search should break FloodSet in ES"
+
+(* The five-run construction of Claim 5.1 (Fig. 1): every proof obligation
+   holds against the canonical t+1-round algorithm, at every resilience. *)
+let test_figure1_against_floodset_ws () =
+  List.iter
+    (fun (n, t) ->
+      let o = Mc.Figure1.against_floodset_ws (config ~n ~t) in
+      List.iter
+        (fun (r : Mc.Figure1.relation) ->
+          check_bool
+            (Printf.sprintf "(n=%d,t=%d) %s" n t r.description)
+            true r.holds)
+        o.Mc.Figure1.relations;
+      check_bool "agreement violated" true o.Mc.Figure1.agreement_violated;
+      check_bool "all_hold" true (Mc.Figure1.all_hold o))
+    [ (3, 1); (4, 1); (5, 2); (7, 3); (9, 4) ]
+
+(* Against the indulgent algorithm the same five runs produce no violation:
+   A(t+2) does not decide at t+1, so the contradiction never materialises. *)
+let test_figure1_against_at2 () =
+  let module F = Mc.Figure1.Make (Indulgent.At_plus_2.Standard) in
+  let o = F.run (config ~n:5 ~t:2) in
+  check_bool "no agreement violation" false o.Mc.Figure1.agreement_violated;
+  check_bool "Q does not decide both values" true
+    (not
+       (o.Mc.Figure1.q_decision_a1 = Some Kernel.Value.one
+       && o.Mc.Figure1.q_decision_a0 = Some Kernel.Value.zero))
+
+let test_search_clean_for_at2 () =
+  let proposals = ones_proposals c31 in
+  check_bool "no violation found" true
+    (Mc.Attack.search ~samples:120 ~seed:5 ~algo:at2 ~config:c31 ~proposals ()
+    = None)
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "serial",
+        [
+          Alcotest.test_case "choices" `Quick test_serial_choices;
+          Alcotest.test_case "enumerate count" `Quick test_serial_enumerate_count;
+          Alcotest.test_case "to_schedule" `Quick test_serial_to_schedule;
+          prop_serial_schedules_valid;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "floodset t+1" `Quick test_exhaustive_floodset;
+          Alcotest.test_case "at2 exactly t+2" `Slow test_exhaustive_at2;
+        ] );
+      ( "valency",
+        [
+          Alcotest.test_case "uniform is univalent" `Quick test_valency_univalent_uniform;
+          Alcotest.test_case "Lemma 3" `Quick test_valency_bivalent_initial;
+          Alcotest.test_case "frontier FloodSetWS" `Quick test_valency_frontier_floodset_ws;
+          Alcotest.test_case "frontier A(t+2)" `Quick test_valency_frontier_at2;
+          Alcotest.test_case "crash flips valency" `Quick test_valency_crash_changes_value;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "witness breaks FloodSetWS" `Quick test_witness_breaks_floodset_ws;
+          Alcotest.test_case "witness shape" `Quick test_witness_schedule_shape;
+          Alcotest.test_case "solo split breaks FloodSet" `Quick test_solo_split_breaks_floodset;
+          Alcotest.test_case "solo split in DLS (Section 1.4)" `Quick test_solo_split_dls;
+          Alcotest.test_case "DLS model rules" `Quick test_dls_model_rules;
+          Alcotest.test_case "indulgent algorithms survive" `Quick test_survivors;
+          Alcotest.test_case "search finds FloodSet violation" `Quick test_search_finds_floodset_violation;
+          Alcotest.test_case "search clean for A(t+2)" `Quick test_search_clean_for_at2;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "five runs vs FloodSetWS" `Quick
+            test_figure1_against_floodset_ws;
+          Alcotest.test_case "five runs vs A(t+2)" `Quick
+            test_figure1_against_at2;
+        ] );
+    ]

@@ -11,7 +11,16 @@
    The tables are the paper's reproduced results (paper-vs-measured is
    recorded in EXPERIMENTS.md); the micro-benchmarks measure the simulator's
    wall-clock cost per representative run — one Test.make per experiment
-   workload. *)
+   workload.
+
+   Besides the human tables, `micro` writes a machine-readable
+   BENCH_<date>.json next to the current directory: per benchmark the run
+   count, mean/stddev wall-clock seconds (measured with our own monotonic
+   sampling loop, so the artifact does not depend on Bechamel's OLS
+   internals) and — for the simulator workloads — the message and byte
+   counts obtained by running the workload once under an
+   Obs.Metrics.counting_sink. This file is the perf trajectory the
+   regression tooling diffs across commits. *)
 
 open Kernel
 open Bechamel
@@ -28,10 +37,34 @@ let run_once algo config schedule () =
        ~proposals:(Sim.Runner.distinct_proposals config)
        schedule)
 
-let bench_of_entry name entry config schedule =
-  Test.make ~name (Staged.stage (run_once entry.Expt.Registry.algo config schedule))
+(* A benchmark workload: the closure Bechamel times, plus (for simulator
+   runs) a sink-accepting variant the JSON exporter uses to count messages
+   and bytes without re-plumbing every call site. *)
+type workload = {
+  name : string;
+  fn : unit -> unit;
+  counted : (Obs.Sink.t -> unit) option;
+}
 
-let micro_tests () =
+let plain name fn = { name; fn; counted = None }
+
+let bench_of_algo name algo config schedule =
+  {
+    name;
+    fn = run_once algo config schedule;
+    counted =
+      Some
+        (fun sink ->
+          ignore
+            (Sim.Runner.run ~sink algo config
+               ~proposals:(Sim.Runner.distinct_proposals config)
+               schedule));
+  }
+
+let bench_of_entry name entry config schedule =
+  bench_of_algo name entry.Expt.Registry.algo config schedule
+
+let micro_workloads () =
   let c52 = Config.make ~n:5 ~t:2 in
   let c94 = Config.make ~n:9 ~t:4 in
   let c72 = Config.make ~n:7 ~t:2 in
@@ -63,56 +96,142 @@ let micro_tests () =
     bench_of_entry "e7/amr-split-n7" Expt.Registry.amr c72
       (Workload.Cascade.split_brain c72 ~k:2 ~f:2);
     (* E8: failure-detector checking *)
-    Test.make ~name:"e8/fd-check-n5"
-      (Staged.stage (fun () ->
-           let rng = Rng.create ~seed:7 in
-           let s =
-             Workload.Random_runs.eventually_synchronous rng c52 ~gst:4 ()
-           in
-           ignore (Fd.Check.eventual_strong_accuracy c52 s)));
+    plain "e8/fd-check-n5" (fun () ->
+        let rng = Rng.create ~seed:7 in
+        let s = Workload.Random_runs.eventually_synchronous rng c52 ~gst:4 () in
+        ignore (Fd.Check.eventual_strong_accuracy c52 s));
     (* E9: the partition demo *)
-    Test.make ~name:"e9/ct-naive-partition-n4"
-      (Staged.stage
-         (let c42 = Config.make ~n:4 ~t:2 in
-          run_once
-            (Sim.Algorithm.Packed (module Baselines.Ct_naive))
-            c42
-            (Workload.Partition.split c42 ~until:16)));
+    (let c42 = Config.make ~n:4 ~t:2 in
+     bench_of_algo "e9/ct-naive-partition-n4"
+       (Sim.Algorithm.Packed (module Baselines.Ct_naive))
+       c42
+       (Workload.Partition.split c42 ~until:16));
     (* E10: simulator scaling *)
-    bench_of_entry "e10/at2-quiet-n25"
-      Expt.Registry.at_plus_2
+    bench_of_entry "e10/at2-quiet-n25" Expt.Registry.at_plus_2
       (Config.make ~n:25 ~t:12)
       quiet;
     (* E6: the SCS early decider and the tightness adversary *)
-    bench_of_entry "e6/earlyfs-quiet-n5" Expt.Registry.early_floodset c52
-      quiet;
+    bench_of_entry "e6/earlyfs-quiet-n5" Expt.Registry.early_floodset c52 quiet;
     bench_of_entry "e6/af2-minority-n7" Expt.Registry.af_plus_2 c72
       (Workload.Cascade.minority_keeper c72 ~f:2);
     (* the DLS basic round model (Section 1.4) *)
     bench_of_entry "dls/quiet-n5" Expt.Registry.dls c52 quiet;
     (* schedule codec round-trip *)
-    Test.make ~name:"codec/roundtrip-witness-n5"
-      (Staged.stage
-         (let w = Mc.Attack.witness_schedule c52 in
-          fun () -> ignore (Sim.Codec.decode (Sim.Codec.encode w))));
+    plain "codec/roundtrip-witness-n5"
+      (let w = Mc.Attack.witness_schedule c52 in
+       fun () -> ignore (Sim.Codec.decode (Sim.Codec.encode w)));
     (* the Fig. 1 five-run construction *)
-    Test.make ~name:"mc/figure1-n3"
-      (Staged.stage (fun () ->
-           ignore
-             (Mc.Figure1.against_floodset_ws (Config.make ~n:3 ~t:1))));
+    plain "mc/figure1-n3" (fun () ->
+        ignore (Mc.Figure1.against_floodset_ws (Config.make ~n:3 ~t:1)));
     (* the model checker itself *)
-    Test.make ~name:"mc/exhaustive-sweep-n3"
-      (Staged.stage (fun () ->
-           let c31 = Config.make ~n:3 ~t:1 in
-           ignore
-             (Mc.Exhaustive.sweep ~algo:Expt.Registry.at_plus_2.Expt.Registry.algo
-                ~config:c31
-                ~proposals:(Sim.Runner.distinct_proposals c31)
-                ())));
+    plain "mc/exhaustive-sweep-n3" (fun () ->
+        let c31 = Config.make ~n:3 ~t:1 in
+        ignore
+          (Mc.Exhaustive.sweep
+             ~algo:Expt.Registry.at_plus_2.Expt.Registry.algo ~config:c31
+             ~proposals:(Sim.Runner.distinct_proposals c31)
+             ()));
   ]
 
+let micro_tests workloads =
+  List.map (fun w -> Test.make ~name:w.name (Staged.stage w.fn)) workloads
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable artifact: BENCH_<date>.json                        *)
+
+type bench_row = {
+  row_name : string;
+  runs : int;
+  mean_s : float;
+  stddev_s : float;
+  messages : int option;
+  bytes : int option;
+}
+
+(* Time one workload: a couple of warmup calls, then sample wall-clock
+   durations until we have enough runs or spent the per-benchmark budget. *)
+let time_workload w =
+  let min_runs = 5 and max_runs = 50 and budget_s = 0.25 in
+  w.fn ();
+  w.fn ();
+  let samples = ref [] in
+  let started = Unix.gettimeofday () in
+  let continue () =
+    let n = List.length !samples in
+    n < min_runs || (n < max_runs && Unix.gettimeofday () -. started < budget_s)
+  in
+  while continue () do
+    let t0 = Unix.gettimeofday () in
+    w.fn ();
+    samples := (Unix.gettimeofday () -. t0) :: !samples
+  done;
+  let h = Obs.Metrics.histogram (Obs.Metrics.create ()) "wall_clock_s" in
+  List.iter (Obs.Metrics.observe h) !samples;
+  match Obs.Metrics.summary h with
+  | None -> (0, 0., 0.)
+  | Some s -> (s.Obs.Metrics.count, s.Obs.Metrics.mean, s.Obs.Metrics.stddev)
+
+let cost_of_workload w =
+  match w.counted with
+  | None -> (None, None)
+  | Some counted ->
+      let registry = Obs.Metrics.create () in
+      counted (Obs.Metrics.counting_sink registry);
+      ( Stats.Summary.messages_of_metrics registry,
+        Stats.Summary.bytes_of_metrics registry )
+
+let bench_rows workloads =
+  List.map
+    (fun w ->
+      let runs, mean_s, stddev_s = time_workload w in
+      let messages, bytes = cost_of_workload w in
+      { row_name = w.name; runs; mean_s; stddev_s; messages; bytes })
+    workloads
+
+let json_of_rows rows =
+  let opt_int = function Some i -> Obs.Json.Int i | None -> Obs.Json.Null in
+  Obs.Json.Obj
+    [
+      ( "date",
+        let tm = Unix.localtime (Unix.time ()) in
+        Obs.Json.String
+          (Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+             (tm.Unix.tm_mon + 1) tm.Unix.tm_mday) );
+      ("suite", Obs.Json.String "micro");
+      ( "benchmarks",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String r.row_name);
+                   ("runs", Obs.Json.Int r.runs);
+                   ("mean_s", Obs.Json.Float r.mean_s);
+                   ("stddev_s", Obs.Json.Float r.stddev_s);
+                   ("messages", opt_int r.messages);
+                   ("bytes", opt_int r.bytes);
+                 ])
+             rows) );
+    ]
+
+let write_bench_json rows =
+  let tm = Unix.localtime (Unix.time ()) in
+  let path =
+    Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (json_of_rows rows));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "bench artifact written to %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel tables (stdout, unchanged)                                 *)
+
 let run_micro () =
-  let tests = micro_tests () in
+  let workloads = micro_workloads () in
+  let tests = micro_tests workloads in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -141,7 +260,8 @@ let run_micro () =
         analysis)
     tests;
   Format.printf "Micro-benchmarks (Bechamel, monotonic clock):@.%a@."
-    Stats.Table.render !table
+    Stats.Table.render !table;
+  write_bench_json (bench_rows workloads)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)

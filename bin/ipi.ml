@@ -95,18 +95,28 @@ let experiments_cmd =
 (* ------------------------------------------------------------------ *)
 (* ipi run                                                              *)
 
-let read_schedule_file path =
-  let contents =
-    try
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      s
-    with Sys_error msg ->
-      Format.eprintf "cannot read %s: %s@." path msg;
+let read_file path =
+  try
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with Sys_error msg ->
+    Format.eprintf "cannot read %s: %s@." path msg;
+    exit 2
+
+let write_file path write =
+  match open_out path with
+  | oc ->
+      write oc;
+      close_out oc
+  | exception Sys_error msg ->
+      Format.eprintf "cannot write %s: %s@." path msg;
       exit 2
-  in
+
+let read_schedule_file path =
+  let contents = read_file path in
   match Sim.Codec.decode contents with
   | Ok schedule -> schedule
   | Error msg ->
@@ -160,7 +170,31 @@ let run_cmd =
             "Save the schedule to $(docv) in the text format `ipi run -s \
              @$(docv)` replays.")
   in
-  let run label n t seed schedule_name gst diagram dump =
+  let trace_file_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the run's structured event log to $(docv).")
+  in
+  let trace_format_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Event-log format: jsonl (one event per line, replayable with \
+             `ipi trace`) or chrome (trace_event JSON, viewable in \
+             Perfetto).")
+  in
+  let metrics_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Count the run's events and print the metrics registry.")
+  in
+  let run label n t seed schedule_name gst diagram dump trace_file trace_format
+      metrics =
     let config = Config.make ~n ~t in
     let entry = lookup_algo label in
     let schedule = schedule_of_name config ~seed ~gst schedule_name in
@@ -171,27 +205,85 @@ let run_cmd =
         exit 2);
     (match dump with
     | Some path ->
-        let oc = open_out path in
-        output_string oc (Sim.Codec.encode schedule);
-        close_out oc;
+        write_file path (fun oc -> output_string oc (Sim.Codec.encode schedule));
         Format.fprintf std "schedule saved to %s@." path
     | None -> ());
+    let mem_sink, drain =
+      match trace_file with
+      | Some _ ->
+          let sink, drain = Obs.Sink.memory () in
+          (sink, Some drain)
+      | None -> (Obs.Sink.noop, None)
+    in
+    let registry = Obs.Metrics.create () in
+    let sink =
+      Obs.Sink.tee mem_sink
+        (if metrics then Obs.Metrics.counting_sink registry else Obs.Sink.noop)
+    in
     let trace =
-      Sim.Runner.run ~record:true entry.Expt.Registry.algo config
+      Sim.Runner.run ~record:true ~sink entry.Expt.Registry.algo config
         ~proposals:(Sim.Runner.distinct_proposals config)
         schedule
     in
+    (* Traced runs also carry the §4 simulated failure-detector view. *)
+    if Obs.Sink.enabled sink && trace.Sim.Trace.rounds_executed > 0 then
+      ignore
+        (Fd.Simulate.history ~sink config schedule
+           ~rounds:trace.Sim.Trace.rounds_executed);
     Format.fprintf std "%a@." Sim.Trace.pp_summary trace;
     List.iter
       (fun v -> Format.fprintf std "VIOLATION: %a@." Sim.Props.pp_violation v)
       (Sim.Props.check trace);
-    if diagram then Format.fprintf std "@.%a@." Sim.Trace.pp_diagram trace
+    if diagram then Format.fprintf std "@.%a@." Sim.Trace.pp_diagram trace;
+    (match (trace_file, drain) with
+    | Some path, Some drain ->
+        let events = drain () in
+        write_file path (fun oc ->
+            match trace_format with
+            | `Jsonl -> Obs.Jsonl.to_channel oc events
+            | `Chrome -> output_string oc (Obs.Chrome.to_string events));
+        Format.fprintf std "event log (%d events) written to %s@."
+          (List.length events) path
+    | _ -> ());
+    if metrics then Format.fprintf std "@.metrics:@.%a@." Obs.Metrics.pp registry
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run" ~doc:"Run one algorithm on one schedule.")
     Cmdliner.Term.(
       const run $ algo_arg $ n_arg $ t_arg $ seed_arg $ schedule_arg $ gst_arg
-      $ diagram_arg $ dump_arg)
+      $ diagram_arg $ dump_arg $ trace_file_arg $ trace_format_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi trace                                                            *)
+
+let trace_cmd =
+  let file_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A JSONL event log saved by `ipi run --trace`.")
+  in
+  let run path =
+    match Obs.Jsonl.parse (read_file path) with
+    | Error e ->
+        Format.eprintf "cannot parse %s: %s@." path e;
+        exit 2
+    | Ok events -> (
+        match Obs.Replay.of_events events with
+        | Error e ->
+            Format.eprintf "cannot replay %s: %s@." path e;
+            exit 2
+        | Ok run ->
+            Format.fprintf std "%a@.@.%a@." Obs.Replay.pp_summary run
+              Obs.Replay.pp_diagram run)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "trace"
+       ~doc:
+         "Replay a saved JSONL event log into the run summary and ASCII \
+          space/time diagram, without re-executing anything.")
+    Cmdliner.Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi attack                                                           *)
@@ -270,6 +362,7 @@ let () =
             list_cmd;
             experiments_cmd;
             run_cmd;
+            trace_cmd;
             attack_cmd;
             figure1_cmd;
             verify_cmd;

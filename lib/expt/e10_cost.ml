@@ -46,8 +46,13 @@ let measure configs =
                   | Some r -> Round.to_int r
                   | None -> 0);
                 quiescent_round = Stats.Summary.rounds_to_quiescence trace;
-                messages = Stats.Summary.messages_of_trace trace;
-                bytes = Stats.Summary.bytes_of_trace trace;
+                (* [Option.value ~default:0] cannot trigger here: the run
+                   above passes ~record:true. *)
+                messages =
+                  Option.value ~default:0
+                    (Stats.Summary.messages_of_trace trace);
+                bytes =
+                  Option.value ~default:0 (Stats.Summary.bytes_of_trace trace);
               }
           end)
         entries)

@@ -23,15 +23,25 @@ let output config schedule ~receiver ~round =
       if arrives_in_round src then acc else Pid.Set.add src acc)
     Pid.Set.empty (Pid.all ~n)
 
-let history config schedule ~rounds =
+let history ?(sink = Obs.Sink.noop) config schedule ~rounds =
+  let observing = Obs.Sink.enabled sink in
   let acc = ref [] in
   List.iter
     (fun receiver ->
       for k = 1 to rounds do
         let round = Round.of_int k in
-        if completes schedule receiver round then
-          acc :=
-            (receiver, round, output config schedule ~receiver ~round) :: !acc
+        if completes schedule receiver round then begin
+          let suspected = output config schedule ~receiver ~round in
+          if observing then
+            Obs.Sink.emit sink
+              (Obs.Event.Fd_output
+                 {
+                   pid = receiver;
+                   round;
+                   suspected = Pid.Set.elements suspected;
+                 });
+          acc := (receiver, round, suspected) :: !acc
+        end
       done)
     (Config.processes config);
   List.rev !acc

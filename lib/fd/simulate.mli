@@ -25,9 +25,15 @@ val completes : Sim.Schedule.t -> Pid.t -> Round.t -> bool
 (** Whether the process completes the round under this schedule. *)
 
 val history :
-  Config.t -> Sim.Schedule.t -> rounds:int -> (Pid.t * Round.t * Pid.Set.t) list
+  ?sink:Obs.Sink.t ->
+  Config.t ->
+  Sim.Schedule.t ->
+  rounds:int ->
+  (Pid.t * Round.t * Pid.Set.t) list
 (** [(receiver, round, suspected)] for every process and round [1..rounds]
-    the process completes. *)
+    the process completes. [sink] (default {!Obs.Sink.noop}) receives one
+    {!Obs.Event.Fd_output} per entry, so a traced run can include the
+    simulated failure-detector view. *)
 
 val stabilisation_round : Config.t -> Sim.Schedule.t -> Round.t
 (** The first round from which the simulated output is exact at every

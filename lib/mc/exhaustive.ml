@@ -49,13 +49,36 @@ let add_run acc ~choices ~trace =
       in
       if r < acc.min_decision then { acc with min_decision = r } else acc
 
-let sweep ?(policy = Serial.Prefixes) ?horizon ~algo ~config ~proposals () =
+let report_sweep metrics ~started result =
+  match metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.incr ~by:result.runs (Obs.Metrics.counter m "mc.runs");
+      Obs.Metrics.incr
+        ~by:(List.length result.violations)
+        (Obs.Metrics.counter m "mc.violations");
+      Obs.Metrics.incr ~by:result.undecided_runs
+        (Obs.Metrics.counter m "mc.undecided_runs");
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "mc.max_decision_round")
+        result.max_decision;
+      let elapsed = Sys.time () -. started in
+      Obs.Metrics.observe (Obs.Metrics.histogram m "mc.sweep_seconds") elapsed;
+      if elapsed > 0. then
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram m "mc.schedules_per_second")
+          (float_of_int result.runs /. elapsed)
+
+let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~algo ~config
+    ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let started = Sys.time () in
   let acc = ref empty in
   Serial.enumerate ~policy config ~horizon ~f:(fun choices ->
       let schedule = Serial.to_schedule config choices in
       let trace = Sim.Runner.run algo config ~proposals schedule in
       acc := add_run !acc ~choices ~trace);
+  report_sweep metrics ~started !acc;
   !acc
 
 let binary_assignments config =
@@ -76,10 +99,10 @@ let merge a b =
     undecided_runs = a.undecided_runs + b.undecided_runs;
   }
 
-let sweep_binary ?policy ?horizon ~algo ~config () =
+let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
   List.fold_left
     (fun acc proposals ->
-      merge acc (sweep ?policy ?horizon ~algo ~config ~proposals ()))
+      merge acc (sweep ?policy ?metrics ?horizon ~algo ~config ~proposals ()))
     empty (binary_assignments config)
 
 let pp_result ppf r =

@@ -23,6 +23,7 @@ type result = {
 
 val sweep :
   ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
@@ -31,10 +32,15 @@ val sweep :
   result
 (** Enumerate every serial run whose crashes happen within [horizon] rounds
     (default [t + 2]; crashes later than that cannot affect the decision
-    rounds of any algorithm here) under [policy] (default [Prefixes]). *)
+    rounds of any algorithm here) under [policy] (default [Prefixes]).
+    When [metrics] is given the sweep reports progress counters into it:
+    [mc.runs] (states explored), [mc.violations], [mc.undecided_runs], the
+    [mc.max_decision_round] gauge and the [mc.sweep_seconds] /
+    [mc.schedules_per_second] histograms. *)
 
 val sweep_binary :
   ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->

@@ -1,0 +1,16 @@
+(** Chrome [trace_event] export, viewable in Perfetto / [chrome://tracing].
+
+    The mapping treats the run as one "process" and each simulated process
+    [p_i] as a thread: every round a process participates in (it sent its
+    round message) becomes a 1 ms complete slice on its track, and crashes,
+    decisions and halts become instant events on the same track. Round [k]
+    occupies the window [[(k-1) ms, k ms)], so the synchronized-rounds
+    structure of a run is directly visible as aligned slices.
+
+    Use [ipi run --trace out.json --trace-format chrome] and open the file
+    with https://ui.perfetto.dev. *)
+
+val to_json : Event.t list -> Json.t
+(** The [{"traceEvents": [...], "displayTimeUnit": "ms"}] envelope. *)
+
+val to_string : Event.t list -> string

@@ -1,0 +1,42 @@
+(** A minimal JSON tree, emitter and parser.
+
+    The observability layer needs machine-readable output (JSONL event logs,
+    Chrome traces, metrics dumps, bench artifacts) but the repository has no
+    JSON dependency; this module is the small, dependency-free subset we
+    need: compact one-line emission and a strict recursive-descent parser
+    for reading event logs back ({!Jsonl.parse}). Numbers we emit are
+    ASCII; the parser additionally accepts the usual escapes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Floats are printed with enough digits
+    to round-trip; NaN and infinities become [null] (JSON has no spelling
+    for them). *)
+
+val pp : Format.formatter -> t -> unit
+(** Same compact rendering, onto a formatter. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON value (surrounding whitespace allowed).
+    Errors carry a character offset. *)
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]. *)
+
+val to_int_opt : t -> int option
+(** Accepts [Int] and integral [Float]. *)
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -1,0 +1,141 @@
+open Kernel
+
+type run = {
+  algorithm : string option;
+  n : int;
+  t : int option;
+  rounds : int;
+  events : Event.t list;
+}
+
+let of_events events =
+  let algorithm, t =
+    List.fold_left
+      (fun ((_, _) as acc) ev ->
+        match ev with
+        | Event.Run_start { algorithm; t = t'; _ } -> (Some algorithm, Some t')
+        | _ -> acc)
+      (None, None) events
+  in
+  let n =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Event.Run_start { n; _ } -> max acc n
+        | Event.Send { src; _ } -> max acc (Pid.to_int src)
+        | Event.Deliver { src; dst; _ }
+        | Event.Drop { src; dst; _ }
+        | Event.Delay { src; dst; _ } ->
+            max acc (max (Pid.to_int src) (Pid.to_int dst))
+        | Event.Crash { pid; _ }
+        | Event.Decide { pid; _ }
+        | Event.Halt { pid; _ }
+        | Event.Fd_output { pid; _ } -> max acc (Pid.to_int pid)
+        | Event.Round_start _ | Event.Run_end _ -> acc)
+      0 events
+  in
+  let rounds =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Event.Run_end { rounds; _ } -> max acc rounds
+        | Event.Round_start { round } -> max acc (Round.to_int round)
+        | _ -> acc)
+      0 events
+  in
+  if n = 0 then Error "event stream mentions no process"
+  else Ok { algorithm; n; t; rounds; events }
+
+let crash_round run p =
+  List.find_map
+    (function
+      | Event.Crash { pid; round } when Pid.equal pid p ->
+          Some (Round.to_int round)
+      | _ -> None)
+    run.events
+
+let halt_round run p =
+  List.find_map
+    (function
+      | Event.Halt { pid; round } when Pid.equal pid p ->
+          Some (Round.to_int round)
+      | _ -> None)
+    run.events
+
+let decisions run =
+  List.filter_map
+    (function
+      | Event.Decide { pid; round; value } -> Some (pid, round, value)
+      | _ -> None)
+    run.events
+
+let pp_summary ppf run =
+  let ds = decisions run in
+  Format.fprintf ppf "@[<v>%s on n=%d%s: %d round(s), %d decision(s)%a@]"
+    (Option.value run.algorithm ~default:"(unknown algorithm)")
+    run.n
+    (match run.t with Some t -> Printf.sprintf " t=%d" t | None -> "")
+    run.rounds (List.length ds)
+    (fun ppf () ->
+      if ds <> [] then
+        Format.fprintf ppf "@,decisions: [%a]"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+             (fun ppf (p, r, v) ->
+               Format.fprintf ppf "%a:%a@@r%d" Pid.pp p Value.pp v
+                 (Round.to_int r)))
+          ds)
+    ()
+
+(* Mirrors Sim.Trace.pp_diagram, but cells come from the event stream:
+   Halt events make the "h" cells exact instead of inferred from who sent. *)
+let pp_diagram ppf run =
+  let decision_at p k =
+    List.find_map
+      (fun (pid, round, value) ->
+        if Pid.equal pid p && Round.to_int round = k then Some value else None)
+      (decisions run)
+  in
+  let cell p k =
+    match crash_round run p with
+    | Some r when r < k -> "."
+    | Some r when r = k -> "X"
+    | _ -> (
+        match decision_at p k with
+        | Some v -> Format.asprintf "D=%a" Value.pp v
+        | None -> (
+            match halt_round run p with
+            | Some h when h < k -> "h"
+            | _ -> "*"))
+  in
+  let width = 5 in
+  let pad s =
+    let len = String.length s in
+    if len >= width then s else s ^ String.make (width - len) ' '
+  in
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "     ";
+  for k = 1 to run.rounds do
+    Format.fprintf ppf "%s" (pad (Printf.sprintf "r%d" k))
+  done;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-4s " (Pid.to_string p);
+      for k = 1 to run.rounds do
+        Format.fprintf ppf "%s" (pad (cell p k))
+      done;
+      Format.fprintf ppf "@,")
+    (Pid.all ~n:run.n);
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Drop { src; dst; round } ->
+          Format.fprintf ppf "  r%d: %a -> %a lost@," (Round.to_int round)
+            Pid.pp src Pid.pp dst
+      | Event.Delay { src; dst; round; until } ->
+          Format.fprintf ppf "  r%d: %a -> %a delayed until r%d@,"
+            (Round.to_int round) Pid.pp src Pid.pp dst (Round.to_int until)
+      | _ -> ())
+    run.events;
+  Format.fprintf ppf "@]"

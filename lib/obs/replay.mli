@@ -1,0 +1,28 @@
+(** Reconstructing a run from its event stream.
+
+    A saved JSONL log carries everything the ASCII space/time diagram
+    needs — in fact more than [Sim.Trace.t] without records does, since
+    [Halt] events pin down exactly when each process returned. [ipi trace
+    FILE] parses the log and renders the same Fig.-1-style diagram as
+    [ipi run -d], without re-executing anything. *)
+
+type run = {
+  algorithm : string option;  (** from [Run_start], when present *)
+  n : int;
+  t : int option;
+  rounds : int;
+      (** columns to draw: [Run_end.rounds] when present, otherwise the
+          highest round seen in any event *)
+  events : Event.t list;
+}
+
+val of_events : Event.t list -> (run, string) result
+(** [Error] when the stream mentions no process at all. *)
+
+val pp_summary : Format.formatter -> run -> unit
+(** One line: algorithm, n/t, rounds, decisions with rounds. *)
+
+val pp_diagram : Format.formatter -> run -> unit
+(** One row per process, one cell per round: [X] crash, [D=v] decision,
+    [h] halted (no longer sending), [.] already crashed, [*] participating;
+    then a legend of off-schedule fates ([Drop]/[Delay] events). *)

@@ -1,0 +1,20 @@
+type t = Noop | Emit of (Event.t -> unit)
+
+let noop = Noop
+let make f = Emit f
+let enabled = function Noop -> false | Emit _ -> true
+let emit sink ev = match sink with Noop -> () | Emit f -> f ev
+
+let tee a b =
+  match (a, b) with
+  | Noop, other | other, Noop -> other
+  | Emit f, Emit g ->
+      Emit
+        (fun ev ->
+          f ev;
+          g ev)
+
+let memory () =
+  let rev_events = ref [] in
+  (Emit (fun ev -> rev_events := ev :: !rev_events),
+   fun () -> List.rev !rev_events)

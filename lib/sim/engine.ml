@@ -25,9 +25,10 @@ module Make (A : Algorithm.S) = struct
     rev_decisions : Trace.decision list;
     rev_records : Trace.round_record list;
     recording : bool;
+    sink : Obs.Sink.t;
   }
 
-  let start config ~proposals =
+  let start ?(sink = Obs.Sink.noop) config ~proposals =
     let n = Config.n config in
     let procs =
       List.fold_left
@@ -47,6 +48,7 @@ module Make (A : Algorithm.S) = struct
       rev_decisions = [];
       rev_records = [];
       recording = false;
+      sink;
     }
 
   let next_round sys = sys.next_round
@@ -102,6 +104,11 @@ module Make (A : Algorithm.S) = struct
     let config = sys.config in
     let n = Config.n config in
     let round = sys.next_round in
+    let sink = sys.sink in
+    (* [observing] guards every event construction: with the no-op sink the
+       hot path performs one boolean test per site and allocates nothing. *)
+    let observing = Obs.Sink.enabled sink in
+    if observing then Obs.Sink.emit sink (Obs.Event.Round_start { round });
     (* Send phase: every running process broadcasts. *)
     let senders =
       Pid.Map.fold
@@ -115,10 +122,13 @@ module Make (A : Algorithm.S) = struct
       List.fold_left
         (fun pending (src, st) ->
           let payload = A.on_send st round in
-          if sys.recording then
-            bytes_sent :=
-              !bytes_sent
-              + (n * (Algorithm.header_bytes + A.wire_size payload));
+          if sys.recording || observing then begin
+            let bytes = n * (Algorithm.header_bytes + A.wire_size payload) in
+            bytes_sent := !bytes_sent + bytes;
+            if observing then
+              Obs.Sink.emit sink
+                (Obs.Event.Send { src; round; copies = n; bytes })
+          end;
           let env = Envelope.make ~src ~sent:round payload in
           List.fold_left
             (fun pending dst ->
@@ -129,8 +139,14 @@ module Make (A : Algorithm.S) = struct
                 | Schedule.Same_round ->
                     enqueue pending ~deliver_round:round ~dst env
                 | Schedule.Delayed_until until ->
+                    if observing then
+                      Obs.Sink.emit sink
+                        (Obs.Event.Delay { src; dst; round; until });
                     enqueue pending ~deliver_round:until ~dst env
-                | Schedule.Lost -> pending)
+                | Schedule.Lost ->
+                    if observing then
+                      Obs.Sink.emit sink (Obs.Event.Drop { src; dst; round });
+                    pending)
             pending (Pid.all ~n))
         sys.pending senders
     in
@@ -140,7 +156,10 @@ module Make (A : Algorithm.S) = struct
       List.fold_left
         (fun procs victim ->
           match Pid.Map.find_opt victim procs with
-          | Some (Running _) -> Pid.Map.add victim (Crashed round) procs
+          | Some (Running _) ->
+              if observing then
+                Obs.Sink.emit sink (Obs.Event.Crash { pid = victim; round });
+              Pid.Map.add victim (Crashed round) procs
           | Some (Done _) | Some (Crashed _) | None -> procs)
         sys.procs plan.Schedule.crashes
     in
@@ -168,6 +187,13 @@ module Make (A : Algorithm.S) = struct
                   (fun (e : _ Envelope.t) ->
                     deliveries := (e.src, p, e.sent) :: !deliveries)
                   inbox;
+              if observing then
+                List.iter
+                  (fun (e : _ Envelope.t) ->
+                    Obs.Sink.emit sink
+                      (Obs.Event.Deliver
+                         { src = e.src; dst = p; sent = e.sent; round }))
+                  inbox;
               let before = A.decision st in
               let st' = A.on_receive st round inbox in
               let after = A.decision st' in
@@ -183,10 +209,18 @@ module Make (A : Algorithm.S) = struct
                     (Format.asprintf "%s: %a retracted its decision" A.name
                        Pid.pp p)
               | None, Some v ->
+                  if observing then
+                    Obs.Sink.emit sink
+                      (Obs.Event.Decide { pid = p; round; value = v });
                   new_decisions :=
                     { Trace.pid = p; round; value = v } :: !new_decisions
               | None, None | Some _, Some _ -> ());
-              if A.halted st' then Done (round, st') else Running st')
+              if A.halted st' then begin
+                if observing then
+                  Obs.Sink.emit sink (Obs.Event.Halt { pid = p; round });
+                Done (round, st')
+              end
+              else Running st')
         procs
     in
     let new_decisions =
@@ -217,24 +251,47 @@ module Make (A : Algorithm.S) = struct
       rev_records = record @ sys.rev_records;
     }
 
-  let run ?(record = false) ?max_rounds config ~proposals schedule =
+  let run ?(record = false) ?(sink = Obs.Sink.noop) ?max_rounds config
+      ~proposals schedule =
     let max_rounds =
       Option.value max_rounds ~default:(default_max_rounds config schedule)
     in
+    if Obs.Sink.enabled sink then
+      Obs.Sink.emit sink
+        (Obs.Event.Run_start
+           {
+             algorithm = A.name;
+             n = Config.n config;
+             t = Config.t config;
+             proposals = Pid.Map.bindings proposals;
+           });
     let rec loop sys =
       if all_halted sys || Round.to_int sys.next_round > max_rounds then sys
       else loop (step sys (Schedule.plan_at schedule sys.next_round))
     in
-    let sys = loop { (start config ~proposals) with recording = record } in
-    {
-      Trace.algorithm = A.name;
-      config;
-      proposals;
-      schedule;
-      decisions = decisions sys;
-      crashes = crashed sys;
-      rounds_executed = Round.to_int sys.next_round - 1;
-      all_halted = all_halted sys;
-      records = List.rev sys.rev_records;
-    }
+    let sys =
+      loop { (start ~sink config ~proposals) with recording = record }
+    in
+    let trace =
+      {
+        Trace.algorithm = A.name;
+        config;
+        proposals;
+        schedule;
+        decisions = decisions sys;
+        crashes = crashed sys;
+        rounds_executed = Round.to_int sys.next_round - 1;
+        all_halted = all_halted sys;
+        records = List.rev sys.rev_records;
+      }
+    in
+    if Obs.Sink.enabled sink then
+      Obs.Sink.emit sink
+        (Obs.Event.Run_end
+           {
+             rounds = trace.Trace.rounds_executed;
+             decided = List.length trace.Trace.decisions;
+             all_halted = trace.Trace.all_halted;
+           });
+    trace
 end

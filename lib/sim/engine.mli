@@ -18,9 +18,12 @@ module Make (A : Algorithm.S) : sig
   type sys
   (** Immutable global state between rounds. *)
 
-  val start : Config.t -> proposals:Value.t Pid.Map.t -> sys
+  val start :
+    ?sink:Obs.Sink.t -> Config.t -> proposals:Value.t Pid.Map.t -> sys
   (** Initial state: every process has proposed. [proposals] must bind
-      exactly [p1..pn]. *)
+      exactly [p1..pn]. [sink] (default {!Obs.Sink.noop}) receives the
+      structured {!Obs.Event.t}s of every subsequent {!step}; with the
+      no-op sink the engine constructs no events at all. *)
 
   val next_round : sys -> Round.t
   (** The round the next {!step} will execute (round 1 initially). *)
@@ -44,6 +47,7 @@ module Make (A : Algorithm.S) : sig
 
   val run :
     ?record:bool ->
+    ?sink:Obs.Sink.t ->
     ?max_rounds:int ->
     Config.t ->
     proposals:Value.t Pid.Map.t ->
@@ -53,7 +57,12 @@ module Make (A : Algorithm.S) : sig
       horizon) until every non-crashed process has halted or [max_rounds]
       rounds have executed. The default bound is generous enough for every
       algorithm in this repository to terminate after the schedule's gst.
-      [record] (default [false]) fills {!Trace.t.records} for diagrams. *)
+      [record] (default [false]) fills {!Trace.t.records} for diagrams.
+      [sink] (default {!Obs.Sink.noop}) receives the run's structured event
+      stream — [Run_start], then per round [Round_start], [Send] (with
+      per-copy [Drop]/[Delay] fates), [Crash], [Deliver], [Decide] and
+      [Halt], and finally [Run_end]. Event order is deterministic for a
+      fixed config, proposals and schedule. *)
 end
 
 val default_max_rounds : Config.t -> Schedule.t -> int

@@ -80,6 +80,10 @@ let pp_summary ppf trace =
 let pp_diagram ppf trace =
   let n = Config.n trace.config in
   let rounds = trace.rounds_executed in
+  (* Without per-round records we cannot tell a quietly-participating
+     process from one that already halted, so the [*]/[h] distinction (and
+     [*] itself) would be a guess; render those cells as [?] and say why. *)
+  let have_records = trace.records <> [] || rounds = 0 in
   let crash_round p =
     List.assoc_opt p (List.map (fun (q, r) -> (q, r)) trace.crashes)
   in
@@ -98,6 +102,7 @@ let pp_diagram ppf trace =
     | _ -> (
         match decision_at p k with
         | Some d -> Format.asprintf "D=%a" Value.pp d.value
+        | None when not have_records -> "?"
         | None -> (
             match record_at k with
             | Some rec_ when not (List.exists (Pid.equal p) rec_.senders) ->
@@ -123,6 +128,10 @@ let pp_diagram ppf trace =
       done;
       Format.fprintf ppf "@,")
     (Pid.all ~n);
+  if not have_records then
+    Format.fprintf ppf
+      "  (trace carries no per-round records — run with ~record:true; [?] = \
+       sent/halted unknown)@,";
   (* Off-schedule message fates, from the schedule itself. *)
   let sched = trace.schedule in
   let horizon = min rounds (Schedule.horizon sched) in

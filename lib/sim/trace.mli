@@ -48,5 +48,7 @@ val pp_summary : Format.formatter -> t -> unit
 
 val pp_diagram : Format.formatter -> t -> unit
 (** Fig.-1-style ASCII space/time diagram: one row per process, one column
-    per round, showing crashes ([X]), decisions ([D=v]) and off-schedule
-    message fates. Requires the trace to carry {!t.records}. *)
+    per round, showing crashes ([X]), decisions ([D=v]), halts ([h]) and
+    off-schedule message fates. The [*]/[h] cells need {!t.records}; on a
+    record-free trace those cells render as [?] with an explanatory note
+    instead of a misleading [*]. *)

@@ -7,15 +7,24 @@ val of_list : int list -> t option
 
 val pp : Format.formatter -> t -> unit
 
-val messages_of_trace : Sim.Trace.t -> int
+val messages_of_trace : Sim.Trace.t -> int option
 (** Total point-to-point message copies sent in the run: each sender
-    broadcasts to all [n] processes every round it participates in. The
-    trace must carry records (run with [~record:true]); raises
-    [Invalid_argument] otherwise. *)
+    broadcasts to all [n] processes every round it participates in. [None]
+    when the trace carries no records (run with [~record:true], or count
+    through an {!Obs.Metrics.counting_sink} instead). *)
 
 val rounds_to_quiescence : Sim.Trace.t -> int
 (** Rounds executed before every surviving process halted. *)
 
-val bytes_of_trace : Sim.Trace.t -> int
+val bytes_of_trace : Sim.Trace.t -> int option
 (** Total estimated bytes on the wire (headers plus per-algorithm
-    {!Sim.Algorithm.S.wire_size} payload estimates). Requires records. *)
+    {!Sim.Algorithm.S.wire_size} payload estimates). [None] without
+    records. *)
+
+val messages_of_metrics : Obs.Metrics.t -> int option
+(** The [sim.messages_sent] counter of a registry fed by
+    {!Obs.Metrics.counting_sink} — the record-free way to get the same
+    number {!messages_of_trace} computes. *)
+
+val bytes_of_metrics : Obs.Metrics.t -> int option
+(** The [sim.bytes_sent] counter, ditto. *)

@@ -9,7 +9,19 @@ type outcome = {
 
 let empty = { worst_round = 0; worst_schedule = None; runs = 0; violations = [] }
 
-let over ?(check = `Full) ~algo ~config ~proposals schedules =
+let over ?(check = `Full) ?metrics ~algo ~config ~proposals schedules =
+  let bump, observe_decision =
+    match metrics with
+    | None -> (ignore, ignore)
+    | Some m ->
+        let runs = Obs.Metrics.counter m "search.runs" in
+        let violations = Obs.Metrics.counter m "search.violations" in
+        let decision = Obs.Metrics.histogram m "search.decision_round" in
+        ( (fun n_violations ->
+            Obs.Metrics.incr runs;
+            Obs.Metrics.incr ~by:n_violations violations),
+          fun r -> Obs.Metrics.observe decision (float_of_int r) )
+  in
   Seq.fold_left
     (fun acc schedule ->
       let trace = Sim.Runner.run algo config ~proposals schedule in
@@ -19,6 +31,7 @@ let over ?(check = `Full) ~algo ~config ~proposals schedules =
         | `Safety_only -> Sim.Props.check_agreement trace
         | `None -> []
       in
+      bump (List.length violations);
       let acc =
         match violations with
         | [] -> acc
@@ -26,27 +39,31 @@ let over ?(check = `Full) ~algo ~config ~proposals schedules =
       in
       let acc = { acc with runs = acc.runs + 1 } in
       match Sim.Trace.global_decision_round trace with
-      | Some r when Round.to_int r > acc.worst_round ->
-          {
-            acc with
-            worst_round = Round.to_int r;
-            worst_schedule = Some schedule;
-          }
-      | Some _ | None -> acc)
+      | Some r ->
+          observe_decision (Round.to_int r);
+          if Round.to_int r > acc.worst_round then
+            {
+              acc with
+              worst_round = Round.to_int r;
+              worst_schedule = Some schedule;
+            }
+          else acc
+      | None -> acc)
     empty schedules
 
 let random_stream ~seed ~samples make =
   let rng = Rng.create ~seed in
   Seq.init samples (fun _ -> make rng)
 
-let random_synchronous ?(samples = 300) ?(with_delays = false) ~seed ~algo
-    ~config ~proposals () =
+let random_synchronous ?(samples = 300) ?(with_delays = false) ?metrics ~seed
+    ~algo ~config ~proposals () =
   let make rng =
     if with_delays then Random_runs.synchronous_with_delays rng config ()
     else Random_runs.synchronous rng config ()
   in
-  over ~algo ~config ~proposals (random_stream ~seed ~samples make)
+  over ?metrics ~algo ~config ~proposals (random_stream ~seed ~samples make)
 
-let random_es ?(samples = 300) ?(gst = 4) ~seed ~algo ~config ~proposals () =
+let random_es ?(samples = 300) ?(gst = 4) ?metrics ~seed ~algo ~config
+    ~proposals () =
   let make rng = Random_runs.eventually_synchronous rng config ~gst () in
-  over ~algo ~config ~proposals (random_stream ~seed ~samples make)
+  over ?metrics ~algo ~config ~proposals (random_stream ~seed ~samples make)

@@ -14,6 +14,7 @@ type outcome = {
 
 val over :
   ?check:[ `Full | `Safety_only | `None ] ->
+  ?metrics:Obs.Metrics.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
@@ -22,11 +23,14 @@ val over :
 (** Run every schedule in the (finite) sequence. [`Full] (default) checks
     validity, agreement and termination; [`Safety_only] skips termination
     (for runs designed to stall an algorithm); [`None] records rounds
-    only. *)
+    only. When [metrics] is given, progress is reported into it: the
+    [search.runs] and [search.violations] counters and the
+    [search.decision_round] histogram. *)
 
 val random_synchronous :
   ?samples:int ->
   ?with_delays:bool ->
+  ?metrics:Obs.Metrics.t ->
   seed:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
@@ -38,6 +42,7 @@ val random_synchronous :
 val random_es :
   ?samples:int ->
   ?gst:int ->
+  ?metrics:Obs.Metrics.t ->
   seed:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->

@@ -10,8 +10,8 @@ let config ~n ~t = Config.make ~n ~t
 
 let quiet_es = Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first []
 
-let run ?record ?max_rounds algo cfg schedule =
-  Sim.Runner.run ?record ?max_rounds algo cfg
+let run ?record ?sink ?max_rounds algo cfg schedule =
+  Sim.Runner.run ?record ?sink ?max_rounds algo cfg
     ~proposals:(Sim.Runner.distinct_proposals cfg)
     schedule
 

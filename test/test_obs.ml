@@ -1,0 +1,352 @@
+(* The observability layer: event streams out of the engine, JSONL/Chrome
+   export, metrics counting, and the replay path behind `ipi trace`. *)
+
+open Kernel
+open Helpers
+
+let plan ?(crashes = []) ?(lost = []) ?(delayed = []) () =
+  {
+    Sim.Schedule.crashes = List.map Pid.of_int crashes;
+    lost = List.map (fun (a, b) -> (Pid.of_int a, Pid.of_int b)) lost;
+    delayed =
+      List.map
+        (fun (a, b, r) -> (Pid.of_int a, Pid.of_int b, Round.of_int r))
+        delayed;
+  }
+
+let es ~gst plans =
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:(Round.of_int gst) plans
+
+let traced_run ?record algo cfg schedule =
+  let sink, drain = Obs.Sink.memory () in
+  let trace = run ?record ~sink algo cfg schedule in
+  (trace, drain ())
+
+(* ------------------------------------------------------------------ *)
+(* Sink basics                                                         *)
+
+let test_sink_noop () =
+  check_bool "noop disabled" false (Obs.Sink.enabled Obs.Sink.noop);
+  check_bool "tee of noops is disabled" false
+    (Obs.Sink.enabled (Obs.Sink.tee Obs.Sink.noop Obs.Sink.noop));
+  let sink, drain = Obs.Sink.memory () in
+  check_bool "memory enabled" true (Obs.Sink.enabled sink);
+  check_bool "tee with noop keeps side" true
+    (Obs.Sink.enabled (Obs.Sink.tee Obs.Sink.noop sink));
+  Obs.Sink.emit sink (Obs.Event.Round_start { round = Round.first });
+  check_int "one event" 1 (List.length (drain ()))
+
+let test_run_without_sink_unchanged () =
+  (* The default path must behave exactly as before the obs layer existed:
+     same trace, no sink required anywhere. *)
+  let cfg = config ~n:3 ~t:1 in
+  let plain = run at2 cfg quiet_es in
+  let traced, events = traced_run at2 cfg quiet_es in
+  check_int "same rounds" plain.Sim.Trace.rounds_executed
+    traced.Sim.Trace.rounds_executed;
+  check_bool "same decisions" true
+    (Sim.Trace.decided_values plain = Sim.Trace.decided_values traced);
+  check_bool "events nonempty when traced" true (events <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Event stream shape                                                  *)
+
+let chain_events cfg =
+  let schedule = Workload.Cascade.chain cfg in
+  traced_run at2 cfg schedule
+
+let test_event_stream_shape () =
+  let cfg = config ~n:5 ~t:2 in
+  let trace, events = chain_events cfg in
+  (match events with
+  | Obs.Event.Run_start { algorithm; n; t; proposals } :: _ ->
+      check_bool "algorithm named" true (algorithm <> "");
+      check_int "n" 5 n;
+      check_int "t" 2 t;
+      check_int "all proposals" 5 (List.length proposals)
+  | _ -> Alcotest.fail "first event must be Run_start");
+  (match List.rev events with
+  | Obs.Event.Run_end { rounds; decided; all_halted } :: _ ->
+      check_int "rounds" trace.Sim.Trace.rounds_executed rounds;
+      check_int "decided" (List.length trace.Sim.Trace.decisions) decided;
+      check_bool "halted" trace.Sim.Trace.all_halted all_halted
+  | _ -> Alcotest.fail "last event must be Run_end");
+  let round_starts =
+    List.length
+      (List.filter
+         (function Obs.Event.Round_start _ -> true | _ -> false)
+         events)
+  in
+  check_int "one Round_start per executed round"
+    trace.Sim.Trace.rounds_executed round_starts;
+  let decide_events =
+    List.filter_map
+      (function
+        | Obs.Event.Decide { pid; round; value } -> Some (pid, round, value)
+        | _ -> None)
+      events
+  in
+  check_bool "Decide events mirror trace decisions" true
+    (decide_events
+    = List.map
+        (fun (d : Sim.Trace.decision) -> (d.pid, d.round, d.value))
+        trace.Sim.Trace.decisions)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters match the schedule's fates                        *)
+
+let test_metrics_match_schedule_fates () =
+  let cfg = config ~n:3 ~t:1 in
+  (* Hand-built adversary: p2 crashes in round 1 losing its copies to p1 and
+     p3; additionally p1's round-1 copy to p3 arrives only in round 2. *)
+  let schedule =
+    es ~gst:3
+      [ plan ~crashes:[ 2 ] ~lost:[ (2, 1); (2, 3) ] ~delayed:[ (1, 3, 2) ] () ]
+  in
+  let registry = Obs.Metrics.create () in
+  let trace =
+    Sim.Runner.run ~record:true
+      ~sink:(Obs.Metrics.counting_sink registry)
+      floodset cfg
+      ~proposals:(Sim.Runner.distinct_proposals cfg)
+      schedule
+  in
+  let counter name =
+    match Obs.Metrics.find_counter registry name with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing counter " ^ name)
+  in
+  (* Drop / Delay counts are exactly the schedule's per-copy fates. *)
+  check_int "drops = lost copies" 2 (counter "sim.messages_dropped");
+  check_int "delays = delayed copies" 1 (counter "sim.messages_delayed");
+  check_int "crashes" 1 (counter "sim.crashes");
+  (* Send accounting agrees with the record-based Stats.Summary path. *)
+  check_int "messages_sent = messages_of_trace"
+    (Option.get (Stats.Summary.messages_of_trace trace))
+    (counter "sim.messages_sent");
+  check_int "bytes_sent = bytes_of_trace"
+    (Option.get (Stats.Summary.bytes_of_trace trace))
+    (counter "sim.bytes_sent");
+  check_int "metrics helpers agree"
+    (Option.get (Stats.Summary.messages_of_metrics registry))
+    (counter "sim.messages_sent");
+  (* Deliver events agree with the per-round delivery records. *)
+  let recorded_deliveries =
+    List.fold_left
+      (fun acc (r : Sim.Trace.round_record) -> acc + List.length r.delivered)
+      0 trace.Sim.Trace.records
+  in
+  check_int "delivered = recorded deliveries" recorded_deliveries
+    (counter "sim.messages_delivered");
+  check_int "decisions" (List.length trace.Sim.Trace.decisions)
+    (counter "sim.decisions");
+  match Obs.Metrics.find_gauge registry "sim.global_decision_round" with
+  | Some r -> check_int "global decision gauge" (global_round trace) r
+  | None -> Alcotest.fail "global decision gauge unset"
+
+(* ------------------------------------------------------------------ *)
+(* JSONL: determinism and round-trip                                   *)
+
+let test_jsonl_determinism () =
+  let cfg = config ~n:5 ~t:2 in
+  let log () =
+    let _, events = chain_events cfg in
+    Obs.Jsonl.to_string events
+  in
+  let a = log () and b = log () in
+  check_bool "byte-identical logs" true (String.equal a b);
+  check_bool "log nonempty" true (String.length a > 0)
+
+let test_jsonl_roundtrip () =
+  let cfg = config ~n:5 ~t:2 in
+  let _, events = chain_events cfg in
+  (* Include an Fd_output so every constructor that reaches logs is
+     exercised. *)
+  let events =
+    events
+    @ [
+        Obs.Event.Fd_output
+          {
+            pid = Pid.of_int 1;
+            round = Round.of_int 2;
+            suspected = [ Pid.of_int 2; Pid.of_int 3 ];
+          };
+      ]
+  in
+  match Obs.Jsonl.parse (Obs.Jsonl.to_string events) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      check_int "same length" (List.length events) (List.length parsed);
+      check_bool "same events" true
+        (List.for_all2 Obs.Event.equal events parsed)
+
+let test_jsonl_skips_comments () =
+  match Obs.Jsonl.parse "# comment\n\n{\"ev\":\"round_start\",\"round\":3}\n" with
+  | Ok [ Obs.Event.Round_start { round } ] ->
+      check_int "round" 3 (Round.to_int round)
+  | Ok _ -> Alcotest.fail "expected exactly one event"
+  | Error e -> Alcotest.fail e
+
+let test_jsonl_reports_bad_line () =
+  match Obs.Jsonl.parse "{\"ev\":\"round_start\",\"round\":1}\nnot json\n" with
+  | Error e -> check_bool "names line 2" true (contains e "line 2")
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+(* ------------------------------------------------------------------ *)
+(* Replay: the `ipi trace` path                                        *)
+
+let test_replay_matches_live_diagram () =
+  let cfg = config ~n:5 ~t:2 in
+  let schedule = Workload.Cascade.chain cfg in
+  let sink, drain = Obs.Sink.memory () in
+  let trace = run ~record:true ~sink at2 cfg schedule in
+  let events = drain () in
+  (* Round-trip through the serialized form, as `ipi trace` does. *)
+  let parsed =
+    match Obs.Jsonl.parse (Obs.Jsonl.to_string events) with
+    | Ok evs -> evs
+    | Error e -> Alcotest.fail e
+  in
+  match Obs.Replay.of_events parsed with
+  | Error e -> Alcotest.fail e
+  | Ok replay ->
+      let live = Format.asprintf "%a" Sim.Trace.pp_diagram trace in
+      let replayed = Format.asprintf "%a" Obs.Replay.pp_diagram replay in
+      check_string "replayed diagram equals live diagram" live replayed
+
+let test_replay_summary () =
+  let cfg = config ~n:3 ~t:1 in
+  let _, events = traced_run floodset cfg quiet_es in
+  match Obs.Replay.of_events events with
+  | Error e -> Alcotest.fail e
+  | Ok replay ->
+      let s = Format.asprintf "%a" Obs.Replay.pp_summary replay in
+      check_bool "names algorithm" true (contains s "FloodSet");
+      check_bool "counts decisions" true (contains s "3 decision(s)")
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                       *)
+
+let test_chrome_export_is_valid_json () =
+  let cfg = config ~n:3 ~t:1 in
+  let _, events = traced_run floodset cfg quiet_es in
+  match Obs.Json.of_string (Obs.Chrome.to_string events) with
+  | Error e -> Alcotest.fail e
+  | Ok json -> (
+      match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list_opt with
+      | Some entries -> check_bool "has trace events" true (entries <> [])
+      | None -> Alcotest.fail "missing traceEvents")
+
+(* ------------------------------------------------------------------ *)
+(* Diagram on record-free traces                                       *)
+
+let test_diagram_without_records_is_honest () =
+  let cfg = config ~n:3 ~t:1 in
+  let trace = run floodset cfg quiet_es in
+  let diagram = Format.asprintf "%a" Sim.Trace.pp_diagram trace in
+  check_bool "notes missing records" true (contains diagram "no per-round records");
+  check_bool "unknown cells are '?'" true (contains diagram "?");
+  check_bool "decisions still shown" true (contains diagram "D=")
+
+let test_summary_costs_are_optional () =
+  let cfg = config ~n:3 ~t:1 in
+  let bare = run floodset cfg quiet_es in
+  check_bool "no records -> None" true
+    (Stats.Summary.messages_of_trace bare = None
+    && Stats.Summary.bytes_of_trace bare = None);
+  let recorded = run ~record:true floodset cfg quiet_es in
+  check_bool "records -> Some" true
+    (Stats.Summary.messages_of_trace recorded <> None
+    && Stats.Summary.bytes_of_trace recorded <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Fd_output and progress metrics                                      *)
+
+let test_fd_history_emits_events () =
+  let cfg = config ~n:3 ~t:1 in
+  let schedule = es ~gst:1 [ plan ~crashes:[ 2 ] ~lost:[ (2, 1); (2, 3) ] () ] in
+  let sink, drain = Obs.Sink.memory () in
+  let history = Fd.Simulate.history ~sink cfg schedule ~rounds:3 in
+  let events = drain () in
+  check_int "one event per history entry" (List.length history)
+    (List.length events);
+  check_bool "all are Fd_output" true
+    (List.for_all
+       (function Obs.Event.Fd_output _ -> true | _ -> false)
+       events)
+
+let test_search_reports_metrics () =
+  let cfg = config ~n:3 ~t:1 in
+  let registry = Obs.Metrics.create () in
+  let outcome =
+    Workload.Search.random_synchronous ~samples:20 ~metrics:registry ~seed:1
+      ~algo:at2 ~config:cfg
+      ~proposals:(Sim.Runner.distinct_proposals cfg)
+      ()
+  in
+  check_int "search.runs" outcome.Workload.Search.runs
+    (Option.get (Obs.Metrics.find_counter registry "search.runs"))
+
+let test_exhaustive_reports_metrics () =
+  let cfg = config ~n:3 ~t:1 in
+  let registry = Obs.Metrics.create () in
+  let result =
+    Mc.Exhaustive.sweep ~metrics:registry ~algo:at2 ~config:cfg
+      ~proposals:(Sim.Runner.distinct_proposals cfg)
+      ()
+  in
+  check_int "mc.runs" result.Mc.Exhaustive.runs
+    (Option.get (Obs.Metrics.find_counter registry "mc.runs"));
+  check_int "mc.violations" 0
+    (Option.get (Obs.Metrics.find_counter registry "mc.violations"))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "noop" `Quick test_sink_noop;
+          Alcotest.test_case "default path unchanged" `Quick
+            test_run_without_sink_unchanged;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "stream shape" `Quick test_event_stream_shape;
+          Alcotest.test_case "fd history" `Quick test_fd_history_emits_events;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "schedule fates" `Quick
+            test_metrics_match_schedule_fates;
+          Alcotest.test_case "search progress" `Quick
+            test_search_reports_metrics;
+          Alcotest.test_case "mc progress" `Quick
+            test_exhaustive_reports_metrics;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "determinism" `Quick test_jsonl_determinism;
+          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "comments" `Quick test_jsonl_skips_comments;
+          Alcotest.test_case "bad line" `Quick test_jsonl_reports_bad_line;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "diagram" `Quick test_replay_matches_live_diagram;
+          Alcotest.test_case "summary" `Quick test_replay_summary;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome json" `Quick
+            test_chrome_export_is_valid_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "record-free diagram" `Quick
+            test_diagram_without_records_is_honest;
+          Alcotest.test_case "optional costs" `Quick
+            test_summary_costs_are_optional;
+        ] );
+    ]

@@ -137,6 +137,37 @@ let micro_tests workloads =
   List.map (fun w -> Test.make ~name:w.name (Staged.stage w.fn)) workloads
 
 (* ------------------------------------------------------------------ *)
+(* The mc suite: serial vs incremental vs parallel exhaustive sweeps    *)
+
+(* Three drivers over identical state spaces (the results are
+   bit-identical, which the determinism tests assert); what this suite
+   tracks is their relative wall-clock cost. The acceptance bar is the
+   incremental+parallel sweep at n=5, t=2, jobs=4 beating the serial
+   baseline by >= 3x. *)
+let mc_jobs = 4
+
+let mc_workloads () =
+  let sweep_case tag algo config =
+    let proposals = Sim.Runner.distinct_proposals config in
+    let prefix = "mc/" ^ tag in
+    [
+      plain (prefix ^ "/serial") (fun () ->
+          ignore (Mc.Exhaustive.sweep ~algo ~config ~proposals ()));
+      plain (prefix ^ "/incremental") (fun () ->
+          ignore (Mc.Exhaustive.sweep_incremental ~algo ~config ~proposals ()));
+      plain
+        (Printf.sprintf "%s/parallel-j%d" prefix mc_jobs)
+        (fun () ->
+          ignore (Mc.Parallel.sweep ~jobs:mc_jobs ~algo ~config ~proposals ()));
+    ]
+  in
+  let at2 = Expt.Registry.at_plus_2.Expt.Registry.algo in
+  let floodset = Expt.Registry.floodset.Expt.Registry.algo in
+  sweep_case "at2-n4t1" at2 (Config.make ~n:4 ~t:1)
+  @ sweep_case "floodset-n4t2" floodset (Config.make ~n:4 ~t:2)
+  @ sweep_case "at2-n5t2" at2 (Config.make ~n:5 ~t:2)
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifact: BENCH_<date>.json                        *)
 
 type bench_row = {
@@ -188,8 +219,43 @@ let bench_rows workloads =
       { row_name = w.name; runs; mean_s; stddev_s; messages; bytes })
     workloads
 
-let json_of_rows rows =
+(* The sibling ".../serial" row's mean, for speedup annotations in the mc
+   suite: rows are named "mc/<case>/<mode>". *)
+let serial_mean_of rows name =
+  match String.rindex_opt name '/' with
+  | None -> None
+  | Some i ->
+      let sibling = String.sub name 0 i ^ "/serial" in
+      if sibling = name then None
+      else
+        List.find_map
+          (fun r -> if r.row_name = sibling then Some r.mean_s else None)
+          rows
+
+let json_of_suites suites =
   let opt_int = function Some i -> Obs.Json.Int i | None -> Obs.Json.Null in
+  let json_of_rows rows =
+    Obs.Json.List
+      (List.map
+         (fun r ->
+           let speedup =
+             match serial_mean_of rows r.row_name with
+             | Some serial when r.mean_s > 0. ->
+                 Obs.Json.Float (serial /. r.mean_s)
+             | _ -> Obs.Json.Null
+           in
+           Obs.Json.Obj
+             [
+               ("name", Obs.Json.String r.row_name);
+               ("runs", Obs.Json.Int r.runs);
+               ("mean_s", Obs.Json.Float r.mean_s);
+               ("stddev_s", Obs.Json.Float r.stddev_s);
+               ("messages", opt_int r.messages);
+               ("bytes", opt_int r.bytes);
+               ("speedup_vs_serial", speedup);
+             ])
+         rows)
+  in
   Obs.Json.Obj
     [
       ( "date",
@@ -197,31 +263,19 @@ let json_of_rows rows =
         Obs.Json.String
           (Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
              (tm.Unix.tm_mon + 1) tm.Unix.tm_mday) );
-      ("suite", Obs.Json.String "micro");
-      ( "benchmarks",
-        Obs.Json.List
-          (List.map
-             (fun r ->
-               Obs.Json.Obj
-                 [
-                   ("name", Obs.Json.String r.row_name);
-                   ("runs", Obs.Json.Int r.runs);
-                   ("mean_s", Obs.Json.Float r.mean_s);
-                   ("stddev_s", Obs.Json.Float r.stddev_s);
-                   ("messages", opt_int r.messages);
-                   ("bytes", opt_int r.bytes);
-                 ])
-             rows) );
+      ( "suites",
+        Obs.Json.Obj
+          (List.map (fun (name, rows) -> (name, json_of_rows rows)) suites) );
     ]
 
-let write_bench_json rows =
+let write_bench_json suites =
   let tm = Unix.localtime (Unix.time ()) in
   let path =
     Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
   in
   let oc = open_out path in
-  output_string oc (Obs.Json.to_string (json_of_rows rows));
+  output_string oc (Obs.Json.to_string (json_of_suites suites));
   output_char oc '\n';
   close_out oc;
   Format.printf "bench artifact written to %s@." path
@@ -229,7 +283,7 @@ let write_bench_json rows =
 (* ------------------------------------------------------------------ *)
 (* Bechamel tables (stdout, unchanged)                                 *)
 
-let run_micro () =
+let micro_rows () =
   let workloads = micro_workloads () in
   let tests = micro_tests workloads in
   let ols =
@@ -261,7 +315,32 @@ let run_micro () =
     tests;
   Format.printf "Micro-benchmarks (Bechamel, monotonic clock):@.%a@."
     Stats.Table.render !table;
-  write_bench_json (bench_rows workloads)
+  bench_rows workloads
+
+let mc_rows () =
+  let rows = bench_rows (mc_workloads ()) in
+  let table =
+    List.fold_left
+      (fun table r ->
+        let speedup =
+          match serial_mean_of rows r.row_name with
+          | Some serial when r.mean_s > 0. ->
+              Printf.sprintf "%.2fx" (serial /. r.mean_s)
+          | _ -> "-"
+        in
+        Stats.Table.add_row table
+          [
+            r.row_name;
+            Printf.sprintf "%.2f ms" (r.mean_s *. 1_000.0);
+            speedup;
+          ])
+      (Stats.Table.make ~headers:[ "sweep"; "time/run"; "vs serial" ])
+      rows
+  in
+  Format.printf
+    "Model-checker sweeps (serial vs incremental vs parallel, jobs=%d):@.%a@."
+    mc_jobs Stats.Table.render table;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
@@ -272,9 +351,12 @@ let () =
   match Array.to_list Sys.argv with
   | [] | _ :: [] ->
       run_tables ();
-      run_micro ()
+      let micro = micro_rows () in
+      let mc = mc_rows () in
+      write_bench_json [ ("micro", micro); ("mc", mc) ]
   | _ :: [ "tables" ] -> run_tables ()
-  | _ :: [ "micro" ] -> run_micro ()
+  | _ :: [ "micro" ] -> write_bench_json [ ("micro", micro_rows ()) ]
+  | _ :: [ "mc" ] -> write_bench_json [ ("mc", mc_rows ()) ]
   | _ :: names ->
       List.iter
         (fun name ->
@@ -284,6 +366,6 @@ let () =
               Format.print_newline ()
           | None ->
               Format.eprintf
-                "unknown experiment %S (e1..e10, tables, micro)@." name;
+                "unknown experiment %S (e1..e10, tables, micro, mc)@." name;
               exit 2)
         names

@@ -4,6 +4,7 @@
      ipi list                      algorithms and experiments
      ipi experiments [NAME ...]    run all (or the named) experiments
      ipi run ...                   run one algorithm on one schedule
+     ipi sweep ...                 exhaustive serial-schedule sweep
      ipi attack ...                run the lower-bound attacks *)
 
 open Kernel
@@ -305,6 +306,117 @@ let attack_cmd =
     Cmdliner.Term.(const run $ algo_arg $ n_arg $ t_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ipi sweep                                                            *)
+
+let sweep_cmd =
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep; 0 means one per recommended \
+             core. The result is bit-identical to --jobs 1.")
+  in
+  let mode_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (enum [ ("serial", `Serial); ("incremental", `Incremental) ])
+          `Incremental
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "serial re-simulates every schedule from round 1 (the \
+             baseline); incremental (default) shares schedule prefixes. \
+             Ignored when --jobs > 1 (parallel sweeps are always \
+             incremental).")
+  in
+  let binary_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:
+            "Sweep all 2^n binary proposal assignments instead of the \
+             single distinct-values assignment.")
+  in
+  let policy_arg =
+    Cmdliner.Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("prefixes", Mc.Serial.Prefixes);
+               ("all-subsets", Mc.Serial.All_subsets);
+             ])
+          Mc.Serial.Prefixes
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Receiver sets per crash: prefixes (polynomial branching, \
+             default) or all-subsets (exact, exponential).")
+  in
+  let horizon_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ] ~docv:"ROUNDS"
+          ~doc:"Crash horizon in rounds (default t + 2).")
+  in
+  let metrics_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the sweep's metrics registry.")
+  in
+  let run label n t jobs mode binary policy horizon print_metrics =
+    let config = Config.make ~n ~t in
+    let entry = lookup_algo label in
+    let algo = entry.Expt.Registry.algo in
+    let jobs = if jobs = 0 then Par.default_jobs () else jobs in
+    let registry = Obs.Metrics.create () in
+    let metrics = registry in
+    let result =
+      if binary then
+        if jobs > 1 then
+          Mc.Parallel.sweep_binary ~policy ~metrics ~jobs ?horizon ~algo
+            ~config ()
+        else if mode = `Incremental then
+          Mc.Exhaustive.sweep_binary_incremental ~policy ~metrics ?horizon
+            ~algo ~config ()
+        else Mc.Exhaustive.sweep_binary ~policy ~metrics ?horizon ~algo ~config ()
+      else begin
+        let proposals = Sim.Runner.distinct_proposals config in
+        if jobs > 1 then
+          Mc.Parallel.sweep ~policy ~metrics ~jobs ?horizon ~algo ~config
+            ~proposals ()
+        else if mode = `Incremental then
+          Mc.Exhaustive.sweep_incremental ~policy ~metrics ?horizon ~algo
+            ~config ~proposals ()
+        else
+          Mc.Exhaustive.sweep ~policy ~metrics ?horizon ~algo ~config
+            ~proposals ()
+      end
+    in
+    Format.fprintf std "%a@." Mc.Exhaustive.pp_result result;
+    (match result.Mc.Exhaustive.max_witness with
+    | Some choices ->
+        Format.fprintf std "worst run: %a@."
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+             Mc.Serial.pp_choice)
+          choices
+    | None -> ());
+    if print_metrics then
+      Format.fprintf std "@.metrics:@.%a@." Obs.Metrics.pp registry;
+    if result.Mc.Exhaustive.violations <> [] then exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "sweep"
+       ~doc:
+         "Exhaustively sweep every serial schedule up to a crash horizon \
+          and report worst-case decision rounds and violations; non-zero \
+          exit if any run violates consensus.")
+    Cmdliner.Term.(
+      const run $ algo_arg $ n_arg $ t_arg $ jobs_arg $ mode_arg $ binary_arg
+      $ policy_arg $ horizon_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* ipi figure1                                                          *)
 
 let figure1_cmd =
@@ -363,6 +475,7 @@ let () =
             experiments_cmd;
             run_cmd;
             trace_cmd;
+            sweep_cmd;
             attack_cmd;
             figure1_cmd;
             verify_cmd;

@@ -1,0 +1,36 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map_tasks ~jobs tasks =
+  let n = Array.length tasks in
+  (* Oversubscribing a CPU-bound pool only adds minor-GC barriers (every
+     domain participates in each stop-the-world minor collection), so the
+     requested parallelism is capped at what the hardware can actually run
+     simultaneously. *)
+  let jobs = min jobs (default_jobs ()) in
+  if jobs <= 1 || n <= 1 then Array.map (fun task -> task ()) tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Each domain claims tasks off the shared index until none remain;
+       coarse tasks make the single atomic per task negligible. *)
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (tasks.(i) ());
+        drain ()
+      end
+    in
+    let helpers =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn drain)
+    in
+    let first_exn = ref None in
+    let record e = if !first_exn = None then first_exn := Some e in
+    (try drain () with e -> record e);
+    Array.iter
+      (fun d -> try Domain.join d with e -> record e)
+      helpers;
+    (match !first_exn with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* all indices claimed *))
+      results
+  end

@@ -1,0 +1,31 @@
+(** A minimal fork-join worker pool over OCaml 5 domains.
+
+    The model checker's sweeps decompose into independent coarse-grained
+    tasks (one per choice subtree or proposal assignment); this module runs
+    such a task array on up to [jobs] domains with work stealing via a
+    shared atomic index. Results come back positionally, so callers can
+    reduce them in a deterministic order regardless of which domain ran
+    what — determinism of the merged result is the caller's invariant and
+    this module is careful not to break it.
+
+    Only the standard library is used ([Domain], [Atomic]); no external
+    dependency. *)
+
+val map_tasks : jobs:int -> (unit -> 'a) array -> 'a array
+(** [map_tasks ~jobs tasks] runs every task and returns their results in
+    task order. At most [min jobs (Array.length tasks)] domains run at
+    once (the calling domain counts as one), further capped at
+    {!default_jobs} — oversubscribing a CPU-bound pool only adds
+    stop-the-world minor-GC barriers, so asking for more workers than
+    cores silently degrades to the core count (results are identical
+    either way). [jobs <= 1] runs everything sequentially in the calling
+    domain — no spawning at all, the serial path stays exactly as cheap
+    as a plain [Array.map].
+
+    Tasks must not themselves spawn unbounded domains and must be safe to
+    run concurrently with each other. If any task raises, one of the
+    raised exceptions is re-raised after every domain has been joined. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: a sensible [jobs] when the user
+    asks for "all cores". *)

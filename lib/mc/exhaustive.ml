@@ -49,7 +49,24 @@ let add_run acc ~choices ~trace =
       in
       if r < acc.min_decision then { acc with min_decision = r } else acc
 
-let report_sweep metrics ~started result =
+let merge a b =
+  {
+    runs = a.runs + b.runs;
+    max_decision = max a.max_decision b.max_decision;
+    min_decision = min a.min_decision b.min_decision;
+    max_witness =
+      (if b.max_decision > a.max_decision then b.max_witness
+       else a.max_witness);
+    violations = a.violations @ b.violations;
+    undecided_runs = a.undecided_runs + b.undecided_runs;
+  }
+
+type stopwatch = { wall_started : float; cpu_started : float }
+
+let stopwatch () =
+  { wall_started = Unix.gettimeofday (); cpu_started = Sys.time () }
+
+let report_sweep ?(domains = 1) ?(prefix_hits = 0) metrics ~started result =
   match metrics with
   | None -> ()
   | Some m ->
@@ -62,17 +79,27 @@ let report_sweep metrics ~started result =
       Obs.Metrics.set
         (Obs.Metrics.gauge m "mc.max_decision_round")
         result.max_decision;
-      let elapsed = Sys.time () -. started in
-      Obs.Metrics.observe (Obs.Metrics.histogram m "mc.sweep_seconds") elapsed;
-      if elapsed > 0. then
+      Obs.Metrics.set (Obs.Metrics.gauge m "mc.domains") domains;
+      if prefix_hits > 0 then
+        Obs.Metrics.incr ~by:prefix_hits
+          (Obs.Metrics.counter m "mc.prefix_hits");
+      let cpu = Sys.time () -. started.cpu_started in
+      let wall = Unix.gettimeofday () -. started.wall_started in
+      Obs.Metrics.observe (Obs.Metrics.histogram m "mc.sweep_cpu_seconds") cpu;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram m "mc.sweep_wall_seconds")
+        wall;
+      (* Throughput over the wall clock: under several domains CPU time
+         overcounts elapsed time by up to the domain count. *)
+      if wall > 0. then
         Obs.Metrics.observe
           (Obs.Metrics.histogram m "mc.schedules_per_second")
-          (float_of_int result.runs /. elapsed)
+          (float_of_int result.runs /. wall)
 
 let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~algo ~config
     ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
-  let started = Sys.time () in
+  let started = stopwatch () in
   let acc = ref empty in
   Serial.enumerate ~policy config ~horizon ~f:(fun choices ->
       let schedule = Serial.to_schedule config choices in
@@ -87,30 +114,83 @@ let binary_assignments config =
     (fun ones -> Sim.Runner.binary_proposals config ~ones:(Pid.Set.of_list ones))
     (Listx.subsets (Pid.all ~n))
 
-let merge a b =
-  {
-    runs = a.runs + b.runs;
-    max_decision = max a.max_decision b.max_decision;
-    min_decision = min a.min_decision b.min_decision;
-    max_witness =
-      (if b.max_decision > a.max_decision then b.max_witness
-       else a.max_witness);
-    violations = a.violations @ b.violations;
-    undecided_runs = a.undecided_runs + b.undecided_runs;
-  }
-
 let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
   List.fold_left
     (fun acc proposals ->
       merge acc (sweep ?policy ?metrics ?horizon ~algo ~config ~proposals ()))
     empty (binary_assignments config)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental (prefix-sharing) sweeps                                 *)
+
+(* The sweep result never looks at [Trace.t.schedule] ([Props.check] and
+   [global_decision_round] read decisions, crashes, proposals, config and
+   the halting flag), so the incremental path hands [finish] one shared
+   empty schedule instead of materialising a [Schedule.t] per leaf. The
+   round bound must then be supplied explicitly, computed from the sweep's
+   real horizon so that it matches what [Runner.run] would use. *)
+
+let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
+    ~algo:(Sim.Algorithm.Packed (module A)) ~config ~proposals ~prefix () =
+  let module E = Sim.Engine.Make (A) in
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let n = Config.n config in
+  let max_rounds = Sim.Engine.round_bound config ~horizon ~gst:1 in
+  let leaf_schedule = Serial.to_schedule config [] in
+  let edges = ref 0 in
+  let extend st choice =
+    incr edges;
+    E.Incremental.step st
+      (Sim.Schedule.compile_plan ~n (Serial.plan_of config choice))
+  in
+  let root =
+    List.fold_left extend (E.Incremental.start config ~proposals) prefix
+  in
+  let acc = ref empty in
+  Serial.fold ~policy ~prefix config ~horizon ~root ~step:extend
+    ~leaf:(fun choices st ->
+      let trace =
+        E.Incremental.finish ~max_rounds ~schedule:leaf_schedule st
+      in
+      acc := add_run !acc ~choices ~trace);
+  (!acc, !edges)
+
+let prefix_hits ~horizon result ~edges = (result.runs * horizon) - edges
+
+let sweep_incremental ?policy ?metrics ?horizon ~algo ~config ~proposals () =
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let started = stopwatch () in
+  let result, edges =
+    sweep_prefix ?policy ~horizon ~algo ~config ~proposals ~prefix:[] ()
+  in
+  report_sweep metrics ~started ~prefix_hits:(prefix_hits ~horizon result ~edges)
+    result;
+  result
+
+let sweep_binary_incremental ?policy ?metrics ?horizon ~algo ~config () =
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let started = stopwatch () in
+  let result, edges =
+    List.fold_left
+      (fun (acc, edges) proposals ->
+        let r, e =
+          sweep_prefix ?policy ~horizon ~algo ~config ~proposals ~prefix:[] ()
+        in
+        (merge acc r, edges + e))
+      (empty, 0) (binary_assignments config)
+  in
+  report_sweep metrics ~started ~prefix_hits:(prefix_hits ~horizon result ~edges)
+    result;
+  result
+
 let pp_result ppf r =
+  let undecided = r.min_decision = max_int in
   Format.fprintf ppf
-    "@[<v>%d run(s); global decision rounds in [%s, %d]; %d violation(s); \
+    "@[<v>%d run(s); global decision rounds in [%s, %s]; %d violation(s); \
      %d undecided@]"
     r.runs
-    (if r.min_decision = max_int then "-" else string_of_int r.min_decision)
-    r.max_decision
+    (if undecided then "-" else string_of_int r.min_decision)
+    (if undecided && r.max_decision = 0 then "-"
+     else string_of_int r.max_decision)
     (List.length r.violations)
     r.undecided_runs

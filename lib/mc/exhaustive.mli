@@ -21,6 +21,18 @@ type result = {
           bound — must be 0 for every terminating algorithm *)
 }
 
+val empty : result
+(** The unit of {!merge}: zero runs. *)
+
+val merge : result -> result -> result
+(** Aggregate two sweep results. Associative with unit {!empty}; keeps the
+    {e first} (left-most) maximal-round witness, so folding shard results in
+    enumeration order reproduces exactly the single-sweep result. *)
+
+val binary_assignments : Config.t -> Value.t Pid.Map.t list
+(** All [2^n] binary proposal assignments, in the subset order
+    {!sweep_binary} enumerates them. *)
+
 val sweep :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
@@ -33,10 +45,17 @@ val sweep :
 (** Enumerate every serial run whose crashes happen within [horizon] rounds
     (default [t + 2]; crashes later than that cannot affect the decision
     rounds of any algorithm here) under [policy] (default [Prefixes]).
-    When [metrics] is given the sweep reports progress counters into it:
-    [mc.runs] (states explored), [mc.violations], [mc.undecided_runs], the
-    [mc.max_decision_round] gauge and the [mc.sweep_seconds] /
-    [mc.schedules_per_second] histograms. *)
+    Every run is simulated from round 1 — the simple baseline;
+    {!sweep_incremental} computes the identical result faster.
+
+    When [metrics] is given the sweep reports into it: the [mc.runs]
+    (states explored), [mc.violations], [mc.undecided_runs] and
+    [mc.prefix_hits] (engine rounds saved by prefix sharing) counters, the
+    [mc.max_decision_round] and [mc.domains] gauges, and the
+    [mc.sweep_cpu_seconds] / [mc.sweep_wall_seconds] /
+    [mc.schedules_per_second] histograms (throughput is measured against
+    the wall clock — CPU time overcounts elapsed time under multiple
+    domains). *)
 
 val sweep_binary :
   ?policy:Serial.policy ->
@@ -48,4 +67,66 @@ val sweep_binary :
   result
 (** {!sweep} over {e all} [2^n] binary proposal assignments, aggregated. *)
 
+val sweep_incremental :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  result
+(** Same result as {!sweep}, bit-identical (same runs, decision rounds,
+    witness and violation list), computed by carrying the resumable engine
+    state ({!Sim.Engine.Make.Incremental}) down the choice-tree DFS: the
+    shared prefix of two schedules is simulated once instead of once per
+    leaf. *)
+
+val sweep_binary_incremental :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  unit ->
+  result
+(** {!sweep_incremental} over all [2^n] binary assignments; bit-identical
+    to {!sweep_binary}. *)
+
+val sweep_prefix :
+  ?policy:Serial.policy ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  prefix:Serial.choice list ->
+  unit ->
+  result * int
+(** Incremental sweep of the single subtree whose first rounds are pinned
+    to [prefix] — the unit of work {!Parallel} shards across domains.
+    Returns the subtree's result together with the number of engine rounds
+    stepped during the DFS (for the [mc.prefix_hits] accounting); reports
+    no metrics itself. Folding [sweep_prefix] results with {!merge} over
+    the first-round choices in order yields exactly
+    {!sweep_incremental}'s result except for the [violations] order (each
+    subtree's violations stay newest-first within the subtree). *)
+
+type stopwatch
+(** Wall + CPU clocks captured together at sweep start. *)
+
+val stopwatch : unit -> stopwatch
+
+val report_sweep :
+  ?domains:int ->
+  ?prefix_hits:int ->
+  Obs.Metrics.t option ->
+  started:stopwatch ->
+  result ->
+  unit
+(** Report a finished sweep into a metrics registry (no-op on [None]):
+    the counters and gauges listed under {!sweep}, with [domains]
+    (default 1) and [prefix_hits] (default 0, omitted when 0) as
+    annotations from the caller's driver. *)
+
 val pp_result : Format.formatter -> result -> unit
+(** Prints [[-, -]] for the decision-round interval when no run decided. *)

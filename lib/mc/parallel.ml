@@ -1,0 +1,73 @@
+open Kernel
+
+(* Each shard is one [Exhaustive.sweep_prefix] (a first-round choice
+   subtree, or one binary proposal assignment): coarse enough that domain
+   overhead vanishes, numerous enough to balance across jobs. Reduction
+   happens in enumeration order on the calling domain, which is what makes
+   the merged result bit-identical to the serial sweep no matter which
+   domain ran which shard. *)
+
+let merge_in_order results =
+  (* [Exhaustive.merge] folded left-to-right reproduces every field of the
+     one-pass sweep except the violation order: the serial DFS conses
+     violations as it meets them, so its final list is the {e reverse} of
+     enumeration order. Rebuild exactly that by prepending shard lists in
+     shard order (each shard's list is already reversed within itself). *)
+  let folded = List.fold_left Exhaustive.merge Exhaustive.empty results in
+  {
+    folded with
+    Exhaustive.violations =
+      List.fold_left
+        (fun acc (r : Exhaustive.result) -> r.Exhaustive.violations @ acc)
+        [] results;
+  }
+
+let shard_results ~jobs tasks =
+  Array.to_list (Par.map_tasks ~jobs (Array.of_list tasks))
+
+let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo ~config
+    ~proposals () =
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let started = Exhaustive.stopwatch () in
+  let firsts =
+    Serial.choices ~policy
+      ~alive:(Pid.Set.universe ~n:(Config.n config))
+      ~crashes_left:(Config.t config)
+  in
+  let shards =
+    shard_results ~jobs
+      (List.map
+         (fun first () ->
+           Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config ~proposals
+             ~prefix:[ first ] ())
+         firsts)
+  in
+  let result = merge_in_order (List.map fst shards) in
+  let edges = List.fold_left (fun acc (_, e) -> acc + e) 0 shards in
+  Exhaustive.report_sweep metrics ~started ~domains:(max jobs 1)
+    ~prefix_hits:((result.Exhaustive.runs * horizon) - edges)
+    result;
+  result
+
+let sweep_binary ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
+    ~config () =
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let started = Exhaustive.stopwatch () in
+  let shards =
+    shard_results ~jobs
+      (List.map
+         (fun proposals () ->
+           Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config ~proposals
+             ~prefix:[] ())
+         (Exhaustive.binary_assignments config))
+  in
+  (* [sweep_binary] merges per-assignment results left-to-right, so the
+     plain fold is already bit-identical — no violation reordering. *)
+  let result =
+    List.fold_left Exhaustive.merge Exhaustive.empty (List.map fst shards)
+  in
+  let edges = List.fold_left (fun acc (_, e) -> acc + e) 0 shards in
+  Exhaustive.report_sweep metrics ~started ~domains:(max jobs 1)
+    ~prefix_hits:((result.Exhaustive.runs * horizon) - edges)
+    result;
+  result

@@ -1,0 +1,44 @@
+(** Multicore exhaustive sweeps.
+
+    Shards the sweep into coarse independent subproblems — one
+    {!Exhaustive.sweep_prefix} per first-round adversary choice
+    ({!sweep}), or per binary proposal assignment ({!sweep_binary}) — and
+    runs them on up to [jobs] domains via {!Kernel.Par.map_tasks}. Shard
+    results come back positionally and are merged in enumeration order on
+    the calling domain, so the outcome is {e bit-identical} to the serial
+    {!Exhaustive.sweep} / {!Exhaustive.sweep_binary}: same [runs], same
+    decision-round interval, same witness, same violations in the same
+    order, no matter how many domains ran or how the scheduler interleaved
+    them. This determinism is the correctness anchor of the whole parallel
+    path; the determinism tests assert it.
+
+    [jobs <= 1] degrades to the (single-domain) incremental sweep with no
+    domain spawned. *)
+
+open Kernel
+
+val sweep :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  jobs:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  Exhaustive.result
+(** Parallel, prefix-sharing version of {!Exhaustive.sweep}. Reports the
+    same metrics (when given) plus [mc.domains] = [jobs] and the
+    [mc.prefix_hits] counter. *)
+
+val sweep_binary :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  jobs:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  unit ->
+  Exhaustive.result
+(** Parallel version of {!Exhaustive.sweep_binary}: the [2^n] proposal
+    assignments are the shards. *)

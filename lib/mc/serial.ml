@@ -14,8 +14,7 @@ let receiver_sets ~policy ~survivors =
   | All_subsets -> List.map Pid.Set.of_list (Listx.subsets survivors)
   | Prefixes -> List.map Pid.Set.of_list (Listx.prefixes survivors)
 
-let choices ~policy config ~alive ~crashes_left =
-  ignore config;
+let choices ~policy ~alive ~crashes_left =
   if crashes_left <= 0 then [ No_crash ]
   else
     let victims = Pid.Set.elements alive in
@@ -30,28 +29,26 @@ let choices ~policy config ~alive ~crashes_left =
              (receiver_sets ~policy ~survivors))
          victims
 
-let to_schedule config choices =
-  let n = Config.n config in
-  let plan_of = function
-    | No_crash -> Sim.Schedule.empty_plan
-    | Crash { victim; receivers } ->
-        {
-          Sim.Schedule.crashes = [ victim ];
-          lost =
-            List.filter_map
-              (fun dst ->
-                if Pid.Set.mem dst receivers then None else Some (victim, dst))
-              (Pid.others ~n victim);
-          delayed = [];
-        }
-  in
-  Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
-    (List.map plan_of choices)
+let plan_of config = function
+  | No_crash -> Sim.Schedule.empty_plan
+  | Crash { victim; receivers } ->
+      {
+        Sim.Schedule.crashes = [ victim ];
+        lost =
+          List.filter_map
+            (fun dst ->
+              if Pid.Set.mem dst receivers then None else Some (victim, dst))
+            (Pid.others ~n:(Config.n config) victim);
+        delayed = [];
+      }
 
-let enumerate ~policy config ~horizon ~f =
-  let n = Config.n config in
-  let rec go depth alive crashes_left prefix_rev =
-    if depth = 0 then f (List.rev prefix_rev)
+let to_schedule config choices =
+  Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
+    (List.map (plan_of config) choices)
+
+let fold ~policy ?(prefix = []) config ~horizon ~root ~step ~leaf =
+  let rec go depth alive crashes_left prefix_rev state =
+    if depth = 0 then leaf (List.rev prefix_rev) state
     else
       List.iter
         (fun choice ->
@@ -61,10 +58,28 @@ let enumerate ~policy config ~horizon ~f =
             | Crash { victim; _ } ->
                 (Pid.Set.remove victim alive, crashes_left - 1)
           in
-          go (depth - 1) alive' crashes_left' (choice :: prefix_rev))
-        (choices ~policy config ~alive ~crashes_left)
+          go (depth - 1) alive' crashes_left' (choice :: prefix_rev)
+            (step state choice))
+        (choices ~policy ~alive ~crashes_left)
   in
-  go horizon (Pid.Set.universe ~n) (Config.t config) []
+  let n = Config.n config in
+  let depth = horizon - List.length prefix in
+  if depth < 0 then
+    invalid_arg "Serial.fold: prefix longer than the horizon";
+  let alive, crashes_left =
+    List.fold_left
+      (fun (alive, left) choice ->
+        match choice with
+        | No_crash -> (alive, left)
+        | Crash { victim; _ } -> (Pid.Set.remove victim alive, left - 1))
+      (Pid.Set.universe ~n, Config.t config)
+      prefix
+  in
+  go depth alive crashes_left (List.rev prefix) root
+
+let enumerate ~policy config ~horizon ~f =
+  fold ~policy config ~horizon ~root:() ~step:(fun () _ -> ())
+    ~leaf:(fun choices () -> f choices)
 
 let count ~policy config ~horizon =
   let total = ref 0 in

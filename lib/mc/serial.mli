@@ -25,12 +25,41 @@ type policy =
           branching, enough to realise every bound in this repository *)
 
 val choices :
-  policy:policy -> Config.t -> alive:Pid.Set.t -> crashes_left:int -> choice list
+  policy:policy -> alive:Pid.Set.t -> crashes_left:int -> choice list
 (** All legal choices for one round: [No_crash], plus every (victim,
-    receivers) pair permitted by the policy when the crash budget allows. *)
+    receivers) pair permitted by the policy when the crash budget allows.
+    The crash budget is the caller's to thread ([crashes_left]); the config
+    is not needed. *)
+
+val plan_of : Config.t -> choice -> Sim.Schedule.plan
+(** The one-round plan a choice denotes: nothing, or one crash whose round
+    message is lost towards every survivor outside [receivers]. *)
 
 val to_schedule : Config.t -> choice list -> Sim.Schedule.t
 (** The synchronous schedule whose round [k] applies the [k]-th choice. *)
+
+val fold :
+  policy:policy ->
+  ?prefix:choice list ->
+  Config.t ->
+  horizon:int ->
+  root:'s ->
+  step:('s -> choice -> 's) ->
+  leaf:(choice list -> 's -> unit) ->
+  unit
+(** DFS over every serial choice sequence of length [horizon] (with at most
+    [t] crashes in total), threading a caller state down the tree: the root
+    carries [root], each edge extends its parent's state with [step], and
+    [leaf] receives the full sequence together with the state at its end.
+    Because [step] runs once per {e tree edge} rather than once per leaf,
+    carrying the simulation state here is what makes sweeps prefix-sharing:
+    the common prefix of two schedules is simulated exactly once.
+
+    [prefix] (default empty) pins the first rounds to the given choices and
+    explores only that subtree — the sharding hook for parallel sweeps.
+    [root] must then be the caller's state at the {e end} of the prefix;
+    [leaf] still receives full sequences ([prefix] included). Raises
+    [Invalid_argument] if the prefix is longer than the horizon. *)
 
 val enumerate :
   policy:policy ->

@@ -53,7 +53,7 @@ let of_partial ?(policy = Serial.Prefixes) ?extension_rounds ~algo ~config
                 (Pid.Set.remove victim alive, left - 1)
           in
           explore (depth - 1) alive' left' (choice :: suffix_rev))
-        (Serial.choices ~policy config ~alive ~crashes_left:left)
+        (Serial.choices ~policy ~alive ~crashes_left:left)
   in
   let alive, left = after_prefix config prefix in
   match explore extension_rounds alive left [] with
@@ -102,7 +102,7 @@ let bivalent_at ?(policy = Serial.Prefixes) ~algo ~config ~proposals k =
                 (Pid.Set.remove victim alive, left - 1)
           in
           explore (depth - 1) alive' left' (choice :: prefix_rev))
-        (Serial.choices ~policy config ~alive ~crashes_left:left)
+        (Serial.choices ~policy ~alive ~crashes_left:left)
   in
   match
     explore k

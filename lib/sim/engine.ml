@@ -4,11 +4,12 @@ module Int_map = Map.Make (Int)
 (* Generous: room for the schedule itself, the asynchronous prefix, and a
    full rotation of coordinator phases after gst for the slowest algorithm
    (4 rounds per phase, up to n phases), plus the t+3 framing of A_{t+2}. *)
+let round_bound config ~horizon ~gst =
+  horizon + gst + (5 * (Config.n config + 2)) + Config.t config + 10
+
 let default_max_rounds config schedule =
-  Schedule.horizon schedule
-  + Round.to_int (Schedule.gst schedule)
-  + (5 * (Config.n config + 2))
-  + Config.t config + 10
+  round_bound config ~horizon:(Schedule.horizon schedule)
+    ~gst:(Round.to_int (Schedule.gst schedule))
 
 module Make (A : Algorithm.S) = struct
   type proc =
@@ -85,24 +86,13 @@ module Make (A : Algorithm.S) = struct
     let queue = Option.value (Pid.Map.find_opt dst per_dst) ~default:[] in
     Int_map.add k (Pid.Map.add dst (env :: queue) per_dst) pending
 
-  let fate_in (plan : Schedule.plan) ~src ~dst =
-    if
-      List.exists
-        (fun (i, j) -> Pid.equal i src && Pid.equal j dst)
-        plan.Schedule.lost
-    then Schedule.Lost
-    else
-      match
-        List.find_opt
-          (fun (i, j, _) -> Pid.equal i src && Pid.equal j dst)
-          plan.Schedule.delayed
-      with
-      | Some (_, _, until) -> Schedule.Delayed_until until
-      | None -> Schedule.Same_round
-
   let step sys (plan : Schedule.plan) =
     let config = sys.config in
     let n = Config.n config in
+    (* One O(n^2) compile replaces the per-copy [List.exists]/[find_opt]
+       scans over [plan.lost]/[plan.delayed]; quiet plans compile for
+       free. *)
+    let cplan = Schedule.compile_plan ~n plan in
     let round = sys.next_round in
     let sink = sys.sink in
     (* [observing] guards every event construction: with the no-op sink the
@@ -135,7 +125,7 @@ module Make (A : Algorithm.S) = struct
               if Pid.equal src dst then
                 enqueue pending ~deliver_round:round ~dst env
               else
-                match fate_in plan ~src ~dst with
+                match Schedule.compiled_fate cplan ~src ~dst with
                 | Schedule.Same_round ->
                     enqueue pending ~deliver_round:round ~dst env
                 | Schedule.Delayed_until until ->
@@ -250,6 +240,235 @@ module Make (A : Algorithm.S) = struct
       rev_decisions = List.rev_append new_decisions sys.rev_decisions;
       rev_records = record @ sys.rev_records;
     }
+
+  (* ---------------------------------------------------------------- *)
+  (* The resumable checker core.
+
+     Same round semantics as [step]/[run] above, on a representation tuned
+     for the model checker's DFS: processes live in a flat array (copied
+     per step — n words — instead of rebalancing [Pid.Map]s), current-round
+     inboxes are built directly in sender order (no [Int_map] enqueue per
+     copy, no per-inbox sort), and a quiet round with no pending delayed
+     messages shares one physically-identical envelope list between all n
+     receivers. Each [step] returns a fresh immutable value, so a DFS forks
+     the state at every choice point and re-simulates nothing: the shared
+     prefix of two schedules is executed once.
+
+     This core does not record round records and does not emit events —
+     observability belongs to [run]. *)
+
+  module Incremental = struct
+    type t = {
+      i_config : Config.t;
+      i_proposals : Value.t Pid.Map.t;
+      i_next : int;  (* next round to execute *)
+      i_procs : proc array;  (* process [p] at index [p - 1] *)
+      i_live : int;  (* number of [Running] entries *)
+      i_late : A.msg Envelope.t list Pid.Map.t Int_map.t;
+          (* delayed deliveries: round -> receiver -> envelopes *)
+      i_rev_decisions : Trace.decision list;
+    }
+
+    let start config ~proposals =
+      let n = Config.n config in
+      let procs =
+        Array.init n (fun i ->
+            let p = Pid.of_int (i + 1) in
+            match Pid.Map.find_opt p proposals with
+            | Some v -> Running (A.init config p v)
+            | None ->
+                invalid_arg
+                  (Format.asprintf "Engine.Incremental.start: no proposal \
+                                    for %a"
+                     Pid.pp p))
+      in
+      {
+        i_config = config;
+        i_proposals = proposals;
+        i_next = 1;
+        i_procs = procs;
+        i_live = n;
+        i_late = Int_map.empty;
+        i_rev_decisions = [];
+      }
+
+    let next_round t = Round.of_int t.i_next
+    let all_halted t = t.i_live = 0
+    let decisions t = List.rev t.i_rev_decisions
+
+    let crashed t =
+      let acc = ref [] in
+      for i = Array.length t.i_procs - 1 downto 0 do
+        match t.i_procs.(i) with
+        | Crashed r -> acc := (Pid.of_int (i + 1), r) :: !acc
+        | Running _ | Done _ -> ()
+      done;
+      !acc
+
+    let step t cplan =
+      let n = Config.n t.i_config in
+      let round = Round.of_int t.i_next in
+      let plan = Schedule.compiled_source cplan in
+      let late_due = Int_map.find_opt t.i_next t.i_late in
+      let late =
+        if late_due = None then ref t.i_late
+        else ref (Int_map.remove t.i_next t.i_late)
+      in
+      (* Send phase, from the pre-crash process states. Iterating senders
+         from [n] down to 1 and consing builds every inbox already sorted
+         by sender id, which is the order [run] delivers in. *)
+      let inboxes =
+        if Schedule.compiled_quiet cplan && late_due = None then begin
+          let all = ref [] in
+          for src = n downto 1 do
+            match t.i_procs.(src - 1) with
+            | Running st ->
+                all :=
+                  Envelope.make ~src:(Pid.of_int src) ~sent:round
+                    (A.on_send st round)
+                  :: !all
+            | Done _ | Crashed _ -> ()
+          done;
+          Array.make n !all
+        end
+        else begin
+          let ib = Array.make n [] in
+          for src = n downto 1 do
+            match t.i_procs.(src - 1) with
+            | Done _ | Crashed _ -> ()
+            | Running st ->
+                let srcp = Pid.of_int src in
+                let env =
+                  Envelope.make ~src:srcp ~sent:round (A.on_send st round)
+                in
+                for dst = 1 to n do
+                  if dst = src then ib.(dst - 1) <- env :: ib.(dst - 1)
+                  else
+                    match
+                      Schedule.compiled_fate cplan ~src:srcp
+                        ~dst:(Pid.of_int dst)
+                    with
+                    | Schedule.Same_round ->
+                        ib.(dst - 1) <- env :: ib.(dst - 1)
+                    | Schedule.Lost -> ()
+                    | Schedule.Delayed_until until ->
+                        let k = Round.to_int until in
+                        let dstp = Pid.of_int dst in
+                        let per =
+                          Option.value
+                            (Int_map.find_opt k !late)
+                            ~default:Pid.Map.empty
+                        in
+                        let q =
+                          Option.value
+                            (Pid.Map.find_opt dstp per)
+                            ~default:[]
+                        in
+                        late :=
+                          Int_map.add k
+                            (Pid.Map.add dstp (env :: q) per)
+                            !late
+                done
+          done;
+          (match late_due with
+          | None -> ()
+          | Some per ->
+              (* Late arrivals break the by-construction sender order:
+                 merge and re-sort exactly like the batch engine. *)
+              Pid.Map.iter
+                (fun dst q ->
+                  let i = Pid.to_int dst - 1 in
+                  ib.(i) <-
+                    List.sort Envelope.compare_src (List.rev_append q ib.(i)))
+                per);
+          ib
+        end
+      in
+      (* Crashes take effect before the receive phase. *)
+      let procs = Array.copy t.i_procs in
+      let live = ref t.i_live in
+      List.iter
+        (fun victim ->
+          let i = Pid.to_int victim - 1 in
+          match procs.(i) with
+          | Running _ ->
+              procs.(i) <- Crashed round;
+              decr live
+          | Done _ | Crashed _ -> ())
+        plan.Schedule.crashes;
+      (* Receive phase. *)
+      let rev_new = ref [] in
+      for i = 0 to n - 1 do
+        match procs.(i) with
+        | Done _ | Crashed _ -> ()
+        | Running st ->
+            let p = Pid.of_int (i + 1) in
+            let before = A.decision st in
+            let st' = A.on_receive st round inboxes.(i) in
+            let after = A.decision st' in
+            (match (before, after) with
+            | Some v, Some w when not (Value.equal v w) ->
+                failwith
+                  (Format.asprintf
+                     "%s: %a changed its decision from %a to %a in round %d"
+                     A.name Pid.pp p Value.pp v Value.pp w
+                     (Round.to_int round))
+            | Some _, None ->
+                failwith
+                  (Format.asprintf "%s: %a retracted its decision" A.name
+                     Pid.pp p)
+            | None, Some v ->
+                rev_new := { Trace.pid = p; round; value = v } :: !rev_new
+            | None, None | Some _, Some _ -> ());
+            if A.halted st' then begin
+              procs.(i) <- Done (round, st');
+              decr live
+            end
+            else procs.(i) <- Running st'
+      done;
+      {
+        t with
+        i_next = t.i_next + 1;
+        i_procs = procs;
+        i_live = !live;
+        i_late = !late;
+        (* [rev_new] is descending by pid, so prepending keeps the same
+           shape [step] produces: per-round decisions sorted by pid once
+           the whole list is reversed. *)
+        i_rev_decisions = !rev_new @ t.i_rev_decisions;
+      }
+
+    let finish ?max_rounds ~schedule t =
+      let max_rounds =
+        Option.value max_rounds
+          ~default:(default_max_rounds t.i_config schedule)
+      in
+      let n = Config.n t.i_config in
+      let horizon = Schedule.horizon schedule in
+      let rec loop t =
+        if t.i_live = 0 || t.i_next > max_rounds then t
+        else
+          let cplan =
+            if t.i_next <= horizon then
+              Schedule.compile_plan ~n
+                (Schedule.plan_at schedule (Round.of_int t.i_next))
+            else Schedule.compiled_empty_plan
+          in
+          loop (step t cplan)
+      in
+      let t = loop t in
+      {
+        Trace.algorithm = A.name;
+        config = t.i_config;
+        proposals = t.i_proposals;
+        schedule;
+        decisions = decisions t;
+        crashes = crashed t;
+        rounds_executed = t.i_next - 1;
+        all_halted = t.i_live = 0;
+        records = [];
+      }
+  end
 
   let run ?(record = false) ?(sink = Obs.Sink.noop) ?max_rounds config
       ~proposals schedule =

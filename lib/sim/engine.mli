@@ -45,6 +45,47 @@ module Make (A : Algorithm.S) : sig
   val crashed : sys -> (Pid.t * Round.t) list
   val all_halted : sys -> bool
 
+  (** A resumable execution core for the model checker.
+
+      Semantically identical to stepping [sys] round by round, but on a
+      representation tuned for the checker's DFS over adversary choices:
+      flat process arrays, pre-sorted inboxes, a shared envelope list for
+      quiet rounds and precompiled plans ({!Schedule.compiled_plan}). Each
+      {!Incremental.step} returns a fresh immutable value, so the DFS forks
+      the state at every choice point and the shared prefix of two
+      schedules is executed exactly once.
+
+      Unlike {!run}, the incremental core records no round records and
+      emits no events — it exists to make exhaustive sweeps fast. *)
+  module Incremental : sig
+    type t
+    (** Immutable system state between rounds. *)
+
+    val start : Config.t -> proposals:Value.t Pid.Map.t -> t
+    (** Initial state; [proposals] must bind exactly [p1..pn]. *)
+
+    val step : t -> Schedule.compiled_plan -> t
+    (** Execute one full round. Raises [Failure] on a decision-stability
+        violation, with the same message as the batch engine. *)
+
+    val next_round : t -> Round.t
+    val all_halted : t -> bool
+    val decisions : t -> Trace.decision list
+    val crashed : t -> (Pid.t * Round.t) list
+
+    val finish : ?max_rounds:int -> schedule:Schedule.t -> t -> Trace.t
+    (** Step with [schedule]'s remaining plans (empty past the horizon)
+        until all processes halt or [max_rounds] rounds have executed
+        (default {!default_max_rounds}), then package the trace. The
+        resulting trace equals what {!run} produces for the same config,
+        proposals and schedule, except [records] is always empty.
+
+        When the state was advanced manually via {!step}, pass the
+        schedule those plans came from (or an explicit [max_rounds]
+        consistent with it) so the bound and [Trace.t.schedule] are
+        right. *)
+  end
+
   val run :
     ?record:bool ->
     ?sink:Obs.Sink.t ->
@@ -67,3 +108,10 @@ end
 
 val default_max_rounds : Config.t -> Schedule.t -> int
 (** The bound [run] uses when [max_rounds] is omitted. *)
+
+val round_bound : Config.t -> horizon:int -> gst:int -> int
+(** The same bound computed from a horizon and gst directly, for callers
+    (the incremental checker) that build plans round by round and have no
+    {!Schedule.t} in hand: [default_max_rounds config s] equals
+    [round_bound config ~horizon:(Schedule.horizon s)
+    ~gst:(Round.to_int (Schedule.gst s))]. *)

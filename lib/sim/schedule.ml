@@ -70,6 +70,38 @@ let fate s ~src ~dst ~round =
     | Some (_, _, until) -> Delayed_until until
     | None -> Same_round
 
+(* ------------------------------------------------------------------ *)
+(* Compiled plans                                                      *)
+
+type compiled_plan = {
+  source : plan;
+  c_n : int;
+  fates : fate array;
+      (* [(src-1) * c_n + (dst-1)]; length 0 iff the plan is quiet (no
+         losses or delays), in which case every fate is [Same_round]. *)
+}
+
+let compile_plan ~n plan =
+  if plan.lost = [] && plan.delayed = [] then
+    { source = plan; c_n = n; fates = [||] }
+  else begin
+    let fates = Array.make (n * n) Same_round in
+    let slot src dst = ((Pid.to_int src - 1) * n) + (Pid.to_int dst - 1) in
+    List.iter (fun (src, dst) -> fates.(slot src dst) <- Lost) plan.lost;
+    List.iter
+      (fun (src, dst, until) -> fates.(slot src dst) <- Delayed_until until)
+      plan.delayed;
+    { source = plan; c_n = n; fates }
+  end
+
+let compiled_empty_plan = { source = empty_plan; c_n = 0; fates = [||] }
+let compiled_source c = c.source
+let compiled_quiet c = Array.length c.fates = 0
+
+let compiled_fate c ~src ~dst =
+  if Array.length c.fates = 0 then Same_round
+  else c.fates.(((Pid.to_int src - 1) * c.c_n) + (Pid.to_int dst - 1))
+
 (* The minimal round from which every later round satisfies the synchrony
    clauses: no loss or delay except for messages sent in their sender's crash
    round. *)

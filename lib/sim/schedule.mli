@@ -85,6 +85,31 @@ val fate : t -> src:Pid.t -> dst:Pid.t -> round:Round.t -> fate
 (** What happens to the message sent by [src] to [dst] in [round] (assuming
     [src] is alive to send it). *)
 
+type compiled_plan
+(** A {!plan} precompiled into an O(1) per-[(src, dst)] fate lookup — the
+    engine routes [n * n] copies per round, so the checker hot path must
+    not scan [plan.lost]/[plan.delayed] lists per copy. Quiet plans (no
+    losses or delays — the overwhelmingly common case in sweeps) compile
+    to a zero-allocation representation. *)
+
+val compile_plan : n:int -> plan -> compiled_plan
+(** Compile one round plan for an [n]-process system. O(n^2) once,
+    O(1) per {!compiled_fate} query afterwards; O(1) and allocation-free
+    for quiet plans. *)
+
+val compiled_empty_plan : compiled_plan
+(** {!empty_plan}, compiled; valid for any [n]. *)
+
+val compiled_source : compiled_plan -> plan
+(** The plan it was compiled from (crash list, original fate lists). *)
+
+val compiled_quiet : compiled_plan -> bool
+(** No losses and no delays: every fate is [Same_round]. *)
+
+val compiled_fate : compiled_plan -> src:Pid.t -> dst:Pid.t -> fate
+(** O(1). Only meaningful for [src <> dst] with both in [p1..pn] — the
+    engine never consults the fate of a self-delivery. *)
+
 val failure_free_synchronous : t -> bool
 
 val validate : Config.t -> t -> (unit, string) result

@@ -14,6 +14,7 @@ type outcome = {
 
 val over :
   ?check:[ `Full | `Safety_only | `None ] ->
+  ?jobs:int ->
   ?metrics:Obs.Metrics.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
@@ -25,7 +26,13 @@ val over :
     (for runs designed to stall an algorithm); [`None] records rounds
     only. When [metrics] is given, progress is reported into it: the
     [search.runs] and [search.violations] counters and the
-    [search.decision_round] histogram. *)
+    [search.decision_round] histogram.
+
+    [jobs] (default 1) > 1 materialises the sequence and spreads it over
+    that many domains ({!Kernel.Par}), merging shard outcomes in sequence
+    order — the outcome (worst schedule, violation order included) is
+    identical to the serial fold, and metrics are reported once at the end
+    from the calling domain. *)
 
 val random_synchronous :
   ?samples:int ->

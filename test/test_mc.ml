@@ -10,13 +10,13 @@ let c52 = config ~n:5 ~t:2
 
 let test_serial_choices () =
   let alive = Pid.Set.universe ~n:3 in
-  let all = Mc.Serial.choices ~policy:Mc.Serial.All_subsets c31 ~alive ~crashes_left:1 in
+  let all = Mc.Serial.choices ~policy:Mc.Serial.All_subsets ~alive ~crashes_left:1 in
   (* no-crash + 3 victims x 2^2 subsets *)
   check_int "all-subsets branching" 13 (List.length all);
-  let pre = Mc.Serial.choices ~policy:Mc.Serial.Prefixes c31 ~alive ~crashes_left:1 in
+  let pre = Mc.Serial.choices ~policy:Mc.Serial.Prefixes ~alive ~crashes_left:1 in
   (* no-crash + 3 victims x 3 prefixes *)
   check_int "prefix branching" 10 (List.length pre);
-  let none = Mc.Serial.choices ~policy:Mc.Serial.Prefixes c31 ~alive ~crashes_left:0 in
+  let none = Mc.Serial.choices ~policy:Mc.Serial.Prefixes ~alive ~crashes_left:0 in
   check_int "no budget" 1 (List.length none)
 
 let test_serial_enumerate_count () =
@@ -26,6 +26,38 @@ let test_serial_enumerate_count () =
   (* depth 2 with budget 1: crash in round 1 leaves only No_crash after *)
   check_int "depth 2" (12 + 13)
     (Mc.Serial.count ~policy:Mc.Serial.All_subsets c31 ~horizon:2)
+
+(* Closed-form count of serial choice sequences: with [a] alive processes
+   and [b] crashes left, a round offers 1 no-crash choice plus (for each of
+   the [a] victims) one receiver set per policy —
+
+     C(a, b, 0) = 1
+     C(a, b, h) = C(a, b, h-1) + branch(a) * C(a-1, b-1, h-1)   if b > 0
+     C(a, 0, h) = 1
+
+   where branch(a) = a * a for Prefixes (a victims x a survivor prefixes,
+   empty included) and a * 2^(a-1) for All_subsets. *)
+let rec closed_form ~branch a b h =
+  if h = 0 then 1
+  else
+    closed_form ~branch a b (h - 1)
+    + (if b > 0 then branch a * closed_form ~branch (a - 1) (b - 1) (h - 1)
+       else 0)
+
+let test_serial_count_closed_form () =
+  List.iter
+    (fun (policy, pol_name, branch) ->
+      List.iter
+        (fun (n, t, h) ->
+          check_int
+            (Printf.sprintf "%s n=%d t=%d h=%d" pol_name n t h)
+            (closed_form ~branch n t h)
+            (Mc.Serial.count ~policy (config ~n ~t) ~horizon:h))
+        [ (3, 1, 1); (3, 1, 3); (4, 1, 3); (4, 2, 3); (5, 1, 2); (5, 2, 4) ])
+    [
+      (Mc.Serial.Prefixes, "prefixes", fun a -> a * a);
+      (Mc.Serial.All_subsets, "all-subsets", fun a -> a * (1 lsl (a - 1)));
+    ]
 
 let test_serial_to_schedule () =
   let choices =
@@ -81,6 +113,53 @@ let test_exhaustive_at2 () =
   check_int "max = t+2" 3 r.Mc.Exhaustive.max_decision;
   check_bool "no violations" true (r.Mc.Exhaustive.violations = []);
   check_bool "many runs" true (r.Mc.Exhaustive.runs > 500)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: incremental and parallel sweeps == the serial sweep     *)
+
+(* Field-by-field equality, violation order included — "bit-identical" is
+   the correctness anchor of the prefix-sharing and parallel drivers. *)
+let result_equal (a : Mc.Exhaustive.result) (b : Mc.Exhaustive.result) =
+  a.Mc.Exhaustive.runs = b.Mc.Exhaustive.runs
+  && a.Mc.Exhaustive.max_decision = b.Mc.Exhaustive.max_decision
+  && a.Mc.Exhaustive.min_decision = b.Mc.Exhaustive.min_decision
+  && a.Mc.Exhaustive.max_witness = b.Mc.Exhaustive.max_witness
+  && a.Mc.Exhaustive.undecided_runs = b.Mc.Exhaustive.undecided_runs
+  && a.Mc.Exhaustive.violations = b.Mc.Exhaustive.violations
+
+let test_sweep_determinism () =
+  (* n=4 with t in {1,2} where the algorithm's resilience admits it:
+     A(t+2) needs 2t < n and AF+2 needs 3t < n, so their t=2 rows move to
+     the nearest feasible config (n=5 for A(t+2)); FloodSet covers both
+     n=4 resiliences. *)
+  List.iter
+    (fun (algo, name, n, t) ->
+      let config = config ~n ~t in
+      let proposals = Sim.Runner.distinct_proposals config in
+      let horizon = t + 2 in
+      let s = Mc.Exhaustive.sweep ~algo ~config ~proposals ~horizon () in
+      let i =
+        Mc.Exhaustive.sweep_incremental ~algo ~config ~proposals ~horizon ()
+      in
+      let p =
+        Mc.Parallel.sweep ~jobs:4 ~algo ~config ~proposals ~horizon ()
+      in
+      check_bool (name ^ ": incremental == serial") true (result_equal s i);
+      check_bool (name ^ ": parallel == serial") true (result_equal s p))
+    [
+      (floodset, "floodset n=4 t=1", 4, 1);
+      (floodset, "floodset n=4 t=2", 4, 2);
+      (at2, "at2 n=4 t=1", 4, 1);
+      (at2, "at2 n=5 t=2", 5, 2);
+      (af2, "af2 n=4 t=1", 4, 1);
+    ]
+
+let test_sweep_binary_determinism () =
+  let s = Mc.Exhaustive.sweep_binary ~algo:at2 ~config:c41 () in
+  let i = Mc.Exhaustive.sweep_binary_incremental ~algo:at2 ~config:c41 () in
+  let p = Mc.Parallel.sweep_binary ~jobs:4 ~algo:at2 ~config:c41 () in
+  check_bool "binary incremental == serial" true (result_equal s i);
+  check_bool "binary parallel == serial" true (result_equal s p)
 
 (* ------------------------------------------------------------------ *)
 (* Valency                                                             *)
@@ -269,6 +348,8 @@ let () =
         [
           Alcotest.test_case "choices" `Quick test_serial_choices;
           Alcotest.test_case "enumerate count" `Quick test_serial_enumerate_count;
+          Alcotest.test_case "count closed form" `Quick
+            test_serial_count_closed_form;
           Alcotest.test_case "to_schedule" `Quick test_serial_to_schedule;
           prop_serial_schedules_valid;
         ] );
@@ -276,6 +357,9 @@ let () =
         [
           Alcotest.test_case "floodset t+1" `Quick test_exhaustive_floodset;
           Alcotest.test_case "at2 exactly t+2" `Slow test_exhaustive_at2;
+          Alcotest.test_case "sweep determinism" `Quick test_sweep_determinism;
+          Alcotest.test_case "binary sweep determinism" `Quick
+            test_sweep_binary_determinism;
         ] );
       ( "valency",
         [

@@ -446,6 +446,29 @@ let prop_engine_deterministic =
       in
       run_once () = run_once ())
 
+(* The resumable checker core replays [run] exactly — decisions, crash
+   records, round count and halting flag — on arbitrary ES schedules,
+   which exercise crashes, losses and delayed deliveries. *)
+let prop_incremental_matches_run =
+  qtest ~count:60 "incremental core equals run" QCheck.int (fun seed ->
+      let rng = Rng.create ~seed in
+      let cfg = config ~n:4 ~t:2 in
+      let s = Workload.Random_runs.eventually_synchronous rng cfg ~gst:4 () in
+      let proposals = Sim.Runner.distinct_proposals cfg in
+      let matches (Sim.Algorithm.Packed (module A)) =
+        let module F = Sim.Engine.Make (A) in
+        let t1 = F.run cfg ~proposals s in
+        let t2 =
+          F.Incremental.finish ~schedule:s
+            (F.Incremental.start cfg ~proposals)
+        in
+        t1.Sim.Trace.decisions = t2.Sim.Trace.decisions
+        && t1.Sim.Trace.crashes = t2.Sim.Trace.crashes
+        && t1.Sim.Trace.rounds_executed = t2.Sim.Trace.rounds_executed
+        && t1.Sim.Trace.all_halted = t2.Sim.Trace.all_halted
+      in
+      matches floodset && matches floodset_ws)
+
 (* ------------------------------------------------------------------ *)
 (* Trace rendering and queries                                         *)
 
@@ -636,7 +659,11 @@ let () =
           Alcotest.test_case "runner proposals" `Quick test_runner_proposals;
         ] );
       ( "model-invariants",
-        [ prop_engine_respects_model; prop_engine_deterministic ] );
+        [
+          prop_engine_respects_model;
+          prop_engine_deterministic;
+          prop_incremental_matches_run;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "queries" `Quick test_trace_queries;

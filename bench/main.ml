@@ -168,6 +168,35 @@ let mc_workloads () =
   @ sweep_case "at2-n5t2" at2 (Config.make ~n:5 ~t:2)
 
 (* ------------------------------------------------------------------ *)
+(* The fuzz suite: campaign throughput, online monitors on vs off       *)
+
+(* Identical seeded campaigns, so both rows execute the same schedules
+   through the same engine path; the only difference is the per-decision
+   monitor fold and the early abort. The "/monitors-off" row is the
+   baseline sibling (like "/serial" in the mc suite), so the JSON
+   artifact's speedup_vs_serial field reports the monitor overhead ratio
+   directly. *)
+let fuzz_workloads () =
+  let case tag algo config =
+    let proposals = Sim.Runner.distinct_proposals config in
+    let campaign monitor () =
+      ignore
+        (Fuzz.Campaign.run ~monitor ~seed:42 ~runs:60 ~algo ~config ~proposals
+           ~gen:Fuzz.Campaign.default_gen ())
+    in
+    let prefix = "fuzz/" ^ tag in
+    [
+      plain (prefix ^ "/monitors-off") (campaign false);
+      plain (prefix ^ "/monitors-on") (campaign true);
+    ]
+  in
+  let c52 = Config.make ~n:5 ~t:2 in
+  case "at2-n5t2" Expt.Registry.at_plus_2.Expt.Registry.algo c52
+  @ case "floodset-n5t2" Expt.Registry.floodset.Expt.Registry.algo c52
+  @ case "floodset-n9t4" Expt.Registry.floodset.Expt.Registry.algo
+      (Config.make ~n:9 ~t:4)
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifact: BENCH_<date>.json                        *)
 
 type bench_row = {
@@ -219,18 +248,24 @@ let bench_rows workloads =
       { row_name = w.name; runs; mean_s; stddev_s; messages; bytes })
     workloads
 
-(* The sibling ".../serial" row's mean, for speedup annotations in the mc
-   suite: rows are named "mc/<case>/<mode>". *)
+(* The baseline sibling row's mean, for speedup annotations: ".../serial"
+   in the mc suite ("mc/<case>/<mode>") and ".../monitors-off" in the fuzz
+   suite ("fuzz/<case>/monitors-<on|off>"). *)
 let serial_mean_of rows name =
   match String.rindex_opt name '/' with
   | None -> None
   | Some i ->
-      let sibling = String.sub name 0 i ^ "/serial" in
-      if sibling = name then None
-      else
-        List.find_map
-          (fun r -> if r.row_name = sibling then Some r.mean_s else None)
-          rows
+      let find suffix =
+        let sibling = String.sub name 0 i ^ suffix in
+        if sibling = name then None
+        else
+          List.find_map
+            (fun r -> if r.row_name = sibling then Some r.mean_s else None)
+            rows
+      in
+      (match find "/serial" with
+      | Some m -> Some m
+      | None -> find "/monitors-off")
 
 let json_of_suites suites =
   let opt_int = function Some i -> Obs.Json.Int i | None -> Obs.Json.Null in
@@ -342,6 +377,36 @@ let mc_rows () =
     mc_jobs Stats.Table.render table;
   rows
 
+let fuzz_rows () =
+  let rows = bench_rows (fuzz_workloads ()) in
+  let campaign_runs = 60. in
+  let table =
+    List.fold_left
+      (fun table r ->
+        let overhead =
+          match serial_mean_of rows r.row_name with
+          | Some off when r.mean_s > 0. ->
+              Printf.sprintf "%.2fx" (r.mean_s /. off)
+          | _ -> "-"
+        in
+        Stats.Table.add_row table
+          [
+            r.row_name;
+            Printf.sprintf "%.2f ms" (r.mean_s *. 1_000.0);
+            (if r.mean_s > 0. then
+               Printf.sprintf "%.0f" (campaign_runs /. r.mean_s)
+             else "-");
+            overhead;
+          ])
+      (Stats.Table.make
+         ~headers:[ "campaign"; "time/run"; "runs/s"; "vs monitors-off" ])
+      rows
+  in
+  Format.printf
+    "Fuzz campaigns (60 runs each, online monitors on vs off):@.%a@."
+    Stats.Table.render table;
+  rows
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 
@@ -353,10 +418,12 @@ let () =
       run_tables ();
       let micro = micro_rows () in
       let mc = mc_rows () in
-      write_bench_json [ ("micro", micro); ("mc", mc) ]
+      let fuzz = fuzz_rows () in
+      write_bench_json [ ("micro", micro); ("mc", mc); ("fuzz", fuzz) ]
   | _ :: [ "tables" ] -> run_tables ()
   | _ :: [ "micro" ] -> write_bench_json [ ("micro", micro_rows ()) ]
   | _ :: [ "mc" ] -> write_bench_json [ ("mc", mc_rows ()) ]
+  | _ :: [ "fuzz" ] -> write_bench_json [ ("fuzz", fuzz_rows ()) ]
   | _ :: names ->
       List.iter
         (fun name ->
@@ -366,6 +433,7 @@ let () =
               Format.print_newline ()
           | None ->
               Format.eprintf
-                "unknown experiment %S (e1..e10, tables, micro, mc)@." name;
+                "unknown experiment %S (e1..e10, tables, micro, mc, fuzz)@."
+                name;
               exit 2)
         names

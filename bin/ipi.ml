@@ -37,6 +37,17 @@ let lookup_algo label =
       Format.eprintf "unknown algorithm %S; try `ipi list`@." label;
       exit 2
 
+(* The deliberately broken fuzz fixtures are not consensus algorithms, so
+   they live outside the registry; `run` and `fuzz` accept them anyway so a
+   fuzz counterexample can be replayed against the algorithm that produced
+   it. *)
+let lookup_fuzz_fixture ?(raise_at = 2) label =
+  match label with
+  | "eager-floodset" -> Some Fuzz.Faulty.eager_floodset
+  | "raising" -> Some (Fuzz.Faulty.raising ~at:raise_at)
+  | "raising-init" -> Some Fuzz.Faulty.raising_init
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* ipi list                                                             *)
 
@@ -197,7 +208,11 @@ let run_cmd =
   let run label n t seed schedule_name gst diagram dump trace_file trace_format
       metrics =
     let config = Config.make ~n ~t in
-    let entry = lookup_algo label in
+    let algo =
+      match lookup_fuzz_fixture label with
+      | Some algo -> algo
+      | None -> (lookup_algo label).Expt.Registry.algo
+    in
     let schedule = schedule_of_name config ~seed ~gst schedule_name in
     (match Sim.Schedule.validate config schedule with
     | Ok () -> ()
@@ -222,9 +237,15 @@ let run_cmd =
         (if metrics then Obs.Metrics.counting_sink registry else Obs.Sink.noop)
     in
     let trace =
-      Sim.Runner.run ~record:true ~sink entry.Expt.Registry.algo config
-        ~proposals:(Sim.Runner.distinct_proposals config)
-        schedule
+      match
+        Sim.Runner.run ~record:true ~sink algo config
+          ~proposals:(Sim.Runner.distinct_proposals config)
+          schedule
+      with
+      | trace -> trace
+      | exception Sim.Engine.Step_error e ->
+          Format.eprintf "algorithm crashed: %a@." Sim.Engine.pp_step_error e;
+          exit 2
     in
     (* Traced runs also carry the §4 simulated failure-detector view. *)
     if Obs.Sink.enabled sink && trace.Sim.Trace.rounds_executed > 0 then
@@ -417,6 +438,184 @@ let sweep_cmd =
       $ policy_arg $ horizon_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ipi fuzz                                                             *)
+
+let fuzz_cmd =
+  let runs_arg =
+    Cmdliner.Arg.(
+      value & opt int 200
+      & info [ "r"; "runs" ] ~docv:"N" ~doc:"Schedules per campaign.")
+  in
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains; 0 means one per recommended core. The report \
+             is bit-identical across values (unless --budget expires).")
+  in
+  let fuel_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"ROUNDS"
+          ~doc:
+            "Round budget per run (default: the engine bound for each \
+             schedule); exhausting it is reported as a budget-exhausted \
+             outcome, not an error.")
+  in
+  let budget_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget; runs not started before it expires are \
+             skipped (and reported as such).")
+  in
+  let shrink_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Minimize every finding to a 1-minimal schedule.")
+  in
+  let no_monitor_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "no-monitor" ]
+          ~doc:
+            "Disable the online monitor (violations then surface from the \
+             post-hoc check only); for overhead measurements.")
+  in
+  let gen_arg =
+    Cmdliner.Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("mix", `Mix);
+               ("sync", `Sync);
+               ("sync-delays", `Sync_delays);
+               ("es", `Es);
+               ("mutate", `Mutate);
+             ])
+          `Mix
+      & info [ "gen" ] ~docv:"GEN"
+          ~doc:
+            "Schedule generator: mix (default), sync, sync-delays, es, or \
+             mutate (perturb the --base schedule).")
+  in
+  let base_arg =
+    Cmdliner.Arg.(
+      value & opt string "chain"
+      & info [ "base" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Seed schedule for --gen mutate: any name `ipi run -s` \
+             accepts, including $(i,@FILE).")
+  in
+  let gst_arg =
+    Cmdliner.Arg.(
+      value & opt int 3
+      & info [ "gst" ] ~docv:"GST" ~doc:"gst for --gen es schedules.")
+  in
+  let raise_at_arg =
+    Cmdliner.Arg.(
+      value & opt int 2
+      & info [ "raise-at" ] ~docv:"ROUND"
+          ~doc:"Round from which the `raising` fixture algorithm raises.")
+  in
+  let metrics_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the campaign's metrics registry.")
+  in
+  let out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the report (counterexamples as replayable Codec \
+             strings) as JSON to $(docv).")
+  in
+  let expect_clean_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "expect-clean" ]
+          ~doc:
+            "Exit non-zero when the campaign has any finding. Without \
+             this flag findings are data, not errors.")
+  in
+  let lookup_fuzz_algo label ~raise_at =
+    match lookup_fuzz_fixture ~raise_at label with
+    | Some algo -> algo
+    | None -> (lookup_algo label).Expt.Registry.algo
+  in
+  let run label n t seed runs jobs fuel budget_s shrink no_monitor gen_name
+      base gst raise_at print_metrics out expect_clean =
+    let config = Config.make ~n ~t in
+    let algo = lookup_fuzz_algo label ~raise_at in
+    let jobs = if jobs = 0 then Par.default_jobs () else jobs in
+    let gen : Fuzz.Campaign.gen =
+      match gen_name with
+      | `Mix -> Fuzz.Campaign.default_gen
+      | `Sync -> fun config rng -> Workload.Random_runs.synchronous rng config ()
+      | `Sync_delays ->
+          fun config rng ->
+            Workload.Random_runs.synchronous_with_delays rng config ()
+      | `Es ->
+          fun config rng ->
+            Workload.Random_runs.eventually_synchronous rng config ~gst ()
+      | `Mutate ->
+          Fuzz.Campaign.mutation_gen
+            ~base:(schedule_of_name config ~seed ~gst base)
+    in
+    let registry = Obs.Metrics.create () in
+    let report =
+      Fuzz.Campaign.run ~metrics:registry ~jobs ?fuel ?budget_s ~shrink
+        ~monitor:(not no_monitor) ~seed ~runs ~algo ~config
+        ~proposals:(Sim.Runner.distinct_proposals config)
+        ~gen ()
+    in
+    Format.fprintf std "%a@." Fuzz.Campaign.pp_report report;
+    List.iter
+      (fun f -> Format.fprintf std "@.%a@." Fuzz.Campaign.pp_finding f)
+      report.Fuzz.Campaign.findings;
+    (match out with
+    | Some path ->
+        let json =
+          Fuzz.Campaign.to_json
+            ~meta:
+              [
+                ("algo", Obs.Json.String label);
+                ("n", Obs.Json.Int n);
+                ("t", Obs.Json.Int t);
+                ("seed", Obs.Json.Int seed);
+                ("jobs", Obs.Json.Int jobs);
+              ]
+            report
+        in
+        write_file path (fun oc -> output_string oc (Obs.Json.to_string json));
+        Format.fprintf std "@.report written to %s@." path
+    | None -> ());
+    if print_metrics then
+      Format.fprintf std "@.metrics:@.%a@." Obs.Metrics.pp registry;
+    if expect_clean && report.Fuzz.Campaign.findings <> [] then exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "fuzz"
+       ~doc:
+         "Run a seed-reproducible randomized campaign: generate schedules, \
+          execute each under an online safety monitor with fault \
+          containment and a round budget, optionally shrink every finding \
+          to a 1-minimal counterexample.")
+    Cmdliner.Term.(
+      const run $ algo_arg $ n_arg $ t_arg $ seed_arg $ runs_arg $ jobs_arg
+      $ fuel_arg $ budget_arg $ shrink_arg $ no_monitor_arg $ gen_arg
+      $ base_arg $ gst_arg $ raise_at_arg $ metrics_arg $ out_arg
+      $ expect_clean_arg)
+
+(* ------------------------------------------------------------------ *)
 (* ipi figure1                                                          *)
 
 let figure1_cmd =
@@ -476,6 +675,7 @@ let () =
             run_cmd;
             trace_cmd;
             sweep_cmd;
+            fuzz_cmd;
             attack_cmd;
             figure1_cmd;
             verify_cmd;

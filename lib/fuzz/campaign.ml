@@ -1,0 +1,205 @@
+open Kernel
+
+type gen = Config.t -> Rng.t -> Sim.Schedule.t
+
+type finding = {
+  index : int;
+  schedule : Sim.Schedule.t;
+  outcome : Outcome.t;
+  shrunk : Shrink.report option;
+}
+
+type report = {
+  runs : int;
+  skipped : int;
+  passed : int;
+  findings : finding list;
+  shrink_steps : int;
+  wall_s : float;
+}
+
+let default_gen config rng =
+  match Rng.int rng 3 with
+  | 0 -> Workload.Random_runs.synchronous rng config ()
+  | 1 -> Workload.Random_runs.synchronous_with_delays rng config ()
+  | _ ->
+      Workload.Random_runs.eventually_synchronous rng config
+        ~gst:(1 + Rng.int rng 3) ()
+
+let mutation_gen ~base config rng = Workload.Mutate.generator ~base config rng
+
+(* Contiguous slice of runs handled by shard [k] of [jobs] — the same
+   split [Workload.Search.over] uses, so shard boundaries depend only on
+   [runs] and [jobs], never on timing. *)
+let slice ~jobs ~total k =
+  let base = total / jobs and rem = total mod jobs in
+  let lo = (k * base) + min k rem in
+  let hi = lo + base + if k < rem then 1 else 0 in
+  (lo, hi)
+
+let run ?metrics ?(jobs = 1) ?fuel ?budget_s ?(shrink = false)
+    ?(monitor = true) ~seed ~runs ~algo ~config ~proposals ~gen () =
+  let started = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> started +. b) budget_s in
+  (* The schedule stream is drawn serially from the single seeded
+     generator before any shard starts: sharding must repartition the
+     exact same runs, not reseed per shard, or [--jobs] would change what
+     the campaign explores. An explicit loop fixes the evaluation order
+     ([Array.init]'s is unspecified). *)
+  let schedules =
+    let rng = Rng.create ~seed in
+    let rec generate i acc =
+      if i = runs then Array.of_list (List.rev acc)
+      else generate (i + 1) (gen config rng :: acc)
+    in
+    generate 0 []
+  in
+  let jobs = max 1 jobs in
+  let one index =
+    let schedule = schedules.(index) in
+    let outcome =
+      Harness.run_contained ?fuel ~monitor ~algo ~config ~proposals schedule
+    in
+    match Outcome.failure_of outcome with
+    | None -> None
+    | Some _ ->
+        let shrunk =
+          if shrink then
+            Shrink.shrink ?fuel ~algo ~config ~proposals schedule
+          else None
+        in
+        Some { index; schedule; outcome; shrunk }
+  in
+  let shard k () =
+    let lo, hi = slice ~jobs ~total:runs k in
+    let rec go i (processed, skipped, findings) =
+      if i >= hi then (processed, skipped, List.rev findings)
+      else if
+        match deadline with
+        | Some d -> Unix.gettimeofday () > d
+        | None -> false
+      then go (i + 1) (processed, skipped + 1, findings)
+      else
+        let findings =
+          match one i with None -> findings | Some f -> f :: findings
+        in
+        go (i + 1) (processed + 1, skipped, findings)
+    in
+    go lo (0, 0, [])
+  in
+  let shards =
+    Array.to_list
+      (Par.map_tasks ~jobs (Array.init jobs (fun k -> shard k)))
+  in
+  let processed, skipped, findings =
+    List.fold_left
+      (fun (p, s, fs) (p', s', fs') -> (p + p', s + s', fs @ [ fs' ]))
+      (0, 0, []) shards
+  in
+  let findings = List.concat findings in
+  let shrink_steps =
+    List.fold_left
+      (fun acc f ->
+        acc + match f.shrunk with Some r -> r.Shrink.steps | None -> 0)
+      0 findings
+  in
+  let wall_s = Unix.gettimeofday () -. started in
+  let report =
+    {
+      runs = processed;
+      skipped;
+      passed = processed - List.length findings;
+      findings;
+      shrink_steps;
+      wall_s;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      let count cls =
+        Listx.count
+          (fun f -> Outcome.failure_of f.outcome = Some cls)
+          findings
+      in
+      Obs.Metrics.incr ~by:report.runs (Obs.Metrics.counter m "fuzz.runs");
+      Obs.Metrics.incr
+        ~by:
+          (count Outcome.Validity + count Outcome.Agreement
+         + count Outcome.Termination)
+        (Obs.Metrics.counter m "fuzz.violations");
+      Obs.Metrics.incr ~by:(count Outcome.Crash)
+        (Obs.Metrics.counter m "fuzz.crashed");
+      Obs.Metrics.incr ~by:(count Outcome.Fuel)
+        (Obs.Metrics.counter m "fuzz.budget_exhausted");
+      Obs.Metrics.incr ~by:report.skipped
+        (Obs.Metrics.counter m "fuzz.skipped");
+      Obs.Metrics.incr ~by:report.shrink_steps
+        (Obs.Metrics.counter m "fuzz.shrink_steps");
+      Obs.Metrics.set (Obs.Metrics.gauge m "fuzz.jobs") jobs;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram m "fuzz.wall_seconds")
+        report.wall_s;
+      if report.wall_s > 0. then
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram m "fuzz.runs_per_second")
+          (float_of_int report.runs /. report.wall_s));
+  report
+
+let finding_to_json f =
+  let failure =
+    match Outcome.failure_of f.outcome with
+    | Some c -> Obs.Json.String (Format.asprintf "%a" Outcome.pp_failure c)
+    | None -> Obs.Json.Null
+  in
+  let shrunk =
+    match f.shrunk with
+    | None -> Obs.Json.Null
+    | Some r ->
+        Obs.Json.Obj
+          [
+            ("schedule", Obs.Json.String (Sim.Codec.encode r.Shrink.schedule));
+            ("steps", Obs.Json.Int r.Shrink.steps);
+            ("attempts", Obs.Json.Int r.Shrink.attempts);
+          ]
+  in
+  Obs.Json.Obj
+    [
+      ("index", Obs.Json.Int f.index);
+      ("schedule", Obs.Json.String (Sim.Codec.encode f.schedule));
+      ("failure", failure);
+      ("outcome", Obs.Json.String (Format.asprintf "%a" Outcome.pp f.outcome));
+      ("shrunk", shrunk);
+    ]
+
+let to_json ?(meta = []) report =
+  Obs.Json.Obj
+    (meta
+    @ [
+        ("runs", Obs.Json.Int report.runs);
+        ("skipped", Obs.Json.Int report.skipped);
+        ("passed", Obs.Json.Int report.passed);
+        ("findings", Obs.Json.List (List.map finding_to_json report.findings));
+        ("shrink_steps", Obs.Json.Int report.shrink_steps);
+        ("wall_s", Obs.Json.Float report.wall_s);
+      ])
+
+let pp_finding ppf f =
+  Format.fprintf ppf "@[<v2>run #%d: %a@,schedule: %a%a@]" f.index Outcome.pp
+    f.outcome Sim.Schedule.pp f.schedule
+    (fun ppf -> function
+      | None -> ()
+      | Some r ->
+          Format.fprintf ppf
+            "@,shrunk (%d step(s), %d attempt(s)) to: %a" r.Shrink.steps
+            r.Shrink.attempts Sim.Schedule.pp r.Shrink.schedule)
+    f.shrunk
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%d run(s) in %.2fs (%d skipped): %d passed, %d finding(s)%s@]"
+    r.runs r.wall_s r.skipped r.passed
+    (List.length r.findings)
+    (if r.shrink_steps > 0 then
+       Format.sprintf "; %d shrink step(s)" r.shrink_steps
+     else "")

@@ -1,0 +1,82 @@
+(** Seed-reproducible randomized fuzz campaigns.
+
+    A campaign draws [runs] schedules from one seeded generator, executes
+    each through the monitored, contained, fueled {!Harness}, optionally
+    {!Shrink}s every failure, and aggregates a report.
+
+    {b Determinism.} The schedule stream is generated serially from the
+    single [seed] before any shard starts; [jobs] only repartitions the
+    same indexed runs into contiguous slices (executed on {!Kernel.Par}
+    domains), and shard results are merged in shard order. Every report
+    field except [wall_s] is therefore bit-identical across [jobs] values
+    — unless a wall-clock [budget_s] expires mid-campaign, since which
+    runs get skipped then depends on timing. The determinism tests assert
+    the [jobs] invariance. *)
+
+open Kernel
+
+type gen = Config.t -> Rng.t -> Sim.Schedule.t
+(** A schedule generator; all randomness must come from the given rng. *)
+
+type finding = {
+  index : int;  (** position in the campaign's schedule stream *)
+  schedule : Sim.Schedule.t;
+  outcome : Outcome.t;  (** always a failure *)
+  shrunk : Shrink.report option;
+}
+
+type report = {
+  runs : int;  (** runs executed (excludes skipped) *)
+  skipped : int;  (** runs dropped by the wall-clock budget *)
+  passed : int;
+  findings : finding list;  (** in stream order *)
+  shrink_steps : int;  (** accepted reductions across all findings *)
+  wall_s : float;
+}
+
+val default_gen : gen
+(** Mixes {!Workload.Random_runs.synchronous},
+    [synchronous_with_delays] and [eventually_synchronous] (gst 1..3)
+    with equal probability. *)
+
+val mutation_gen : base:Sim.Schedule.t -> gen
+(** Perturbs [base] with 1–3 random {!Workload.Mutate} operators per
+    run — dense exploration of a known-interesting neighbourhood. *)
+
+val run :
+  ?metrics:Obs.Metrics.t ->
+  ?jobs:int ->
+  ?fuel:int ->
+  ?budget_s:float ->
+  ?shrink:bool ->
+  ?monitor:bool ->
+  seed:int ->
+  runs:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  gen:gen ->
+  unit ->
+  report
+(** Run a campaign. [jobs] (default 1) shards across domains; [fuel]
+    bounds each run's rounds (default: the engine bound per schedule);
+    [budget_s] is a wall-clock cap after which remaining runs are
+    {e skipped}, not aborted mid-run; [shrink] (default [false])
+    minimizes every finding; [monitor] (default [true]) enables the
+    online monitor (off = post-hoc checking only, for overhead
+    benchmarks).
+
+    With [metrics] the campaign reports the [fuzz.runs],
+    [fuzz.violations] (safety/termination findings), [fuzz.crashed]
+    (contained faults, [Crashed] + [Raised]), [fuzz.budget_exhausted],
+    [fuzz.skipped] and [fuzz.shrink_steps] counters, the [fuzz.jobs]
+    gauge and the [fuzz.wall_seconds] / [fuzz.runs_per_second]
+    histograms. *)
+
+val to_json : ?meta:(string * Obs.Json.t) list -> report -> Obs.Json.t
+(** Machine-readable report; schedules are embedded as {!Sim.Codec}
+    strings so counterexamples replay with [ipi run --schedule]. [meta]
+    key/values (seed, algorithm, config ...) are prepended verbatim. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,67 @@
+open Kernel
+
+(* One monitored, contained, fueled run on the incremental engine core.
+   Rounds are stepped one by one so the monitor sees each round's new
+   decisions as they happen; past the schedule horizon the shared
+   precompiled empty plan keeps the loop allocation-free. *)
+
+let run ?fuel ?(monitor = true) ~algo:(Sim.Algorithm.Packed (module A))
+    ~config ~proposals schedule =
+  let module E = Sim.Engine.Make (A) in
+  let n = Config.n config in
+  let fuel =
+    Option.value fuel ~default:(Sim.Engine.default_max_rounds config schedule)
+  in
+  let horizon = Sim.Schedule.horizon schedule in
+  let undecided st =
+    let decided = List.map (fun d -> d.Sim.Trace.pid) (E.Incremental.decisions st) in
+    let crashed = List.map fst (E.Incremental.crashed st) in
+    List.filter
+      (fun p ->
+        (not (List.exists (Pid.equal p) decided))
+        && not (List.exists (Pid.equal p) crashed))
+      (Config.processes config)
+  in
+  let completed st ~rounds =
+    let trace = E.Incremental.finish ~max_rounds:fuel ~schedule st in
+    match Sim.Props.check trace with
+    | [] ->
+        Outcome.Passed
+          {
+            rounds;
+            decision_round =
+              Option.map Round.to_int (Sim.Trace.global_decision_round trace);
+          }
+    | violations -> Outcome.Violated { round = rounds; violations }
+  in
+  try
+    let rec go st mon ~seen ~round =
+      if E.Incremental.all_halted st then completed st ~rounds:(round - 1)
+      else if round > fuel then
+        Outcome.Budget_exhausted { fuel; undecided = undecided st }
+      else
+        let plan =
+          if round <= horizon then
+            Sim.Schedule.compile_plan ~n
+              (Sim.Schedule.plan_at schedule (Round.of_int round))
+          else Sim.Schedule.compiled_empty_plan
+        in
+        let st = E.Incremental.step st plan in
+        let decisions = E.Incremental.decisions st in
+        if not monitor then
+          go st mon ~seen:(List.length decisions) ~round:(round + 1)
+        else
+          let mon = Monitor.observe_all mon (Listx.drop seen decisions) in
+          match Monitor.violation mon with
+          | Some v -> Outcome.Violated { round; violations = [ v ] }
+          | None -> go st mon ~seen:(List.length decisions) ~round:(round + 1)
+    in
+    go
+      (E.Incremental.start config ~proposals)
+      (Monitor.create ~proposals) ~seen:0 ~round:1
+  with Sim.Engine.Step_error e -> Outcome.Crashed e
+
+let run_contained ?fuel ?monitor ~algo ~config ~proposals schedule =
+  try run ?fuel ?monitor ~algo ~config ~proposals schedule with
+  | (Stack_overflow | Out_of_memory) as e -> raise e
+  | e -> Outcome.Raised (Printexc.to_string e)

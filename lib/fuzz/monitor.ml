@@ -1,0 +1,44 @@
+open Kernel
+
+type t = {
+  proposed : Value.Set.t;
+  first : Sim.Trace.decision option;
+  violation : Sim.Props.violation option;
+}
+
+let create ~proposals =
+  let proposed =
+    Pid.Map.fold (fun _ v acc -> Value.Set.add v acc) proposals Value.Set.empty
+  in
+  { proposed; first = None; violation = None }
+
+let violation m = m.violation
+let tripped m = m.violation <> None
+
+let observe m (d : Sim.Trace.decision) =
+  if m.violation <> None then m
+  else if not (Value.Set.mem d.value m.proposed) then
+    {
+      m with
+      violation = Some (Sim.Props.Validity { pid = d.pid; value = d.value });
+    }
+  else
+    match m.first with
+    | None -> { m with first = Some d }
+    | Some f ->
+        if Value.equal f.value d.value then m
+        else
+          {
+            m with
+            violation =
+              Some
+                (Sim.Props.Agreement
+                   {
+                     pid_a = f.pid;
+                     value_a = f.value;
+                     pid_b = d.pid;
+                     value_b = d.value;
+                   });
+          }
+
+let observe_all m ds = List.fold_left observe m ds

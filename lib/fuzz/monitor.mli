@@ -1,0 +1,33 @@
+(** Online safety monitor: validity and uniform agreement checked as
+    decisions occur, not after the run.
+
+    Purely functional and O(1) per decision: the monitor keeps the set of
+    proposed values and the first decision seen. Feeding it every decision
+    of a run in order trips it at the {e earliest} violating decision —
+    the harness then aborts the run at that round, which on long schedules
+    is what makes million-run campaigns affordable.
+
+    The verdict agrees with the post-hoc checker by construction: a
+    tripped monitor's violation is always a member of what
+    {!Sim.Props.check_agreement} reports on the completed trace, and a
+    quiet monitor means that check is safety-clean. The qcheck suite
+    asserts this agreement on random runs. *)
+
+open Kernel
+
+type t
+
+val create : proposals:Value.t Pid.Map.t -> t
+(** A fresh monitor for a run with the given proposals. *)
+
+val observe : t -> Sim.Trace.decision -> t
+(** Fold one decision in. Once tripped, the monitor is sticky: further
+    decisions are ignored and the first violation is kept. *)
+
+val observe_all : t -> Sim.Trace.decision list -> t
+
+val tripped : t -> bool
+
+val violation : t -> Sim.Props.violation option
+(** [Some (Validity _)] when a decision's value was never proposed,
+    [Some (Agreement _)] when two decisions differ; [None] otherwise. *)

@@ -1,0 +1,57 @@
+open Kernel
+
+type t =
+  | Passed of { rounds : int; decision_round : int option }
+  | Violated of { round : int; violations : Sim.Props.violation list }
+  | Crashed of Sim.Engine.step_error
+  | Raised of string
+  | Budget_exhausted of { fuel : int; undecided : Pid.t list }
+
+type failure = Validity | Agreement | Termination | Crash | Fuel
+
+let pp_failure ppf f =
+  Format.pp_print_string ppf
+    (match f with
+    | Validity -> "validity"
+    | Agreement -> "agreement"
+    | Termination -> "termination"
+    | Crash -> "crash"
+    | Fuel -> "fuel")
+
+let failure_of = function
+  | Passed _ -> None
+  | Crashed _ | Raised _ -> Some Crash
+  | Budget_exhausted _ -> Some Fuel
+  | Violated { violations; _ } ->
+      (* Agreement outranks validity: a schedule that splits the decision
+         is the stronger counterexample, and the shrinker must preserve
+         the strongest class the run exhibits. *)
+      let has p = List.exists p violations in
+      if has (function Sim.Props.Agreement _ -> true | _ -> false) then
+        Some Agreement
+      else if has (function Sim.Props.Validity _ -> true | _ -> false) then
+        Some Validity
+      else Some Termination
+
+let is_failure o = failure_of o <> None
+
+let pp ppf = function
+  | Passed { rounds; decision_round } ->
+      Format.fprintf ppf "passed in %d round(s)%a" rounds
+        (fun ppf -> function
+          | None -> ()
+          | Some r -> Format.fprintf ppf " (global decision round %d)" r)
+        decision_round
+  | Violated { round; violations } ->
+      Format.fprintf ppf "@[<v>violated at round %d:@,%a@]" round
+        (Format.pp_print_list Sim.Props.pp_violation)
+        violations
+  | Crashed e -> Format.fprintf ppf "crashed: %a" Sim.Engine.pp_step_error e
+  | Raised msg -> Format.fprintf ppf "raised: %s" msg
+  | Budget_exhausted { fuel; undecided } ->
+      Format.fprintf ppf "budget exhausted after %d round(s); undecided: %a"
+        fuel
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Pid.pp)
+        undecided

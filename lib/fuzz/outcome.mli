@@ -1,0 +1,38 @@
+(** The structured result of one monitored fuzz run.
+
+    Plain data — no closures, no abstract state — so outcomes compare with
+    structural equality, which is what the campaign determinism tests
+    (bit-identical reports across [--jobs] values) rely on. *)
+
+open Kernel
+
+type t =
+  | Passed of { rounds : int; decision_round : int option }
+      (** ran to quiescence, no violation; [rounds] is the number of rounds
+          executed and [decision_round] the global decision round (when
+          every correct process decided) *)
+  | Violated of { round : int; violations : Sim.Props.violation list }
+      (** the online monitor aborted the run at [round], or the post-hoc
+          check of a completed run found violations (then [round] is the
+          last round executed) *)
+  | Crashed of Sim.Engine.step_error
+      (** the engine contained an algorithm fault — full pid/round
+          context travels with the outcome *)
+  | Raised of string
+      (** an exception outside the engine's containment (e.g. a raising
+          [Algorithm.init]), caught by the campaign backstop *)
+  | Budget_exhausted of { fuel : int; undecided : Pid.t list }
+      (** the run's round budget ran out before quiescence *)
+
+(** The failure class of an outcome — what the shrinker must preserve.
+    [Violated] collapses to the strongest property broken ([Agreement]
+    outranks [Validity] outranks [Termination]); both [Crashed] and
+    [Raised] are [Crash]; [Budget_exhausted] is [Fuel]. *)
+type failure = Validity | Agreement | Termination | Crash | Fuel
+
+val failure_of : t -> failure option
+(** [None] exactly on [Passed]. *)
+
+val is_failure : t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,130 @@
+open Kernel
+
+type report = {
+  schedule : Sim.Schedule.t;
+  failure : Outcome.failure;
+  steps : int;
+  attempts : int;
+}
+
+let is_empty_plan (p : Sim.Schedule.plan) =
+  p.Sim.Schedule.crashes = [] && p.Sim.Schedule.lost = []
+  && p.Sim.Schedule.delayed = []
+
+(* Dropping trailing empty plans is what turns "empty a late round" into a
+   genuine horizon reduction. *)
+let trim plans =
+  let rec drop = function
+    | p :: rest when is_empty_plan p -> drop rest
+    | rest -> rest
+  in
+  List.rev (drop (List.rev plans))
+
+(* All one-step reductions of a schedule, in the order the greedy loop
+   should try them: empty whole rounds (latest first, so the horizon
+   shrinks as early as possible), then remove single crashes, then single
+   fate entries, then pull gst one round earlier. Candidates are blind;
+   the caller re-validates. *)
+let candidates schedule =
+  let plans = Sim.Schedule.plans schedule in
+  let gst = Round.to_int (Sim.Schedule.gst schedule) in
+  let model = Sim.Schedule.model schedule in
+  let rebuild ?(gst = gst) plans =
+    Sim.Schedule.make ~model ~gst:(Round.of_int gst) (trim plans)
+  in
+  let horizon = List.length plans in
+  let set k p' = List.mapi (fun i p -> if i = k - 1 then p' else p) plans in
+  let update k f = set k (f (List.nth plans (k - 1))) in
+  let empty_rounds =
+    List.filter_map
+      (fun k ->
+        if is_empty_plan (List.nth plans (k - 1)) then None
+        else Some (rebuild (set k Sim.Schedule.empty_plan)))
+      (List.rev (Listx.range 1 horizon))
+  in
+  let per_round f =
+    List.concat_map
+      (fun k -> f k (List.nth plans (k - 1)))
+      (Listx.range 1 horizon)
+  in
+  let drop_crashes =
+    per_round (fun k (p : Sim.Schedule.plan) ->
+        List.map
+          (fun victim ->
+            (* A crash leaves with the same-round entries it justified;
+               keeping orphaned losses on a now-correct sender would just
+               be rejected by the validator. *)
+            rebuild
+              (update k (fun p ->
+                   {
+                     Sim.Schedule.crashes =
+                       List.filter
+                         (fun v -> not (Pid.equal v victim))
+                         p.Sim.Schedule.crashes;
+                     lost =
+                       List.filter
+                         (fun (src, _) -> not (Pid.equal src victim))
+                         p.Sim.Schedule.lost;
+                     delayed =
+                       List.filter
+                         (fun (src, _, _) -> not (Pid.equal src victim))
+                         p.Sim.Schedule.delayed;
+                   })))
+          p.Sim.Schedule.crashes)
+  in
+  let drop_losses =
+    per_round (fun k (p : Sim.Schedule.plan) ->
+        List.map
+          (fun entry ->
+            rebuild
+              (update k (fun p ->
+                   {
+                     p with
+                     Sim.Schedule.lost =
+                       List.filter (fun e -> e <> entry) p.Sim.Schedule.lost;
+                   })))
+          p.Sim.Schedule.lost)
+  in
+  let drop_delays =
+    per_round (fun k (p : Sim.Schedule.plan) ->
+        List.map
+          (fun entry ->
+            rebuild
+              (update k (fun p ->
+                   {
+                     p with
+                     Sim.Schedule.delayed =
+                       List.filter (fun e -> e <> entry) p.Sim.Schedule.delayed;
+                   })))
+          p.Sim.Schedule.delayed)
+  in
+  let pull_gst = if gst > 1 then [ rebuild ~gst:(gst - 1) plans ] else [] in
+  empty_rounds @ drop_crashes @ drop_losses @ drop_delays @ pull_gst
+
+let shrink ?fuel ?(max_steps = max_int) ~algo ~config ~proposals schedule =
+  (* One fuel for the original and every candidate: the default bound
+     depends on the horizon, and letting it drift while shrinking would
+     let a [Fuel]-class failure "disappear" for the wrong reason. *)
+  let fuel =
+    Option.value fuel ~default:(Sim.Engine.default_max_rounds config schedule)
+  in
+  let classify s =
+    Outcome.failure_of (Harness.run_contained ~fuel ~algo ~config ~proposals s)
+  in
+  match classify schedule with
+  | None -> None
+  | Some failure ->
+      let attempts = ref 0 in
+      let accept c =
+        incr attempts;
+        Sim.Schedule.validate config c = Ok () && classify c = Some failure
+      in
+      let rec fix s steps =
+        if steps >= max_steps then (s, steps)
+        else
+          match List.find_opt accept (candidates s) with
+          | None -> (s, steps)
+          | Some c -> fix c (steps + 1)
+      in
+      let schedule, steps = fix schedule 0 in
+      Some { schedule; failure; steps; attempts = !attempts }

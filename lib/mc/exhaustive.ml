@@ -1,5 +1,12 @@
 open Kernel
 
+type crashed_run = {
+  choices : Serial.choice list;
+  error : Sim.Engine.step_error;
+}
+
+type shard_failure = { shard : int; context : string; message : string }
+
 type result = {
   runs : int;
   max_decision : int;
@@ -7,6 +14,8 @@ type result = {
   max_witness : Serial.choice list option;
   violations : (Serial.choice list * Sim.Props.violation list) list;
   undecided_runs : int;
+  crashed : crashed_run list;
+  shard_failures : shard_failure list;
 }
 
 let empty =
@@ -17,6 +26,8 @@ let empty =
     max_witness = None;
     violations = [];
     undecided_runs = 0;
+    crashed = [];
+    shard_failures = [];
   }
 
 let add_run acc ~choices ~trace =
@@ -49,6 +60,9 @@ let add_run acc ~choices ~trace =
       in
       if r < acc.min_decision then { acc with min_decision = r } else acc
 
+let add_crashed acc ~choices ~error =
+  { acc with runs = acc.runs + 1; crashed = { choices; error } :: acc.crashed }
+
 let merge a b =
   {
     runs = a.runs + b.runs;
@@ -59,6 +73,8 @@ let merge a b =
        else a.max_witness);
     violations = a.violations @ b.violations;
     undecided_runs = a.undecided_runs + b.undecided_runs;
+    crashed = a.crashed @ b.crashed;
+    shard_failures = a.shard_failures @ b.shard_failures;
   }
 
 type stopwatch = { wall_started : float; cpu_started : float }
@@ -76,6 +92,12 @@ let report_sweep ?(domains = 1) ?(prefix_hits = 0) metrics ~started result =
         (Obs.Metrics.counter m "mc.violations");
       Obs.Metrics.incr ~by:result.undecided_runs
         (Obs.Metrics.counter m "mc.undecided_runs");
+      Obs.Metrics.incr
+        ~by:(List.length result.crashed)
+        (Obs.Metrics.counter m "mc.crashed_runs");
+      Obs.Metrics.incr
+        ~by:(List.length result.shard_failures)
+        (Obs.Metrics.counter m "mc.shard_failures");
       Obs.Metrics.set
         (Obs.Metrics.gauge m "mc.max_decision_round")
         result.max_decision;
@@ -103,8 +125,10 @@ let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~algo ~config
   let acc = ref empty in
   Serial.enumerate ~policy config ~horizon ~f:(fun choices ->
       let schedule = Serial.to_schedule config choices in
-      let trace = Sim.Runner.run algo config ~proposals schedule in
-      acc := add_run !acc ~choices ~trace);
+      match Sim.Runner.run algo config ~proposals schedule with
+      | trace -> acc := add_run !acc ~choices ~trace
+      | exception Sim.Engine.Step_error error ->
+          acc := add_crashed !acc ~choices ~error);
   report_sweep metrics ~started !acc;
   !acc
 
@@ -138,21 +162,36 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
   let max_rounds = Sim.Engine.round_bound config ~horizon ~gst:1 in
   let leaf_schedule = Serial.to_schedule config [] in
   let edges = ref 0 in
+  (* The DFS state is a [result]: a [Step_error] on an edge poisons the
+     whole subtree below it, and every leaf under that edge records the
+     same crashed run — exactly what the from-scratch [sweep] observes,
+     since a raise in round [r] depends only on the choice prefix up to
+     [r]. The poisoned state is shared, so the subtree costs nothing. *)
   let extend st choice =
-    incr edges;
-    E.Incremental.step st
-      (Sim.Schedule.compile_plan ~n (Serial.plan_of config choice))
+    match st with
+    | Error _ -> st
+    | Ok st -> (
+        incr edges;
+        match
+          E.Incremental.step st
+            (Sim.Schedule.compile_plan ~n (Serial.plan_of config choice))
+        with
+        | st -> Ok st
+        | exception Sim.Engine.Step_error e -> Error e)
   in
   let root =
-    List.fold_left extend (E.Incremental.start config ~proposals) prefix
+    List.fold_left extend (Ok (E.Incremental.start config ~proposals)) prefix
   in
   let acc = ref empty in
   Serial.fold ~policy ~prefix config ~horizon ~root ~step:extend
     ~leaf:(fun choices st ->
-      let trace =
-        E.Incremental.finish ~max_rounds ~schedule:leaf_schedule st
-      in
-      acc := add_run !acc ~choices ~trace);
+      match st with
+      | Error error -> acc := add_crashed !acc ~choices ~error
+      | Ok st -> (
+          match E.Incremental.finish ~max_rounds ~schedule:leaf_schedule st with
+          | trace -> acc := add_run !acc ~choices ~trace
+          | exception Sim.Engine.Step_error error ->
+              acc := add_crashed !acc ~choices ~error));
   (!acc, !edges)
 
 let prefix_hits ~horizon result ~edges = (result.runs * horizon) - edges
@@ -193,4 +232,14 @@ let pp_result ppf r =
     (if undecided && r.max_decision = 0 then "-"
      else string_of_int r.max_decision)
     (List.length r.violations)
-    r.undecided_runs
+    r.undecided_runs;
+  if r.crashed <> [] then
+    Format.fprintf ppf "@,%d crashed run(s), first: %a"
+      (List.length r.crashed)
+      Sim.Engine.pp_step_error
+      (List.nth r.crashed (List.length r.crashed - 1)).error;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,shard %d failed (%s): %s" f.shard f.context
+        f.message)
+    r.shard_failures

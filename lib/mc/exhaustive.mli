@@ -10,6 +10,21 @@
 
 open Kernel
 
+type crashed_run = {
+  choices : Serial.choice list;
+  error : Sim.Engine.step_error;
+}
+(** A schedule whose run raised {!Sim.Engine.Step_error}: the adversary
+    choices to replay it, plus the structured error (algorithm, pid,
+    round, reason). *)
+
+type shard_failure = { shard : int; context : string; message : string }
+(** A {!Parallel} shard whose worker raised something the engine did not
+    contain (e.g. an exception escaping [Algorithm.init]). [shard] is the
+    shard's index in enumeration order and [context] describes the
+    subproblem (first-round choice or proposal assignment) so the failure
+    is reproducible. Serial sweeps never produce these. *)
+
 type result = {
   runs : int;
   max_decision : int;  (** worst global decision round over all runs *)
@@ -19,6 +34,14 @@ type result = {
   undecided_runs : int;
       (** runs where some correct process never decided within the engine
           bound — must be 0 for every terminating algorithm *)
+  crashed : crashed_run list;
+      (** runs contained after a {!Sim.Engine.Step_error}; counted in
+          [runs] but in no other aggregate. Like [violations], the list is
+          the reverse of enumeration order, and serial, incremental and
+          parallel sweeps produce it bit-identically. *)
+  shard_failures : shard_failure list;
+      (** failed {!Parallel} shards, in shard order; their subtrees'
+          runs are not counted anywhere else. *)
 }
 
 val empty : result
@@ -48,8 +71,13 @@ val sweep :
     Every run is simulated from round 1 — the simple baseline;
     {!sweep_incremental} computes the identical result faster.
 
+    A schedule whose run raises {!Sim.Engine.Step_error} is recorded as a
+    {!crashed_run} and the sweep continues — one poisoned schedule never
+    aborts an enumeration.
+
     When [metrics] is given the sweep reports into it: the [mc.runs]
-    (states explored), [mc.violations], [mc.undecided_runs] and
+    (states explored), [mc.violations], [mc.undecided_runs],
+    [mc.crashed_runs], [mc.shard_failures] and
     [mc.prefix_hits] (engine rounds saved by prefix sharing) counters, the
     [mc.max_decision_round] and [mc.domains] gauges, and the
     [mc.sweep_cpu_seconds] / [mc.sweep_wall_seconds] /
@@ -108,8 +136,12 @@ val sweep_prefix :
     stepped during the DFS (for the [mc.prefix_hits] accounting); reports
     no metrics itself. Folding [sweep_prefix] results with {!merge} over
     the first-round choices in order yields exactly
-    {!sweep_incremental}'s result except for the [violations] order (each
-    subtree's violations stay newest-first within the subtree). *)
+    {!sweep_incremental}'s result except for the [violations] and
+    [crashed] orders (each subtree's lists stay newest-first within the
+    subtree). A {!Sim.Engine.Step_error} on an edge of the choice tree
+    poisons the subtree below it: every leaf under the edge is recorded
+    as a {!crashed_run} with that error, matching what the from-scratch
+    {!sweep} observes run by run. *)
 
 type stopwatch
 (** Wall + CPU clocks captured together at sweep start. *)

@@ -9,10 +9,11 @@ open Kernel
 
 let merge_in_order results =
   (* [Exhaustive.merge] folded left-to-right reproduces every field of the
-     one-pass sweep except the violation order: the serial DFS conses
-     violations as it meets them, so its final list is the {e reverse} of
-     enumeration order. Rebuild exactly that by prepending shard lists in
-     shard order (each shard's list is already reversed within itself). *)
+     one-pass sweep except the violation and crashed-run orders: the serial
+     DFS conses both lists as it meets them, so the final lists are the
+     {e reverse} of enumeration order. Rebuild exactly that by prepending
+     shard lists in shard order (each shard's list is already reversed
+     within itself). *)
   let folded = List.fold_left Exhaustive.merge Exhaustive.empty results in
   {
     folded with
@@ -20,10 +21,36 @@ let merge_in_order results =
       List.fold_left
         (fun acc (r : Exhaustive.result) -> r.Exhaustive.violations @ acc)
         [] results;
+    crashed =
+      List.fold_left
+        (fun acc (r : Exhaustive.result) -> r.Exhaustive.crashed @ acc)
+        [] results;
   }
 
+(* Backstop for exceptions the engine does not contain (anything outside a
+   round step, e.g. a raising [Algorithm.init]): catch on the worker domain
+   so [Par.map_tasks] never sees a raise — a raise there would join the
+   pool and re-raise, killing the whole sweep. Each failure keeps its shard
+   index and a human-readable description of the subproblem. *)
+let protect ~context task () =
+  try Ok (task ()) with
+  | (Stack_overflow | Out_of_memory) as e -> raise e
+  | e -> Error (context, Printexc.to_string e)
+
 let shard_results ~jobs tasks =
-  Array.to_list (Par.map_tasks ~jobs (Array.of_list tasks))
+  let sharded = Array.to_list (Par.map_tasks ~jobs (Array.of_list tasks)) in
+  let oks =
+    List.filter_map (function Ok r -> Some r | Error _ -> None) sharded
+  in
+  let failures =
+    List.filter_map
+      (function
+        | _, Ok _ -> None
+        | shard, Error (context, message) ->
+            Some { Exhaustive.shard; context; message })
+      (List.mapi (fun i r -> (i, r)) sharded)
+  in
+  (oks, failures)
 
 let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo ~config
     ~proposals () =
@@ -34,15 +61,20 @@ let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo ~config
       ~alive:(Pid.Set.universe ~n:(Config.n config))
       ~crashes_left:(Config.t config)
   in
-  let shards =
+  let shards, failures =
     shard_results ~jobs
       (List.map
-         (fun first () ->
-           Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config ~proposals
-             ~prefix:[ first ] ())
+         (fun first ->
+           protect
+             ~context:
+               (Format.asprintf "first-round choice %a" Serial.pp_choice first)
+             (fun () ->
+               Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config
+                 ~proposals ~prefix:[ first ] ()))
          firsts)
   in
   let result = merge_in_order (List.map fst shards) in
+  let result = { result with Exhaustive.shard_failures = failures } in
   let edges = List.fold_left (fun acc (_, e) -> acc + e) 0 shards in
   Exhaustive.report_sweep metrics ~started ~domains:(max jobs 1)
     ~prefix_hits:((result.Exhaustive.runs * horizon) - edges)
@@ -53,19 +85,24 @@ let sweep_binary ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
     ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
-  let shards =
+  let assignments = Exhaustive.binary_assignments config in
+  let shards, failures =
     shard_results ~jobs
-      (List.map
-         (fun proposals () ->
-           Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config ~proposals
-             ~prefix:[] ())
-         (Exhaustive.binary_assignments config))
+      (List.mapi
+         (fun i proposals ->
+           protect
+             ~context:(Format.asprintf "proposal assignment #%d" i)
+             (fun () ->
+               Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config
+                 ~proposals ~prefix:[] ()))
+         assignments)
   in
   (* [sweep_binary] merges per-assignment results left-to-right, so the
      plain fold is already bit-identical — no violation reordering. *)
   let result =
     List.fold_left Exhaustive.merge Exhaustive.empty (List.map fst shards)
   in
+  let result = { result with Exhaustive.shard_failures = failures } in
   let edges = List.fold_left (fun acc (_, e) -> acc + e) 0 shards in
   Exhaustive.report_sweep metrics ~started ~domains:(max jobs 1)
     ~prefix_hits:((result.Exhaustive.runs * horizon) - edges)

@@ -12,6 +12,15 @@
     them. This determinism is the correctness anchor of the whole parallel
     path; the determinism tests assert it.
 
+    Fault containment is two-layered. {!Sim.Engine.Step_error}s are
+    contained {e inside} each shard by {!Exhaustive.sweep_prefix} as
+    [crashed] runs. Anything else a worker raises (an exception escaping
+    [Algorithm.init], a bug in the sweep itself) is caught on the worker
+    domain and surfaced as an {!Exhaustive.shard_failure} — with the shard
+    index and a description of its subproblem — in the merged result's
+    [shard_failures], so one poisoned shard neither kills nor deadlocks
+    the {!Kernel.Par} pool and every healthy shard still reports.
+
     [jobs <= 1] degrades to the (single-domain) incremental sweep with no
     domain spawned. *)
 

@@ -1,6 +1,24 @@
 open Kernel
 module Int_map = Map.Make (Int)
 
+type step_error = {
+  algorithm : string;
+  pid : Pid.t;
+  round : Round.t;
+  reason : string;
+}
+
+exception Step_error of step_error
+
+let pp_step_error ppf e =
+  Format.fprintf ppf "%s: %a failed in round %d: %s" e.algorithm Pid.pp e.pid
+    (Round.to_int e.round) e.reason
+
+let () =
+  Printexc.register_printer (function
+    | Step_error e -> Some (Format.asprintf "Engine.Step_error (%a)" pp_step_error e)
+    | _ -> None)
+
 (* Generous: room for the schedule itself, the asynchronous prefix, and a
    full rotation of coordinator phases after gst for the slowest algorithm
    (4 rounds per phase, up to n phases), plus the t+3 framing of A_{t+2}. *)
@@ -12,6 +30,23 @@ let default_max_rounds config schedule =
     ~gst:(Round.to_int (Schedule.gst schedule))
 
 module Make (A : Algorithm.S) = struct
+  let fail ~pid ~round reason =
+    raise (Step_error { algorithm = A.name; pid; round; reason })
+
+  (* The containment boundary: any exception the algorithm's step callbacks
+     raise is rewrapped with process and round context so sweeps and fuzz
+     campaigns can record it as a per-run outcome. Resource exhaustion and
+     already-structured errors pass through untouched. *)
+  let send_guarded st ~pid round =
+    try A.on_send st round with
+    | (Step_error _ | Stack_overflow | Out_of_memory) as e -> raise e
+    | exn -> fail ~pid ~round ("on_send raised " ^ Printexc.to_string exn)
+
+  let receive_guarded st ~pid round inbox =
+    try A.on_receive st round inbox with
+    | (Step_error _ | Stack_overflow | Out_of_memory) as e -> raise e
+    | exn -> fail ~pid ~round ("on_receive raised " ^ Printexc.to_string exn)
+
   type proc =
     | Running of A.state
     | Done of Round.t * A.state  (* halted (returned) in the given round *)
@@ -111,7 +146,7 @@ module Make (A : Algorithm.S) = struct
     let pending =
       List.fold_left
         (fun pending (src, st) ->
-          let payload = A.on_send st round in
+          let payload = send_guarded st ~pid:src round in
           if sys.recording || observing then begin
             let bytes = n * (Algorithm.header_bytes + A.wire_size payload) in
             bytes_sent := !bytes_sent + bytes;
@@ -185,19 +220,14 @@ module Make (A : Algorithm.S) = struct
                          { src = e.src; dst = p; sent = e.sent; round }))
                   inbox;
               let before = A.decision st in
-              let st' = A.on_receive st round inbox in
+              let st' = receive_guarded st ~pid:p round inbox in
               let after = A.decision st' in
               (match (before, after) with
               | Some v, Some w when not (Value.equal v w) ->
-                  failwith
-                    (Format.asprintf
-                       "%s: %a changed its decision from %a to %a in round %d"
-                       A.name Pid.pp p Value.pp v Value.pp w
-                       (Round.to_int round))
-              | Some _, None ->
-                  failwith
-                    (Format.asprintf "%s: %a retracted its decision" A.name
-                       Pid.pp p)
+                  fail ~pid:p ~round
+                    (Format.asprintf "changed its decision from %a to %a"
+                       Value.pp v Value.pp w)
+              | Some _, None -> fail ~pid:p ~round "retracted its decision"
               | None, Some v ->
                   if observing then
                     Obs.Sink.emit sink
@@ -323,9 +353,10 @@ module Make (A : Algorithm.S) = struct
           for src = n downto 1 do
             match t.i_procs.(src - 1) with
             | Running st ->
+                let srcp = Pid.of_int src in
                 all :=
-                  Envelope.make ~src:(Pid.of_int src) ~sent:round
-                    (A.on_send st round)
+                  Envelope.make ~src:srcp ~sent:round
+                    (send_guarded st ~pid:srcp round)
                   :: !all
             | Done _ | Crashed _ -> ()
           done;
@@ -339,7 +370,8 @@ module Make (A : Algorithm.S) = struct
             | Running st ->
                 let srcp = Pid.of_int src in
                 let env =
-                  Envelope.make ~src:srcp ~sent:round (A.on_send st round)
+                  Envelope.make ~src:srcp ~sent:round
+                    (send_guarded st ~pid:srcp round)
                 in
                 for dst = 1 to n do
                   if dst = src then ib.(dst - 1) <- env :: ib.(dst - 1)
@@ -404,19 +436,14 @@ module Make (A : Algorithm.S) = struct
         | Running st ->
             let p = Pid.of_int (i + 1) in
             let before = A.decision st in
-            let st' = A.on_receive st round inboxes.(i) in
+            let st' = receive_guarded st ~pid:p round inboxes.(i) in
             let after = A.decision st' in
             (match (before, after) with
             | Some v, Some w when not (Value.equal v w) ->
-                failwith
-                  (Format.asprintf
-                     "%s: %a changed its decision from %a to %a in round %d"
-                     A.name Pid.pp p Value.pp v Value.pp w
-                     (Round.to_int round))
-            | Some _, None ->
-                failwith
-                  (Format.asprintf "%s: %a retracted its decision" A.name
-                     Pid.pp p)
+                fail ~pid:p ~round
+                  (Format.asprintf "changed its decision from %a to %a"
+                     Value.pp v Value.pp w)
+            | Some _, None -> fail ~pid:p ~round "retracted its decision"
             | None, Some v ->
                 rev_new := { Trace.pid = p; round; value = v } :: !rev_new
             | None, None | Some _, Some _ -> ());

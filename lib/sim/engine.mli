@@ -14,6 +14,33 @@
 
 open Kernel
 
+type step_error = {
+  algorithm : string;
+  pid : Pid.t;
+  round : Round.t;
+  reason : string;
+}
+(** Everything a sweep or fuzz campaign needs to record a poisoned run:
+    which algorithm, which process, in which round, and why. *)
+
+exception Step_error of step_error
+(** The {e only} exception the engine raises from inside a round, for two
+    families of faults:
+
+    - protocol violations the engine itself detects (an algorithm changing
+      or retracting a decided value — decision stability);
+    - any exception the algorithm's [on_send]/[on_receive] callbacks raise,
+      rewrapped with the faulting process and round ([Stack_overflow] and
+      [Out_of_memory] pass through untouched).
+
+    Callers that run many schedules ({!Mc.Exhaustive}, fuzz campaigns)
+    catch it and record a structured per-run outcome instead of letting one
+    poisoned schedule kill the whole sweep. [Invalid_argument] remains
+    reserved for caller misuse at API entry ({!Make.start} with missing
+    proposals). *)
+
+val pp_step_error : Format.formatter -> step_error -> unit
+
 module Make (A : Algorithm.S) : sig
   type sys
   (** Immutable global state between rounds. *)
@@ -30,8 +57,8 @@ module Make (A : Algorithm.S) : sig
 
   val step : sys -> Schedule.plan -> sys
   (** Execute one full round under the given per-round plan. Raises
-      [Failure] if the algorithm violates decision stability (changes a
-      decided value). *)
+      {!Step_error} if the algorithm violates decision stability (changes
+      or retracts a decided value) or if one of its step callbacks raises. *)
 
   val decisions : sys -> Trace.decision list
   (** Chronological. *)
@@ -65,8 +92,9 @@ module Make (A : Algorithm.S) : sig
     (** Initial state; [proposals] must bind exactly [p1..pn]. *)
 
     val step : t -> Schedule.compiled_plan -> t
-    (** Execute one full round. Raises [Failure] on a decision-stability
-        violation, with the same message as the batch engine. *)
+    (** Execute one full round. Raises {!Step_error} on a decision-stability
+        violation or a raising callback, with the same error as the batch
+        engine. *)
 
     val next_round : t -> Round.t
     val all_halted : t -> bool

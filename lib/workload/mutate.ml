@@ -1,0 +1,263 @@
+open Kernel
+
+(* Every operator edits the plan list of a parsed schedule and rebuilds it
+   with [Sim.Schedule.make]; [mutate] then re-validates against the model
+   and falls back to another operator draw when the edit was illegal. The
+   operators never need to be legality-aware themselves, which keeps them
+   simple and lets the validator stay the single source of truth. *)
+
+type op =
+  | Add_crash
+  | Drop_crash
+  | Move_crash
+  | Flip_fate
+  | Drop_loss
+  | Drop_delay
+  | Add_delay
+  | Add_loss
+  | Shift_gst
+
+let all_ops =
+  [
+    Add_crash;
+    Drop_crash;
+    Move_crash;
+    Flip_fate;
+    Drop_loss;
+    Drop_delay;
+    Add_delay;
+    Add_loss;
+    Shift_gst;
+  ]
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Add_crash -> "add-crash"
+    | Drop_crash -> "drop-crash"
+    | Move_crash -> "move-crash"
+    | Flip_fate -> "flip-fate"
+    | Drop_loss -> "drop-loss"
+    | Drop_delay -> "drop-delay"
+    | Add_delay -> "add-delay"
+    | Add_loss -> "add-loss"
+    | Shift_gst -> "shift-gst")
+
+(* Plans as a mutable-length list: pad so round [k] exists, then edit it. *)
+let pad plans k =
+  let len = List.length plans in
+  if len >= k then plans
+  else plans @ List.init (k - len) (fun _ -> Sim.Schedule.empty_plan)
+
+let update_round plans k f =
+  List.mapi
+    (fun i (p : Sim.Schedule.plan) -> if i = k - 1 then f p else p)
+    (pad plans k)
+
+(* Every (round, entry) pair of one fate kind, for uniform picking. *)
+let losses plans =
+  List.concat
+    (List.mapi
+       (fun i (p : Sim.Schedule.plan) ->
+         List.map (fun e -> (i + 1, e)) p.Sim.Schedule.lost)
+       plans)
+
+let delays plans =
+  List.concat
+    (List.mapi
+       (fun i (p : Sim.Schedule.plan) ->
+         List.map (fun e -> (i + 1, e)) p.Sim.Schedule.delayed)
+       plans)
+
+let crashes plans =
+  List.concat
+    (List.mapi
+       (fun i (p : Sim.Schedule.plan) ->
+         List.map (fun v -> (i + 1, v)) p.Sim.Schedule.crashes)
+       plans)
+
+(* Remove a victim's crash from round [k] together with the same-round fate
+   entries it justified — leaving them would orphan losses on a correct
+   sender, which no model admits. *)
+let remove_crash plans k victim =
+  update_round plans k (fun p ->
+      {
+        Sim.Schedule.crashes =
+          List.filter (fun v -> not (Pid.equal v victim)) p.Sim.Schedule.crashes;
+        lost =
+          List.filter
+            (fun (src, _) -> not (Pid.equal src victim))
+            p.Sim.Schedule.lost;
+        delayed =
+          List.filter
+            (fun (src, _, _) -> not (Pid.equal src victim))
+            p.Sim.Schedule.delayed;
+      })
+
+let apply_op rng config op schedule =
+  let n = Config.n config and t = Config.t config in
+  let plans = Sim.Schedule.plans schedule in
+  let horizon = max 1 (Sim.Schedule.horizon schedule) in
+  let gst = Round.to_int (Sim.Schedule.gst schedule) in
+  let model = Sim.Schedule.model schedule in
+  let rebuild ?(gst = gst) plans =
+    Sim.Schedule.make ~model ~gst:(Round.of_int gst) plans
+  in
+  let random_pid () = Pid.of_int (Rng.int_in rng 1 n) in
+  match op with
+  | Add_crash ->
+      if Sim.Schedule.crash_count schedule >= t then None
+      else begin
+        let alive =
+          List.filter
+            (fun p -> Sim.Schedule.crash_round schedule p = None)
+            (Config.processes config)
+        in
+        match Rng.pick_opt rng alive with
+        | None -> None
+        | Some victim ->
+            let k = Rng.int_in rng 1 (horizon + 1) in
+            let kept = Rng.subset rng (Pid.others ~n victim) in
+            let lost =
+              List.filter_map
+                (fun dst ->
+                  if List.exists (Pid.equal dst) kept then None
+                  else Some (victim, dst))
+                (Pid.others ~n victim)
+            in
+            Some
+              (rebuild
+                 (update_round plans k (fun p ->
+                      {
+                        p with
+                        Sim.Schedule.crashes =
+                          victim :: p.Sim.Schedule.crashes;
+                        lost = lost @ p.Sim.Schedule.lost;
+                      })))
+      end
+  | Drop_crash -> (
+      match Rng.pick_opt rng (crashes plans) with
+      | None -> None
+      | Some (k, victim) -> Some (rebuild (remove_crash plans k victim)))
+  | Move_crash -> (
+      match Rng.pick_opt rng (crashes plans) with
+      | None -> None
+      | Some (k, victim) ->
+          let k' = Rng.int_in rng 1 (horizon + 1) in
+          if k' = k then None
+          else
+            let plans = remove_crash plans k victim in
+            Some
+              (rebuild
+                 (update_round plans k' (fun p ->
+                      {
+                        p with
+                        Sim.Schedule.crashes = victim :: p.Sim.Schedule.crashes;
+                      }))))
+  | Flip_fate -> (
+      let flips =
+        List.map (fun e -> `To_delay e) (losses plans)
+        @ List.map (fun e -> `To_loss e) (delays plans)
+      in
+      match Rng.pick_opt rng flips with
+      | None -> None
+      | Some (`To_delay (k, (src, dst))) ->
+          let until = Round.of_int (k + 1 + Rng.int rng 3) in
+          Some
+            (rebuild
+               (update_round plans k (fun p ->
+                    {
+                      p with
+                      Sim.Schedule.lost =
+                        List.filter (fun e -> e <> (src, dst)) p.Sim.Schedule.lost;
+                      delayed = (src, dst, until) :: p.Sim.Schedule.delayed;
+                    })))
+      | Some (`To_loss (k, (src, dst, until))) ->
+          Some
+            (rebuild
+               (update_round plans k (fun p ->
+                    {
+                      p with
+                      Sim.Schedule.delayed =
+                        List.filter
+                          (fun e -> e <> (src, dst, until))
+                          p.Sim.Schedule.delayed;
+                      lost = (src, dst) :: p.Sim.Schedule.lost;
+                    }))))
+  | Drop_loss -> (
+      match Rng.pick_opt rng (losses plans) with
+      | None -> None
+      | Some (k, entry) ->
+          Some
+            (rebuild
+               (update_round plans k (fun p ->
+                    {
+                      p with
+                      Sim.Schedule.lost =
+                        List.filter (fun e -> e <> entry) p.Sim.Schedule.lost;
+                    }))))
+  | Drop_delay -> (
+      match Rng.pick_opt rng (delays plans) with
+      | None -> None
+      | Some (k, entry) ->
+          Some
+            (rebuild
+               (update_round plans k (fun p ->
+                    {
+                      p with
+                      Sim.Schedule.delayed =
+                        List.filter
+                          (fun e -> e <> entry)
+                          p.Sim.Schedule.delayed;
+                    }))))
+  | Add_delay ->
+      let k = Rng.int_in rng 1 horizon in
+      let src = random_pid () in
+      let dst = random_pid () in
+      if Pid.equal src dst then None
+      else
+        let until = Round.of_int (k + 1 + Rng.int rng 3) in
+        Some
+          (rebuild
+             (update_round plans k (fun p ->
+                  {
+                    p with
+                    Sim.Schedule.delayed =
+                      (src, dst, until) :: p.Sim.Schedule.delayed;
+                  })))
+  | Add_loss -> (
+      (* Only a crashing sender's messages may be lost, so pick among
+         crash-round victims. *)
+      match Rng.pick_opt rng (crashes plans) with
+      | None -> None
+      | Some (k, victim) ->
+          let dst = Rng.pick rng (Pid.others ~n victim) in
+          Some
+            (rebuild
+               (update_round plans k (fun p ->
+                    {
+                      p with
+                      Sim.Schedule.lost = (victim, dst) :: p.Sim.Schedule.lost;
+                    }))))
+  | Shift_gst ->
+      let gst' = if Rng.bool rng then gst + 1 else gst - 1 in
+      if gst' < 1 || gst' > horizon + 2 then None
+      else Some (rebuild ~gst:gst' plans)
+
+let mutate ?(tries = 16) rng config schedule =
+  let rec attempt k =
+    if k = 0 then schedule
+    else
+      let op = Rng.pick rng all_ops in
+      match apply_op rng config op schedule with
+      | None -> attempt (k - 1)
+      | Some candidate -> (
+          match Sim.Schedule.validate config candidate with
+          | Ok () -> candidate
+          | Error _ -> attempt (k - 1))
+  in
+  attempt tries
+
+let generator ?(ops_per_run = 3) ~base config rng =
+  let rec go k s = if k = 0 then s else go (k - 1) (mutate rng config s) in
+  go (1 + Rng.int rng (max 1 ops_per_run)) base

@@ -126,6 +126,8 @@ let result_equal (a : Mc.Exhaustive.result) (b : Mc.Exhaustive.result) =
   && a.Mc.Exhaustive.max_witness = b.Mc.Exhaustive.max_witness
   && a.Mc.Exhaustive.undecided_runs = b.Mc.Exhaustive.undecided_runs
   && a.Mc.Exhaustive.violations = b.Mc.Exhaustive.violations
+  && a.Mc.Exhaustive.crashed = b.Mc.Exhaustive.crashed
+  && a.Mc.Exhaustive.shard_failures = b.Mc.Exhaustive.shard_failures
 
 let test_sweep_determinism () =
   (* n=4 with t in {1,2} where the algorithm's resilience admits it:
@@ -160,6 +162,57 @@ let test_sweep_binary_determinism () =
   let p = Mc.Parallel.sweep_binary ~jobs:4 ~algo:at2 ~config:c41 () in
   check_bool "binary incremental == serial" true (result_equal s i);
   check_bool "binary parallel == serial" true (result_equal s p)
+
+(* ------------------------------------------------------------------ *)
+(* Fault containment                                                   *)
+
+(* A raising on_receive is contained as a per-run crashed record — in all
+   three sweep drivers, bit-identically, with full pid/round context. *)
+let test_sweep_contains_step_errors () =
+  let algo = Fuzz.Faulty.raising ~at:2 in
+  let proposals = Sim.Runner.distinct_proposals c31 in
+  let s = Mc.Exhaustive.sweep ~algo ~config:c31 ~proposals ~horizon:2 () in
+  check_bool "every run crashed" true
+    (List.length s.Mc.Exhaustive.crashed = s.Mc.Exhaustive.runs);
+  check_bool "some runs" true (s.Mc.Exhaustive.runs > 0);
+  (match s.Mc.Exhaustive.crashed with
+  | { Mc.Exhaustive.error; _ } :: _ ->
+      check_int "faulting round" 2 (Round.to_int error.Sim.Engine.round);
+      check_bool "algorithm name" true (error.Sim.Engine.algorithm = "Raising@2");
+      check_bool "reason mentions the fault" true
+        (contains error.Sim.Engine.reason "injected fault")
+  | [] -> Alcotest.fail "expected crashed runs");
+  let i =
+    Mc.Exhaustive.sweep_incremental ~algo ~config:c31 ~proposals ~horizon:2 ()
+  in
+  let p =
+    Mc.Parallel.sweep ~jobs:4 ~algo ~config:c31 ~proposals ~horizon:2 ()
+  in
+  check_bool "incremental == serial (crashed included)" true (result_equal s i);
+  check_bool "parallel == serial (crashed included)" true (result_equal s p)
+
+(* An exception outside the engine's containment (raising init) must
+   surface as per-shard failures with shard context — the Par pool joins
+   and the merged result still arrives. *)
+let test_parallel_shard_failures () =
+  let algo = Fuzz.Faulty.raising_init in
+  let proposals = Sim.Runner.distinct_proposals c31 in
+  let r = Mc.Parallel.sweep ~jobs:4 ~algo ~config:c31 ~proposals ~horizon:2 () in
+  check_int "no run completed" 0 r.Mc.Exhaustive.runs;
+  check_bool "every shard failed" true
+    (List.length r.Mc.Exhaustive.shard_failures > 0);
+  List.iteri
+    (fun i (f : Mc.Exhaustive.shard_failure) ->
+      check_int "shards reported in order" i f.Mc.Exhaustive.shard;
+      check_bool "context describes the subproblem" true
+        (f.Mc.Exhaustive.context <> "");
+      check_bool "message kept" true
+        (contains f.Mc.Exhaustive.message "injected init fault"))
+    r.Mc.Exhaustive.shard_failures;
+  (* A healthy sweep reports no shard failures. *)
+  let ok = Mc.Parallel.sweep ~jobs:4 ~algo:floodset ~config:c31 ~proposals () in
+  check_bool "healthy sweep has none" true
+    (ok.Mc.Exhaustive.shard_failures = [])
 
 (* ------------------------------------------------------------------ *)
 (* Valency                                                             *)
@@ -360,6 +413,13 @@ let () =
           Alcotest.test_case "sweep determinism" `Quick test_sweep_determinism;
           Alcotest.test_case "binary sweep determinism" `Quick
             test_sweep_binary_determinism;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "step errors contained in all drivers" `Quick
+            test_sweep_contains_step_errors;
+          Alcotest.test_case "shard failures surface, pool survives" `Quick
+            test_parallel_shard_failures;
         ] );
       ( "valency",
         [

@@ -299,8 +299,12 @@ let test_engine_decision_stability () =
       ~proposals:(Sim.Runner.distinct_proposals cfg)
       quiet_es
   with
-  | (_ : Sim.Trace.t) -> Alcotest.fail "expected Failure on decision change"
-  | exception Failure _ -> ()
+  | (_ : Sim.Trace.t) -> Alcotest.fail "expected Step_error on decision change"
+  | exception Sim.Engine.Step_error { algorithm; pid = _; round; reason } ->
+      check_bool "faulting algorithm" true (algorithm = "flipper");
+      check_int "faulting round" 2 (Round.to_int round);
+      check_bool "reason names the decision change" true
+        (contains reason "decision")
 
 (* ------------------------------------------------------------------ *)
 (* Props                                                               *)

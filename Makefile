@@ -1,0 +1,27 @@
+# Convenience wrappers over dune. `bench` runs the sweep suites and
+# always leaves BENCH_<date>.json at the repo root (the harness anchors
+# the artifact at the nearest dune-project, wherever it is launched
+# from); `bench-full` additionally runs the experiment tables, the
+# micro-benchmarks and the fuzz suite.
+
+.PHONY: all build test bench bench-full verify clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- mc mc-reduction
+
+bench-full:
+	dune exec bench/main.exe
+
+verify:
+	dune exec bin/ipi.exe -- verify
+
+clean:
+	dune clean

@@ -168,6 +168,60 @@ let mc_workloads () =
   @ sweep_case "at2-n5t2" at2 (Config.make ~n:5 ~t:2)
 
 (* ------------------------------------------------------------------ *)
+(* The mc-reduction suite: none vs dedup vs dedup+sym                   *)
+
+(* All reduced rows compute verdicts observationally equivalent to their
+   "/none" sibling (bit-identical for dedup; exact aggregates for
+   dedup+sym — the equivalence tests assert both), so this suite measures
+   pure reduction win. The rows are on FloodSet, the symmetric workhorse:
+   dedup alone is a constant-factor win there, and the binary dedup+sym
+   rows carry the >= 5x acceptance bar (2^5 assignments collapse to 6
+   orbits). Every reduced row is gated: a reduction that benches slower
+   than its unreduced sibling fails the artifact check below. *)
+let reduction_workloads () =
+  let c52 = Config.make ~n:5 ~t:2 in
+  let algo = Expt.Registry.floodset.Expt.Registry.algo in
+  let proposals = Sim.Runner.distinct_proposals c52 in
+  let single =
+    let prefix = "mc-reduction/floodset-n5t2" in
+    [
+      plain (prefix ^ "/none") (fun () ->
+          ignore
+            (Mc.Exhaustive.sweep_incremental ~algo ~config:c52 ~proposals ()));
+      plain (prefix ^ "/dedup") (fun () ->
+          ignore (Mc.Dedup.sweep ~algo ~config:c52 ~proposals ()));
+      plain
+        (Printf.sprintf "%s/dedup-j%d" prefix mc_jobs)
+        (fun () ->
+          ignore
+            (Mc.Parallel.sweep_dedup ~jobs:mc_jobs ~algo ~config:c52
+               ~proposals ()));
+    ]
+  in
+  let binary =
+    let prefix = "mc-reduction/floodset-n5t2-binary" in
+    [
+      plain (prefix ^ "/none") (fun () ->
+          ignore (Mc.Exhaustive.sweep_binary_incremental ~algo ~config:c52 ()));
+      plain (prefix ^ "/dedup") (fun () ->
+          ignore (Mc.Dedup.sweep_binary ~algo ~config:c52 ()));
+      plain (prefix ^ "/dedup+sym") (fun () ->
+          ignore (Mc.Symmetry.sweep_binary ~algo ~config:c52 ()));
+      plain
+        (Printf.sprintf "%s/dedup-j%d" prefix mc_jobs)
+        (fun () ->
+          ignore
+            (Mc.Parallel.sweep_binary_dedup ~jobs:mc_jobs ~algo ~config:c52 ()));
+      plain
+        (Printf.sprintf "%s/dedup+sym-j%d" prefix mc_jobs)
+        (fun () ->
+          ignore
+            (Mc.Parallel.sweep_binary_sym ~jobs:mc_jobs ~algo ~config:c52 ()));
+    ]
+  in
+  single @ binary
+
+(* ------------------------------------------------------------------ *)
 (* The fuzz suite: campaign throughput, online monitors on vs off       *)
 
 (* Identical seeded campaigns, so both rows execute the same schedules
@@ -249,23 +303,26 @@ let bench_rows workloads =
     workloads
 
 (* The baseline sibling row's mean, for speedup annotations: ".../serial"
-   in the mc suite ("mc/<case>/<mode>") and ".../monitors-off" in the fuzz
-   suite ("fuzz/<case>/monitors-<on|off>"). *)
-let serial_mean_of rows name =
+   in the mc suite ("mc/<case>/<mode>"), ".../monitors-off" in the fuzz
+   suite ("fuzz/<case>/monitors-<on|off>") and ".../none" in the
+   mc-reduction suite ("mc-reduction/<case>/<reduction>"). *)
+let sibling_mean_of rows name suffix =
   match String.rindex_opt name '/' with
   | None -> None
   | Some i ->
-      let find suffix =
-        let sibling = String.sub name 0 i ^ suffix in
-        if sibling = name then None
-        else
-          List.find_map
-            (fun r -> if r.row_name = sibling then Some r.mean_s else None)
-            rows
-      in
-      (match find "/serial" with
-      | Some m -> Some m
-      | None -> find "/monitors-off")
+      let sibling = String.sub name 0 i ^ suffix in
+      if sibling = name then None
+      else
+        List.find_map
+          (fun r -> if r.row_name = sibling then Some r.mean_s else None)
+          rows
+
+let serial_mean_of rows name =
+  match sibling_mean_of rows name "/serial" with
+  | Some m -> Some m
+  | None -> sibling_mean_of rows name "/monitors-off"
+
+let none_mean_of rows name = sibling_mean_of rows name "/none"
 
 let json_of_suites suites =
   let opt_int = function Some i -> Obs.Json.Int i | None -> Obs.Json.Null in
@@ -279,6 +336,12 @@ let json_of_suites suites =
                  Obs.Json.Float (serial /. r.mean_s)
              | _ -> Obs.Json.Null
            in
+           let speedup_vs_none =
+             match none_mean_of rows r.row_name with
+             | Some none when r.mean_s > 0. ->
+                 Obs.Json.Float (none /. r.mean_s)
+             | _ -> Obs.Json.Null
+           in
            Obs.Json.Obj
              [
                ("name", Obs.Json.String r.row_name);
@@ -288,6 +351,7 @@ let json_of_suites suites =
                ("messages", opt_int r.messages);
                ("bytes", opt_int r.bytes);
                ("speedup_vs_serial", speedup);
+               ("speedup_vs_none", speedup_vs_none);
              ])
          rows)
   in
@@ -303,11 +367,28 @@ let json_of_suites suites =
           (List.map (fun (name, rows) -> (name, json_of_rows rows)) suites) );
     ]
 
+(* Anchor the artifact at the repo root (the nearest ancestor holding
+   dune-project), so `make bench` and a bare `dune exec bench/main.exe`
+   from any subdirectory agree on where BENCH_<date>.json lands. *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
 let write_bench_json suites =
   let tm = Unix.localtime (Unix.time ()) in
-  let path =
+  let name =
     Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let path =
+    match repo_root () with
+    | Some root -> Filename.concat root name
+    | None -> name
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string (json_of_suites suites));
@@ -377,6 +458,55 @@ let mc_rows () =
     mc_jobs Stats.Table.render table;
   rows
 
+let reduction_rows () =
+  let rows = bench_rows (reduction_workloads ()) in
+  let table =
+    List.fold_left
+      (fun table r ->
+        let speedup =
+          match none_mean_of rows r.row_name with
+          | Some none when r.mean_s > 0. ->
+              Printf.sprintf "%.2fx" (none /. r.mean_s)
+          | _ -> "-"
+        in
+        Stats.Table.add_row table
+          [
+            r.row_name;
+            Printf.sprintf "%.2f ms" (r.mean_s *. 1_000.0);
+            speedup;
+          ])
+      (Stats.Table.make ~headers:[ "sweep"; "time/run"; "vs none" ])
+      rows
+  in
+  Format.printf
+    "State-space reduction (none vs dedup vs dedup+sym, jobs=%d):@.%a@."
+    mc_jobs Stats.Table.render table;
+  rows
+
+(* The no-pessimisation gate: every reduced row must at least match its
+   unreduced "/none" sibling. Returns the offending rows. *)
+let reduction_regressions rows =
+  List.filter_map
+    (fun r ->
+      match none_mean_of rows r.row_name with
+      | Some none when r.mean_s > 0. && none /. r.mean_s < 1.0 ->
+          Some (r.row_name, none /. r.mean_s)
+      | _ -> None)
+    rows
+
+let check_reduction_gate rows =
+  match reduction_regressions rows with
+  | [] -> true
+  | slow ->
+      List.iter
+        (fun (name, speedup) ->
+          Format.eprintf
+            "reduction gate: %s is %.2fx vs its /none sibling (must be >= \
+             1.0)@."
+            name speedup)
+        slow;
+      false
+
 let fuzz_rows () =
   let rows = bench_rows (fuzz_workloads ()) in
   let campaign_runs = 60. in
@@ -412,18 +542,43 @@ let fuzz_rows () =
 
 let run_tables () = Expt.Suite.run_all Format.std_formatter
 
+(* Run the named benchmark suites (one shared artifact, so `main.exe mc
+   mc-reduction` keeps both suites' rows in the same BENCH_<date>.json),
+   then apply the reduction gate if its suite ran. *)
+let run_suites names =
+  let suites =
+    List.map
+      (fun name ->
+        let rows =
+          match name with
+          | "micro" -> micro_rows ()
+          | "mc" -> mc_rows ()
+          | "mc-reduction" -> reduction_rows ()
+          | "fuzz" -> fuzz_rows ()
+          | _ -> assert false
+        in
+        (name, rows))
+      names
+  in
+  write_bench_json suites;
+  let gated =
+    List.concat_map
+      (fun (name, rows) -> if name = "mc-reduction" then rows else [])
+      suites
+  in
+  if not (check_reduction_gate gated) then exit 1
+
+let is_suite = function
+  | "micro" | "mc" | "mc-reduction" | "fuzz" -> true
+  | _ -> false
+
 let () =
   match Array.to_list Sys.argv with
   | [] | _ :: [] ->
       run_tables ();
-      let micro = micro_rows () in
-      let mc = mc_rows () in
-      let fuzz = fuzz_rows () in
-      write_bench_json [ ("micro", micro); ("mc", mc); ("fuzz", fuzz) ]
+      run_suites [ "micro"; "mc"; "mc-reduction"; "fuzz" ]
   | _ :: [ "tables" ] -> run_tables ()
-  | _ :: [ "micro" ] -> write_bench_json [ ("micro", micro_rows ()) ]
-  | _ :: [ "mc" ] -> write_bench_json [ ("mc", mc_rows ()) ]
-  | _ :: [ "fuzz" ] -> write_bench_json [ ("fuzz", fuzz_rows ()) ]
+  | _ :: names when List.for_all is_suite names -> run_suites names
   | _ :: names ->
       List.iter
         (fun name ->
@@ -433,7 +588,8 @@ let () =
               Format.print_newline ()
           | None ->
               Format.eprintf
-                "unknown experiment %S (e1..e10, tables, micro, mc, fuzz)@."
+                "unknown experiment %S (e1..e10, tables, micro, mc, \
+                 mc-reduction, fuzz)@."
                 name;
               exit 2)
         names

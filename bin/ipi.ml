@@ -380,41 +380,102 @@ let sweep_cmd =
       & info [ "horizon" ] ~docv:"ROUNDS"
           ~doc:"Crash horizon in rounds (default t + 2).")
   in
+  let reduce_arg =
+    Cmdliner.Arg.(
+      value
+      & opt
+          (enum [ ("none", `None); ("dedup", `Dedup); ("dedup+sym", `Sym) ])
+          `None
+      & info [ "reduce" ] ~docv:"RED"
+          ~doc:
+            "State-space reduction: none (default), dedup (transposition \
+             table over canonical state fingerprints; bit-identical \
+             verdicts), or dedup+sym (additionally collapse --binary \
+             assignments to the n+1 proposal-count orbits when the \
+             algorithm is symmetric; exact aggregates, one witness per \
+             orbit). Reductions imply incremental mode.")
+  in
   let metrics_arg =
     Cmdliner.Arg.(
       value & flag
       & info [ "metrics" ] ~doc:"Print the sweep's metrics registry.")
   in
-  let run label n t jobs mode binary policy horizon print_metrics =
+  let run label n t jobs mode binary policy horizon reduce print_metrics =
     let config = Config.make ~n ~t in
     let entry = lookup_algo label in
     let algo = entry.Expt.Registry.algo in
     let jobs = if jobs = 0 then Par.default_jobs () else jobs in
     let registry = Obs.Metrics.create () in
     let metrics = registry in
+    let dedup_stats = ref None in
+    let reduced r (s : Mc.Dedup.stats) =
+      dedup_stats := Some s;
+      r
+    in
     let result =
       if binary then
-        if jobs > 1 then
-          Mc.Parallel.sweep_binary ~policy ~metrics ~jobs ?horizon ~algo
-            ~config ()
-        else if mode = `Incremental then
-          Mc.Exhaustive.sweep_binary_incremental ~policy ~metrics ?horizon
-            ~algo ~config ()
-        else Mc.Exhaustive.sweep_binary ~policy ~metrics ?horizon ~algo ~config ()
+        match reduce with
+        | `Sym ->
+            let r, s =
+              if jobs > 1 then
+                Mc.Parallel.sweep_binary_sym ~policy ~metrics ~jobs ?horizon
+                  ~algo ~config ()
+              else
+                Mc.Symmetry.sweep_binary ~policy ~metrics ?horizon ~algo
+                  ~config ()
+            in
+            reduced r s
+        | `Dedup ->
+            let r, s =
+              if jobs > 1 then
+                Mc.Parallel.sweep_binary_dedup ~policy ~metrics ~jobs ?horizon
+                  ~algo ~config ()
+              else
+                Mc.Dedup.sweep_binary ~policy ~metrics ?horizon ~algo ~config
+                  ()
+            in
+            reduced r s
+        | `None ->
+            if jobs > 1 then
+              Mc.Parallel.sweep_binary ~policy ~metrics ~jobs ?horizon ~algo
+                ~config ()
+            else if mode = `Incremental then
+              Mc.Exhaustive.sweep_binary_incremental ~policy ~metrics ?horizon
+                ~algo ~config ()
+            else
+              Mc.Exhaustive.sweep_binary ~policy ~metrics ?horizon ~algo
+                ~config ()
       else begin
         let proposals = Sim.Runner.distinct_proposals config in
-        if jobs > 1 then
-          Mc.Parallel.sweep ~policy ~metrics ~jobs ?horizon ~algo ~config
-            ~proposals ()
-        else if mode = `Incremental then
-          Mc.Exhaustive.sweep_incremental ~policy ~metrics ?horizon ~algo
-            ~config ~proposals ()
-        else
-          Mc.Exhaustive.sweep ~policy ~metrics ?horizon ~algo ~config
-            ~proposals ()
+        match reduce with
+        | `Dedup | `Sym ->
+            (* Symmetry reduces proposal assignments, so on a single fixed
+               assignment dedup+sym degrades to dedup. *)
+            let r, s =
+              if jobs > 1 then
+                Mc.Parallel.sweep_dedup ~policy ~metrics ~jobs ?horizon ~algo
+                  ~config ~proposals ()
+              else
+                Mc.Dedup.sweep ~policy ~metrics ?horizon ~algo ~config
+                  ~proposals ()
+            in
+            reduced r s
+        | `None ->
+            if jobs > 1 then
+              Mc.Parallel.sweep ~policy ~metrics ~jobs ?horizon ~algo ~config
+                ~proposals ()
+            else if mode = `Incremental then
+              Mc.Exhaustive.sweep_incremental ~policy ~metrics ?horizon ~algo
+                ~config ~proposals ()
+            else
+              Mc.Exhaustive.sweep ~policy ~metrics ?horizon ~algo ~config
+                ~proposals ()
       end
     in
     Format.fprintf std "%a@." Mc.Exhaustive.pp_result result;
+    (match !dedup_stats with
+    | Some s -> Format.fprintf std "reduction: %a@." Mc.Dedup.pp_stats s
+    | None -> ());
     (match result.Mc.Exhaustive.max_witness with
     | Some choices ->
         Format.fprintf std "worst run: %a@."
@@ -435,7 +496,7 @@ let sweep_cmd =
           exit if any run violates consensus.")
     Cmdliner.Term.(
       const run $ algo_arg $ n_arg $ t_arg $ jobs_arg $ mode_arg $ binary_arg
-      $ policy_arg $ horizon_arg $ metrics_arg)
+      $ policy_arg $ horizon_arg $ reduce_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi fuzz                                                             *)

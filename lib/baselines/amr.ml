@@ -17,6 +17,9 @@ type state = {
 let name = "AMR-leader"
 let model = Sim.Model.Es
 
+(* Leader-based: the designated leader is selected by id. *)
+let symmetric = false
+
 let init config me v =
   Config.validate_third config;
   { config; me; est = v; cand = v; decision = None; halted = false }

@@ -29,6 +29,9 @@ type state = {
 let name = Q.name
 let model = Sim.Model.Es
 
+(* Rotating coordinator, selected by id. *)
+let symmetric = false
+
 let init config me v =
   Q.validate config;
   {

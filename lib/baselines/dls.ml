@@ -24,6 +24,9 @@ type state = {
 let name = "DLS"
 let model = Sim.Model.Dls_basic
 
+(* Rotating-coordinator phases: not pid-symmetric. *)
+let symmetric = false
+
 let init config me v =
   Config.validate_indulgent config;
   {

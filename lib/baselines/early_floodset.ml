@@ -13,6 +13,9 @@ type state = {
 let name = "EarlyFS"
 let model = Sim.Model.Scs
 
+(* Sender sets and value minima only: fully pid-symmetric. *)
+let symmetric = true
+
 let init config _me v =
   { config; est = v; prev_heard = None; decision = None; halted = false }
 

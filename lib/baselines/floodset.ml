@@ -12,6 +12,10 @@ type state = {
 let name = "FloodSet"
 let model = Sim.Model.Scs
 
+(* Estimates converge to the minimum over value sets; no step consults an
+   id except through pid sets. *)
+let symmetric = true
+
 let init config _pid v =
   { config; seen = Value.Set.singleton v; decision = None; halted = false }
 

@@ -16,6 +16,9 @@ let name = "FloodSetWS"
    detector; its guarantees hold exactly on synchronous schedules. *)
 let model = Sim.Model.Scs
 
+(* Ws_flood tracks pid sets and takes value minima; nothing id-selected. *)
+let symmetric = true
+
 let init config me v =
   { config; me; flood = Ws_flood.init v; decision = None; halted = false }
 

@@ -20,6 +20,9 @@ type state = {
 let name = "HR-<>S"
 let model = Sim.Model.Es
 
+(* Rotating coordinator, selected by id. *)
+let symmetric = false
+
 let init config me v =
   Config.validate_indulgent config;
   { config; me; est = v; heard = None; decision = None; halted = false }

@@ -10,6 +10,7 @@ struct
 
   let name = Format.sprintf "%s+pad%d" A.name D.rounds
   let model = A.model
+  let symmetric = A.symmetric
   let init = A.init
   let shift round = Round.to_int round - D.rounds
 

@@ -19,6 +19,10 @@ type state = {
 let name = G.name
 let model = Sim.Model.Es
 
+(* msgSet keeps the quorum of estimates with the *lowest sender ids*: an
+   id-selected input, so the automaton is not permutation-equivariant. *)
+let symmetric = false
+
 let init config me v =
   G.validate config;
   { config; me; est = v; decision = None; announced = false; halted = false }

@@ -36,6 +36,12 @@ struct
 
   let model = Sim.Model.Es
 
+  (* Phase 1 and the exchange round are pid-symmetric (Ws_flood), but the
+     composed automaton inherits the fallback's symmetry: C runs from
+     round t + 3 in asynchronous runs, and the stock fallbacks are
+     coordinator-based. *)
+  let symmetric = C.symmetric
+
   let init config me v =
     Config.validate_indulgent config;
     {

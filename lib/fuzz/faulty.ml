@@ -20,6 +20,10 @@ module Eager_floodset = struct
 
   let name = "EagerFloodSet"
   let model = Sim.Model.Scs
+
+  (* Same symmetric structure as FloodSet — it is only *early*, not
+     id-dependent — so reduced sweeps can be validated against it too. *)
+  let symmetric = true
   let init config _pid v = { config; seen = Value.Set.singleton v; decision = None }
   let on_send st _round = Flood st.seen
 
@@ -66,6 +70,7 @@ struct
 
   let name = Format.sprintf "Raising@%d" R.at
   let model = Sim.Model.Scs
+  let symmetric = true (* every process raises identically by round *)
   let init _config pid _v = { pid }
   let on_send _st _round = Ping
 
@@ -94,6 +99,7 @@ module Raising_init = struct
 
   let name = "RaisingInit"
   let model = Sim.Model.Scs
+  let symmetric = true
   let init _config _pid _v = failwith "injected init fault"
   let on_send () _round = Ping
   let on_receive () _round _inbox = ()

@@ -1,0 +1,69 @@
+type t = int
+
+let max_pid = Sys.int_size - 1
+
+let check p =
+  if p < 1 || p > max_pid then
+    invalid_arg
+      (Printf.sprintf "Bitset: pid %d outside 1..%d" p max_pid)
+
+let empty = 0
+let is_empty s = s = 0
+let bit p = 1 lsl (p - 1)
+
+let singleton p =
+  check p;
+  bit p
+
+let add p s =
+  check p;
+  s lor bit p
+
+let remove p s =
+  check p;
+  s land lnot (bit p)
+
+let mem p s = p >= 1 && p <= max_pid && s land bit p <> 0
+
+let full ~n =
+  if n < 0 || n > max_pid then
+    invalid_arg (Printf.sprintf "Bitset.full: n %d outside 0..%d" n max_pid);
+  (1 lsl n) - 1
+
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+
+(* Kernighan popcount: one iteration per set bit, and the sets here are
+   process sets (tens of bits at most). *)
+let cardinal s =
+  let rec go acc s = if s = 0 then acc else go (acc + 1) (s land (s - 1)) in
+  go 0 s
+
+(* pid of the lowest set bit: bits are 1-based pids *)
+let rec lowest p v = if v land 1 = 1 then p else lowest (p + 1) (v lsr 1)
+
+let rec fold f s acc =
+  if s = 0 then acc
+  else (* lowest set bit first: iteration order is ascending pid *)
+    fold f (s land (s - 1)) (f (lowest 1 s) acc)
+
+let iter f s = fold (fun p () -> f p) s ()
+let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
+let of_list ps = List.fold_left (fun s p -> add p s) empty ps
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let to_int s = s
+
+let of_pid_set ps = Pid.Set.fold (fun p s -> add (Pid.to_int p) s) ps empty
+
+let to_pid_set s =
+  fold (fun p acc -> Pid.Set.add (Pid.of_int p) acc) s Pid.Set.empty
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (to_list s)

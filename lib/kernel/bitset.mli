@@ -1,0 +1,59 @@
+(** Dense process-id sets packed into one immutable [int].
+
+    Pids are 1-based and at most {!max_pid} ([Sys.int_size - 1], 62 on
+    64-bit platforms) — far above any system size the simulator or model
+    checker runs at. Every operation is branch-free bit arithmetic on an
+    unboxed value, so these sets cost nothing to copy, hash with
+    [Hashtbl.hash] in O(1), and compare with [(=)] canonically: unlike
+    [Pid.Set.t], two bitsets holding the same pids are {e physically} the
+    same integer, which is what makes them usable inside transposition-table
+    keys ({!Mc.Dedup}) and the engine's per-round fate fast path. *)
+
+type t = private int
+
+val max_pid : int
+(** Largest representable pid. Constructors raise [Invalid_argument] on
+    pids outside [1..max_pid]. *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+
+val mem : int -> t -> bool
+(** Total: pids outside [1..max_pid] are simply not members. *)
+
+val full : n:int -> t
+(** [{1, .., n}]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] is the elements of [a] not in [b]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val cardinal : t -> int
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending pid order, like [Pid.Set.fold]. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val to_list : t -> int list
+(** Ascending. *)
+
+val of_list : int list -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_int : t -> int
+(** The raw bits ([bit p-1] set iff [p] is a member): a canonical,
+    allocation-free hash key. *)
+
+val of_pid_set : Pid.Set.t -> t
+val to_pid_set : t -> Pid.Set.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+(** Transposition-table (dedup) sweeps: exact state-space reduction.
+
+    The incremental DFS of {!Exhaustive.sweep_incremental} re-explores
+    subtrees that are reachable from {e identical global states} via
+    different choice prefixes — e.g. crashing [p1] in round 1 versus
+    round 2 after it has already halted, or any two prefixes whose victims'
+    messages were all delivered anyway. This module memoises whole subtree
+    {e results} in a table keyed on
+
+    [(remaining depth, crash budget, alive victim set,
+      {!Sim.Engine.Make.Incremental.fingerprint})]
+
+    so each distinct [(key)] subtree is evaluated once. The memoised
+    fragments store their witness/violation/crashed choice lists relative
+    to the subtree root; on a hit the current prefix is prepended, which
+    keeps every field of the final {!Exhaustive.result} — aggregates,
+    orders of the [violations]/[crashed] lists, the max witness —
+    {e bit-identical} to the unreduced sweep. Only the new
+    [distinct_runs] differs: it counts leaves actually evaluated, while
+    [runs] still counts every run of the full enumeration.
+
+    The reduction is {e exact}, not probabilistic: keys are compared with
+    full structural equality (the hash only routes to a bucket), so a
+    collision can never alias two different states. Budget and alive set
+    are part of the key because they are not derivable from the engine
+    state — crashing an already-halted process spends budget invisibly.
+
+    Each first-round subtree gets a fresh table — the same granularity
+    {!Parallel} shards at — so serial and parallel reduced sweeps agree on
+    every field including [distinct_runs] and {!stats} for any [--jobs]. *)
+
+open Kernel
+
+type stats = {
+  hits : int;  (** subtrees answered from the table *)
+  misses : int;  (** subtrees computed and stored *)
+  entries : int;  (** keys stored, summed over the per-shard tables *)
+  edges : int;  (** engine rounds actually stepped *)
+}
+
+val zero_stats : stats
+val merge_stats : stats -> stats -> stats
+
+val combine : Exhaustive.result -> Exhaustive.result -> Exhaustive.result
+(** [combine acc later] — {!Exhaustive.merge} with the serial list-order
+    convention: the one-pass DFS conses violations and crashed runs as it
+    meets them, so its final lists are the reverse of enumeration order
+    and a {e later} sibling subtree's lists must land in front of [acc]'s.
+    Folding subtree fragments with [combine] in enumeration order is what
+    keeps reduced sweeps bit-identical to unreduced ones. *)
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)], [0.] when nothing was explored. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val sweep :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  Exhaustive.result * stats
+(** {!Exhaustive.sweep_incremental} with the transposition table:
+    bit-identical on every field except [distinct_runs]. Reports the same
+    metrics plus [mc.dedup_hits] / [mc.dedup_entries] /
+    [mc.distinct_runs]. *)
+
+val sweep_binary :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  unit ->
+  Exhaustive.result * stats
+(** {!sweep} over all [2^n] binary assignments (fresh tables per
+    assignment and first-round choice); bit-identical to
+    {!Exhaustive.sweep_binary_incremental} except [distinct_runs]. *)
+
+val sweep_prefix :
+  ?policy:Serial.policy ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  prefix:Serial.choice list ->
+  unit ->
+  Exhaustive.result * stats
+(** The sharding unit (one table, one pinned subtree) — what {!Parallel}
+    distributes across domains; reports no metrics itself. Folding the
+    first-round shards in order with the serial list-order convention
+    yields exactly {!sweep}. *)
+
+val sweep_sharded :
+  ?policy:Serial.policy ->
+  ?horizon:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  Exhaustive.result * stats
+(** {!sweep} without the metrics reporting or timing — the per-assignment
+    unit {!sweep_binary} and {!Symmetry} build on. *)

@@ -9,6 +9,10 @@ type shard_failure = { shard : int; context : string; message : string }
 
 type result = {
   runs : int;
+  distinct_runs : int;
+      (* leaves actually enumerated/simulated; [runs] additionally counts
+         runs answered from a transposition table or scaled up from a
+         symmetry-orbit representative *)
   max_decision : int;
   min_decision : int;
   max_witness : Serial.choice list option;
@@ -21,6 +25,7 @@ type result = {
 let empty =
   {
     runs = 0;
+    distinct_runs = 0;
     max_decision = 0;
     min_decision = max_int;
     max_witness = None;
@@ -31,7 +36,9 @@ let empty =
   }
 
 let add_run acc ~choices ~trace =
-  let acc = { acc with runs = acc.runs + 1 } in
+  let acc =
+    { acc with runs = acc.runs + 1; distinct_runs = acc.distinct_runs + 1 }
+  in
   let acc =
     match Sim.Props.check trace with
     | [] -> acc
@@ -61,11 +68,17 @@ let add_run acc ~choices ~trace =
       if r < acc.min_decision then { acc with min_decision = r } else acc
 
 let add_crashed acc ~choices ~error =
-  { acc with runs = acc.runs + 1; crashed = { choices; error } :: acc.crashed }
+  {
+    acc with
+    runs = acc.runs + 1;
+    distinct_runs = acc.distinct_runs + 1;
+    crashed = { choices; error } :: acc.crashed;
+  }
 
 let merge a b =
   {
     runs = a.runs + b.runs;
+    distinct_runs = a.distinct_runs + b.distinct_runs;
     max_decision = max a.max_decision b.max_decision;
     min_decision = min a.min_decision b.min_decision;
     max_witness =
@@ -82,11 +95,22 @@ type stopwatch = { wall_started : float; cpu_started : float }
 let stopwatch () =
   { wall_started = Unix.gettimeofday (); cpu_started = Sys.time () }
 
-let report_sweep ?(domains = 1) ?(prefix_hits = 0) metrics ~started result =
+let report_sweep ?(domains = 1) ?(prefix_hits = 0) ?dedup ?orbits metrics
+    ~started result =
   match metrics with
   | None -> ()
   | Some m ->
       Obs.Metrics.incr ~by:result.runs (Obs.Metrics.counter m "mc.runs");
+      Obs.Metrics.incr ~by:result.distinct_runs
+        (Obs.Metrics.counter m "mc.distinct_runs");
+      (match dedup with
+      | None -> ()
+      | Some (hits, entries) ->
+          Obs.Metrics.incr ~by:hits (Obs.Metrics.counter m "mc.dedup_hits");
+          Obs.Metrics.set (Obs.Metrics.gauge m "mc.dedup_entries") entries);
+      (match orbits with
+      | None -> ()
+      | Some k -> Obs.Metrics.set (Obs.Metrics.gauge m "mc.orbits") k);
       Obs.Metrics.incr
         ~by:(List.length result.violations)
         (Obs.Metrics.counter m "mc.violations");
@@ -225,9 +249,11 @@ let sweep_binary_incremental ?policy ?metrics ?horizon ~algo ~config () =
 let pp_result ppf r =
   let undecided = r.min_decision = max_int in
   Format.fprintf ppf
-    "@[<v>%d run(s); global decision rounds in [%s, %s]; %d violation(s); \
+    "@[<v>%d run(s)%s; global decision rounds in [%s, %s]; %d violation(s); \
      %d undecided@]"
     r.runs
+    (if r.distinct_runs = r.runs then ""
+     else Format.sprintf " (%d explored, rest from reduction)" r.distinct_runs)
     (if undecided then "-" else string_of_int r.min_decision)
     (if undecided && r.max_decision = 0 then "-"
      else string_of_int r.max_decision)

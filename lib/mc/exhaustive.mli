@@ -27,6 +27,16 @@ type shard_failure = { shard : int; context : string; message : string }
 
 type result = {
   runs : int;
+      (** total runs the sweep accounts for — always equal to the unreduced
+          enumeration count, whatever reduction computed it *)
+  distinct_runs : int;
+      (** leaves actually enumerated or simulated. Unreduced sweeps have
+          [distinct_runs = runs]; {!Mc.Dedup} counts a subtree answered
+          from its transposition table into [runs] but not here, and
+          {!Mc.Symmetry} counts only the orbit representative here while
+          scaling [runs] by the orbit size. The split keeps the reduction
+          honest: aggregates speak for all [runs], work done is
+          [distinct_runs]. *)
   max_decision : int;  (** worst global decision round over all runs *)
   min_decision : int;
   max_witness : Serial.choice list option;
@@ -51,6 +61,19 @@ val merge : result -> result -> result
 (** Aggregate two sweep results. Associative with unit {!empty}; keeps the
     {e first} (left-most) maximal-round witness, so folding shard results in
     enumeration order reproduces exactly the single-sweep result. *)
+
+val add_run :
+  result -> choices:Serial.choice list -> trace:Sim.Trace.t -> result
+(** Fold one finished run into a result: checks {!Sim.Props}, updates the
+    decision-round extremes and counts. The per-leaf step of every sweep
+    driver, exposed for the reduction layer ({!Dedup}). *)
+
+val add_crashed :
+  result ->
+  choices:Serial.choice list ->
+  error:Sim.Engine.step_error ->
+  result
+(** Fold one contained {!Sim.Engine.Step_error} run into a result. *)
 
 val binary_assignments : Config.t -> Value.t Pid.Map.t list
 (** All [2^n] binary proposal assignments, in the subset order
@@ -151,6 +174,8 @@ val stopwatch : unit -> stopwatch
 val report_sweep :
   ?domains:int ->
   ?prefix_hits:int ->
+  ?dedup:int * int ->
+  ?orbits:int ->
   Obs.Metrics.t option ->
   started:stopwatch ->
   result ->
@@ -158,7 +183,12 @@ val report_sweep :
 (** Report a finished sweep into a metrics registry (no-op on [None]):
     the counters and gauges listed under {!sweep}, with [domains]
     (default 1) and [prefix_hits] (default 0, omitted when 0) as
-    annotations from the caller's driver. *)
+    annotations from the caller's driver. Reduced sweeps also pass
+    [dedup] (transposition-table [(hits, entries)], reported as the
+    [mc.dedup_hits] counter and [mc.dedup_entries] gauge) and [orbits]
+    (assignment classes actually swept, the [mc.orbits] gauge); the
+    [mc.distinct_runs] counter is always reported and equals [mc.runs]
+    for unreduced sweeps. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** Prints [[-, -]] for the decision-round interval when no run decided. *)

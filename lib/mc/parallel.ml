@@ -108,3 +108,110 @@ let sweep_binary ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
     ~prefix_hits:((result.Exhaustive.runs * horizon) - edges)
     result;
   result
+
+(* ------------------------------------------------------------------ *)
+(* Reduced (transposition-table / symmetry) parallel sweeps.
+
+   The serial reduced sweeps were deliberately built at this module's shard
+   granularity — {!Dedup.sweep_prefix} is one first-round subtree with its
+   own fresh table, {!Dedup.sweep_sharded} one proposal assignment,
+   {!Symmetry.sweep_orbit} one orbit — so distributing the shards across
+   domains and folding them back in enumeration order reproduces the serial
+   reduced result bit-identically, [distinct_runs] and {!Dedup.stats}
+   included, for any [jobs]. *)
+
+let merge_reduced_in_order shards =
+  List.fold_left
+    (fun (acc, stats) (r, s) -> (Dedup.combine acc r, Dedup.merge_stats stats s))
+    (Exhaustive.empty, Dedup.zero_stats)
+    shards
+
+let report_reduced ?orbits metrics ~started ~jobs ~horizon ~failures
+    (result, (stats : Dedup.stats)) =
+  let result = { result with Exhaustive.shard_failures = failures } in
+  Exhaustive.report_sweep metrics ~started ~domains:(max jobs 1)
+    ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.Dedup.edges)
+    ~dedup:(stats.Dedup.hits, stats.Dedup.entries)
+    ?orbits result;
+  (result, stats)
+
+let sweep_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
+    ~config ~proposals () =
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let started = Exhaustive.stopwatch () in
+  let firsts =
+    Serial.choices ~policy
+      ~alive:(Pid.Set.universe ~n:(Config.n config))
+      ~crashes_left:(Config.t config)
+  in
+  let shards, failures =
+    shard_results ~jobs
+      (List.map
+         (fun first ->
+           protect
+             ~context:
+               (Format.asprintf "first-round choice %a" Serial.pp_choice first)
+             (fun () ->
+               Dedup.sweep_prefix ~policy ~horizon ~algo ~config ~proposals
+                 ~prefix:[ first ] ()))
+         firsts)
+  in
+  report_reduced metrics ~started ~jobs ~horizon ~failures
+    (merge_reduced_in_order shards)
+
+let sweep_binary_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs
+    ~algo ~config () =
+  let horizon = Option.value horizon ~default:(Config.t config + 2) in
+  let started = Exhaustive.stopwatch () in
+  let shards, failures =
+    shard_results ~jobs
+      (List.mapi
+         (fun i proposals ->
+           protect
+             ~context:(Format.asprintf "proposal assignment #%d" i)
+             (fun () ->
+               Dedup.sweep_sharded ~policy ~horizon ~algo ~config ~proposals
+                 ()))
+         (Exhaustive.binary_assignments config))
+  in
+  (* Per-assignment results merge with plain [Exhaustive.merge], matching
+     the serial [Dedup.sweep_binary] fold. *)
+  let merged =
+    List.fold_left
+      (fun (acc, stats) (r, s) ->
+        (Exhaustive.merge acc r, Dedup.merge_stats stats s))
+      (Exhaustive.empty, Dedup.zero_stats)
+      shards
+  in
+  report_reduced metrics ~started ~jobs ~horizon ~failures merged
+
+let sweep_binary_sym ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
+    ~config () =
+  if not (Sim.Algorithm.symmetric algo) then
+    sweep_binary_dedup ~policy ?metrics ?horizon ~jobs ~algo ~config ()
+  else begin
+    let horizon = Option.value horizon ~default:(Config.t config + 2) in
+    let started = Exhaustive.stopwatch () in
+    let orbits = Symmetry.orbits config in
+    let shards, failures =
+      shard_results ~jobs
+        (List.map
+           (fun (orbit : Symmetry.orbit) ->
+             protect
+               ~context:
+                 (Format.asprintf "orbit |ones| = %d"
+                    (Pid.Set.cardinal orbit.Symmetry.ones))
+               (fun () ->
+                 Symmetry.sweep_orbit ~policy ~horizon ~algo ~config ~orbit ()))
+           orbits)
+    in
+    let merged =
+      List.fold_left
+        (fun (acc, stats) (r, s) ->
+          (Exhaustive.merge acc r, Dedup.merge_stats stats s))
+        (Exhaustive.empty, Dedup.zero_stats)
+        shards
+    in
+    report_reduced ~orbits:(List.length orbits) metrics ~started ~jobs ~horizon
+      ~failures merged
+  end

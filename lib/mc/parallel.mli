@@ -51,3 +51,48 @@ val sweep_binary :
   Exhaustive.result
 (** Parallel version of {!Exhaustive.sweep_binary}: the [2^n] proposal
     assignments are the shards. *)
+
+(** {2 Reduced parallel sweeps}
+
+    The reduced serial sweeps shard at exactly this module's granularity —
+    {!Dedup.sweep_prefix} per first-round choice, {!Dedup.sweep_sharded}
+    per assignment, {!Symmetry.sweep_orbit} per orbit, each with fresh
+    transposition tables — so their parallel counterparts below are
+    bit-identical to them on {e every} field, [distinct_runs] and
+    {!Dedup.stats} included, for any [jobs]. *)
+
+val sweep_dedup :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  jobs:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  proposals:Value.t Pid.Map.t ->
+  unit ->
+  Exhaustive.result * Dedup.stats
+(** Parallel {!Dedup.sweep}. *)
+
+val sweep_binary_dedup :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  jobs:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  unit ->
+  Exhaustive.result * Dedup.stats
+(** Parallel {!Dedup.sweep_binary}. *)
+
+val sweep_binary_sym :
+  ?policy:Serial.policy ->
+  ?metrics:Obs.Metrics.t ->
+  ?horizon:int ->
+  jobs:int ->
+  algo:Sim.Algorithm.packed ->
+  config:Config.t ->
+  unit ->
+  Exhaustive.result * Dedup.stats
+(** Parallel {!Symmetry.sweep_binary}: the [n + 1] orbit representatives
+    are the shards. Falls back to {!sweep_binary_dedup} when the algorithm
+    is not {!Sim.Algorithm.S.symmetric}. *)

@@ -1,0 +1,68 @@
+open Kernel
+
+type orbit = {
+  ones : Pid.Set.t;
+  proposals : Value.t Pid.Map.t;
+  multiplicity : int;
+}
+
+(* Exact small binomial: the running product of [i] consecutive integers is
+   divisible by [i!], so every intermediate division is integral. *)
+let choose n k =
+  if k < 0 || k > n then 0
+  else
+    let k = min k (n - k) in
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    go 1 1
+
+let orbits config =
+  let n = Config.n config in
+  List.init (n + 1) (fun k ->
+      let ones = Pid.Set.of_list (List.init k (fun i -> Pid.of_int (i + 1))) in
+      {
+        ones;
+        proposals = Sim.Runner.binary_proposals config ~ones;
+        multiplicity = choose n k;
+      })
+
+let scale m (r : Exhaustive.result) =
+  {
+    r with
+    Exhaustive.runs = r.Exhaustive.runs * m;
+    undecided_runs = r.Exhaustive.undecided_runs * m;
+  }
+
+let sweep_orbit ?policy ?horizon ~algo ~config ~orbit () =
+  let r, stats =
+    Dedup.sweep_sharded ?policy ?horizon ~algo ~config
+      ~proposals:orbit.proposals ()
+  in
+  (scale orbit.multiplicity r, stats)
+
+let sweep_orbits ?policy ?horizon ~algo ~config () =
+  List.map
+    (fun orbit ->
+      let r, stats = sweep_orbit ?policy ?horizon ~algo ~config ~orbit () in
+      (orbit, r, stats))
+    (orbits config)
+
+let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
+  if not (Sim.Algorithm.symmetric algo) then
+    Dedup.sweep_binary ?policy ?metrics ?horizon ~algo ~config ()
+  else begin
+    let horizon = Option.value horizon ~default:(Config.t config + 2) in
+    let started = Exhaustive.stopwatch () in
+    let per_orbit = sweep_orbits ?policy ~horizon ~algo ~config () in
+    let result, stats =
+      List.fold_left
+        (fun (acc, stats) (_, r, s) ->
+          (Exhaustive.merge acc r, Dedup.merge_stats stats s))
+        (Exhaustive.empty, Dedup.zero_stats)
+        per_orbit
+    in
+    Exhaustive.report_sweep metrics ~started
+      ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.Dedup.edges)
+      ~dedup:(stats.Dedup.hits, stats.Dedup.entries)
+      ~orbits:(List.length per_orbit) result;
+    (result, stats)
+  end

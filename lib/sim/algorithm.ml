@@ -30,6 +30,18 @@ module type S = sig
       experiment E9 demonstrates — but the properties it guarantees only hold
       on schedules of its own model. *)
 
+  val symmetric : bool
+  (** Whether the automaton commutes with process-id permutations: for every
+      permutation [pi] of [p1..pn], relabelling pids in the proposals, the
+      schedule and every message/state field yields the relabelled run.
+      Equivalently, no step of the algorithm breaks ties or selects inputs
+      {e by id} (sets of pids, counts and value minima are all fine;
+      "lowest [n - t] sender ids" or a rotating coordinator are not).
+      [Mc.Symmetry] relies on this to sweep one representative per orbit of
+      proposal assignments; declare [false] unless the argument is clear —
+      a wrong [true] silently unsounds symmetry-reduced sweeps, while
+      [false] merely forgoes the reduction. *)
+
   val init : Config.t -> Pid.t -> Value.t -> state
   (** [init config pi v] is the state of process [pi] after [propose(v)] and
       before round 1. *)
@@ -68,3 +80,4 @@ type packed = Packed : (module S with type state = 's and type msg = 'm) -> pack
 
 let name (Packed (module A)) = A.name
 let model (Packed (module A)) = A.model
+let symmetric (Packed (module A)) = A.symmetric

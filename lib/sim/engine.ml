@@ -335,6 +335,60 @@ module Make (A : Algorithm.S) = struct
       done;
       !acc
 
+    (* ---------------------------------------------------------------- *)
+    (* Canonical snapshots.
+
+       Two states with equal fingerprints produce identical sweep verdicts
+       for every suffix of adversary choices: the aggregates a sweep
+       extracts from a finished trace ([Props.check] and
+       [Trace.global_decision_round]) read only the decisions list (values,
+       pids and rounds), the crashed pid set, the proposals (fixed per
+       sweep) and the all-halted flag, while the {e future} evolution is a
+       deterministic function of the running states, the in-flight delayed
+       messages and the round number (part of the caller's key). So the
+       fingerprint keeps [Running] states structurally but collapses [Done]
+       and [Crashed] to bare tags: a halted process has no future behaviour
+       and its halting round is not observable in any verdict, and a
+       crashed process contributes only its pid (via its slot) — crash
+       rounds are dropped by [Trace.correct] and [Props].
+
+       Everything inside is plain immutable data (see {!Algorithm.S} on
+       purity), so polymorphic structural equality and [Hashtbl.hash] are
+       meaningful on it — that is the contract {!Mc.Dedup} relies on.
+       [i_late] is re-keyed to canonical int/bindings form; queue order
+       inside a delivery slot is preserved (it affects inbox order, hence
+       the future), so two states differing only there conservatively miss
+       rather than alias. *)
+
+    type proc_fp = Fp_running of A.state | Fp_done | Fp_crashed
+
+    type fingerprint = {
+      fp_procs : proc_fp array;
+      fp_late : (int * (int * A.msg Envelope.t list) list) list;
+      fp_decisions : Trace.decision list;
+    }
+
+    let fingerprint t =
+      {
+        fp_procs =
+          Array.map
+            (function
+              | Running st -> Fp_running st
+              | Done _ -> Fp_done
+              | Crashed _ -> Fp_crashed)
+            t.i_procs;
+        fp_late =
+          Int_map.fold
+            (fun k per acc ->
+              ( k,
+                List.map
+                  (fun (p, q) -> (Pid.to_int p, q))
+                  (Pid.Map.bindings per) )
+              :: acc)
+            t.i_late [];
+        fp_decisions = t.i_rev_decisions;
+      }
+
     let step t cplan =
       let n = Config.n t.i_config in
       let round = Round.of_int t.i_next in
@@ -363,6 +417,34 @@ module Make (A : Algorithm.S) = struct
           Array.make n !all
         end
         else begin
+          match
+            if late_due = None then Schedule.compiled_single_lost cplan
+            else None
+          with
+          | Some (victim, lost_dsts) ->
+              (* The serial-adversary shape: only [victim]'s messages are
+                 lost, to exactly [lost_dsts]. Build two shared inboxes —
+                 everyone's envelopes, and everyone's except the victim's —
+                 and point each receiver at one of them: ~2n conses per
+                 round instead of n^2, and no per-copy fate query. *)
+              let all = ref [] and reduced = ref [] in
+              for src = n downto 1 do
+                match t.i_procs.(src - 1) with
+                | Running st ->
+                    let srcp = Pid.of_int src in
+                    let env =
+                      Envelope.make ~src:srcp ~sent:round
+                        (send_guarded st ~pid:srcp round)
+                    in
+                    all := env :: !all;
+                    if not (Pid.equal srcp victim) then
+                      reduced := env :: !reduced
+                | Done _ | Crashed _ -> ()
+              done;
+              let all = !all and reduced = !reduced in
+              Array.init n (fun i ->
+                  if Bitset.mem (i + 1) lost_dsts then reduced else all)
+          | None ->
           let ib = Array.make n [] in
           for src = n downto 1 do
             match t.i_procs.(src - 1) with

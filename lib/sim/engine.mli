@@ -101,6 +101,24 @@ module Make (A : Algorithm.S) : sig
     val decisions : t -> Trace.decision list
     val crashed : t -> (Pid.t * Round.t) list
 
+    type fingerprint
+    (** A canonical structural snapshot of the global state: per-process
+        algorithm states (halted and crashed processes collapse to bare
+        tags — their rounds are observable in no sweep verdict), the
+        in-flight delayed messages in canonical key order, and the
+        decisions recorded so far. Two states of the same sweep (same
+        config and proposals) with structurally equal fingerprints at the
+        same round are {e verdict-equivalent}: every suffix of adversary
+        choices leads to traces with identical [Props.check] outcomes and
+        identical global decision rounds. The payload is plain immutable
+        data (the {!Algorithm.S} purity contract), so polymorphic [(=)]
+        and [Hashtbl.hash] are the intended equality and hash — this is
+        what [Mc.Dedup] keys its transposition table on. *)
+
+    val fingerprint : t -> fingerprint
+    (** O(state) to build; allocates a small canonical copy, shares the
+        per-process states. *)
+
     val finish : ?max_rounds:int -> schedule:Schedule.t -> t -> Trace.t
     (** Step with [schedule]'s remaining plans (empty past the horizon)
         until all processes halt or [max_rounds] rounds have executed

@@ -10,13 +10,23 @@ let late inbox ~round =
   List.sort Envelope.compare_src
     (List.filter (fun e -> not (Envelope.is_current e ~round)) inbox)
 
-let senders inbox ~round =
+(* One pass over the raw list, no sort, no tree rebalancing: sender sets
+   are what every failure-detector-ish step computes per round, so they
+   ride on {!Kernel.Bitset}. *)
+let senders_bits inbox ~round =
   List.fold_left
-    (fun acc (e : _ Envelope.t) -> Pid.Set.add e.src acc)
-    Pid.Set.empty (current inbox ~round)
+    (fun acc (e : _ Envelope.t) ->
+      if Envelope.is_current e ~round then Bitset.add (Pid.to_int e.src) acc
+      else acc)
+    Bitset.empty inbox
+
+let suspected_bits ~n inbox ~round =
+  Bitset.diff (Bitset.full ~n) (senders_bits inbox ~round)
+
+let senders inbox ~round = Bitset.to_pid_set (senders_bits inbox ~round)
 
 let suspected ~n inbox ~round =
-  Pid.Set.diff (Pid.Set.universe ~n) (senders inbox ~round)
+  Bitset.to_pid_set (suspected_bits ~n inbox ~round)
 
 let payloads inbox = List.map (fun (e : _ Envelope.t) -> e.payload) inbox
 let current_payloads inbox ~round = payloads (current inbox ~round)
@@ -29,4 +39,5 @@ let from inbox ~src ~round =
       else None)
     inbox
 
-let count_current inbox ~round = List.length (current inbox ~round)
+let count_current inbox ~round =
+  Listx.count (fun e -> Envelope.is_current e ~round) inbox

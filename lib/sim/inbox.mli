@@ -23,7 +23,15 @@ val senders : 'm t -> round:Round.t -> Pid.Set.t
 val suspected : n:int -> 'm t -> round:Round.t -> Pid.Set.t
 (** Complement of {!senders} in the whole process set: exactly the processes
     the receiver suspects in this round, and also the round-[k] output of the
-    failure-detector simulation of Section 4. *)
+    failure-detector simulation of Section 4. Requires
+    [n <= Kernel.Bitset.max_pid]. *)
+
+val senders_bits : 'm t -> round:Round.t -> Kernel.Bitset.t
+(** {!senders} as an unboxed bitset: one pass over the inbox, no sort, no
+    allocation beyond the result. {!senders}/{!suspected} are views over
+    these. *)
+
+val suspected_bits : n:int -> 'm t -> round:Round.t -> Kernel.Bitset.t
 
 val payloads : 'm t -> 'm list
 val current_payloads : 'm t -> round:Round.t -> 'm list

@@ -73,34 +73,67 @@ let fate s ~src ~dst ~round =
 (* ------------------------------------------------------------------ *)
 (* Compiled plans                                                      *)
 
-type compiled_plan = {
-  source : plan;
-  c_n : int;
-  fates : fate array;
-      (* [(src-1) * c_n + (dst-1)]; length 0 iff the plan is quiet (no
-         losses or delays), in which case every fate is [Same_round]. *)
-}
+type compiled_fates =
+  | Quiet  (* no losses or delays: every fate is [Same_round] *)
+  | Single_lost of { sl_src : int; sl_dsts : Bitset.t }
+      (* one sender's messages lost to a destination set, nothing delayed —
+         the shape of every serial-adversary crash plan *)
+  | Table of fate array  (* [(src-1) * c_n + (dst-1)] *)
+
+type compiled_plan = { source : plan; c_n : int; cfates : compiled_fates }
+
+let single_lost_src plan =
+  match (plan.lost, plan.delayed) with
+  | (src0, _) :: rest, [] when Pid.to_int src0 <= Bitset.max_pid ->
+      if List.for_all (fun (src, _) -> Pid.equal src src0) rest then Some src0
+      else None
+  | _ -> None
 
 let compile_plan ~n plan =
   if plan.lost = [] && plan.delayed = [] then
-    { source = plan; c_n = n; fates = [||] }
-  else begin
-    let fates = Array.make (n * n) Same_round in
-    let slot src dst = ((Pid.to_int src - 1) * n) + (Pid.to_int dst - 1) in
-    List.iter (fun (src, dst) -> fates.(slot src dst) <- Lost) plan.lost;
-    List.iter
-      (fun (src, dst, until) -> fates.(slot src dst) <- Delayed_until until)
-      plan.delayed;
-    { source = plan; c_n = n; fates }
-  end
+    { source = plan; c_n = n; cfates = Quiet }
+  else
+    match single_lost_src plan with
+    | Some src when n <= Bitset.max_pid ->
+        let dsts =
+          List.fold_left
+            (fun acc (_, dst) -> Bitset.add (Pid.to_int dst) acc)
+            Bitset.empty plan.lost
+        in
+        {
+          source = plan;
+          c_n = n;
+          cfates = Single_lost { sl_src = Pid.to_int src; sl_dsts = dsts };
+        }
+    | _ ->
+        let fates = Array.make (n * n) Same_round in
+        let slot src dst =
+          ((Pid.to_int src - 1) * n) + (Pid.to_int dst - 1)
+        in
+        List.iter (fun (src, dst) -> fates.(slot src dst) <- Lost) plan.lost;
+        List.iter
+          (fun (src, dst, until) ->
+            fates.(slot src dst) <- Delayed_until until)
+          plan.delayed;
+        { source = plan; c_n = n; cfates = Table fates }
 
-let compiled_empty_plan = { source = empty_plan; c_n = 0; fates = [||] }
+let compiled_empty_plan = { source = empty_plan; c_n = 0; cfates = Quiet }
 let compiled_source c = c.source
-let compiled_quiet c = Array.length c.fates = 0
+let compiled_quiet c = c.cfates = Quiet
+
+let compiled_single_lost c =
+  match c.cfates with
+  | Single_lost { sl_src; sl_dsts } -> Some (Pid.of_int sl_src, sl_dsts)
+  | Quiet | Table _ -> None
 
 let compiled_fate c ~src ~dst =
-  if Array.length c.fates = 0 then Same_round
-  else c.fates.(((Pid.to_int src - 1) * c.c_n) + (Pid.to_int dst - 1))
+  match c.cfates with
+  | Quiet -> Same_round
+  | Single_lost { sl_src; sl_dsts } ->
+      if Pid.to_int src = sl_src && Bitset.mem (Pid.to_int dst) sl_dsts then
+        Lost
+      else Same_round
+  | Table fates -> fates.(((Pid.to_int src - 1) * c.c_n) + (Pid.to_int dst - 1))
 
 (* The minimal round from which every later round satisfies the synchrony
    clauses: no loss or delay except for messages sent in their sender's crash

@@ -93,9 +93,12 @@ type compiled_plan
     to a zero-allocation representation. *)
 
 val compile_plan : n:int -> plan -> compiled_plan
-(** Compile one round plan for an [n]-process system. O(n^2) once,
-    O(1) per {!compiled_fate} query afterwards; O(1) and allocation-free
-    for quiet plans. *)
+(** Compile one round plan for an [n]-process system. O(n^2) once in the
+    general case, O(1) per {!compiled_fate} query afterwards; O(1) and
+    allocation-free for quiet plans, and O(lost) — no [n * n] table — for
+    plans whose only disruptions are one sender's messages being lost
+    (every serial-adversary crash plan has this shape: the victim's
+    round-[k] messages miss a subset of the survivors). *)
 
 val compiled_empty_plan : compiled_plan
 (** {!empty_plan}, compiled; valid for any [n]. *)
@@ -109,6 +112,12 @@ val compiled_quiet : compiled_plan -> bool
 val compiled_fate : compiled_plan -> src:Pid.t -> dst:Pid.t -> fate
 (** O(1). Only meaningful for [src <> dst] with both in [p1..pn] — the
     engine never consults the fate of a self-delivery. *)
+
+val compiled_single_lost : compiled_plan -> (Pid.t * Kernel.Bitset.t) option
+(** [Some (src, dsts)] when the plan's only disruptions are messages from
+    [src] lost to the destinations [dsts] (no delays): the engine's
+    receive-phase fast path then builds two shared inboxes — with and
+    without [src]'s envelope — instead of querying a fate per copy. *)
 
 val failure_free_synchronous : t -> bool
 

@@ -88,6 +88,7 @@ module Phase1_probe = struct
 
   let name = "phase1-probe"
   let model = Sim.Model.Es
+  let symmetric = false
 
   let init config me v = { config; me; flood = Baselines.Ws_flood.init v }
   let on_send st _ = Baselines.Ws_flood.payload st.flood

@@ -234,6 +234,50 @@ let test_listx_max_by () =
   check_bool "empty" true
     (Listx.max_by ~compare ~f:Fun.id ([] : int list) = None)
 
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+
+let test_bitset_basics () =
+  let open Bitset in
+  check_bool "empty" true (is_empty empty);
+  let s = add 5 (add 1 (singleton 3)) in
+  check_int "cardinal" 3 (cardinal s);
+  check_bool "mem 3" true (mem 3 s);
+  check_bool "mem 2" false (mem 2 s);
+  check_bool "remove" false (mem 3 (remove 3 s));
+  check_int "remove absent is id" (cardinal s) (cardinal (remove 7 s));
+  check_bool "ascending fold" true
+    (List.rev (fold (fun i acc -> i :: acc) s []) = [ 1; 3; 5 ]);
+  check_bool "to_list" true (to_list s = [ 1; 3; 5 ]);
+  check_bool "of_list round-trip" true (equal s (of_list [ 5; 3; 1 ]))
+
+let test_bitset_algebra () =
+  let open Bitset in
+  let a = of_list [ 1; 2; 3 ] and b = of_list [ 2; 3; 4 ] in
+  check_bool "union" true (to_list (union a b) = [ 1; 2; 3; 4 ]);
+  check_bool "inter" true (to_list (inter a b) = [ 2; 3 ]);
+  check_bool "diff" true (to_list (diff a b) = [ 1 ]);
+  check_bool "subset" true (subset (inter a b) a);
+  check_bool "not subset" false (subset a b);
+  check_int "full n=6" 6 (cardinal (full ~n:6));
+  check_bool "full mem bounds" true
+    (mem 1 (full ~n:6) && mem 6 (full ~n:6) && not (mem 7 (full ~n:6)))
+
+let test_bitset_pid_set_round_trip () =
+  let s = Pid.Set.of_ints [ 2; 4; 5 ] in
+  check_bool "round-trip" true
+    (Pid.Set.equal s (Bitset.to_pid_set (Bitset.of_pid_set s)));
+  check_int "cardinal agrees" (Pid.Set.cardinal s)
+    (Bitset.cardinal (Bitset.of_pid_set s))
+
+let test_bitset_bounds () =
+  let raises f = try f () |> ignore; false with Invalid_argument _ -> true in
+  check_bool "0 rejected" true (raises (fun () -> Bitset.singleton 0));
+  check_bool "max_pid ok" true
+    (Bitset.mem Bitset.max_pid (Bitset.singleton Bitset.max_pid));
+  check_bool "max_pid+1 rejected" true
+    (raises (fun () -> Bitset.singleton (Bitset.max_pid + 1)))
+
 let () =
   Alcotest.run "kernel"
     [
@@ -243,6 +287,14 @@ let () =
           Alcotest.test_case "order" `Quick test_pid_order;
           Alcotest.test_case "all/others" `Quick test_pid_all;
           Alcotest.test_case "sets" `Quick test_pid_set;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "algebra" `Quick test_bitset_algebra;
+          Alcotest.test_case "pid-set round-trip" `Quick
+            test_bitset_pid_set_round_trip;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
         ] );
       ( "value",
         [

@@ -164,6 +164,168 @@ let test_sweep_binary_determinism () =
   check_bool "binary parallel == serial" true (result_equal s p)
 
 (* ------------------------------------------------------------------ *)
+(* State-space reduction: transposition table and symmetry              *)
+
+(* Healthy algorithms plus the violating and the crashing fixture: the
+   reductions must reproduce violations and contained errors too, not just
+   clean sweeps. *)
+let reduction_fixtures =
+  [
+    (floodset, "floodset", 4, 1);
+    (floodset, "floodset", 4, 2);
+    (at2, "at2", 4, 1);
+    (af2, "af2", 4, 1);
+    (Fuzz.Faulty.eager_floodset, "eager", 4, 1);
+    (Fuzz.Faulty.raising ~at:2, "raising@2", 4, 1);
+  ]
+
+let both_policies = [ (Mc.Serial.Prefixes, "pfx"); (Mc.Serial.All_subsets, "all") ]
+
+(* Dedup is bit-identical to the unreduced incremental sweep on every
+   observable field (result_equal covers them all); only [distinct_runs]
+   may shrink, and a reduction that explores nothing it didn't have to
+   never explores more than the enumeration. *)
+let test_dedup_equivalence () =
+  List.iter
+    (fun (policy, ptag) ->
+      List.iter
+        (fun (algo, name, n, t) ->
+          let tag = Printf.sprintf "%s n=%d t=%d %s" name n t ptag in
+          let config = config ~n ~t in
+          let proposals = Sim.Runner.distinct_proposals config in
+          let u =
+            Mc.Exhaustive.sweep_incremental ~policy ~algo ~config ~proposals ()
+          in
+          let r, _ = Mc.Dedup.sweep ~policy ~algo ~config ~proposals () in
+          check_bool (tag ^ ": dedup == unreduced") true (result_equal u r);
+          check_bool (tag ^ ": explored <= runs") true
+            (r.Mc.Exhaustive.distinct_runs <= r.Mc.Exhaustive.runs))
+        reduction_fixtures)
+    both_policies
+
+(* The same equivalence as a property over random binary proposal
+   assignments (the deterministic test above pins distinct proposals). *)
+let prop_dedup_equivalent_on_random_proposals =
+  qtest ~count:40 "dedup == unreduced on random binary assignments"
+    QCheck.(triple (int_range 0 15) (int_range 0 5) bool)
+    (fun (ones_mask, fixture, all_subsets) ->
+      let algo, _, n, t = List.nth reduction_fixtures fixture in
+      let policy =
+        if all_subsets then Mc.Serial.All_subsets else Mc.Serial.Prefixes
+      in
+      let config = config ~n ~t in
+      let ones =
+        Pid.Set.of_ints
+          (List.filter
+             (fun i -> ones_mask land (1 lsl (i - 1)) <> 0)
+             (List.init n (fun i -> i + 1)))
+      in
+      let proposals = Sim.Runner.binary_proposals config ~ones in
+      let u =
+        Mc.Exhaustive.sweep_incremental ~policy ~algo ~config ~proposals ()
+      in
+      let r, _ = Mc.Dedup.sweep ~policy ~algo ~config ~proposals () in
+      result_equal u r)
+
+(* Symmetry: exact aggregates, and the orbit weighting accounts for every
+   unreduced violation and contained crash — sum over orbits of
+   multiplicity x (representative's list length) equals the unreduced list
+   length. *)
+let test_symmetry_equivalence () =
+  List.iter
+    (fun (policy, ptag) ->
+      List.iter
+        (fun (algo, name, n, t) ->
+          let tag = Printf.sprintf "%s n=%d t=%d %s" name n t ptag in
+          let config = config ~n ~t in
+          let u =
+            Mc.Exhaustive.sweep_binary_incremental ~policy ~algo ~config ()
+          in
+          let r, _ = Mc.Symmetry.sweep_binary ~policy ~algo ~config () in
+          check_int (tag ^ ": runs") u.Mc.Exhaustive.runs r.Mc.Exhaustive.runs;
+          check_int (tag ^ ": max") u.Mc.Exhaustive.max_decision
+            r.Mc.Exhaustive.max_decision;
+          check_int (tag ^ ": min") u.Mc.Exhaustive.min_decision
+            r.Mc.Exhaustive.min_decision;
+          check_int (tag ^ ": undecided") u.Mc.Exhaustive.undecided_runs
+            r.Mc.Exhaustive.undecided_runs;
+          let per = Mc.Symmetry.sweep_orbits ~policy ~algo ~config () in
+          let weighted f =
+            List.fold_left
+              (fun acc (o, r, _) ->
+                acc + (o.Mc.Symmetry.multiplicity * List.length (f r)))
+              0 per
+          in
+          check_int
+            (tag ^ ": orbit-weighted violations")
+            (List.length u.Mc.Exhaustive.violations)
+            (weighted (fun r -> r.Mc.Exhaustive.violations));
+          check_int
+            (tag ^ ": orbit-weighted crashed")
+            (List.length u.Mc.Exhaustive.crashed)
+            (weighted (fun r -> r.Mc.Exhaustive.crashed)))
+        [
+          (floodset, "floodset", 4, 2);
+          (Fuzz.Faulty.eager_floodset, "eager", 4, 1);
+          (Fuzz.Faulty.eager_floodset, "eager", 4, 2);
+          (Fuzz.Faulty.raising ~at:2, "raising@2", 4, 1);
+        ])
+    both_policies
+
+let test_symmetry_orbits () =
+  let config = c41 in
+  let orbits = Mc.Symmetry.orbits config in
+  check_int "n+1 orbits" 5 (List.length orbits);
+  check_int "multiplicities cover 2^n" 16
+    (List.fold_left (fun acc o -> acc + o.Mc.Symmetry.multiplicity) 0 orbits);
+  check_int "C(4,2)" 6 (Mc.Symmetry.choose 4 2)
+
+(* A(t+2).Standard is not symmetric (its Ct_diamond_s fallback elects
+   coordinators by pid), so asking for symmetry must fall back to plain
+   dedup — bit-identically. *)
+let test_symmetry_asymmetric_fallback () =
+  check_bool "at2 not symmetric" false (Sim.Algorithm.symmetric at2);
+  let d, ds = Mc.Dedup.sweep_binary ~algo:at2 ~config:c41 () in
+  let s, ss = Mc.Symmetry.sweep_binary ~algo:at2 ~config:c41 () in
+  check_bool "falls back to dedup" true (d = s && ds = ss);
+  let u = Mc.Exhaustive.sweep_binary_incremental ~algo:at2 ~config:c41 () in
+  check_bool "still == unreduced" true (result_equal u s)
+
+(* Reduced sweeps are deterministic across --jobs: the parallel reduced
+   drivers equal the serial reduced ones on every field, stats included. *)
+let test_reduced_jobs_determinism () =
+  let config = c41 in
+  let proposals = Sim.Runner.distinct_proposals config in
+  let sd = Mc.Dedup.sweep ~algo:floodset ~config ~proposals () in
+  let sbd = Mc.Dedup.sweep_binary ~algo:floodset ~config () in
+  let sbs = Mc.Symmetry.sweep_binary ~algo:floodset ~config () in
+  List.iter
+    (fun jobs ->
+      let tag = Printf.sprintf "jobs=%d" jobs in
+      check_bool (tag ^ ": dedup") true
+        (Mc.Parallel.sweep_dedup ~jobs ~algo:floodset ~config ~proposals ()
+        = sd);
+      check_bool (tag ^ ": binary dedup") true
+        (Mc.Parallel.sweep_binary_dedup ~jobs ~algo:floodset ~config () = sbd);
+      check_bool (tag ^ ": binary dedup+sym") true
+        (Mc.Parallel.sweep_binary_sym ~jobs ~algo:floodset ~config () = sbs))
+    [ 1; 2; 4 ]
+
+(* The paper's headline sweep, with every reduction on: A(t+2) still
+   decides at exactly t+2 with no violation in any of the runs the
+   reduced sweeps account for. *)
+let test_at2_reduced_t_plus_2 () =
+  let r, _ = Mc.Dedup.sweep_binary ~algo:at2 ~config:c41 () in
+  check_int "dedup min = t+2" 3 r.Mc.Exhaustive.min_decision;
+  check_int "dedup max = t+2" 3 r.Mc.Exhaustive.max_decision;
+  check_bool "dedup no violations" true (r.Mc.Exhaustive.violations = []);
+  check_bool "dedup many runs" true (r.Mc.Exhaustive.runs > 500);
+  let s, _ = Mc.Symmetry.sweep_binary ~algo:at2 ~config:c41 () in
+  check_int "sym min = t+2" 3 s.Mc.Exhaustive.min_decision;
+  check_int "sym max = t+2" 3 s.Mc.Exhaustive.max_decision;
+  check_bool "sym no violations" true (s.Mc.Exhaustive.violations = [])
+
+(* ------------------------------------------------------------------ *)
 (* Fault containment                                                   *)
 
 (* A raising on_receive is contained as a per-run crashed record — in all
@@ -413,6 +575,21 @@ let () =
           Alcotest.test_case "sweep determinism" `Quick test_sweep_determinism;
           Alcotest.test_case "binary sweep determinism" `Quick
             test_sweep_binary_determinism;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "dedup == unreduced (all fixtures, both \
+                              policies)" `Quick test_dedup_equivalence;
+          prop_dedup_equivalent_on_random_proposals;
+          Alcotest.test_case "symmetry aggregates == unreduced" `Slow
+            test_symmetry_equivalence;
+          Alcotest.test_case "orbit arithmetic" `Quick test_symmetry_orbits;
+          Alcotest.test_case "asymmetric algorithms fall back to dedup" `Quick
+            test_symmetry_asymmetric_fallback;
+          Alcotest.test_case "reduced sweeps deterministic across jobs" `Quick
+            test_reduced_jobs_determinism;
+          Alcotest.test_case "A(t+2) = t+2 under reduction" `Quick
+            test_at2_reduced_t_plus_2;
         ] );
       ( "containment",
         [

@@ -146,6 +146,7 @@ module Probe = struct
 
   let name = "probe"
   let model = Sim.Model.Es
+  let symmetric = false
 
   let init _config me v =
     {
@@ -280,6 +281,7 @@ module Flipper = struct
 
   let name = "flipper"
   let model = Sim.Model.Es
+  let symmetric = false
   let init _ _ _ = { round = 0 }
   let on_send _ _ = ()
   let on_receive _ round _ = { round = Round.to_int round }
@@ -356,6 +358,7 @@ module Observer = struct
 
   let name = "observer"
   let model = Sim.Model.Es
+  let symmetric = false
   let init _config me _v = { me; log = [] }
   let on_send _st _round = Mark
 

@@ -251,6 +251,52 @@ let fuzz_workloads () =
       (Config.make ~n:9 ~t:4)
 
 (* ------------------------------------------------------------------ *)
+(* The obs suite: instrumentation overhead, off vs each probe kind      *)
+
+(* Sibling rows run the same workload with instrumentation off ("/none")
+   and with one instrument enabled each, so the artifact's
+   speedup_vs_none column reports each instrument's overhead ratio
+   directly. The "/none" rows still pass through the guarded
+   disabled-path branches, which is exactly what the committed-baseline
+   diff below holds to <= 3% against the pre-instrumentation code. *)
+let obs_workloads () =
+  let sweep_rows =
+    let c42 = Config.make ~n:4 ~t:2 in
+    let algo = Expt.Registry.floodset.Expt.Registry.algo in
+    let proposals = Sim.Runner.distinct_proposals c42 in
+    let sweep ?prof ?spans ?progress () =
+      ignore
+        (Mc.Dedup.sweep ?prof ?spans ?progress ~algo ~config:c42 ~proposals ())
+    in
+    let prefix = "obs/dedup-sweep-n4t2" in
+    [
+      plain (prefix ^ "/none") (fun () -> sweep ());
+      plain (prefix ^ "/probe") (fun () -> sweep ~prof:(Obs.Prof.acc ()) ());
+      plain (prefix ^ "/progress") (fun () ->
+          sweep
+            ~progress:
+              (Obs.Progress.create ~label:"bench" ~emit:(fun _ -> ()) ())
+            ());
+      plain (prefix ^ "/spans") (fun () ->
+          sweep ~spans:(Obs.Span.recorder ()) ());
+    ]
+  in
+  let run_rows =
+    let c52 = Config.make ~n:5 ~t:2 in
+    let algo = Expt.Registry.at_plus_2.Expt.Registry.algo in
+    let proposals = Sim.Runner.distinct_proposals c52 in
+    let run ?prof () =
+      ignore (Sim.Runner.run ?prof algo c52 ~proposals quiet)
+    in
+    let prefix = "obs/at2-quiet-n5" in
+    [
+      plain (prefix ^ "/none") (fun () -> run ());
+      plain (prefix ^ "/probe") (fun () -> run ~prof:(Obs.Prof.acc ()) ());
+    ]
+  in
+  sweep_rows @ run_rows
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable artifact: BENCH_<date>.json                        *)
 
 type bench_row = {
@@ -260,6 +306,9 @@ type bench_row = {
   stddev_s : float;
   messages : int option;
   bytes : int option;
+  minor_words : float option;  (** mean per run *)
+  promoted_words : float option;  (** mean per run *)
+  major_collections : int option;  (** total over the profiled runs *)
 }
 
 (* Time one workload: a couple of warmup calls, then sample wall-clock
@@ -285,6 +334,30 @@ let time_workload w =
   | None -> (0, 0., 0.)
   | Some s -> (s.Obs.Metrics.count, s.Obs.Metrics.mean, s.Obs.Metrics.stddev)
 
+(* Allocation profile of one workload, in a separate pass *after* timing so
+   the timed samples run the exact same code path as pre-profiling
+   artifacts. Allocation is deterministic per run, so a few probed
+   iterations pin the per-run mean. *)
+let alloc_of_workload w =
+  let a = Obs.Prof.acc () in
+  for _ = 1 to 3 do
+    Obs.Prof.measure a w.fn
+  done;
+  let m = Obs.Metrics.create () in
+  Obs.Prof.flush a ~metrics:m ~prefix:"bench" ~per:"run";
+  match Obs.Metrics.find_histogram m "bench.minor_words_per_run" with
+  | None -> (None, None, None)
+  | Some s ->
+      let runs = float_of_int s.Obs.Metrics.count in
+      let promoted =
+        Option.map
+          (fun w -> float_of_int w /. runs)
+          (Obs.Metrics.find_counter m "bench.promoted_words")
+      in
+      ( Some s.Obs.Metrics.mean,
+        promoted,
+        Obs.Metrics.find_counter m "bench.major_collections" )
+
 let cost_of_workload w =
   match w.counted with
   | None -> (None, None)
@@ -299,7 +372,20 @@ let bench_rows workloads =
     (fun w ->
       let runs, mean_s, stddev_s = time_workload w in
       let messages, bytes = cost_of_workload w in
-      { row_name = w.name; runs; mean_s; stddev_s; messages; bytes })
+      let minor_words, promoted_words, major_collections =
+        alloc_of_workload w
+      in
+      {
+        row_name = w.name;
+        runs;
+        mean_s;
+        stddev_s;
+        messages;
+        bytes;
+        minor_words;
+        promoted_words;
+        major_collections;
+      })
     workloads
 
 (* The baseline sibling row's mean, for speedup annotations: ".../serial"
@@ -324,8 +410,11 @@ let serial_mean_of rows name =
 
 let none_mean_of rows name = sibling_mean_of rows name "/none"
 
-let json_of_suites suites =
+let json_of_suites ~meta suites =
   let opt_int = function Some i -> Obs.Json.Int i | None -> Obs.Json.Null in
+  let opt_float =
+    function Some f -> Obs.Json.Float f | None -> Obs.Json.Null
+  in
   let json_of_rows rows =
     Obs.Json.List
       (List.map
@@ -350,6 +439,9 @@ let json_of_suites suites =
                ("stddev_s", Obs.Json.Float r.stddev_s);
                ("messages", opt_int r.messages);
                ("bytes", opt_int r.bytes);
+               ("minor_words", opt_float r.minor_words);
+               ("promoted_words", opt_float r.promoted_words);
+               ("major_collections", opt_int r.major_collections);
                ("speedup_vs_serial", speedup);
                ("speedup_vs_none", speedup_vs_none);
              ])
@@ -362,6 +454,7 @@ let json_of_suites suites =
         Obs.Json.String
           (Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
              (tm.Unix.tm_mon + 1) tm.Unix.tm_mday) );
+      ("meta", meta);
       ( "suites",
         Obs.Json.Obj
           (List.map (fun (name, rows) -> (name, json_of_rows rows)) suites) );
@@ -379,6 +472,36 @@ let repo_root () =
   in
   up (Sys.getcwd ())
 
+(* Provenance for trajectory comparisons: which commit, toolchain and
+   machine produced the artifact. Best-effort — a missing git binary or a
+   tarball checkout just yields a null commit. *)
+let git_commit root =
+  try
+    let cmd =
+      Printf.sprintf "git -C %s rev-parse HEAD 2>/dev/null"
+        (Filename.quote root)
+    in
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some c when c <> "" -> Some c
+    | _ -> None
+  with _ -> None
+
+let meta_json () =
+  let commit =
+    match Option.bind (repo_root ()) git_commit with
+    | Some c -> Obs.Json.String c
+    | None -> Obs.Json.Null
+  in
+  Obs.Json.Obj
+    [
+      ("commit", commit);
+      ("ocaml", Obs.Json.String Sys.ocaml_version);
+      ("hostname", Obs.Json.String (Unix.gethostname ()));
+      ("default_jobs", Obs.Json.Int (Par.default_jobs ()));
+    ]
+
 let write_bench_json suites =
   let tm = Unix.localtime (Unix.time ()) in
   let name =
@@ -391,10 +514,72 @@ let write_bench_json suites =
     | None -> name
   in
   let oc = open_out path in
-  output_string oc (Obs.Json.to_string (json_of_suites suites));
+  output_string oc (Obs.Json.to_string (json_of_suites ~meta:(meta_json ()) suites));
   output_char oc '\n';
   close_out oc;
   Format.printf "bench artifact written to %s@." path
+
+(* Perf-trajectory check against the committed baseline. Prints the
+   per-row diff whenever bench/BASELINE.json exists; rows only in one
+   artifact (new suites, retired workloads) never fail it. The run exits
+   nonzero on a regression only when BENCH_GATE is set — CI runs
+   warn-only, a release checklist exports BENCH_GATE=1. The 1.03 default
+   bar is the instrumentation disabled-path budget; Bench_diff's 2-sigma
+   absolute guard keeps sub-microsecond rows from tripping it on timer
+   noise. *)
+let check_baseline suites =
+  match repo_root () with
+  | None -> true
+  | Some root -> (
+      let path = Filename.concat root "bench/BASELINE.json" in
+      if not (Sys.file_exists path) then true
+      else
+        let contents =
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Stats.Bench_diff.artifact_of_string contents with
+        | Error e ->
+            Format.eprintf "bench baseline %s: %s@." path e;
+            true
+        | Ok old_ ->
+            let new_ =
+              {
+                Stats.Bench_diff.a_date = None;
+                a_suites =
+                  List.map
+                    (fun (name, rows) ->
+                      ( name,
+                        List.map
+                          (fun r ->
+                            {
+                              Stats.Bench_diff.e_name = r.row_name;
+                              e_mean_s = r.mean_s;
+                              e_stddev_s = r.stddev_s;
+                              e_minor_words = r.minor_words;
+                            })
+                          rows ))
+                    suites;
+              }
+            in
+            let threshold =
+              match
+                Option.bind
+                  (Sys.getenv_opt "BENCH_GATE_THRESHOLD")
+                  float_of_string_opt
+              with
+              | Some t -> t
+              | None -> 1.03
+            in
+            let report =
+              Stats.Bench_diff.diff ~threshold ~old_ ~new_ ()
+            in
+            Format.printf "Perf trajectory vs %s:@.%a@." path
+              Stats.Bench_diff.pp report;
+            Stats.Bench_diff.regressions report = []
+            || Sys.getenv_opt "BENCH_GATE" = None)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel tables (stdout, unchanged)                                 *)
@@ -537,6 +722,34 @@ let fuzz_rows () =
     Stats.Table.render table;
   rows
 
+let obs_rows () =
+  let rows = bench_rows (obs_workloads ()) in
+  let table =
+    List.fold_left
+      (fun table r ->
+        let overhead =
+          match none_mean_of rows r.row_name with
+          | Some none when none > 0. ->
+              Printf.sprintf "%.3fx" (r.mean_s /. none)
+          | _ -> "-"
+        in
+        Stats.Table.add_row table
+          [
+            r.row_name;
+            Printf.sprintf "%.3f ms" (r.mean_s *. 1_000.0);
+            (match r.minor_words with
+            | Some w -> Printf.sprintf "%.0f" w
+            | None -> "-");
+            overhead;
+          ])
+      (Stats.Table.make
+         ~headers:[ "workload"; "time/run"; "minor words"; "vs none" ])
+      rows
+  in
+  Format.printf "Instrumentation overhead (off vs each instrument):@.%a@."
+    Stats.Table.render table;
+  rows
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 
@@ -555,6 +768,7 @@ let run_suites names =
           | "mc" -> mc_rows ()
           | "mc-reduction" -> reduction_rows ()
           | "fuzz" -> fuzz_rows ()
+          | "obs" -> obs_rows ()
           | _ -> assert false
         in
         (name, rows))
@@ -566,17 +780,19 @@ let run_suites names =
       (fun (name, rows) -> if name = "mc-reduction" then rows else [])
       suites
   in
-  if not (check_reduction_gate gated) then exit 1
+  let reduction_ok = check_reduction_gate gated in
+  let baseline_ok = check_baseline suites in
+  if not (reduction_ok && baseline_ok) then exit 1
 
 let is_suite = function
-  | "micro" | "mc" | "mc-reduction" | "fuzz" -> true
+  | "micro" | "mc" | "mc-reduction" | "fuzz" | "obs" -> true
   | _ -> false
 
 let () =
   match Array.to_list Sys.argv with
   | [] | _ :: [] ->
       run_tables ();
-      run_suites [ "micro"; "mc"; "mc-reduction"; "fuzz" ]
+      run_suites [ "micro"; "mc"; "mc-reduction"; "fuzz"; "obs" ]
   | _ :: [ "tables" ] -> run_tables ()
   | _ :: names when List.for_all is_suite names -> run_suites names
   | _ :: names ->
@@ -589,7 +805,7 @@ let () =
           | None ->
               Format.eprintf
                 "unknown experiment %S (e1..e10, tables, micro, mc, \
-                 mc-reduction, fuzz)@."
+                 mc-reduction, fuzz, obs)@."
                 name;
               exit 2)
         names

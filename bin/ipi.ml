@@ -127,6 +127,66 @@ let write_file path write =
       Format.eprintf "cannot write %s: %s@." path msg;
       exit 2
 
+(* ------------------------------------------------------------------ *)
+(* Progress/heartbeat wiring shared by sweep and fuzz                   *)
+
+let progress_flag_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Live progress on stderr — items done, runs/s, dedup hit-rate, \
+           ETA. A single rewriting line on a TTY, plain lines otherwise.")
+
+let heartbeat_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "heartbeat" ] ~docv:"FILE"
+        ~doc:
+          "Write every progress snapshot to $(docv) as JSONL — a \
+           machine-readable heartbeat for CI logs and dashboards.")
+
+(* The meter plus a finalizer that emits the last (final=true) snapshot
+   and closes the heartbeat file. Progress display never affects results
+   — it only observes counts the drivers were already producing. *)
+let make_progress ~label ~show ~heartbeat =
+  if (not show) && heartbeat = None then (Obs.Progress.disabled, fun () -> ())
+  else begin
+    let hb =
+      Option.map
+        (fun path ->
+          match open_out path with
+          | oc -> oc
+          | exception Sys_error msg ->
+              Format.eprintf "cannot write %s: %s@." path msg;
+              exit 2)
+        heartbeat
+    in
+    let tty = show && Unix.isatty Unix.stderr in
+    let emit snap =
+      Option.iter
+        (fun oc ->
+          output_string oc
+            (Obs.Json.to_string (Obs.Progress.snapshot_to_json snap));
+          output_char oc '\n';
+          flush oc)
+        hb;
+      if show then
+        let line = Obs.Progress.render snap in
+        if tty then begin
+          Printf.eprintf "\r\027[K%s%!" line;
+          if snap.Obs.Progress.final then prerr_newline ()
+        end
+        else Printf.eprintf "%s\n%!" line
+    in
+    let t = Obs.Progress.create ~label ~emit () in
+    ( t,
+      fun () ->
+        Obs.Progress.finish t;
+        Option.iter close_out hb )
+  end
+
 let read_schedule_file path =
   let contents = read_file path in
   match Sim.Codec.decode contents with
@@ -236,9 +296,10 @@ let run_cmd =
       Obs.Sink.tee mem_sink
         (if metrics then Obs.Metrics.counting_sink registry else Obs.Sink.noop)
     in
+    let prof = if metrics then Some (Obs.Prof.acc ()) else None in
     let trace =
       match
-        Sim.Runner.run ~record:true ~sink algo config
+        Sim.Runner.run ~record:true ~sink ?prof algo config
           ~proposals:(Sim.Runner.distinct_proposals config)
           schedule
       with
@@ -267,6 +328,9 @@ let run_cmd =
         Format.fprintf std "event log (%d events) written to %s@."
           (List.length events) path
     | _ -> ());
+    (match prof with
+    | Some a -> Obs.Prof.flush a ~metrics:registry ~prefix:"sim" ~per:"round"
+    | None -> ());
     if metrics then Format.fprintf std "@.metrics:@.%a@." Obs.Metrics.pp registry
   in
   Cmdliner.Cmd.v
@@ -398,50 +462,89 @@ let sweep_cmd =
   let metrics_arg =
     Cmdliner.Arg.(
       value & flag
-      & info [ "metrics" ] ~doc:"Print the sweep's metrics registry.")
+      & info [ "metrics" ]
+          ~doc:
+            "Print the sweep's metrics registry, including the \
+             allocation-probe histograms (sim.minor_words_per_round, \
+             mc.minor_words_per_sweep) and — with --jobs > 1 — the \
+             par.* worker-utilization gauges.")
   in
-  let run label n t jobs mode binary policy horizon reduce print_metrics =
+  let trace_file_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the sweep's profiling spans (sweep > shard > run \
+             nesting, with per-span GC deltas) to $(docv).")
+  in
+  let trace_format_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Span-trace format: chrome (trace_event JSON, viewable in \
+             Perfetto; shards appear as tracks) or jsonl (one span per \
+             line).")
+  in
+  let run label n t jobs mode binary policy horizon reduce print_metrics
+      show_progress heartbeat trace_file trace_format =
     let config = Config.make ~n ~t in
     let entry = lookup_algo label in
     let algo = entry.Expt.Registry.algo in
     let jobs = if jobs = 0 then Par.default_jobs () else jobs in
     let registry = Obs.Metrics.create () in
     let metrics = registry in
+    let progress, finish_progress =
+      make_progress ~label:"sweep" ~show:show_progress ~heartbeat
+    in
+    let spans =
+      match trace_file with
+      | Some _ -> Obs.Span.recorder ()
+      | None -> Obs.Span.disabled
+    in
+    (* Two probe granularities: [round_acc] rides inside the sweeps (one
+       interval per engine round over the distinct work), [sweep_acc]
+       brackets the whole dispatch. *)
+    let round_acc = if print_metrics then Some (Obs.Prof.acc ()) else None in
+    let sweep_acc = if print_metrics then Some (Obs.Prof.acc ()) else None in
     let dedup_stats = ref None in
     let reduced r (s : Mc.Dedup.stats) =
       dedup_stats := Some s;
       r
     in
-    let result =
+    let prof = round_acc in
+    let dispatch () =
       if binary then
         match reduce with
         | `Sym ->
             let r, s =
               if jobs > 1 then
-                Mc.Parallel.sweep_binary_sym ~policy ~metrics ~jobs ?horizon
-                  ~algo ~config ()
+                Mc.Parallel.sweep_binary_sym ~policy ~metrics ?prof ~spans
+                  ~progress ~jobs ?horizon ~algo ~config ()
               else
-                Mc.Symmetry.sweep_binary ~policy ~metrics ?horizon ~algo
-                  ~config ()
+                Mc.Symmetry.sweep_binary ~policy ~metrics ?horizon ?prof
+                  ~spans ~progress ~algo ~config ()
             in
             reduced r s
         | `Dedup ->
             let r, s =
               if jobs > 1 then
-                Mc.Parallel.sweep_binary_dedup ~policy ~metrics ~jobs ?horizon
-                  ~algo ~config ()
+                Mc.Parallel.sweep_binary_dedup ~policy ~metrics ?prof ~spans
+                  ~progress ~jobs ?horizon ~algo ~config ()
               else
-                Mc.Dedup.sweep_binary ~policy ~metrics ?horizon ~algo ~config
-                  ()
+                Mc.Dedup.sweep_binary ~policy ~metrics ?horizon ?prof ~spans
+                  ~progress ~algo ~config ()
             in
             reduced r s
         | `None ->
             if jobs > 1 then
-              Mc.Parallel.sweep_binary ~policy ~metrics ~jobs ?horizon ~algo
-                ~config ()
+              Mc.Parallel.sweep_binary ~policy ~metrics ?prof ~spans ~progress
+                ~jobs ?horizon ~algo ~config ()
             else if mode = `Incremental then
               Mc.Exhaustive.sweep_binary_incremental ~policy ~metrics ?horizon
-                ~algo ~config ()
+                ?prof ~spans ~progress ~algo ~config ()
             else
               Mc.Exhaustive.sweep_binary ~policy ~metrics ?horizon ~algo
                 ~config ()
@@ -453,25 +556,53 @@ let sweep_cmd =
                assignment dedup+sym degrades to dedup. *)
             let r, s =
               if jobs > 1 then
-                Mc.Parallel.sweep_dedup ~policy ~metrics ~jobs ?horizon ~algo
-                  ~config ~proposals ()
+                Mc.Parallel.sweep_dedup ~policy ~metrics ?prof ~spans
+                  ~progress ~jobs ?horizon ~algo ~config ~proposals ()
               else
-                Mc.Dedup.sweep ~policy ~metrics ?horizon ~algo ~config
-                  ~proposals ()
+                Mc.Dedup.sweep ~policy ~metrics ?horizon ?prof ~spans
+                  ~progress ~algo ~config ~proposals ()
             in
             reduced r s
         | `None ->
             if jobs > 1 then
-              Mc.Parallel.sweep ~policy ~metrics ~jobs ?horizon ~algo ~config
-                ~proposals ()
+              Mc.Parallel.sweep ~policy ~metrics ?prof ~spans ~progress ~jobs
+                ?horizon ~algo ~config ~proposals ()
             else if mode = `Incremental then
-              Mc.Exhaustive.sweep_incremental ~policy ~metrics ?horizon ~algo
-                ~config ~proposals ()
+              Mc.Exhaustive.sweep_incremental ~policy ~metrics ?horizon ?prof
+                ~spans ~progress ~algo ~config ~proposals ()
             else
               Mc.Exhaustive.sweep ~policy ~metrics ?horizon ~algo ~config
                 ~proposals ()
       end
     in
+    let result =
+      match sweep_acc with
+      | None -> dispatch ()
+      | Some a -> Obs.Prof.measure a dispatch
+    in
+    finish_progress ();
+    (match trace_file with
+    | Some path ->
+        let records = Obs.Span.records spans in
+        write_file path (fun oc ->
+            match trace_format with
+            | `Chrome -> output_string oc (Obs.Chrome.spans_to_string records)
+            | `Jsonl ->
+                List.iter
+                  (fun r ->
+                    output_string oc
+                      (Obs.Json.to_string (Obs.Span.record_to_json r));
+                    output_char oc '\n')
+                  records);
+        Format.fprintf std "trace (%d spans) written to %s@."
+          (List.length records) path
+    | None -> ());
+    (match round_acc with
+    | Some a -> Obs.Prof.flush a ~metrics:registry ~prefix:"sim" ~per:"round"
+    | None -> ());
+    (match sweep_acc with
+    | Some a -> Obs.Prof.flush a ~metrics:registry ~prefix:"mc" ~per:"sweep"
+    | None -> ());
     Format.fprintf std "%a@." Mc.Exhaustive.pp_result result;
     (match !dedup_stats with
     | Some s -> Format.fprintf std "reduction: %a@." Mc.Dedup.pp_stats s
@@ -496,7 +627,8 @@ let sweep_cmd =
           exit if any run violates consensus.")
     Cmdliner.Term.(
       const run $ algo_arg $ n_arg $ t_arg $ jobs_arg $ mode_arg $ binary_arg
-      $ policy_arg $ horizon_arg $ reduce_arg $ metrics_arg)
+      $ policy_arg $ horizon_arg $ reduce_arg $ metrics_arg
+      $ progress_flag_arg $ heartbeat_arg $ trace_file_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi fuzz                                                             *)
@@ -613,7 +745,8 @@ let fuzz_cmd =
     | None -> (lookup_algo label).Expt.Registry.algo
   in
   let run label n t seed runs jobs fuel budget_s shrink no_monitor gen_name
-      base gst raise_at print_metrics out expect_clean =
+      base gst raise_at print_metrics out expect_clean show_progress heartbeat
+      =
     let config = Config.make ~n ~t in
     let algo = lookup_fuzz_algo label ~raise_at in
     let jobs = if jobs = 0 then Par.default_jobs () else jobs in
@@ -632,12 +765,21 @@ let fuzz_cmd =
             ~base:(schedule_of_name config ~seed ~gst base)
     in
     let registry = Obs.Metrics.create () in
+    let progress, finish_progress =
+      make_progress ~label:"fuzz" ~show:show_progress ~heartbeat
+    in
+    let run_acc = if print_metrics then Some (Obs.Prof.acc ()) else None in
     let report =
       Fuzz.Campaign.run ~metrics:registry ~jobs ?fuel ?budget_s ~shrink
-        ~monitor:(not no_monitor) ~seed ~runs ~algo ~config
+        ~monitor:(not no_monitor) ?prof:run_acc ~progress ~seed ~runs ~algo
+        ~config
         ~proposals:(Sim.Runner.distinct_proposals config)
         ~gen ()
     in
+    finish_progress ();
+    (match run_acc with
+    | Some a -> Obs.Prof.flush a ~metrics:registry ~prefix:"fuzz" ~per:"run"
+    | None -> ());
     Format.fprintf std "%a@." Fuzz.Campaign.pp_report report;
     List.iter
       (fun f -> Format.fprintf std "@.%a@." Fuzz.Campaign.pp_finding f)
@@ -674,7 +816,7 @@ let fuzz_cmd =
       const run $ algo_arg $ n_arg $ t_arg $ seed_arg $ runs_arg $ jobs_arg
       $ fuel_arg $ budget_arg $ shrink_arg $ no_monitor_arg $ gen_arg
       $ base_arg $ gst_arg $ raise_at_arg $ metrics_arg $ out_arg
-      $ expect_clean_arg)
+      $ expect_clean_arg $ progress_flag_arg $ heartbeat_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi figure1                                                          *)
@@ -703,6 +845,89 @@ let figure1_cmd =
          "Build and machine-check the five-run lower-bound construction of \
           the paper's Fig. 1 against FloodSetWS.")
     Cmdliner.Term.(const run $ n_arg $ t_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi bench-diff                                                       *)
+
+let bench_diff_cmd =
+  let old_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD"
+          ~doc:
+            "Baseline bench artifact — a BENCH_<date>.json or the \
+             committed bench/BASELINE.json.")
+  in
+  let new_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench artifact to compare.")
+  in
+  let threshold_arg =
+    Cmdliner.Arg.(
+      value & opt float 1.25
+      & info [ "threshold" ] ~docv:"RATIO"
+          ~doc:
+            "Time-regression bar: a matched row regresses when new/old \
+             mean exceeds $(docv) and the absolute delta clears the \
+             2-sigma noise guard.")
+  in
+  let alloc_threshold_arg =
+    Cmdliner.Arg.(
+      value & opt float 1.10
+      & info [ "alloc-threshold" ] ~docv:"RATIO"
+          ~doc:
+            "Allocation-regression bar on the minor-words ratio (rows \
+             under 1000 words are never flagged).")
+  in
+  let warn_only_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "warn-only" ]
+          ~doc:"Print the diff but exit 0 even on regressions.")
+  in
+  let out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the diff report as JSON to $(docv).")
+  in
+  let run old_path new_path threshold alloc_threshold warn_only out =
+    let artifact path =
+      match Stats.Bench_diff.artifact_of_string (read_file path) with
+      | Ok a -> a
+      | Error e ->
+          Format.eprintf "cannot parse %s: %s@." path e;
+          exit 2
+    in
+    let report =
+      Stats.Bench_diff.diff ~threshold ~alloc_threshold
+        ~old_:(artifact old_path) ~new_:(artifact new_path) ()
+    in
+    Format.fprintf std "%a@." Stats.Bench_diff.pp report;
+    (match out with
+    | Some path ->
+        write_file path (fun oc ->
+            output_string oc
+              (Obs.Json.to_string (Stats.Bench_diff.to_json report));
+            output_char oc '\n');
+        Format.fprintf std "diff report written to %s@." path
+    | None -> ());
+    if (not warn_only) && Stats.Bench_diff.regressions report <> [] then
+      exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "bench-diff"
+       ~doc:
+         "Diff two bench artifacts row by row (wall-clock and allocation \
+          trajectories) and exit non-zero when any matched row regresses \
+          past the thresholds.")
+    Cmdliner.Term.(
+      const run $ old_arg $ new_arg $ threshold_arg $ alloc_threshold_arg
+      $ warn_only_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi verify                                                           *)
@@ -739,5 +964,6 @@ let () =
             fuzz_cmd;
             attack_cmd;
             figure1_cmd;
+            bench_diff_cmd;
             verify_cmd;
           ]))

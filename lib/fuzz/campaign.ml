@@ -38,7 +38,8 @@ let slice ~jobs ~total k =
   (lo, hi)
 
 let run ?metrics ?(jobs = 1) ?fuel ?budget_s ?(shrink = false)
-    ?(monitor = true) ~seed ~runs ~algo ~config ~proposals ~gen () =
+    ?(monitor = true) ?prof ?(progress = Obs.Progress.disabled) ~seed ~runs
+    ~algo ~config ~proposals ~gen () =
   let started = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> started +. b) budget_s in
   (* The schedule stream is drawn serially from the single seeded
@@ -55,10 +56,24 @@ let run ?metrics ?(jobs = 1) ?fuel ?budget_s ?(shrink = false)
     generate 0 []
   in
   let jobs = max 1 jobs in
-  let one index =
+  Obs.Progress.set_total progress runs;
+  (* One probe accumulator per shard (GC counters are per-domain; each
+     worker touches only its own slot), merged into the caller's [prof]
+     after the join. *)
+  let shard_accs =
+    match prof with
+    | Some _ -> Array.init jobs (fun _ -> Obs.Prof.acc ())
+    | None -> [||]
+  in
+  let one ?acc index =
     let schedule = schedules.(index) in
-    let outcome =
+    let contained () =
       Harness.run_contained ?fuel ~monitor ~algo ~config ~proposals schedule
+    in
+    let outcome =
+      match acc with
+      | None -> contained ()
+      | Some a -> Obs.Prof.measure a contained
     in
     match Outcome.failure_of outcome with
     | None -> None
@@ -71,6 +86,7 @@ let run ?metrics ?(jobs = 1) ?fuel ?budget_s ?(shrink = false)
         Some { index; schedule; outcome; shrunk }
   in
   let shard k () =
+    let acc = if shard_accs = [||] then None else Some shard_accs.(k) in
     let lo, hi = slice ~jobs ~total:runs k in
     let rec go i (processed, skipped, findings) =
       if i >= hi then (processed, skipped, List.rev findings)
@@ -79,18 +95,28 @@ let run ?metrics ?(jobs = 1) ?fuel ?budget_s ?(shrink = false)
         | Some d -> Unix.gettimeofday () > d
         | None -> false
       then go (i + 1) (processed, skipped + 1, findings)
-      else
+      else begin
         let findings =
-          match one i with None -> findings | Some f -> f :: findings
+          match one ?acc i with None -> findings | Some f -> f :: findings
         in
+        if Obs.Progress.enabled progress then
+          Obs.Progress.step progress ~items:1 ~runs:1 ~hits:0 ~lookups:0;
         go (i + 1) (processed + 1, skipped, findings)
+      end
     in
     go lo (0, 0, [])
   in
   let shards =
     Array.to_list
-      (Par.map_tasks ~jobs (Array.init jobs (fun k -> shard k)))
+      (Par.map_tasks
+         ?report:
+           (Option.map (fun m -> Obs.Prof.pool m ~prefix:"par") metrics)
+         ~jobs
+         (Array.init jobs (fun k -> shard k)))
   in
+  (match prof with
+  | Some into -> Array.iter (fun a -> Obs.Prof.merge ~into a) shard_accs
+  | None -> ());
   let processed, skipped, findings =
     List.fold_left
       (fun (p, s, fs) (p', s', fs') -> (p + p', s + s', fs @ [ fs' ]))

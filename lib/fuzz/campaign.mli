@@ -50,6 +50,8 @@ val run :
   ?budget_s:float ->
   ?shrink:bool ->
   ?monitor:bool ->
+  ?prof:Obs.Prof.acc ->
+  ?progress:Obs.Progress.t ->
   seed:int ->
   runs:int ->
   algo:Sim.Algorithm.packed ->
@@ -71,7 +73,15 @@ val run :
     (contained faults, [Crashed] + [Raised]), [fuzz.budget_exhausted],
     [fuzz.skipped] and [fuzz.shrink_steps] counters, the [fuzz.jobs]
     gauge and the [fuzz.wall_seconds] / [fuzz.runs_per_second]
-    histograms. *)
+    histograms, plus the {!Kernel.Par} pool utilization gauges
+    ([par.workers], [par.w<i>.*]).
+
+    Instrumentation (default-off, never affects the report): [prof]
+    accumulates a GC/alloc interval per executed run, merged from
+    per-shard accumulators in shard order; [progress] gets its total set
+    to [runs] and is stepped once per executed run from the worker
+    domains (skipped runs are not stepped, so a budget-cut campaign
+    finishes below its total). *)
 
 val to_json : ?meta:(string * Obs.Json.t) list -> report -> Obs.Json.t
 (** Machine-readable report; schedules are embedded as {!Sim.Codec}

@@ -1,18 +1,43 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-let map_tasks ~jobs tasks =
+type worker_stat = { tasks : int; busy_s : float; idle_s : float }
+
+(* Per-worker tallies are plain mutable records written only by their own
+   domain; the caller reads them after every domain has been joined, so no
+   synchronization beyond the join itself is needed. *)
+type tally = { mutable t_tasks : int; mutable t_busy : float }
+
+let map_tasks ?report ~jobs tasks =
   let n = Array.length tasks in
   (* Oversubscribing a CPU-bound pool only adds minor-GC barriers (every
      domain participates in each stop-the-world minor collection), so the
      requested parallelism is capped at what the hardware can actually run
      simultaneously. *)
   let jobs = min jobs (default_jobs ()) in
-  if jobs <= 1 || n <= 1 then Array.map (fun task -> task ()) tasks
+  if jobs <= 1 || n <= 1 then begin
+    match report with
+    | None -> Array.map (fun task -> task ()) tasks
+    | Some report ->
+        (* Serial path: the calling domain is the single worker; timing the
+           whole map keeps the per-task cost identical to the untimed path. *)
+        let t0 = Unix.gettimeofday () in
+        let results = Array.map (fun task -> task ()) tasks in
+        let busy = Unix.gettimeofday () -. t0 in
+        report [| { tasks = n; busy_s = busy; idle_s = 0. } |];
+        results
+  end
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    let workers = min jobs n in
+    let tallies =
+      if report = None then [||]
+      else Array.init workers (fun _ -> { t_tasks = 0; t_busy = 0. })
+    in
     (* Each domain claims tasks off the shared index until none remain;
-       coarse tasks make the single atomic per task negligible. *)
+       coarse tasks make the single atomic per task negligible. Timing is
+       only collected when a report was requested, so the untimed hot path
+       performs no clock reads. *)
     let rec drain () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
@@ -20,16 +45,43 @@ let map_tasks ~jobs tasks =
         drain ()
       end
     in
+    let rec drain_timed tally =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let t0 = Unix.gettimeofday () in
+        results.(i) <- Some (tasks.(i) ());
+        tally.t_busy <- tally.t_busy +. (Unix.gettimeofday () -. t0);
+        tally.t_tasks <- tally.t_tasks + 1;
+        drain_timed tally
+      end
+    in
+    let run_worker w =
+      if tallies = [||] then drain () else drain_timed tallies.(w)
+    in
+    let started = Unix.gettimeofday () in
     let helpers =
-      Array.init (min jobs n - 1) (fun _ -> Domain.spawn drain)
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> run_worker (k + 1)))
     in
     let first_exn = ref None in
     let record e = if !first_exn = None then first_exn := Some e in
-    (try drain () with e -> record e);
+    (try run_worker 0 with e -> record e);
     Array.iter
       (fun d -> try Domain.join d with e -> record e)
       helpers;
+    let wall = Unix.gettimeofday () -. started in
     (match !first_exn with Some e -> raise e | None -> ());
+    (match report with
+    | None -> ()
+    | Some report ->
+        report
+          (Array.map
+             (fun tl ->
+               {
+                 tasks = tl.t_tasks;
+                 busy_s = tl.t_busy;
+                 idle_s = Float.max 0. (wall -. tl.t_busy);
+               })
+             tallies));
     Array.map
       (function Some v -> v | None -> assert false (* all indices claimed *))
       results

@@ -8,10 +8,19 @@
     what — determinism of the merged result is the caller's invariant and
     this module is careful not to break it.
 
-    Only the standard library is used ([Domain], [Atomic]); no external
+    Only the standard library and [unix] are used ([Domain], [Atomic],
+    [Unix.gettimeofday] for the optional utilization report); no external
     dependency. *)
 
-val map_tasks : jobs:int -> (unit -> 'a) array -> 'a array
+type worker_stat = { tasks : int; busy_s : float; idle_s : float }
+(** Per-worker utilization for one {!map_tasks} call: how many tasks the
+    worker claimed, wall time spent inside tasks, and wall time the worker
+    existed but ran nothing ([idle_s] is measured against the pool's total
+    wall, so it includes spawn/join skew). Worker 0 is the calling
+    domain. *)
+
+val map_tasks :
+  ?report:(worker_stat array -> unit) -> jobs:int -> (unit -> 'a) array -> 'a array
 (** [map_tasks ~jobs tasks] runs every task and returns their results in
     task order. At most [min jobs (Array.length tasks)] domains run at
     once (the calling domain counts as one), further capped at
@@ -24,7 +33,12 @@ val map_tasks : jobs:int -> (unit -> 'a) array -> 'a array
 
     Tasks must not themselves spawn unbounded domains and must be safe to
     run concurrently with each other. If any task raises, one of the
-    raised exceptions is re-raised after every domain has been joined. *)
+    raised exceptions is re-raised after every domain has been joined.
+
+    [report], when given, is called once after the join — only if no task
+    raised — with one {!worker_stat} per worker in worker order.
+    Collecting the stats costs two clock reads per task, paid only when
+    [report] is passed; the untimed path is unchanged. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: a sensible [jobs] when the user

@@ -50,8 +50,9 @@ let lift choice (frag : Exhaustive.result) =
         frag.Exhaustive.crashed;
   }
 
-let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
-    ~algo:(Sim.Algorithm.Packed (module A)) ~config ~proposals ~prefix () =
+let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ~algo:(Sim.Algorithm.Packed (module A))
+    ~config ~proposals ~prefix () =
   let module E = Sim.Engine.Make (A) in
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let n = Config.n config in
@@ -101,21 +102,33 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
     | Error _ -> st
     | Ok st -> (
         incr edges;
+        let cplan = Sim.Schedule.compile_plan ~n (Serial.plan_of config choice) in
         match
-          E.Incremental.step st
-            (Sim.Schedule.compile_plan ~n (Serial.plan_of config choice))
+          match prof with
+          | None -> E.Incremental.step st cplan
+          | Some a -> Obs.Prof.measure a (fun () -> E.Incremental.step st cplan)
         with
         | st -> Ok st
         | exception Sim.Engine.Step_error e -> Error e)
   in
+  (* Only table misses reach [leaf], so spans and probes record exactly the
+     distinct work done — answered-from-table subtrees cost (and show)
+     nothing. *)
   let leaf st =
     match st with
     | Error error -> Exhaustive.add_crashed Exhaustive.empty ~choices:[] ~error
-    | Ok st -> (
-        match E.Incremental.finish ~max_rounds ~schedule:leaf_schedule st with
-        | trace -> Exhaustive.add_run Exhaustive.empty ~choices:[] ~trace
-        | exception Sim.Engine.Step_error error ->
-            Exhaustive.add_crashed Exhaustive.empty ~choices:[] ~error)
+    | Ok st ->
+        if Obs.Span.enabled spans then Obs.Span.enter spans "run";
+        let frag =
+          match
+            E.Incremental.finish ~max_rounds ?prof ~schedule:leaf_schedule st
+          with
+          | trace -> Exhaustive.add_run Exhaustive.empty ~choices:[] ~trace
+          | exception Sim.Engine.Step_error error ->
+              Exhaustive.add_crashed Exhaustive.empty ~choices:[] ~error
+        in
+        if Obs.Span.enabled spans then Obs.Span.exit spans;
+        frag
   in
   (* Returns the subtree's result with choice lists relative to the node
      (the caller lifts them); [distinct_runs] counts the leaves this call
@@ -207,45 +220,69 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
    are bit-identical on every field {e including} [distinct_runs] and the
    stats, whatever [--jobs] is. Cross-subtree hits at the root are the
    price; below round 1 is where the state space actually converges. *)
-let sweep_sharded ?policy ?horizon ~algo ~config ~proposals () =
+let first_choices ?policy config =
+  Serial.choices
+    ~policy:(Option.value policy ~default:Serial.Prefixes)
+    ~alive:(Pid.Set.universe ~n:(Config.n config))
+    ~crashes_left:(Config.t config)
+
+let sweep_sharded ?policy ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
-  let firsts =
-    Serial.choices
-      ~policy:(Option.value policy ~default:Serial.Prefixes)
-      ~alive:(Pid.Set.universe ~n:(Config.n config))
-      ~crashes_left:(Config.t config)
-  in
+  let firsts = first_choices ?policy config in
   List.fold_left
     (fun (acc, stats) first ->
-      let r, s =
-        sweep_prefix ?policy ~horizon ~algo ~config ~proposals
+      let subtree () =
+        sweep_prefix ?policy ~horizon ?prof ~spans ~algo ~config ~proposals
           ~prefix:[ first ] ()
       in
+      let r, s =
+        if Obs.Span.enabled spans then
+          Obs.Span.with_ spans
+            (Format.asprintf "shard %a" Serial.pp_choice first)
+            subtree
+        else subtree ()
+      in
+      if Obs.Progress.enabled progress then
+        Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
+          ~hits:s.hits ~lookups:(s.hits + s.misses);
       (combine acc r, merge_stats stats s))
     (Exhaustive.empty, zero_stats)
     firsts
 
-let sweep ?policy ?metrics ?horizon ~algo ~config ~proposals () =
+let sweep ?policy ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
-  let result, stats = sweep_sharded ?policy ~horizon ~algo ~config ~proposals () in
+  Obs.Progress.set_total progress (List.length (first_choices ?policy config));
+  let result, stats =
+    Obs.Span.with_ spans "sweep" (fun () ->
+        sweep_sharded ?policy ~horizon ?prof ~spans ~progress ~algo ~config
+          ~proposals ())
+  in
   Exhaustive.report_sweep metrics ~started
     ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.edges)
     ~dedup:(stats.hits, stats.entries) result;
   (result, stats)
 
-let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
+let sweep_binary ?policy ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
+  let assignments = Exhaustive.binary_assignments config in
+  Obs.Progress.set_total progress
+    (List.length assignments * List.length (first_choices ?policy config));
   let result, stats =
-    List.fold_left
-      (fun (acc, stats) proposals ->
-        let r, s =
-          sweep_sharded ?policy ~horizon ~algo ~config ~proposals ()
-        in
-        (Exhaustive.merge acc r, merge_stats stats s))
-      (Exhaustive.empty, zero_stats)
-      (Exhaustive.binary_assignments config)
+    Obs.Span.with_ spans "sweep" (fun () ->
+        List.fold_left
+          (fun (acc, stats) proposals ->
+            let r, s =
+              sweep_sharded ?policy ~horizon ?prof ~spans ~progress ~algo
+                ~config ~proposals ()
+            in
+            (Exhaustive.merge acc r, merge_stats stats s))
+          (Exhaustive.empty, zero_stats)
+          assignments)
   in
   Exhaustive.report_sweep metrics ~started
     ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.edges)

@@ -52,12 +52,19 @@ val combine : Exhaustive.result -> Exhaustive.result -> Exhaustive.result
 val hit_rate : stats -> float
 (** [hits / (hits + misses)], [0.] when nothing was explored. *)
 
+val first_choices : ?policy:Serial.policy -> Config.t -> Serial.choice list
+(** The first-round choices a full sweep shards over (policy default
+    [Prefixes]) — what drivers use to size progress totals. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 val sweep :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
@@ -66,23 +73,36 @@ val sweep :
 (** {!Exhaustive.sweep_incremental} with the transposition table:
     bit-identical on every field except [distinct_runs]. Reports the same
     metrics plus [mc.dedup_hits] / [mc.dedup_entries] /
-    [mc.distinct_runs]. *)
+    [mc.distinct_runs].
+
+    Instrumentation (default-off, never affects the result): [prof]
+    accumulates per-round GC deltas over the distinct work only (table
+    hits cost nothing, so they record nothing); [spans] nests
+    ["sweep" > "shard <choice>" > "run"]; [progress] steps once per
+    first-round shard with the shard's run count and table hit/lookup
+    deltas, with the total set up front. *)
 
 val sweep_binary :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   unit ->
   Exhaustive.result * stats
 (** {!sweep} over all [2^n] binary assignments (fresh tables per
     assignment and first-round choice); bit-identical to
-    {!Exhaustive.sweep_binary_incremental} except [distinct_runs]. *)
+    {!Exhaustive.sweep_binary_incremental} except [distinct_runs].
+    [progress]'s total is [2^n * first-round choices]. *)
 
 val sweep_prefix :
   ?policy:Serial.policy ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
@@ -92,15 +112,22 @@ val sweep_prefix :
 (** The sharding unit (one table, one pinned subtree) — what {!Parallel}
     distributes across domains; reports no metrics itself. Folding the
     first-round shards in order with the serial list-order convention
-    yields exactly {!sweep}. *)
+    yields exactly {!sweep}. [prof]/[spans] follow
+    {!Exhaustive.sweep_prefix}: per-round measures and per-distinct-leaf
+    ["run"] spans, single-domain. *)
 
 val sweep_sharded :
   ?policy:Serial.policy ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
   unit ->
   Exhaustive.result * stats
 (** {!sweep} without the metrics reporting or timing — the per-assignment
-    unit {!sweep_binary} and {!Symmetry} build on. *)
+    unit {!sweep_binary} and {!Symmetry} build on. Steps [progress] per
+    first-round shard but never sets its total (the top-level driver
+    does). *)

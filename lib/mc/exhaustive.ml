@@ -178,8 +178,9 @@ let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
    round bound must then be supplied explicitly, computed from the sweep's
    real horizon so that it matches what [Runner.run] would use. *)
 
-let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
-    ~algo:(Sim.Algorithm.Packed (module A)) ~config ~proposals ~prefix () =
+let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ~algo:(Sim.Algorithm.Packed (module A))
+    ~config ~proposals ~prefix () =
   let module E = Sim.Engine.Make (A) in
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let n = Config.n config in
@@ -196,9 +197,11 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
     | Error _ -> st
     | Ok st -> (
         incr edges;
+        let cplan = Sim.Schedule.compile_plan ~n (Serial.plan_of config choice) in
         match
-          E.Incremental.step st
-            (Sim.Schedule.compile_plan ~n (Serial.plan_of config choice))
+          match prof with
+          | None -> E.Incremental.step st cplan
+          | Some a -> Obs.Prof.measure a (fun () -> E.Incremental.step st cplan)
         with
         | st -> Ok st
         | exception Sim.Engine.Step_error e -> Error e)
@@ -211,36 +214,65 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon
     ~leaf:(fun choices st ->
       match st with
       | Error error -> acc := add_crashed !acc ~choices ~error
-      | Ok st -> (
-          match E.Incremental.finish ~max_rounds ~schedule:leaf_schedule st with
+      | Ok st ->
+          if Obs.Span.enabled spans then Obs.Span.enter spans "run";
+          (match
+             E.Incremental.finish ~max_rounds ?prof ~schedule:leaf_schedule st
+           with
           | trace -> acc := add_run !acc ~choices ~trace
           | exception Sim.Engine.Step_error error ->
-              acc := add_crashed !acc ~choices ~error));
+              acc := add_crashed !acc ~choices ~error);
+          if Obs.Span.enabled spans then Obs.Span.exit spans);
   (!acc, !edges)
 
 let prefix_hits ~horizon result ~edges = (result.runs * horizon) - edges
 
-let sweep_incremental ?policy ?metrics ?horizon ~algo ~config ~proposals () =
+let sweep_incremental ?policy ?metrics ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
+    ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = stopwatch () in
+  Obs.Progress.set_total progress 1;
   let result, edges =
-    sweep_prefix ?policy ~horizon ~algo ~config ~proposals ~prefix:[] ()
+    Obs.Span.with_ spans "sweep" (fun () ->
+        sweep_prefix ?policy ~horizon ?prof ~spans ~algo ~config ~proposals
+          ~prefix:[] ())
   in
+  if Obs.Progress.enabled progress then
+    Obs.Progress.step progress ~items:1 ~runs:result.runs ~hits:0 ~lookups:0;
   report_sweep metrics ~started ~prefix_hits:(prefix_hits ~horizon result ~edges)
     result;
   result
 
-let sweep_binary_incremental ?policy ?metrics ?horizon ~algo ~config () =
+let sweep_binary_incremental ?policy ?metrics ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
+    ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = stopwatch () in
+  let assignments = binary_assignments config in
+  Obs.Progress.set_total progress (List.length assignments);
   let result, edges =
-    List.fold_left
-      (fun (acc, edges) proposals ->
-        let r, e =
-          sweep_prefix ?policy ~horizon ~algo ~config ~proposals ~prefix:[] ()
-        in
-        (merge acc r, edges + e))
-      (empty, 0) (binary_assignments config)
+    Obs.Span.with_ spans "sweep" (fun () ->
+        let i = ref (-1) in
+        List.fold_left
+          (fun (acc, edges) proposals ->
+            incr i;
+            let subtree () =
+              sweep_prefix ?policy ~horizon ?prof ~spans ~algo ~config
+                ~proposals ~prefix:[] ()
+            in
+            let r, e =
+              if Obs.Span.enabled spans then
+                Obs.Span.with_ spans
+                  (Printf.sprintf "shard %d" !i)
+                  subtree
+              else subtree ()
+            in
+            if Obs.Progress.enabled progress then
+              Obs.Progress.step progress ~items:1 ~runs:r.runs ~hits:0
+                ~lookups:0;
+            (merge acc r, edges + e))
+          (empty, 0) assignments)
   in
   report_sweep metrics ~started ~prefix_hits:(prefix_hits ~horizon result ~edges)
     result;

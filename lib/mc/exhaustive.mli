@@ -122,6 +122,9 @@ val sweep_incremental :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
@@ -131,22 +134,34 @@ val sweep_incremental :
     witness and violation list), computed by carrying the resumable engine
     state ({!Sim.Engine.Make.Incremental}) down the choice-tree DFS: the
     shared prefix of two schedules is simulated once instead of once per
-    leaf. *)
+    leaf.
+
+    Instrumentation (all default-off, none of it affects the result):
+    [prof] accumulates per-engine-round GC deltas; [spans] records a
+    ["sweep"] span with one ["run"] span per simulated leaf; [progress]
+    is stepped at shard granularity (here: once). The caller owns
+    {!Obs.Progress.finish} and the {!Obs.Prof.flush}. *)
 
 val sweep_binary_incremental :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   unit ->
   result
 (** {!sweep_incremental} over all [2^n] binary assignments; bit-identical
-    to {!sweep_binary}. *)
+    to {!sweep_binary}. [progress] steps once per assignment (with a
+    total), [spans] wraps each assignment in a ["shard <i>"] span. *)
 
 val sweep_prefix :
   ?policy:Serial.policy ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
@@ -164,7 +179,13 @@ val sweep_prefix :
     subtree). A {!Sim.Engine.Step_error} on an edge of the choice tree
     poisons the subtree below it: every leaf under the edge is recorded
     as a {!crashed_run} with that error, matching what the from-scratch
-    {!sweep} observes run by run. *)
+    {!sweep} observes run by run.
+
+    [prof] measures every engine round the subtree executes (DFS edges
+    and {!Sim.Engine.Make.Incremental.finish} tails); [spans] wraps each
+    simulated leaf in a ["run"] span. When the caller is a parallel
+    driver, both must be owned by the shard's worker domain — GC deltas
+    and span recorders are single-domain. *)
 
 type stopwatch
 (** Wall + CPU clocks captured together at sweep start. *)

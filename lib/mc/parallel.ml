@@ -37,8 +37,45 @@ let protect ~context task () =
   | (Stack_overflow | Out_of_memory) as e -> raise e
   | e -> Error (context, Printexc.to_string e)
 
-let shard_results ~jobs tasks =
-  let sharded = Array.to_list (Par.map_tasks ~jobs (Array.of_list tasks)) in
+(* Per-shard instrumentation. Span recorders and probe accumulators are
+   single-domain, so each shard gets its own (the worker that claims the
+   shard is the only writer of its slot); after the join the caller absorbs
+   and merges them back into the caller-owned [spans]/[prof] in shard
+   order. Shard recorders share the parent's time origin and get track
+   [1 + shard] so Chrome renders them as separate rows under the track-0
+   "sweep" span. *)
+let shard_instruments ~spans ~prof count =
+  let shard_spans =
+    if Obs.Span.enabled spans then
+      Array.init count (fun i -> Obs.Span.child spans ~track:(i + 1))
+    else [||]
+  in
+  let shard_accs =
+    match prof with
+    | Some _ -> Array.init count (fun _ -> Obs.Prof.acc ())
+    | None -> [||]
+  in
+  let span_of i =
+    if shard_spans = [||] then Obs.Span.disabled else shard_spans.(i)
+  in
+  let acc_of i = if shard_accs = [||] then None else Some shard_accs.(i) in
+  let finalize () =
+    Array.iter (fun s -> Obs.Span.absorb spans s) shard_spans;
+    match prof with
+    | Some into -> Array.iter (fun a -> Obs.Prof.merge ~into a) shard_accs
+    | None -> ()
+  in
+  (span_of, acc_of, finalize)
+
+(* The [Par.map_tasks] utilization report, folded into the metrics registry
+   under [par.*] when the caller asked for metrics at all. *)
+let pool_report metrics =
+  Option.map (fun m -> Obs.Prof.pool m ~prefix:"par") metrics
+
+let shard_results ?report ~jobs tasks =
+  let sharded =
+    Array.to_list (Par.map_tasks ?report ~jobs (Array.of_list tasks))
+  in
   let oks =
     List.filter_map (function Ok r -> Some r | Error _ -> None) sharded
   in
@@ -52,8 +89,9 @@ let shard_results ~jobs tasks =
   in
   (oks, failures)
 
-let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo ~config
-    ~proposals () =
+let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
+    ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
   let firsts =
@@ -61,18 +99,35 @@ let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo ~config
       ~alive:(Pid.Set.universe ~n:(Config.n config))
       ~crashes_left:(Config.t config)
   in
+  Obs.Progress.set_total progress (List.length firsts);
+  let span_of, acc_of, finalize =
+    shard_instruments ~spans ~prof (List.length firsts)
+  in
+  Obs.Span.enter spans "sweep";
   let shards, failures =
-    shard_results ~jobs
-      (List.map
-         (fun first ->
+    shard_results ?report:(pool_report metrics) ~jobs
+      (List.mapi
+         (fun i first ->
            protect
              ~context:
                (Format.asprintf "first-round choice %a" Serial.pp_choice first)
              (fun () ->
-               Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config
-                 ~proposals ~prefix:[ first ] ()))
+               let sp = span_of i in
+               let r, e =
+                 Obs.Span.with_ sp
+                   (Format.asprintf "shard %d: %a" i Serial.pp_choice first)
+                   (fun () ->
+                     Exhaustive.sweep_prefix ~policy ~horizon ?prof:(acc_of i)
+                       ~spans:sp ~algo ~config ~proposals ~prefix:[ first ] ())
+               in
+               if Obs.Progress.enabled progress then
+                 Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
+                   ~hits:0 ~lookups:0;
+               (r, e)))
          firsts)
   in
+  Obs.Span.exit spans;
+  finalize ();
   let result = merge_in_order (List.map fst shards) in
   let result = { result with Exhaustive.shard_failures = failures } in
   let edges = List.fold_left (fun acc (_, e) -> acc + e) 0 shards in
@@ -81,22 +136,40 @@ let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo ~config
     result;
   result
 
-let sweep_binary ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
-    ~config () =
+let sweep_binary ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
+    ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
   let assignments = Exhaustive.binary_assignments config in
+  Obs.Progress.set_total progress (List.length assignments);
+  let span_of, acc_of, finalize =
+    shard_instruments ~spans ~prof (List.length assignments)
+  in
+  Obs.Span.enter spans "sweep";
   let shards, failures =
-    shard_results ~jobs
+    shard_results ?report:(pool_report metrics) ~jobs
       (List.mapi
          (fun i proposals ->
            protect
              ~context:(Format.asprintf "proposal assignment #%d" i)
              (fun () ->
-               Exhaustive.sweep_prefix ~policy ~horizon ~algo ~config
-                 ~proposals ~prefix:[] ()))
+               let sp = span_of i in
+               let r, e =
+                 Obs.Span.with_ sp
+                   (Printf.sprintf "shard %d" i)
+                   (fun () ->
+                     Exhaustive.sweep_prefix ~policy ~horizon ?prof:(acc_of i)
+                       ~spans:sp ~algo ~config ~proposals ~prefix:[] ())
+               in
+               if Obs.Progress.enabled progress then
+                 Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
+                   ~hits:0 ~lookups:0;
+               (r, e)))
          assignments)
   in
+  Obs.Span.exit spans;
+  finalize ();
   (* [sweep_binary] merges per-assignment results left-to-right, so the
      plain fold is already bit-identical — no violation reordering. *)
   let result =
@@ -135,8 +208,9 @@ let report_reduced ?orbits metrics ~started ~jobs ~horizon ~failures
     ?orbits result;
   (result, stats)
 
-let sweep_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
-    ~config ~proposals () =
+let sweep_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
+    ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
   let firsts =
@@ -144,36 +218,74 @@ let sweep_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
       ~alive:(Pid.Set.universe ~n:(Config.n config))
       ~crashes_left:(Config.t config)
   in
+  Obs.Progress.set_total progress (List.length firsts);
+  let span_of, acc_of, finalize =
+    shard_instruments ~spans ~prof (List.length firsts)
+  in
+  Obs.Span.enter spans "sweep";
   let shards, failures =
-    shard_results ~jobs
-      (List.map
-         (fun first ->
+    shard_results ?report:(pool_report metrics) ~jobs
+      (List.mapi
+         (fun i first ->
            protect
              ~context:
                (Format.asprintf "first-round choice %a" Serial.pp_choice first)
              (fun () ->
-               Dedup.sweep_prefix ~policy ~horizon ~algo ~config ~proposals
-                 ~prefix:[ first ] ()))
+               let sp = span_of i in
+               let r, s =
+                 Obs.Span.with_ sp
+                   (Format.asprintf "shard %d: %a" i Serial.pp_choice first)
+                   (fun () ->
+                     Dedup.sweep_prefix ~policy ~horizon ?prof:(acc_of i)
+                       ~spans:sp ~algo ~config ~proposals ~prefix:[ first ] ())
+               in
+               if Obs.Progress.enabled progress then
+                 Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
+                   ~hits:s.Dedup.hits
+                   ~lookups:(s.Dedup.hits + s.Dedup.misses);
+               (r, s)))
          firsts)
   in
+  Obs.Span.exit spans;
+  finalize ();
   report_reduced metrics ~started ~jobs ~horizon ~failures
     (merge_reduced_in_order shards)
 
-let sweep_binary_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs
+let sweep_binary_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
     ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
+  let assignments = Exhaustive.binary_assignments config in
+  Obs.Progress.set_total progress (List.length assignments);
+  let span_of, acc_of, finalize =
+    shard_instruments ~spans ~prof (List.length assignments)
+  in
+  Obs.Span.enter spans "sweep";
   let shards, failures =
-    shard_results ~jobs
+    shard_results ?report:(pool_report metrics) ~jobs
       (List.mapi
          (fun i proposals ->
            protect
              ~context:(Format.asprintf "proposal assignment #%d" i)
              (fun () ->
-               Dedup.sweep_sharded ~policy ~horizon ~algo ~config ~proposals
-                 ()))
-         (Exhaustive.binary_assignments config))
+               let sp = span_of i in
+               let r, s =
+                 Obs.Span.with_ sp
+                   (Printf.sprintf "shard %d" i)
+                   (fun () ->
+                     Dedup.sweep_sharded ~policy ~horizon ?prof:(acc_of i)
+                       ~spans:sp ~algo ~config ~proposals ())
+               in
+               if Obs.Progress.enabled progress then
+                 Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
+                   ~hits:s.Dedup.hits
+                   ~lookups:(s.Dedup.hits + s.Dedup.misses);
+               (r, s)))
+         assignments)
   in
+  Obs.Span.exit spans;
+  finalize ();
   (* Per-assignment results merge with plain [Exhaustive.merge], matching
      the serial [Dedup.sweep_binary] fold. *)
   let merged =
@@ -185,26 +297,49 @@ let sweep_binary_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs
   in
   report_reduced metrics ~started ~jobs ~horizon ~failures merged
 
-let sweep_binary_sym ?(policy = Serial.Prefixes) ?metrics ?horizon ~jobs ~algo
-    ~config () =
+let sweep_binary_sym ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
+    ?spans ?progress ~jobs ~algo ~config () =
   if not (Sim.Algorithm.symmetric algo) then
-    sweep_binary_dedup ~policy ?metrics ?horizon ~jobs ~algo ~config ()
+    sweep_binary_dedup ~policy ?metrics ?horizon ?prof ?spans ?progress ~jobs
+      ~algo ~config ()
   else begin
+    let spans = Option.value spans ~default:Obs.Span.disabled in
+    let progress = Option.value progress ~default:Obs.Progress.disabled in
     let horizon = Option.value horizon ~default:(Config.t config + 2) in
     let started = Exhaustive.stopwatch () in
     let orbits = Symmetry.orbits config in
+    Obs.Progress.set_total progress (List.length orbits);
+    let span_of, acc_of, finalize =
+      shard_instruments ~spans ~prof (List.length orbits)
+    in
+    Obs.Span.enter spans "sweep";
     let shards, failures =
-      shard_results ~jobs
-        (List.map
-           (fun (orbit : Symmetry.orbit) ->
+      shard_results ?report:(pool_report metrics) ~jobs
+        (List.mapi
+           (fun i (orbit : Symmetry.orbit) ->
              protect
                ~context:
                  (Format.asprintf "orbit |ones| = %d"
                     (Pid.Set.cardinal orbit.Symmetry.ones))
                (fun () ->
-                 Symmetry.sweep_orbit ~policy ~horizon ~algo ~config ~orbit ()))
+                 let sp = span_of i in
+                 let r, s =
+                   Obs.Span.with_ sp
+                     (Printf.sprintf "shard %d: |ones|=%d" i
+                        (Pid.Set.cardinal orbit.Symmetry.ones))
+                     (fun () ->
+                       Symmetry.sweep_orbit ~policy ~horizon ?prof:(acc_of i)
+                         ~spans:sp ~algo ~config ~orbit ())
+                 in
+                 if Obs.Progress.enabled progress then
+                   Obs.Progress.step progress ~items:1
+                     ~runs:r.Exhaustive.runs ~hits:s.Dedup.hits
+                     ~lookups:(s.Dedup.hits + s.Dedup.misses);
+                 (r, s)))
            orbits)
     in
+    Obs.Span.exit spans;
+    finalize ();
     let merged =
       List.fold_left
         (fun (acc, stats) (r, s) ->

@@ -30,6 +30,9 @@ val sweep :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   jobs:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
@@ -38,12 +41,26 @@ val sweep :
   Exhaustive.result
 (** Parallel, prefix-sharing version of {!Exhaustive.sweep}. Reports the
     same metrics (when given) plus [mc.domains] = [jobs] and the
-    [mc.prefix_hits] counter. *)
+    [mc.prefix_hits] counter.
+
+    Instrumentation (default-off, never affects the result): [prof] is
+    merged from one per-shard accumulator per subtree after the join;
+    [spans] records a track-0 ["sweep"] span plus per-shard recorders on
+    tracks [1 + shard] (absorbed in shard order), each nesting
+    ["shard ..."] over its ["run"] spans; [progress] is stepped from the
+    worker domains once per completed shard (the meter is mutex-guarded;
+    its total is set to the shard count up front). When [metrics] is
+    given, the {!Kernel.Par} utilization report also lands as [par.*]
+    gauges via {!Obs.Prof.pool}. The same contract applies to every
+    variant below. *)
 
 val sweep_binary :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   jobs:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
@@ -65,6 +82,9 @@ val sweep_dedup :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   jobs:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
@@ -77,6 +97,9 @@ val sweep_binary_dedup :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   jobs:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
@@ -88,6 +111,9 @@ val sweep_binary_sym :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   jobs:int ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->

@@ -32,27 +32,47 @@ let scale m (r : Exhaustive.result) =
     undecided_runs = r.Exhaustive.undecided_runs * m;
   }
 
-let sweep_orbit ?policy ?horizon ~algo ~config ~orbit () =
+let sweep_orbit ?policy ?horizon ?prof ?spans ?progress ~algo ~config ~orbit
+    () =
   let r, stats =
-    Dedup.sweep_sharded ?policy ?horizon ~algo ~config
+    Dedup.sweep_sharded ?policy ?horizon ?prof ?spans ?progress ~algo ~config
       ~proposals:orbit.proposals ()
   in
   (scale orbit.multiplicity r, stats)
 
-let sweep_orbits ?policy ?horizon ~algo ~config () =
+let sweep_orbits ?policy ?horizon ?prof ?(spans = Obs.Span.disabled) ?progress
+    ~algo ~config () =
   List.map
     (fun orbit ->
-      let r, stats = sweep_orbit ?policy ?horizon ~algo ~config ~orbit () in
+      let one () =
+        sweep_orbit ?policy ?horizon ?prof ~spans ?progress ~algo ~config
+          ~orbit ()
+      in
+      let r, stats =
+        if Obs.Span.enabled spans then
+          Obs.Span.with_ spans
+            (Printf.sprintf "orbit |ones|=%d" (Pid.Set.cardinal orbit.ones))
+            one
+        else one ()
+      in
       (orbit, r, stats))
     (orbits config)
 
-let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
+let sweep_binary ?policy ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~algo ~config () =
   if not (Sim.Algorithm.symmetric algo) then
-    Dedup.sweep_binary ?policy ?metrics ?horizon ~algo ~config ()
+    Dedup.sweep_binary ?policy ?metrics ?horizon ?prof ~spans ~progress ~algo
+      ~config ()
   else begin
     let horizon = Option.value horizon ~default:(Config.t config + 2) in
     let started = Exhaustive.stopwatch () in
-    let per_orbit = sweep_orbits ?policy ~horizon ~algo ~config () in
+    Obs.Progress.set_total progress
+      ((Config.n config + 1)
+      * List.length (Dedup.first_choices ?policy config));
+    let per_orbit =
+      Obs.Span.with_ spans "sweep" (fun () ->
+          sweep_orbits ?policy ~horizon ?prof ~spans ~progress ~algo ~config ())
+    in
     let result, stats =
       List.fold_left
         (fun (acc, stats) (_, r, s) ->

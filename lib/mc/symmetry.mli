@@ -51,28 +51,41 @@ val scale : int -> Exhaustive.result -> Exhaustive.result
 val sweep_orbit :
   ?policy:Serial.policy ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   orbit:orbit ->
   unit ->
   Exhaustive.result * Dedup.stats
 (** Dedup-sweep one orbit's representative and {!scale} it — the sharding
-    unit of the parallel symmetric sweep. Reports no metrics itself. *)
+    unit of the parallel symmetric sweep. Reports no metrics itself.
+    Instrumentation threads through to {!Dedup.sweep_sharded} (progress
+    steps per first-round shard; [runs] deltas are the representative's,
+    unscaled). *)
 
 val sweep_orbits :
   ?policy:Serial.policy ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   unit ->
   (orbit * Exhaustive.result * Dedup.stats) list
 (** {!sweep_orbit} over every orbit, keeping the per-orbit split — what
-    the orbit-equivalence property tests consume. *)
+    the orbit-equivalence property tests consume. [spans] wraps each
+    orbit in an ["orbit |ones|=k"] span. *)
 
 val sweep_binary :
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
+  ?prof:Obs.Prof.acc ->
+  ?spans:Obs.Span.t ->
+  ?progress:Obs.Progress.t ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   unit ->

@@ -98,3 +98,58 @@ let to_json events =
     ]
 
 let to_string events = Json.to_string (to_json events)
+
+(* Span records map onto a second "process" (pid 1) so span tracks never
+   collide with per-simulated-process event tracks when both exports are
+   concatenated by hand. Track 0 is the calling domain; track [1 + k] is
+   shard [k]'s worker recorder. Nesting within a track is implied by
+   ts/dur containment, which the viewers render as stacked slices. *)
+let span_pid = 1
+
+let span_track_meta track =
+  let name = if track = 0 then "main" else Printf.sprintf "shard %d" (track - 1) in
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int span_pid);
+      ("tid", Json.Int track);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let of_spans records =
+  let tracks =
+    List.sort_uniq compare (List.map (fun r -> r.Span.track) records)
+  in
+  let metas = List.map span_track_meta tracks in
+  let slices =
+    List.map
+      (fun (r : Span.record) ->
+        Json.Obj
+          [
+            ("name", Json.String r.label);
+            ("ph", Json.String "X");
+            ("ts", Json.Int r.start_us);
+            ("dur", Json.Int (max 1 r.dur_us));
+            ("pid", Json.Int span_pid);
+            ("tid", Json.Int r.track);
+            ( "args",
+              Json.Obj
+                [
+                  ("cpu_us", Json.Int r.cpu_us);
+                  ("minor_words", Json.Float r.minor_words);
+                  ("major_words", Json.Float r.major_words);
+                  ("promoted_words", Json.Float r.promoted_words);
+                  ("minor_collections", Json.Int r.minor_collections);
+                  ("major_collections", Json.Int r.major_collections);
+                ] );
+          ])
+      records
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metas @ slices));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let spans_to_string records = Json.to_string (of_spans records)

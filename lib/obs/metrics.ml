@@ -102,11 +102,25 @@ let summary h =
         max = s.h_max;
       }
 
+let fold_samples h ~count ~sum ~sumsq ~min:mn ~max:mx =
+  if count < 0 then invalid_arg "Metrics.fold_samples: negative count";
+  if count > 0 then begin
+    let s = h.state in
+    s.h_count <- s.h_count + count;
+    s.sum <- s.sum +. sum;
+    s.sumsq <- s.sumsq +. sumsq;
+    if mn < s.h_min then s.h_min <- mn;
+    if mx > s.h_max then s.h_max <- mx
+  end
+
 let find_counter t name =
   match find t name with Some (Counter c) -> Some c.count | _ -> None
 
 let find_gauge t name =
   match find t name with Some (Gauge g) -> g.value | _ -> None
+
+let find_histogram t name =
+  match find t name with Some (Histogram h) -> summary h | _ -> None
 
 let instruments t = List.rev t.rev_instruments
 

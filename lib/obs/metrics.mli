@@ -36,6 +36,21 @@ val gauge_value : gauge -> int option
 val histogram : t -> string -> histogram
 val observe : histogram -> float -> unit
 
+val fold_samples :
+  histogram ->
+  count:int ->
+  sum:float ->
+  sumsq:float ->
+  min:float ->
+  max:float ->
+  unit
+(** Merge a pre-aggregated batch of observations into the histogram in one
+    step, as if each underlying sample had been {!observe}d individually.
+    This is how per-domain accumulators ({!Prof}) land in a shared registry
+    without the registry ever being touched from a worker domain. A
+    [count] of [0] is a no-op (the [min]/[max] arguments are ignored);
+    negative counts raise [Invalid_argument]. *)
+
 type summary = {
   count : int;
   mean : float;
@@ -51,6 +66,10 @@ val find_counter : t -> string -> int option
 (** Read-only lookup (does not create). *)
 
 val find_gauge : t -> string -> int option
+
+val find_histogram : t -> string -> summary option
+(** Read-only lookup (does not create): the histogram's {!summary}, [None]
+    if no histogram of that name exists or it has no observations yet. *)
 
 val pp : Format.formatter -> t -> unit
 (** One instrument per line, creation order. *)

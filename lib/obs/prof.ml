@@ -1,0 +1,110 @@
+type acc = {
+  (* The probe's own allocation per interval (one [Gc.quick_stat] record
+     plus the boxed [Gc.minor_words] results), measured at creation and
+     subtracted from every interval so empty intervals read as zero. *)
+  self_words : float;
+  mutable n : int;
+  mutable minor_sum : float;
+  mutable minor_sumsq : float;
+  mutable minor_min : float;
+  mutable minor_max : float;
+  mutable major : float;
+  mutable promoted : float;
+  mutable minor_cols : int;
+  mutable major_cols : int;
+}
+
+(* [Gc.quick_stat] (and [Gc.counters]) only refresh their counters at
+   collections on OCaml 5, so their [minor_words] stand still between
+   minor GCs; [Gc.minor_words] reads the domain-local allocation pointer
+   and is exact. Minor words — the headline per-interval signal — come
+   from the latter; collection counts and major/promoted totals, which
+   only ever advance at collections anyway, come from [quick_stat]. *)
+let acc () =
+  let w0 = Gc.minor_words () in
+  let _ = Gc.quick_stat () in
+  let w1 = Gc.minor_words () in
+  {
+    self_words = Float.max 0. (w1 -. w0);
+    n = 0;
+    minor_sum = 0.;
+    minor_sumsq = 0.;
+    minor_min = infinity;
+    minor_max = neg_infinity;
+    major = 0.;
+    promoted = 0.;
+    minor_cols = 0;
+    major_cols = 0;
+  }
+
+let note a w0 (s0 : Gc.stat) =
+  (* Read the allocation pointer before [quick_stat] so the interval does
+     not absorb the probe's own record. *)
+  let w1 = Gc.minor_words () in
+  let s1 = Gc.quick_stat () in
+  let minor = Float.max 0. (w1 -. w0 -. a.self_words) in
+  a.n <- a.n + 1;
+  a.minor_sum <- a.minor_sum +. minor;
+  a.minor_sumsq <- a.minor_sumsq +. (minor *. minor);
+  if minor < a.minor_min then a.minor_min <- minor;
+  if minor > a.minor_max then a.minor_max <- minor;
+  a.major <- a.major +. (s1.Gc.major_words -. s0.Gc.major_words);
+  a.promoted <- a.promoted +. (s1.Gc.promoted_words -. s0.Gc.promoted_words);
+  a.minor_cols <- a.minor_cols + (s1.Gc.minor_collections - s0.Gc.minor_collections);
+  a.major_cols <- a.major_cols + (s1.Gc.major_collections - s0.Gc.major_collections)
+
+let measure a f =
+  let w0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
+  match f () with
+  | v ->
+      note a w0 s0;
+      v
+  | exception e ->
+      note a w0 s0;
+      raise e
+
+let intervals a = a.n
+
+let merge ~into src =
+  if src.n > 0 then begin
+    into.n <- into.n + src.n;
+    into.minor_sum <- into.minor_sum +. src.minor_sum;
+    into.minor_sumsq <- into.minor_sumsq +. src.minor_sumsq;
+    if src.minor_min < into.minor_min then into.minor_min <- src.minor_min;
+    if src.minor_max > into.minor_max then into.minor_max <- src.minor_max;
+    into.major <- into.major +. src.major;
+    into.promoted <- into.promoted +. src.promoted;
+    into.minor_cols <- into.minor_cols + src.minor_cols;
+    into.major_cols <- into.major_cols + src.major_cols
+  end
+
+let flush a ~metrics ~prefix ~per =
+  if a.n > 0 then begin
+    Metrics.fold_samples
+      (Metrics.histogram metrics
+         (prefix ^ ".minor_words_per_" ^ per))
+      ~count:a.n ~sum:a.minor_sum ~sumsq:a.minor_sumsq ~min:a.minor_min
+      ~max:a.minor_max;
+    Metrics.incr ~by:a.minor_cols
+      (Metrics.counter metrics (prefix ^ ".minor_collections"));
+    Metrics.incr ~by:a.major_cols
+      (Metrics.counter metrics (prefix ^ ".major_collections"));
+    Metrics.incr
+      ~by:(int_of_float a.major)
+      (Metrics.counter metrics (prefix ^ ".major_words"));
+    Metrics.incr
+      ~by:(int_of_float a.promoted)
+      (Metrics.counter metrics (prefix ^ ".promoted_words"))
+  end
+
+let pool metrics ~prefix stats =
+  let us s = int_of_float (s *. 1e6) in
+  Metrics.set (Metrics.gauge metrics (prefix ^ ".workers")) (Array.length stats);
+  Array.iteri
+    (fun w (st : Kernel.Par.worker_stat) ->
+      let name field = Printf.sprintf "%s.w%d.%s" prefix w field in
+      Metrics.set (Metrics.gauge metrics (name "tasks")) st.tasks;
+      Metrics.set (Metrics.gauge metrics (name "busy_us")) (us st.busy_s);
+      Metrics.set (Metrics.gauge metrics (name "idle_us")) (us st.idle_s))
+    stats

@@ -1,0 +1,151 @@
+type snapshot = {
+  label : string;
+  items : int;
+  total : int option;
+  runs : int;
+  elapsed_s : float;
+  per_s : float option;
+  eta_s : float option;
+  hit_rate : float option;
+  final : bool;
+}
+
+type state = {
+  s_label : string;
+  every : int;
+  started : float;
+  emit : snapshot -> unit;
+  lock : Mutex.t;
+  mutable total : int option;
+  mutable items : int;
+  mutable runs : int;
+  mutable hits : int;
+  mutable lookups : int;
+}
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let create ?(every = 1) ?total ~label ~emit () =
+  if every < 1 then invalid_arg "Progress.create: every < 1";
+  Enabled
+    {
+      s_label = label;
+      every;
+      started = Unix.gettimeofday ();
+      emit;
+      lock = Mutex.create ();
+      total;
+      items = 0;
+      runs = 0;
+      hits = 0;
+      lookups = 0;
+    }
+
+let set_total t total =
+  match t with
+  | Disabled -> ()
+  | Enabled s ->
+      Mutex.lock s.lock;
+      s.total <- Some total;
+      Mutex.unlock s.lock
+
+(* Call with [s.lock] held. *)
+let snapshot_locked s ~final =
+  let elapsed = Unix.gettimeofday () -. s.started in
+  let per_s =
+    if elapsed <= 0. then None
+    else if s.runs > 0 then Some (float_of_int s.runs /. elapsed)
+    else if s.items > 0 then Some (float_of_int s.items /. elapsed)
+    else None
+  in
+  let eta_s =
+    match s.total with
+    | Some total when s.items > 0 && total > s.items ->
+        Some (elapsed *. float_of_int (total - s.items) /. float_of_int s.items)
+    | Some total when s.items >= total -> Some 0.
+    | _ -> None
+  in
+  let hit_rate =
+    if s.lookups > 0 then Some (float_of_int s.hits /. float_of_int s.lookups)
+    else None
+  in
+  {
+    label = s.s_label;
+    items = s.items;
+    total = s.total;
+    runs = s.runs;
+    elapsed_s = elapsed;
+    per_s;
+    eta_s;
+    hit_rate;
+    final;
+  }
+
+let step t ~items ~runs ~hits ~lookups =
+  match t with
+  | Disabled -> ()
+  | Enabled s ->
+      Mutex.lock s.lock;
+      let before = s.items in
+      s.items <- s.items + items;
+      s.runs <- s.runs + runs;
+      s.hits <- s.hits + hits;
+      s.lookups <- s.lookups + lookups;
+      let crossed = s.items / s.every > before / s.every in
+      let snap = if crossed then Some (snapshot_locked s ~final:false) else None in
+      (match snap with Some snap -> s.emit snap | None -> ());
+      Mutex.unlock s.lock
+
+let finish t =
+  match t with
+  | Disabled -> ()
+  | Enabled s ->
+      Mutex.lock s.lock;
+      let snap = snapshot_locked s ~final:true in
+      s.emit snap;
+      Mutex.unlock s.lock
+
+let render snap =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf snap.label;
+  (match snap.total with
+  | Some total when total > 0 ->
+      Buffer.add_string buf
+        (Printf.sprintf " %d/%d (%d%%)" snap.items total
+           (snap.items * 100 / total))
+  | _ -> Buffer.add_string buf (Printf.sprintf " %d" snap.items));
+  if snap.runs > 0 then
+    Buffer.add_string buf (Printf.sprintf " | %d runs" snap.runs);
+  (match snap.per_s with
+  | Some r ->
+      let unit = if snap.runs > 0 then "runs/s" else "items/s" in
+      Buffer.add_string buf (Printf.sprintf " | %.0f %s" r unit)
+  | None -> ());
+  (match snap.hit_rate with
+  | Some h -> Buffer.add_string buf (Printf.sprintf " | hit %.1f%%" (100. *. h))
+  | None -> ());
+  (match snap.eta_s with
+  | Some eta when not snap.final ->
+      Buffer.add_string buf (Printf.sprintf " | eta %.1fs" eta)
+  | _ -> ());
+  if snap.final then
+    Buffer.add_string buf (Printf.sprintf " | done in %.2fs" snap.elapsed_s);
+  Buffer.contents buf
+
+let snapshot_to_json snap =
+  let opt f = function Some v -> f v | None -> Json.Null in
+  Json.Obj
+    [
+      ("label", Json.String snap.label);
+      ("items", Json.Int snap.items);
+      ("total", opt (fun v -> Json.Int v) snap.total);
+      ("runs", Json.Int snap.runs);
+      ("elapsed_s", Json.Float snap.elapsed_s);
+      ("per_s", opt (fun v -> Json.Float v) snap.per_s);
+      ("eta_s", opt (fun v -> Json.Float v) snap.eta_s);
+      ("hit_rate", opt (fun v -> Json.Float v) snap.hit_rate);
+      ("final", Json.Bool snap.final);
+    ]

@@ -1,0 +1,60 @@
+(** Throttled progress snapshots for long-running sweeps and fuzz
+    campaigns.
+
+    A meter counts work items (shards, orbits, runs — whatever unit the
+    driver steps it by) plus schedules executed and dedup lookups, and
+    emits a {!snapshot} through a caller-supplied callback whenever the
+    item count crosses a multiple of [every]. Emission points therefore
+    depend only on counts, never on wall time, so tests that capture
+    snapshots see a deterministic sequence; the snapshot {e contents}
+    include wall-derived rate and ETA, which are only for display.
+
+    Meters may be stepped concurrently from worker domains: state and
+    emission are guarded by a mutex, so callbacks run serialized (and must
+    not themselves step the meter). The {!disabled} meter makes every
+    operation an immediate match, mirroring {!Sink.noop}. *)
+
+type snapshot = {
+  label : string;
+  items : int;  (** Work items completed so far. *)
+  total : int option;  (** Expected items, when the driver knows it. *)
+  runs : int;  (** Schedules executed so far (0 if the driver doesn't count them). *)
+  elapsed_s : float;
+  per_s : float option;
+      (** Runs per second when [runs > 0], else items per second; [None]
+          until the clock has measurably advanced. *)
+  eta_s : float option;  (** Estimated seconds remaining; needs [total]. *)
+  hit_rate : float option;
+      (** Dedup hits / lookups, when the driver reports lookups. *)
+  final : bool;  (** [true] only for the snapshot {!finish} emits. *)
+}
+
+type t
+
+val disabled : t
+val enabled : t -> bool
+
+val create :
+  ?every:int -> ?total:int -> label:string -> emit:(snapshot -> unit) -> unit -> t
+(** A live meter. [every] (default 1) throttles emission to every
+    [every]-th item. [emit] runs under the meter's mutex. *)
+
+val set_total : t -> int -> unit
+(** Drivers that only learn the item count after sharding call this before
+    stepping. No-op on {!disabled}. *)
+
+val step : t -> items:int -> runs:int -> hits:int -> lookups:int -> unit
+(** Add completed work. Emits a snapshot if the item count crossed a
+    multiple of [every]. All four arguments are deltas; pass 0 for
+    dimensions the driver doesn't track. No-op on {!disabled}. *)
+
+val finish : t -> unit
+(** Emit one last snapshot ([final = true]) regardless of throttling.
+    No-op on {!disabled}. *)
+
+val render : snapshot -> string
+(** One human line, e.g.
+    ["sweep 12/84 (14%) | 35210 runs | 8123 runs/s | hit 62.1% | eta 8.2s"]. *)
+
+val snapshot_to_json : snapshot -> Json.t
+(** A flat object, for JSONL heartbeat files. *)

@@ -1,0 +1,85 @@
+(** Hierarchical timed spans: the profiling counterpart of {!Sink}.
+
+    A span covers one dynamic extent — a sweep, a shard, a single run —
+    and records where wall clock, CPU time and allocations went while it
+    was open. Spans nest: {!enter} pushes onto a per-recorder stack,
+    {!exit} pops and appends a completed {!record}. The recorder follows
+    the same two-state discipline as {!Sink.t}:
+
+    {[
+      if Obs.Span.enabled spans then ... Obs.Span.enter spans "run" ...
+    ]}
+
+    With the {!disabled} recorder every operation is an immediate match on
+    an immutable constructor — no clock read, no [Gc.quick_stat], no
+    allocation — so instrumented hot paths cost nothing when profiling is
+    off.
+
+    Recorders are single-domain: each worker of a parallel sweep gets its
+    own recorder (with a distinct [track] and a shared [origin] so the
+    timelines line up), and the caller {!absorb}s them into the main
+    recorder after the join. Completed records export to Chrome
+    [trace_event] JSON via {!Chrome.of_spans} or line-by-line via
+    {!record_to_json}. *)
+
+type record = {
+  label : string;
+  track : int;  (** Chrome tid: 0 for the calling domain, [1 + shard] for workers. *)
+  depth : int;  (** Nesting depth at [enter]: 0 for an outermost span. *)
+  start_us : int;  (** Wall-clock microseconds since the recorder's origin. *)
+  dur_us : int;  (** Wall-clock duration in microseconds. *)
+  cpu_us : int;  (** [Sys.time] delta in microseconds (per-process CPU). *)
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+(** One completed span. GC fields are [Gc.quick_stat] deltas between
+    {!enter} and {!exit} on the recording domain. *)
+
+type t
+
+val disabled : t
+(** Ignores everything; {!enabled} is [false]. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!disabled} — the producer-side guard. *)
+
+val origin : unit -> float
+(** A fresh wall-clock origin ([Unix.gettimeofday ()]) to share between
+    the recorders of one profiled activity. *)
+
+val recorder : ?origin:float -> ?track:int -> unit -> t
+(** A live recorder. [origin] (default: now) anchors [start_us];
+    [track] (default 0) tags every record — parallel sweeps give each
+    shard recorder its own track so Chrome renders them as separate
+    rows. *)
+
+val child : t -> track:int -> t
+(** A fresh recorder sharing [t]'s origin, on its own [track] — what a
+    parallel sweep hands each shard so worker-domain spans line up with
+    the caller's timeline. {!disabled} if [t] is. *)
+
+val enter : t -> string -> unit
+(** Open a span. No-op on {!disabled}. *)
+
+val exit : t -> unit
+(** Close the innermost open span and append its {!record}. No-op on
+    {!disabled}; raises [Invalid_argument] if no span is open. *)
+
+val with_ : t -> string -> (unit -> 'a) -> 'a
+(** [with_ t label f] brackets [f ()] in {!enter}/{!exit}, closing the
+    span even if [f] raises. On {!disabled} it is a tail call to [f]. *)
+
+val records : t -> record list
+(** Completed records in completion order (children before parents).
+    [[]] on {!disabled}. Open spans are not included. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] appends [child]'s completed records to
+    [parent]. No-op if either side is {!disabled}. The child recorder is
+    left empty. *)
+
+val record_to_json : record -> Json.t
+(** A flat object with every field, for JSONL trace output. *)

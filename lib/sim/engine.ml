@@ -547,7 +547,7 @@ module Make (A : Algorithm.S) = struct
         i_rev_decisions = !rev_new @ t.i_rev_decisions;
       }
 
-    let finish ?max_rounds ~schedule t =
+    let finish ?max_rounds ?prof ~schedule t =
       let max_rounds =
         Option.value max_rounds
           ~default:(default_max_rounds t.i_config schedule)
@@ -563,7 +563,12 @@ module Make (A : Algorithm.S) = struct
                 (Schedule.plan_at schedule (Round.of_int t.i_next))
             else Schedule.compiled_empty_plan
           in
-          loop (step t cplan)
+          let t' =
+            match prof with
+            | None -> step t cplan
+            | Some a -> Obs.Prof.measure a (fun () -> step t cplan)
+          in
+          loop t'
       in
       let t = loop t in
       {
@@ -579,7 +584,7 @@ module Make (A : Algorithm.S) = struct
       }
   end
 
-  let run ?(record = false) ?(sink = Obs.Sink.noop) ?max_rounds config
+  let run ?(record = false) ?(sink = Obs.Sink.noop) ?max_rounds ?prof config
       ~proposals schedule =
     let max_rounds =
       Option.value max_rounds ~default:(default_max_rounds config schedule)
@@ -595,7 +600,14 @@ module Make (A : Algorithm.S) = struct
            });
     let rec loop sys =
       if all_halted sys || Round.to_int sys.next_round > max_rounds then sys
-      else loop (step sys (Schedule.plan_at schedule sys.next_round))
+      else
+        let plan = Schedule.plan_at schedule sys.next_round in
+        let sys' =
+          match prof with
+          | None -> step sys plan
+          | Some a -> Obs.Prof.measure a (fun () -> step sys plan)
+        in
+        loop sys'
     in
     let sys =
       loop { (start ~sink config ~proposals) with recording = record }

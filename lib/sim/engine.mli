@@ -119,12 +119,15 @@ module Make (A : Algorithm.S) : sig
     (** O(state) to build; allocates a small canonical copy, shares the
         per-process states. *)
 
-    val finish : ?max_rounds:int -> schedule:Schedule.t -> t -> Trace.t
+    val finish :
+      ?max_rounds:int -> ?prof:Obs.Prof.acc -> schedule:Schedule.t -> t -> Trace.t
     (** Step with [schedule]'s remaining plans (empty past the horizon)
         until all processes halt or [max_rounds] rounds have executed
         (default {!default_max_rounds}), then package the trace. The
         resulting trace equals what {!run} produces for the same config,
         proposals and schedule, except [records] is always empty.
+        [prof], when given, records one {!Obs.Prof} interval per executed
+        round (the DFS callers measure the rounds they step themselves).
 
         When the state was advanced manually via {!step}, pass the
         schedule those plans came from (or an explicit [max_rounds]
@@ -136,6 +139,7 @@ module Make (A : Algorithm.S) : sig
     ?record:bool ->
     ?sink:Obs.Sink.t ->
     ?max_rounds:int ->
+    ?prof:Obs.Prof.acc ->
     Config.t ->
     proposals:Value.t Pid.Map.t ->
     Schedule.t ->
@@ -149,7 +153,9 @@ module Make (A : Algorithm.S) : sig
       stream — [Run_start], then per round [Round_start], [Send] (with
       per-copy [Drop]/[Delay] fates), [Crash], [Deliver], [Decide] and
       [Halt], and finally [Run_end]. Event order is deterministic for a
-      fixed config, proposals and schedule. *)
+      fixed config, proposals and schedule. [prof] records one
+      {!Obs.Prof} interval per executed round; omitted, the loop is
+      untouched. *)
 end
 
 val default_max_rounds : Config.t -> Schedule.t -> int

@@ -7,12 +7,14 @@ val run :
   ?record:bool ->
   ?sink:Obs.Sink.t ->
   ?max_rounds:int ->
+  ?prof:Obs.Prof.acc ->
   Algorithm.packed ->
   Config.t ->
   proposals:Value.t Pid.Map.t ->
   Schedule.t ->
   Trace.t
-(** See {!Engine.Make.run}; [sink] streams the run's {!Obs.Event.t}s. *)
+(** See {!Engine.Make.run}; [sink] streams the run's {!Obs.Event.t}s,
+    [prof] accumulates per-round GC deltas. *)
 
 val proposals_of_list : Value.t list -> Value.t Pid.Map.t
 (** [proposals_of_list [v1; ...; vn]] assigns [vi] to [p_i]. *)

@@ -157,28 +157,89 @@ let test_jsonl_determinism () =
   check_bool "byte-identical logs" true (String.equal a b);
   check_bool "log nonempty" true (String.length a > 0)
 
-let test_jsonl_roundtrip () =
-  let cfg = config ~n:5 ~t:2 in
-  let _, events = chain_events cfg in
-  (* Include an Fd_output so every constructor that reaches logs is
-     exercised. *)
-  let events =
-    events
-    @ [
-        Obs.Event.Fd_output
-          {
-            pid = Pid.of_int 1;
-            round = Round.of_int 2;
-            suspected = [ Pid.of_int 2; Pid.of_int 3 ];
-          };
-      ]
+(* One generator per Event constructor, so the codec property covers the
+   whole wire vocabulary — not just what a particular run happens to
+   emit. *)
+let event_gen =
+  let open QCheck.Gen in
+  let pid = map Pid.of_int (int_range 1 9) in
+  let round = map Round.of_int (int_range 1 30) in
+  let value = map Value.of_int (int_range 0 7) in
+  let name =
+    string_size
+      ~gen:(oneofl [ 'a'; 'k'; 'z'; 'A'; '0'; '('; '+'; ')'; ' ' ])
+      (int_range 1 10)
   in
+  oneof
+    [
+      ( let* n = int_range 1 6 in
+        let* t = int_range 0 3 in
+        let* algorithm = name in
+        let+ values = list_size (return n) value in
+        Obs.Event.Run_start
+          {
+            algorithm;
+            n;
+            t;
+            proposals = List.mapi (fun i v -> (Pid.of_int (i + 1), v)) values;
+          } );
+      map (fun round -> Obs.Event.Round_start { round }) round;
+      ( let* src = pid in
+        let* round = round in
+        let* copies = int_range 0 9 in
+        let+ bytes = int_range 0 4096 in
+        Obs.Event.Send { src; round; copies; bytes } );
+      ( let* src = pid in
+        let* dst = pid in
+        let* sent = round in
+        let+ extra = int_range 0 3 in
+        Obs.Event.Deliver
+          { src; dst; sent; round = Round.of_int (Round.to_int sent + extra) }
+      );
+      ( let* src = pid in
+        let* dst = pid in
+        let+ round = round in
+        Obs.Event.Drop { src; dst; round } );
+      ( let* src = pid in
+        let* dst = pid in
+        let* round = round in
+        let+ extra = int_range 1 4 in
+        Obs.Event.Delay
+          { src; dst; round; until = Round.of_int (Round.to_int round + extra) }
+      );
+      ( let* pid = pid in
+        let+ round = round in
+        Obs.Event.Crash { pid; round } );
+      ( let* pid = pid in
+        let* round = round in
+        let+ value = value in
+        Obs.Event.Decide { pid; round; value } );
+      ( let* pid = pid in
+        let+ round = round in
+        Obs.Event.Halt { pid; round } );
+      ( let* suspected = list_size (int_range 0 4) pid in
+        let* pid = pid in
+        let+ round = round in
+        Obs.Event.Fd_output { pid; round; suspected } );
+      ( let* rounds = int_range 0 30 in
+        let* decided = int_range 0 9 in
+        let+ all_halted = bool in
+        Obs.Event.Run_end { rounds; decided; all_halted } );
+    ]
+
+let events_arbitrary =
+  QCheck.make
+    ~print:
+      (Format.asprintf "%a"
+         (Format.pp_print_list ~pp_sep:Format.pp_print_newline Obs.Event.pp))
+    QCheck.Gen.(list_size (int_range 0 20) event_gen)
+
+let jsonl_roundtrip_prop events =
   match Obs.Jsonl.parse (Obs.Jsonl.to_string events) with
-  | Error e -> Alcotest.fail e
+  | Error e -> QCheck.Test.fail_report e
   | Ok parsed ->
-      check_int "same length" (List.length events) (List.length parsed);
-      check_bool "same events" true
-        (List.for_all2 Obs.Event.equal events parsed)
+      List.length events = List.length parsed
+      && List.for_all2 Obs.Event.equal events parsed
 
 let test_jsonl_skips_comments () =
   match Obs.Jsonl.parse "# comment\n\n{\"ev\":\"round_start\",\"round\":3}\n" with
@@ -301,6 +362,267 @@ let test_exhaustive_reports_metrics () =
     (Option.get (Obs.Metrics.find_counter registry "mc.violations"))
 
 (* ------------------------------------------------------------------ *)
+(* Profiling spans                                                     *)
+
+let test_span_disabled_is_inert () =
+  let t = Obs.Span.disabled in
+  check_bool "disabled" false (Obs.Span.enabled t);
+  Obs.Span.enter t "x";
+  Obs.Span.exit t;
+  check_bool "no records" true (Obs.Span.records t = []);
+  check_int "with_ passes the value through" 7
+    (Obs.Span.with_ t "y" (fun () -> 7))
+
+let test_span_nesting () =
+  let t = Obs.Span.recorder ~track:3 () in
+  check_bool "recorder enabled" true (Obs.Span.enabled t);
+  Obs.Span.enter t "outer";
+  Obs.Span.enter t "inner";
+  Obs.Span.exit t;
+  Obs.Span.exit t;
+  match Obs.Span.records t with
+  | [ inner; outer ] ->
+      (* Completion order: the inner span closes first. *)
+      check_string "inner label" "inner" inner.Obs.Span.label;
+      check_int "inner depth" 1 inner.Obs.Span.depth;
+      check_string "outer label" "outer" outer.Obs.Span.label;
+      check_int "outer depth" 0 outer.Obs.Span.depth;
+      check_int "track" 3 inner.Obs.Span.track;
+      check_bool "outer starts no later than inner" true
+        (outer.Obs.Span.start_us <= inner.Obs.Span.start_us);
+      check_bool "outer lasts at least as long" true
+        (outer.Obs.Span.dur_us >= inner.Obs.Span.dur_us)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 2 records, got %d" (List.length rs))
+
+let test_span_exception_safety () =
+  let t = Obs.Span.recorder () in
+  (try Obs.Span.with_ t "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Obs.Span.records t with
+  | [ r ] -> check_string "span closed on raise" "boom" r.Obs.Span.label
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length rs))
+
+let test_span_exit_without_enter () =
+  let t = Obs.Span.recorder () in
+  match Obs.Span.exit t with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_span_absorb_ordering () =
+  let parent = Obs.Span.recorder () in
+  Obs.Span.with_ parent "p1" (fun () -> ());
+  let child = Obs.Span.child parent ~track:2 in
+  Obs.Span.with_ child "c1" (fun () -> ());
+  Obs.Span.with_ child "c2" (fun () -> ());
+  Obs.Span.absorb parent child;
+  Obs.Span.with_ parent "p2" (fun () -> ());
+  check_bool "child drained" true (Obs.Span.records child = []);
+  let field f = List.map f (Obs.Span.records parent) in
+  check_bool "absorb preserves completion order" true
+    (field (fun r -> r.Obs.Span.label) = [ "p1"; "c1"; "c2"; "p2" ]);
+  check_bool "absorbed spans keep the child's track" true
+    (field (fun r -> r.Obs.Span.track) = [ 0; 2; 2; 0 ])
+
+let test_span_record_json () =
+  let t = Obs.Span.recorder () in
+  Obs.Span.with_ t "work" (fun () ->
+      ignore (Sys.opaque_identity (List.init 100 float_of_int)));
+  match Obs.Span.records t with
+  | [ r ] ->
+      let json = Obs.Span.record_to_json r in
+      let str name = Option.bind (Obs.Json.member name json) Obs.Json.to_string_opt in
+      let num name = Option.bind (Obs.Json.member name json) Obs.Json.to_float_opt in
+      check_bool "label" true (str "label" = Some "work");
+      check_bool "dur_us numeric" true (num "dur_us" <> None);
+      check_bool "minor_words numeric" true (num "minor_words" <> None);
+      check_bool "major_collections numeric" true (num "major_collections" <> None)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length rs))
+
+(* ------------------------------------------------------------------ *)
+(* Allocation probes                                                   *)
+
+let test_prof_measure_counts_and_alloc () =
+  let a = Obs.Prof.acc () in
+  for _ = 1 to 3 do
+    Obs.Prof.measure a (fun () ->
+        ignore (Sys.opaque_identity (List.init 1000 float_of_int)))
+  done;
+  check_int "three intervals" 3 (Obs.Prof.intervals a);
+  let metrics = Obs.Metrics.create () in
+  Obs.Prof.flush a ~metrics ~prefix:"test" ~per:"step";
+  match Obs.Metrics.find_histogram metrics "test.minor_words_per_step" with
+  | None -> Alcotest.fail "histogram missing after flush"
+  | Some s ->
+      check_int "count = intervals" 3 s.Obs.Metrics.count;
+      (* A boxed-float list of 1000 allocates thousands of minor words;
+         sub-collection intervals must not read as zero. *)
+      check_bool "allocating work reads positive minor words" true
+        (s.Obs.Metrics.mean > 0.)
+
+let test_prof_records_on_exception () =
+  let a = Obs.Prof.acc () in
+  (try Obs.Prof.measure a (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "raised interval recorded" 1 (Obs.Prof.intervals a)
+
+let test_prof_merge_and_empty_flush () =
+  let a = Obs.Prof.acc () and b = Obs.Prof.acc () in
+  Obs.Prof.measure a (fun () -> ());
+  Obs.Prof.measure b (fun () -> ());
+  Obs.Prof.measure b (fun () -> ());
+  Obs.Prof.merge ~into:a b;
+  check_int "merged intervals" 3 (Obs.Prof.intervals a);
+  let metrics = Obs.Metrics.create () in
+  Obs.Prof.flush (Obs.Prof.acc ()) ~metrics ~prefix:"empty" ~per:"step";
+  check_bool "empty acc flushes nothing" true
+    (Obs.Metrics.find_histogram metrics "empty.minor_words_per_step" = None)
+
+let test_find_histogram_matches_summary () =
+  let m = Obs.Metrics.create () in
+  check_bool "absent name" true (Obs.Metrics.find_histogram m "nope" = None);
+  let h = Obs.Metrics.histogram m "x" in
+  check_bool "created but unobserved" true
+    (Obs.Metrics.find_histogram m "x" = None);
+  Obs.Metrics.observe h 1.;
+  Obs.Metrics.observe h 3.;
+  check_bool "parity with summary" true
+    (Obs.Metrics.find_histogram m "x" = Obs.Metrics.summary h)
+
+(* ------------------------------------------------------------------ *)
+(* Progress meters                                                     *)
+
+let test_progress_disabled () =
+  let p = Obs.Progress.disabled in
+  check_bool "disabled" false (Obs.Progress.enabled p);
+  (* All operations must be no-ops, not failures. *)
+  Obs.Progress.set_total p 10;
+  Obs.Progress.step p ~items:1 ~runs:1 ~hits:0 ~lookups:0;
+  Obs.Progress.finish p
+
+let test_progress_deterministic_emission () =
+  let seen = ref [] in
+  let p =
+    Obs.Progress.create ~every:2 ~total:10 ~label:"sweep"
+      ~emit:(fun s -> seen := s :: !seen)
+      ()
+  in
+  for _ = 1 to 5 do
+    Obs.Progress.step p ~items:1 ~runs:7 ~hits:3 ~lookups:4
+  done;
+  Obs.Progress.finish p;
+  let snaps = List.rev !seen in
+  (* Emission points are keyed on the item count alone, so this sequence
+     is deterministic whatever the wall clock does. *)
+  check_bool "emits at items 2 and 4, then the final 5" true
+    (List.map (fun s -> (s.Obs.Progress.items, s.Obs.Progress.final)) snaps
+    = [ (2, false); (4, false); (5, true) ]);
+  let final = List.nth snaps 2 in
+  check_bool "total carried" true (final.Obs.Progress.total = Some 10);
+  check_int "runs accumulated" 35 final.Obs.Progress.runs;
+  check_bool "hit rate = 15/20" true (final.Obs.Progress.hit_rate = Some 0.75)
+
+let test_progress_set_total_render_json () =
+  let seen = ref [] in
+  let p =
+    Obs.Progress.create ~label:"fuzz" ~emit:(fun s -> seen := s :: !seen) ()
+  in
+  Obs.Progress.set_total p 4;
+  Obs.Progress.step p ~items:1 ~runs:0 ~hits:0 ~lookups:0;
+  match !seen with
+  | [ s ] ->
+      check_bool "set_total lands in snapshots" true
+        (s.Obs.Progress.total = Some 4);
+      let line = Obs.Progress.render s in
+      check_bool "render names the label" true (contains line "fuzz");
+      check_bool "render shows items/total" true (contains line "1/4");
+      let json = Obs.Progress.snapshot_to_json s in
+      check_bool "json has items" true
+        (Option.bind (Obs.Json.member "items" json) Obs.Json.to_int_opt = Some 1);
+      check_bool "json has label" true
+        (Option.bind (Obs.Json.member "label" json) Obs.Json.to_string_opt
+        = Some "fuzz")
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 snapshot, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome span export                                                  *)
+
+let test_chrome_of_spans_shape () =
+  let t = Obs.Span.recorder () in
+  Obs.Span.with_ t "sweep" (fun () -> Obs.Span.with_ t "run" (fun () -> ()));
+  let shard = Obs.Span.child t ~track:1 in
+  Obs.Span.with_ shard "shard 0" (fun () -> ());
+  Obs.Span.absorb t shard;
+  let json = Obs.Chrome.of_spans (Obs.Span.records t) in
+  match
+    Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list_opt
+  with
+  | None -> Alcotest.fail "missing traceEvents"
+  | Some entries ->
+      let str name e = Option.bind (Obs.Json.member name e) Obs.Json.to_string_opt in
+      let int name e = Option.bind (Obs.Json.member name e) Obs.Json.to_int_opt in
+      let slices = List.filter (fun e -> str "ph" e = Some "X") entries in
+      check_int "one X slice per record" 3 (List.length slices);
+      check_bool "slices on the span pid" true
+        (List.for_all (fun e -> int "pid" e = Some 1) slices);
+      check_bool "zero-length slices widened to 1us" true
+        (List.for_all
+           (fun e -> match int "dur" e with Some d -> d >= 1 | None -> false)
+           slices);
+      let track_names =
+        List.filter_map
+          (fun e ->
+            if str "ph" e = Some "M" && str "name" e = Some "thread_name" then
+              Option.bind (Obs.Json.member "args" e) (fun a ->
+                  Option.bind (Obs.Json.member "name" a) Obs.Json.to_string_opt)
+            else None)
+          entries
+      in
+      check_bool "main track named" true (List.mem "main" track_names);
+      check_bool "shard track named" true (List.mem "shard 0" track_names)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation must never change results                           *)
+
+let test_instrumented_sweep_results_unchanged () =
+  let cfg = config ~n:3 ~t:1 in
+  let plain = Mc.Dedup.sweep_binary ~algo:at2 ~config:cfg () in
+  let instruments () =
+    ( Obs.Prof.acc (),
+      Obs.Span.recorder (),
+      Obs.Progress.create ~label:"t" ~emit:ignore () )
+  in
+  let prof, spans, progress = instruments () in
+  let serial =
+    Mc.Dedup.sweep_binary ~prof ~spans ~progress ~algo:at2 ~config:cfg ()
+  in
+  check_bool "serial dedup: instruments leave result and stats alone" true
+    (plain = serial);
+  check_bool "prof saw the distinct work" true (Obs.Prof.intervals prof > 0);
+  check_bool "spans recorded" true (Obs.Span.records spans <> []);
+  let prof, spans, progress = instruments () in
+  let par =
+    Mc.Parallel.sweep_binary_dedup ~prof ~spans ~progress ~jobs:2 ~algo:at2
+      ~config:cfg ()
+  in
+  check_bool "parallel dedup agrees with serial on every field" true
+    (plain = par)
+
+let test_par_report () =
+  let got = ref None in
+  let tasks = Array.init 7 (fun i () -> i * i) in
+  let results =
+    Par.map_tasks ~report:(fun s -> got := Some s) ~jobs:4 tasks
+  in
+  check_bool "results in task order" true
+    (results = Array.init 7 (fun i -> i * i));
+  match !got with
+  | None -> Alcotest.fail "report callback not invoked"
+  | Some stats ->
+      check_int "every task accounted to some worker" 7
+        (Array.fold_left
+           (fun acc (s : Par.worker_stat) -> acc + s.tasks)
+           0 stats)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -328,7 +650,8 @@ let () =
       ( "jsonl",
         [
           Alcotest.test_case "determinism" `Quick test_jsonl_determinism;
-          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          qtest "round-trip all constructors" events_arbitrary
+            jsonl_roundtrip_prop;
           Alcotest.test_case "comments" `Quick test_jsonl_skips_comments;
           Alcotest.test_case "bad line" `Quick test_jsonl_reports_bad_line;
         ] );
@@ -341,6 +664,44 @@ let () =
         [
           Alcotest.test_case "chrome json" `Quick
             test_chrome_export_is_valid_json;
+          Alcotest.test_case "chrome spans" `Quick test_chrome_of_spans_shape;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled" `Quick test_span_disabled_is_inert;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "exit without enter" `Quick
+            test_span_exit_without_enter;
+          Alcotest.test_case "absorb ordering" `Quick
+            test_span_absorb_ordering;
+          Alcotest.test_case "record json" `Quick test_span_record_json;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "measure and flush" `Quick
+            test_prof_measure_counts_and_alloc;
+          Alcotest.test_case "exception interval" `Quick
+            test_prof_records_on_exception;
+          Alcotest.test_case "merge / empty flush" `Quick
+            test_prof_merge_and_empty_flush;
+          Alcotest.test_case "find_histogram" `Quick
+            test_find_histogram_matches_summary;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "disabled" `Quick test_progress_disabled;
+          Alcotest.test_case "deterministic emission" `Quick
+            test_progress_deterministic_emission;
+          Alcotest.test_case "total / render / json" `Quick
+            test_progress_set_total_render_json;
+        ] );
+      ( "instrumented sweeps",
+        [
+          Alcotest.test_case "results unchanged" `Quick
+            test_instrumented_sweep_results_unchanged;
+          Alcotest.test_case "par report" `Quick test_par_report;
         ] );
       ( "trace",
         [

@@ -4,7 +4,7 @@
 # from); `bench-full` additionally runs the experiment tables, the
 # micro-benchmarks and the fuzz suite.
 
-.PHONY: all build test bench bench-full verify clean
+.PHONY: all build test bench bench-full bench-baseline verify clean
 
 all: build
 
@@ -19,6 +19,14 @@ bench:
 
 bench-full:
 	dune exec bench/main.exe
+
+# Re-pin the committed perf baseline. Runs every suite (so the baseline
+# carries the minor_words columns the allocation gates compare against)
+# and promotes the fresh artifact to bench/BASELINE.json. Run on quiet,
+# mains-powered hardware only — the numbers gate future bench-diff runs.
+bench-baseline:
+	dune exec bench/main.exe
+	cp BENCH_$$(date +%F).json bench/BASELINE.json
 
 verify:
 	dune exec bin/ipi.exe -- verify

@@ -5,7 +5,11 @@ type msg = Flood of Value.t | Decide of Value.t
 type state = {
   config : Config.t;
   est : Value.t;
-  prev_heard : Pid.Set.t option;  (* sender set of the previous round *)
+  prev_heard : Bitset.t;
+      (* sender set of the previous round; [Bitset.empty] means "no
+         previous round yet" — a real sender set always contains the
+         process itself (self-delivery is unconditional), so the sentinel
+         is unambiguous and costs no option box per round *)
   decision : Value.t option;
   halted : bool;
 }
@@ -17,7 +21,13 @@ let model = Sim.Model.Scs
 let symmetric = true
 
 let init config _me v =
-  { config; est = v; prev_heard = None; decision = None; halted = false }
+  {
+    config;
+    est = v;
+    prev_heard = Bitset.empty;
+    decision = None;
+    halted = false;
+  }
 
 let on_send st _round =
   match st.decision with Some v -> Decide v | None -> Flood st.est
@@ -34,34 +44,30 @@ let on_receive st round inbox =
       with
       | Some v -> { st with decision = Some v }
       | None ->
-          let current =
-            List.filter_map
-              (fun (e : msg Sim.Envelope.t) ->
+          (* The inbox holds no DECIDE here (the [find_map] above caught
+             that case), so the current-round senders are exactly the
+             FLOOD senders: one unboxed pass instead of a [Pid.Set]
+             round-trip per round. *)
+          let heard = Sim.Inbox.senders_bits inbox ~round in
+          let est =
+            List.fold_left
+              (fun acc (e : msg Sim.Envelope.t) ->
                 match e.payload with
                 | Flood v when Sim.Envelope.is_current e ~round ->
-                    Some (e.src, v)
-                | Flood _ | Decide _ -> None)
-              inbox
-          in
-          let heard =
-            List.fold_left
-              (fun acc (src, _) -> Pid.Set.add src acc)
-              Pid.Set.empty current
-          in
-          let est =
-            Value.minimum (st.est :: List.map snd current)
+                    Value.min acc v
+                | Flood _ | Decide _ -> acc)
+              st.est inbox
           in
           let stable =
-            match st.prev_heard with
-            | Some prev -> Pid.Set.equal prev heard
-            | None -> false
+            (not (Bitset.is_empty st.prev_heard))
+            && Bitset.equal st.prev_heard heard
           in
           let decision =
             if stable || Round.to_int round >= Config.t st.config + 1 then
               Some est
             else None
           in
-          { st with est; prev_heard = Some heard; decision })
+          { st with est; prev_heard = heard; decision })
 
 let decision st = st.decision
 let halted st = st.halted

@@ -1,0 +1,85 @@
+open Kernel
+
+module type Params = sig
+  val extra_rounds : int
+end
+
+module Make (P : Params) = struct
+  type msg = Est of Value.t | Decide of Value.t
+
+  type state = {
+    config : Config.t;
+    est : Value.t;
+    msg_out : msg;
+        (* the message [on_send] returns, cached so steady-state sends
+           allocate nothing; always [Est est] before deciding and
+           [Decide v] after, so it is a function of the other fields and
+           states stay canonical (equal behaviour iff equal structure) *)
+    decision : Value.t option;
+    halted : bool;
+  }
+
+  let name =
+    if P.extra_rounds = 0 then "FloodMin"
+    else Printf.sprintf "FloodMin+%d" P.extra_rounds
+
+  let model = Sim.Model.Scs
+
+  (* Minima over values and a fixed decision round: fully pid-symmetric. *)
+  let symmetric = true
+
+  let init config _me v =
+    {
+      config;
+      est = v;
+      msg_out = Est v;
+      decision = None;
+      halted = false;
+    }
+
+  let decide_round st = Config.t st.config + 1 + P.extra_rounds
+  let on_send st _round = st.msg_out
+
+  (* A toplevel recursive loop rather than [List.fold_left f]: a closure
+     over [round] would be allocated once per process per round, which is
+     the entire allocation budget of a steady round. *)
+  let rec min_est acc round = function
+    | [] -> acc
+    | (e : msg Sim.Envelope.t) :: rest ->
+        let acc =
+          if Sim.Envelope.is_current e ~round then
+            match e.payload with Est v | Decide v -> Value.min acc v
+          else acc
+        in
+        min_est acc round rest
+
+  let on_receive st round inbox =
+    match st.decision with
+    | Some _ -> if st.halted then st else { st with halted = true }
+    | None ->
+        let est = min_est st.est round inbox in
+        if Round.to_int round >= decide_round st then
+          { st with est; msg_out = Decide est; decision = Some est }
+        else if Value.equal est st.est then st
+        else { st with est; msg_out = Est est }
+
+  let decision st = st.decision
+  let halted st = st.halted
+  let wire_size = function Est _ | Decide _ -> 8
+
+  let pp_msg ppf = function
+    | Est v -> Format.fprintf ppf "est(%a)" Value.pp v
+    | Decide v -> Format.fprintf ppf "decide(%a)" Value.pp v
+
+  let pp_state ppf st =
+    Format.fprintf ppf "@[est=%a%a@]" Value.pp st.est
+      (fun ppf () ->
+        match st.decision with
+        | Some v -> Format.fprintf ppf " decided=%a" Value.pp v
+        | None -> ())
+      ()
+end
+
+module Std = Make (struct
+  let extra_rounds = 0
+end)

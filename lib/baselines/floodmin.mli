@@ -1,0 +1,29 @@
+(** FloodMin: estimate flooding that keeps only the minimum.
+
+    The scalar cousin of {!Floodset} (Lynch, {e Distributed Algorithms},
+    1996): each process floods its current estimate — not the whole set of
+    values seen — for [t + 1] rounds and decides the minimum at the end of
+    round [t + 1]. Same SCS guarantees and the same worst case as FloodSet
+    (it is the [k = 1] case of the FloodMin [k]-set-consensus family), with
+    O(1)-size messages and an O(1)-size state.
+
+    Its role here is as the engine's zero-allocation witness: after round 1
+    of a failure-free run every estimate has already converged, so
+    [on_send] returns a cached message and [on_receive] returns the state
+    physically unchanged — a steady round allocates {e nothing}. The
+    scaling benchmarks instantiate {!Make} with thousands of
+    [extra_rounds] to hold the system in that steady state and measure the
+    engine's own per-round allocation floor; [extra_rounds] just pushes
+    the decision round to [t + 1 + extra_rounds] and changes nothing
+    else. *)
+
+module type Params = sig
+  val extra_rounds : int
+  (** Extra flooding rounds past the classic [t + 1]; must be [>= 0].
+      [0] is the textbook algorithm. *)
+end
+
+module Make (_ : Params) : Sim.Algorithm.S
+
+module Std : Sim.Algorithm.S
+(** [Make] with [extra_rounds = 0]. *)

@@ -40,13 +40,18 @@ let on_receive st round inbox =
           (fun acc (e : msg Sim.Envelope.t) ->
             match e.payload with
             | Flood values when Sim.Envelope.is_current e ~round ->
-                Value.Set.union values acc
+                (* Once estimates converge every incoming set is a subset of
+                   [acc]: checking first keeps the steady state free of set
+                   rebuilds (and their allocations). *)
+                if Value.Set.subset values acc then acc
+                else Value.Set.union values acc
             | Flood _ -> acc
-            | Decide v -> Value.Set.add v acc)
+            | Decide v -> if Value.Set.mem v acc then acc else Value.Set.add v acc)
           st.seen inbox
       in
       if Round.to_int round >= last_flood_round st then
         { st with seen; decision = Some (Value.Set.min_elt seen) }
+      else if seen == st.seen then st
       else { st with seen }
 
 let decision st = st.decision

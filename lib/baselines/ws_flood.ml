@@ -1,44 +1,50 @@
 open Kernel
 
-type t = { est : Value.t; halt : Pid.Set.t }
-type payload = { p_est : Value.t; p_halt : Pid.Set.t }
+type t = { est : Value.t; halt : Bitset.t }
+type payload = { p_est : Value.t; p_halt : Bitset.t }
 
-let init v = { est = v; halt = Pid.Set.empty }
+let init v = { est = v; halt = Bitset.empty }
 let payload t = { p_est = t.est; p_halt = t.halt }
 
 let compute ~n ~me t current =
+  let me_i = Pid.to_int me in
   let senders =
     List.fold_left
-      (fun acc (e : payload Sim.Envelope.t) -> Pid.Set.add e.src acc)
-      Pid.Set.empty current
+      (fun acc (e : payload Sim.Envelope.t) ->
+        Bitset.add (Pid.to_int e.src) acc)
+      Bitset.empty current
   in
-  let suspected_now = Pid.Set.diff (Pid.Set.universe ~n) senders in
+  let suspected_now = Bitset.diff (Bitset.full ~n) senders in
   let accusers =
     List.fold_left
       (fun acc (e : payload Sim.Envelope.t) ->
-        if Pid.Set.mem me e.payload.p_halt then Pid.Set.add e.src acc
+        if Bitset.mem me_i e.payload.p_halt then
+          Bitset.add (Pid.to_int e.src) acc
         else acc)
-      Pid.Set.empty current
+      Bitset.empty current
   in
-  let halt = Pid.Set.union t.halt (Pid.Set.union suspected_now accusers) in
+  let halt = Bitset.union t.halt (Bitset.union suspected_now accusers) in
   let msg_set =
     List.filter
-      (fun (e : payload Sim.Envelope.t) -> not (Pid.Set.mem e.src halt))
+      (fun (e : payload Sim.Envelope.t) ->
+        not (Bitset.mem (Pid.to_int e.src) halt))
       current
   in
-  assert (List.exists (fun (e : payload Sim.Envelope.t) -> Pid.equal e.src me) msg_set);
+  assert (
+    List.exists (fun (e : payload Sim.Envelope.t) -> Pid.equal e.src me) msg_set);
   let est =
     Value.minimum
       (List.map (fun (e : payload Sim.Envelope.t) -> e.payload.p_est) msg_set)
   in
-  { est; halt }
+  if Value.equal est t.est && Bitset.equal halt t.halt then t
+  else { est; halt }
 
-let detects_false_suspicion t ~config = Pid.Set.cardinal t.halt > Config.t config
+let detects_false_suspicion t ~config = Bitset.cardinal t.halt > Config.t config
 
-let payload_bytes p = 8 + 4 + (2 * Pid.Set.cardinal p.p_halt)
+let payload_bytes p = 8 + 4 + (2 * Bitset.cardinal p.p_halt)
 
 let pp ppf t =
-  Format.fprintf ppf "@[est=%a halt=%a@]" Value.pp t.est Pid.Set.pp t.halt
+  Format.fprintf ppf "@[est=%a halt=%a@]" Value.pp t.est Bitset.pp t.halt
 
 let pp_payload ppf p =
-  Format.fprintf ppf "@[est=%a halt=%a@]" Value.pp p.p_est Pid.Set.pp p.p_halt
+  Format.fprintf ppf "@[est=%a halt=%a@]" Value.pp p.p_est Bitset.pp p.p_halt

@@ -13,10 +13,13 @@
 
 open Kernel
 
-type t = private { est : Value.t; halt : Pid.Set.t }
+type t = private { est : Value.t; halt : Bitset.t }
 
-type payload = { p_est : Value.t; p_halt : Pid.Set.t }
-(** The content of an ESTIMATE message. *)
+type payload = { p_est : Value.t; p_halt : Bitset.t }
+(** The content of an ESTIMATE message. Halt sets live on
+    {!Kernel.Bitset} — one unboxed word, set algebra in a handful of
+    machine instructions — because [compute] runs once per process per
+    round on the engine's hottest path. *)
 
 val init : Value.t -> t
 val payload : t -> payload
@@ -26,7 +29,9 @@ val compute :
 (** [compute ~n ~me t current] updates the state from the {e current-round}
     ESTIMATE envelopes (the caller filters out late deliveries and other
     message kinds; suspicion is defined by same-round receipt). The caller
-    must include the process's own envelope. *)
+    must include the process's own envelope. Returns the state physically
+    unchanged when nothing was learned this round, so steady-state rounds
+    allocate nothing. *)
 
 val detects_false_suspicion : t -> config:Config.t -> bool
 (** [|halt| > t], the Phase-2 test (line 10 of Fig. 2): by Lemma 13 this can

@@ -76,7 +76,7 @@ struct
           let payload = Ws.payload flood in
           Estimate
             (if P.exchange_suspicions then payload
-             else { payload with Ws.p_halt = Pid.Set.empty })
+             else { payload with Ws.p_halt = Bitset.empty })
         else New_estimate (new_estimate st flood)
     | Fallback c -> Underlying (C.on_send c (Round.of_int (relative st round)))
 
@@ -110,7 +110,7 @@ struct
     let suspicion_free =
       List.for_all
         (fun (e : Ws.payload Sim.Envelope.t) ->
-          Pid.Set.is_empty e.payload.Ws.p_halt)
+          Bitset.is_empty e.payload.Ws.p_halt)
         estimates
     in
     if not suspicion_free then `Continue st

@@ -45,6 +45,17 @@ let early_floodset =
     reference = "Charron-Bost-Schiper [4] / Keidar-Rajsbaum [11]";
   }
 
+let floodmin =
+  {
+    label = "FloodMin";
+    algo = Sim.Algorithm.Packed (module Baselines.Floodmin.Std);
+    model = Sim.Model.Scs;
+    regime = Any_t;
+    indulgent = false;
+    sync_worst_case = (fun c -> Config.t c + 1);
+    reference = "Lynch 96 [13], min-flooding";
+  }
+
 let at_plus_2 =
   {
     label = "A(t+2)";
@@ -149,6 +160,7 @@ let all =
     floodset;
     floodset_ws;
     early_floodset;
+    floodmin;
     at_plus_2;
     at_plus_2_opt;
     at_plus_2_slow;

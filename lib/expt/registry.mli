@@ -29,6 +29,7 @@ val applicable : entry -> Config.t -> bool
 val floodset : entry
 val floodset_ws : entry
 val early_floodset : entry
+val floodmin : entry
 val at_plus_2 : entry
 val at_plus_2_opt : entry
 val at_plus_2_slow : entry

@@ -1,0 +1,15 @@
+(** Word-level bit counting, shared by the int- and array-backed
+    {!Bitset} variants.
+
+    Both are branch-light: a 16-bit lookup table replaces the Kernighan
+    clear-lowest-bit loop (whose cost grows with the population), so
+    dense process sets — the common case once every process has sent —
+    cost the same as sparse ones. *)
+
+val popcount : int -> int
+(** Number of set bits. Defined on every [int], including negative ones
+    (all [Sys.int_size] bits are counted). *)
+
+val ctz : int -> int
+(** Index of the lowest set bit, counting from 0. [ctz 0] is
+    [Sys.int_size]. *)

@@ -1,3 +1,29 @@
+module type S = sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val singleton : int -> t
+  val add : int -> t -> t
+  val remove : int -> t -> t
+  val mem : int -> t -> bool
+  val full : n:int -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val subset : t -> t -> bool
+  val cardinal : t -> int
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (int -> unit) -> t -> unit
+  val to_list : t -> int list
+  val of_list : int list -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val of_pid_set : Pid.Set.t -> t
+  val to_pid_set : t -> Pid.Set.t
+  val pp : Format.formatter -> t -> unit
+end
+
 type t = int
 
 let max_pid = Sys.int_size - 1
@@ -34,20 +60,15 @@ let union a b = a lor b
 let inter a b = a land b
 let diff a b = a land lnot b
 let subset a b = a land lnot b = 0
-
-(* Kernighan popcount: one iteration per set bit, and the sets here are
-   process sets (tens of bits at most). *)
-let cardinal s =
-  let rec go acc s = if s = 0 then acc else go (acc + 1) (s land (s - 1)) in
-  go 0 s
+let cardinal = Bits.popcount
 
 (* pid of the lowest set bit: bits are 1-based pids *)
-let rec lowest p v = if v land 1 = 1 then p else lowest (p + 1) (v lsr 1)
+let lowest v = Bits.ctz v + 1
 
 let rec fold f s acc =
   if s = 0 then acc
   else (* lowest set bit first: iteration order is ascending pid *)
-    fold f (s land (s - 1)) (f (lowest 1 s) acc)
+    fold f (s land (s - 1)) (f (lowest s) acc)
 
 let iter f s = fold (fun p () -> f p) s ()
 let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
@@ -61,9 +82,163 @@ let of_pid_set ps = Pid.Set.fold (fun p s -> add (Pid.to_int p) s) ps empty
 let to_pid_set s =
   fold (fun p acc -> Pid.Set.add (Pid.of_int p) acc) s Pid.Set.empty
 
-let pp ppf s =
+let pp_ints ppf ps =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
        Format.pp_print_int)
-    (to_list s)
+    ps
+
+let pp ppf s = pp_ints ppf (to_list s)
+
+(* ------------------------------------------------------------------ *)
+(* The array-backed variant: pids bounded only by memory.
+
+   Word [w] holds pids [w*word_bits + 1 .. (w+1)*word_bits] in its low
+   [word_bits] bits, so a single-word Big set stores exactly the same bit
+   pattern as the int variant — the equivalence the QCheck suite pins.
+
+   Canonical form: no trailing zero words ([empty] is [[||]]).  Every
+   constructor trims, so two Big sets holding the same pids are
+   structurally equal arrays — polymorphic [(=)], [Stdlib.compare] and
+   [Hashtbl.hash] are meaningful, which is what lets them sit inside
+   {!Mc.Dedup} transposition-table keys exactly like the int variant. *)
+
+module Big = struct
+  type t = int array
+
+  let word_bits = Sys.int_size
+  let empty : t = [||]
+  let is_empty (s : t) = Array.length s = 0
+
+  let check p =
+    if p < 1 then invalid_arg (Printf.sprintf "Bitset.Big: pid %d < 1" p)
+
+  let word p = (p - 1) / word_bits
+  let bit p = 1 lsl ((p - 1) mod word_bits)
+
+  (* Smallest canonical array covering the highest set word. *)
+  let trim (a : int array) =
+    let n = ref (Array.length a) in
+    while !n > 0 && a.(!n - 1) = 0 do
+      decr n
+    done;
+    if !n = Array.length a then a else Array.sub a 0 !n
+
+  let singleton p =
+    check p;
+    let a = Array.make (word p + 1) 0 in
+    a.(word p) <- bit p;
+    a
+
+  let add p (s : t) =
+    check p;
+    let w = word p in
+    let len = Stdlib.max (Array.length s) (w + 1) in
+    if w < Array.length s && s.(w) land bit p <> 0 then s
+    else begin
+      let a = Array.make len 0 in
+      Array.blit s 0 a 0 (Array.length s);
+      a.(w) <- a.(w) lor bit p;
+      a
+    end
+
+  let remove p (s : t) =
+    check p;
+    let w = word p in
+    if w >= Array.length s || s.(w) land bit p = 0 then s
+    else begin
+      let a = Array.copy s in
+      a.(w) <- a.(w) land lnot (bit p);
+      trim a
+    end
+
+  let mem p (s : t) =
+    p >= 1 && word p < Array.length s && s.(word p) land bit p <> 0
+
+  let full ~n =
+    if n < 0 then invalid_arg (Printf.sprintf "Bitset.Big.full: n %d < 0" n);
+    if n = 0 then empty
+    else begin
+      let words = ((n - 1) / word_bits) + 1 in
+      (* [-1] is the all-ones word ([int] has exactly [word_bits] bits). *)
+      let a = Array.make words (-1) in
+      let top = n - ((words - 1) * word_bits) in
+      a.(words - 1) <- (if top = word_bits then -1 else (1 lsl top) - 1);
+      a
+    end
+
+  let union (a : t) (b : t) =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let short, long = if la <= lb then (a, b) else (b, a) in
+      let r = Array.copy long in
+      Array.iteri (fun i w -> r.(i) <- r.(i) lor w) short;
+      r
+    end
+
+  let inter (a : t) (b : t) =
+    let l = Stdlib.min (Array.length a) (Array.length b) in
+    trim (Array.init l (fun i -> a.(i) land b.(i)))
+
+  let diff (a : t) (b : t) =
+    let lb = Array.length b in
+    trim
+      (Array.mapi (fun i w -> if i < lb then w land lnot b.(i) else w) a)
+
+  let subset (a : t) (b : t) =
+    let lb = Array.length b in
+    let ok = ref true in
+    Array.iteri
+      (fun i w ->
+        if w land lnot (if i < lb then b.(i) else 0) <> 0 then ok := false)
+      a;
+    !ok
+
+  let cardinal (s : t) =
+    Array.fold_left (fun acc w -> acc + Bits.popcount w) 0 s
+
+  let fold f (s : t) acc =
+    let acc = ref acc in
+    Array.iteri
+      (fun i w ->
+        let base = i * word_bits in
+        let w = ref w in
+        while !w <> 0 do
+          acc := f (base + Bits.ctz !w + 1) !acc;
+          w := !w land (!w - 1)
+        done)
+      s;
+    !acc
+
+  let iter f s = fold (fun p () -> f p) s ()
+  let to_list s = List.rev (fold (fun p acc -> p :: acc) s [])
+  let of_list ps = List.fold_left (fun s p -> add p s) empty ps
+  let equal (a : t) (b : t) = a = b
+
+  (* Numeric order on the represented bit string: longer arrays hold
+     higher pids, ties break on the most significant differing word. For
+     single-word sets this agrees with the int variant's comparison. *)
+  let compare (a : t) (b : t) =
+    match Stdlib.compare (Array.length a) (Array.length b) with
+    | 0 ->
+        let rec go i =
+          if i < 0 then 0
+          else match Stdlib.compare a.(i) b.(i) with 0 -> go (i - 1) | c -> c
+        in
+        go (Array.length a - 1)
+    | c -> c
+
+  (* From the int variant's raw bits ({!to_int}): a one-word Big set. *)
+  let of_small (bits : int) : t = if bits = 0 then empty else [| bits |]
+
+  let of_pid_set ps =
+    Pid.Set.fold (fun p s -> add (Pid.to_int p) s) ps empty
+
+  let to_pid_set s =
+    fold (fun p acc -> Pid.Set.add (Pid.of_int p) acc) s Pid.Set.empty
+
+  let pp ppf s = pp_ints ppf (to_list s)
+end

@@ -1,59 +1,84 @@
-(** Dense process-id sets packed into one immutable [int].
+(** Dense process-id sets.
 
-    Pids are 1-based and at most {!max_pid} ([Sys.int_size - 1], 62 on
-    64-bit platforms) — far above any system size the simulator or model
-    checker runs at. Every operation is branch-free bit arithmetic on an
-    unboxed value, so these sets cost nothing to copy, hash with
-    [Hashtbl.hash] in O(1), and compare with [(=)] canonically: unlike
-    [Pid.Set.t], two bitsets holding the same pids are {e physically} the
-    same integer, which is what makes them usable inside transposition-table
-    keys ({!Mc.Dedup}) and the engine's per-round fate fast path. *)
+    Two structurally-canonical representations behind one signature
+    ({!module-type-S}):
+
+    - the default int-backed variant ([t = private int]): pids up to
+      {!max_pid} ([Sys.int_size - 1], 62 on 64-bit platforms), every
+      operation branch-light bit arithmetic on an unboxed value;
+    - {!Big}, backed by an int array in canonical (trailing-zero-trimmed)
+      form: pids bounded only by memory, one extra indirection per
+      operation.
+
+    Both hash with [Hashtbl.hash] and compare with polymorphic [(=)]
+    canonically — two sets holding the same pids are structurally equal —
+    which is what makes either usable inside transposition-table keys
+    ({!Mc.Dedup}) and the engine's per-round fate fast path. Population
+    counts and lowest-bit scans share the {!Bits} lookup-table helpers. *)
+
+(** Operations common to both variants. Pids are 1-based. *)
+module type S = sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val singleton : int -> t
+  val add : int -> t -> t
+  val remove : int -> t -> t
+
+  val mem : int -> t -> bool
+  (** Total: pids outside the representable range are simply not
+      members. *)
+
+  val full : n:int -> t
+  (** [{1, .., n}]. *)
+
+  val union : t -> t -> t
+  val inter : t -> t -> t
+
+  val diff : t -> t -> t
+  (** [diff a b] is the elements of [a] not in [b]. *)
+
+  val subset : t -> t -> bool
+  (** [subset a b] iff every element of [a] is in [b]. *)
+
+  val cardinal : t -> int
+
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Ascending pid order, like [Pid.Set.fold]. *)
+
+  val iter : (int -> unit) -> t -> unit
+
+  val to_list : t -> int list
+  (** Ascending. *)
+
+  val of_list : int list -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val of_pid_set : Pid.Set.t -> t
+  val to_pid_set : t -> Pid.Set.t
+  val pp : Format.formatter -> t -> unit
+end
 
 type t = private int
 
 val max_pid : int
-(** Largest representable pid. Constructors raise [Invalid_argument] on
-    pids outside [1..max_pid]. *)
+(** Largest pid the int variant represents. Its constructors raise
+    [Invalid_argument] on pids outside [1..max_pid]. *)
 
-val empty : t
-val is_empty : t -> bool
-val singleton : int -> t
-val add : int -> t -> t
-val remove : int -> t -> t
-
-val mem : int -> t -> bool
-(** Total: pids outside [1..max_pid] are simply not members. *)
-
-val full : n:int -> t
-(** [{1, .., n}]. *)
-
-val union : t -> t -> t
-val inter : t -> t -> t
-
-val diff : t -> t -> t
-(** [diff a b] is the elements of [a] not in [b]. *)
-
-val subset : t -> t -> bool
-(** [subset a b] iff every element of [a] is in [b]. *)
-
-val cardinal : t -> int
-
-val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
-(** Ascending pid order, like [Pid.Set.fold]. *)
-
-val iter : (int -> unit) -> t -> unit
-
-val to_list : t -> int list
-(** Ascending. *)
-
-val of_list : int list -> t
-val equal : t -> t -> bool
-val compare : t -> t -> int
+include S with type t := t
 
 val to_int : t -> int
 (** The raw bits ([bit p-1] set iff [p] is a member): a canonical,
     allocation-free hash key. *)
 
-val of_pid_set : Pid.Set.t -> t
-val to_pid_set : t -> Pid.Set.t
-val pp : Format.formatter -> t -> unit
+(** The array-backed variant for [n > max_pid]. A one-word {!Big.t}
+    stores exactly the int variant's bit pattern (the equivalence the
+    kernel QCheck suite pins), and {!Big.compare} agrees with the int
+    variant's order on such sets. *)
+module Big : sig
+  include S
+
+  val of_small : int -> t
+  (** Lift the int variant's raw bits ({!to_int}) into a Big set. *)
+end

@@ -78,7 +78,9 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
     type t = {
       k_depth : int;
       k_left : int;
-      k_alive : Bitset.t;
+      k_alive : Bitset.Big.t;
+          (* array-backed so transposition keys work at any [n]; canonical
+             form makes [( = )] and [Hashtbl.hash] meaningful on it *)
       k_state : state_key;
     }
   end in
@@ -141,7 +143,7 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
           | Serial.No_crash -> (alive, aliveb, crashes_left)
           | Serial.Crash { victim; _ } ->
               ( Pid.Set.remove victim alive,
-                Bitset.remove (Pid.to_int victim) aliveb,
+                Bitset.Big.remove (Pid.to_int victim) aliveb,
                 crashes_left - 1 )
         in
         combine acc
@@ -160,7 +162,7 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
         {
           Key.k_depth = 0;
           k_left = 0;
-          k_alive = Bitset.empty;
+          k_alive = Bitset.Big.empty;
           k_state =
             (match st with
             | Ok s -> Key.K_ok (E.Incremental.fingerprint s)
@@ -200,9 +202,9 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
         | Serial.No_crash -> (alive, aliveb, left)
         | Serial.Crash { victim; _ } ->
             ( Pid.Set.remove victim alive,
-              Bitset.remove (Pid.to_int victim) aliveb,
+              Bitset.Big.remove (Pid.to_int victim) aliveb,
               left - 1 ))
-      (Pid.Set.universe ~n, Bitset.full ~n, Config.t config)
+      (Pid.Set.universe ~n, Bitset.Big.full ~n, Config.t config)
       prefix
   in
   let frag = explore depth0 alive aliveb crashes_left root in

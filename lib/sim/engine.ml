@@ -443,7 +443,7 @@ module Make (A : Algorithm.S) = struct
               done;
               let all = !all and reduced = !reduced in
               Array.init n (fun i ->
-                  if Bitset.mem (i + 1) lost_dsts then reduced else all)
+                  if Bitset.Big.mem (i + 1) lost_dsts then reduced else all)
           | None ->
           let ib = Array.make n [] in
           for src = n downto 1 do
@@ -547,6 +547,159 @@ module Make (A : Algorithm.S) = struct
         i_rev_decisions = !rev_new @ t.i_rev_decisions;
       }
 
+    (* ---------------------------------------------------------------- *)
+    (* The flat tail.
+
+       Past the schedule horizon every plan is empty: no crashes, no
+       losses, no new delays — only quiet rounds plus whatever delayed
+       deliveries are already queued in [i_late]. Nothing forks there (the
+       DFS branches only on in-horizon choices), so immutability buys
+       nothing and [finish] switches to struct-of-arrays state mutated in
+       place: a status byte and an [A.state] slot per process, and one
+       shared inbox "spine" — a single envelope per running sender, whose
+       mutable [sent]/[payload] cells are refreshed each round instead of
+       reallocated (see the loan contract in {!Envelope}). With an
+       algorithm whose steady state is allocation-free, a steady quiet
+       round allocates nothing at all; the spine is rebuilt (the only
+       allocating event) exactly when the running set changes. *)
+
+    let flat_tail ?prof ~max_rounds ~schedule t =
+      let n = Config.n t.i_config in
+      let status = Bytes.make n '\001' (* '\000' running, '\001' stopped *) in
+      let filler =
+        let rec first i =
+          match t.i_procs.(i) with
+          | Running st -> st
+          | Done _ | Crashed _ -> first (i + 1)
+        in
+        first 0 (* flat_tail is only entered with [i_live > 0] *)
+      in
+      let states = Array.make n filler in
+      for i = 0 to n - 1 do
+        match t.i_procs.(i) with
+        | Running st ->
+            Bytes.set status i '\000';
+            states.(i) <- st
+        | Done _ | Crashed _ -> ()
+      done;
+      let live = ref t.i_live in
+      let late = ref t.i_late in
+      let next = ref t.i_next in
+      let rev_decisions = ref t.i_rev_decisions in
+      let spine = ref [] in
+      let spine_valid = ref false in
+      (* Same [n] downto 1 iteration as the immutable quiet path, so the
+         spine is ascending by sender and [on_send] call order matches. *)
+      let rebuild round =
+        let all = ref [] in
+        for src = n downto 1 do
+          if Bytes.get status (src - 1) = '\000' then begin
+            let srcp = Pid.of_int src in
+            all :=
+              Envelope.make ~src:srcp ~sent:round
+                (send_guarded states.(src - 1) ~pid:srcp round)
+              :: !all
+          end
+        done;
+        spine := !all;
+        spine_valid := true
+      in
+      (* Recursive loop, not [List.iter f]: an inner closure over [round]
+         would cost an allocation per round. *)
+      let rec refresh round = function
+        | [] -> ()
+        | (e : A.msg Envelope.t) :: rest ->
+            e.Envelope.sent <- round;
+            e.Envelope.payload <-
+              send_guarded
+                states.(Pid.to_int e.Envelope.src - 1)
+                ~pid:e.Envelope.src round;
+            refresh round rest
+      in
+      let step_flat () =
+        let round = Round.of_int !next in
+        (* Send phase: refresh the spine cells in place, or rebuild the
+           list if the sender set changed since last round. *)
+        if !spine_valid then refresh round !spine else rebuild round;
+        let due =
+          if Int_map.is_empty !late then None
+          else
+            match Int_map.find_opt !next !late with
+            | None -> None
+            | Some per ->
+                late := Int_map.remove !next !late;
+                Some per
+        in
+        (* Receive phase, ascending pid. Merged inboxes for late-delivery
+           rounds contain the loaned spine cells — they are read within
+           this round only, before the next refresh, so sharing is safe.
+           The late envelopes themselves are never mutated: fingerprints
+           taken before the tail may still reference them. *)
+        let any_stopped = ref false in
+        for i = 0 to n - 1 do
+          if Bytes.get status i = '\000' then begin
+            let p = Pid.of_int (i + 1) in
+            let inbox =
+              match due with
+              | None -> !spine
+              | Some per -> (
+                  match Pid.Map.find_opt p per with
+                  | None -> !spine
+                  | Some q ->
+                      List.sort Envelope.compare_src
+                        (List.rev_append q !spine))
+            in
+            let st = states.(i) in
+            let before = A.decision st in
+            let st' = receive_guarded st ~pid:p round inbox in
+            let after = A.decision st' in
+            (match (before, after) with
+            | Some v, Some w when not (Value.equal v w) ->
+                fail ~pid:p ~round
+                  (Format.asprintf "changed its decision from %a to %a"
+                     Value.pp v Value.pp w)
+            | Some _, None -> fail ~pid:p ~round "retracted its decision"
+            | None, Some v ->
+                (* Consing in ascending-pid order leaves this round's
+                   decisions descending by pid at the front — the same
+                   shape [step]'s [!rev_new @ _] prepend produces. *)
+                rev_decisions :=
+                  { Trace.pid = p; round; value = v } :: !rev_decisions
+            | None, None | Some _, Some _ -> ());
+            if A.halted st' then begin
+              Bytes.set status i '\001';
+              decr live;
+              any_stopped := true
+            end
+            else states.(i) <- st'
+          end
+        done;
+        if !any_stopped then spine_valid := false;
+        incr next
+      in
+      (match prof with
+      | None ->
+          while !live > 0 && !next <= max_rounds do
+            step_flat ()
+          done
+      | Some a ->
+          (* One preallocated thunk: [measure] per round must not cost a
+             closure per round. *)
+          while !live > 0 && !next <= max_rounds do
+            Obs.Prof.measure a step_flat
+          done);
+      {
+        Trace.algorithm = A.name;
+        config = t.i_config;
+        proposals = t.i_proposals;
+        schedule;
+        decisions = List.rev !rev_decisions;
+        crashes = crashed t (* no crashes occur past the horizon *);
+        rounds_executed = !next - 1;
+        all_halted = !live = 0;
+        records = [];
+      }
+
     let finish ?max_rounds ?prof ~schedule t =
       let max_rounds =
         Option.value max_rounds
@@ -555,13 +708,23 @@ module Make (A : Algorithm.S) = struct
       let n = Config.n t.i_config in
       let horizon = Schedule.horizon schedule in
       let rec loop t =
-        if t.i_live = 0 || t.i_next > max_rounds then t
+        if t.i_live = 0 || t.i_next > max_rounds then
+          {
+            Trace.algorithm = A.name;
+            config = t.i_config;
+            proposals = t.i_proposals;
+            schedule;
+            decisions = decisions t;
+            crashes = crashed t;
+            rounds_executed = t.i_next - 1;
+            all_halted = t.i_live = 0;
+            records = [];
+          }
+        else if t.i_next > horizon then flat_tail ?prof ~max_rounds ~schedule t
         else
           let cplan =
-            if t.i_next <= horizon then
-              Schedule.compile_plan ~n
-                (Schedule.plan_at schedule (Round.of_int t.i_next))
-            else Schedule.compiled_empty_plan
+            Schedule.compile_plan ~n
+              (Schedule.plan_at schedule (Round.of_int t.i_next))
           in
           let t' =
             match prof with
@@ -570,22 +733,20 @@ module Make (A : Algorithm.S) = struct
           in
           loop t'
       in
-      let t = loop t in
-      {
-        Trace.algorithm = A.name;
-        config = t.i_config;
-        proposals = t.i_proposals;
-        schedule;
-        decisions = decisions t;
-        crashes = crashed t;
-        rounds_executed = t.i_next - 1;
-        all_halted = t.i_live = 0;
-        records = [];
-      }
+      loop t
   end
 
   let run ?(record = false) ?(sink = Obs.Sink.noop) ?max_rounds ?prof config
       ~proposals schedule =
+    if (not record) && not (Obs.Sink.enabled sink) then
+      (* Nobody is watching: take the incremental core end to end — flat
+         array state, shared inboxes, and the in-place zero-allocation
+         tail past the horizon — instead of the map-based recording
+         engine. Produces the same trace (same decisions, crashes, round
+         count and halt flag; both paths build [records = []]). *)
+      Incremental.finish ?max_rounds ?prof ~schedule
+        (Incremental.start config ~proposals)
+    else begin
     let max_rounds =
       Option.value max_rounds ~default:(default_max_rounds config schedule)
     in
@@ -634,4 +795,5 @@ module Make (A : Algorithm.S) = struct
              all_halted = trace.Trace.all_halted;
            });
     trace
+    end
 end

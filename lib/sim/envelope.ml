@@ -1,6 +1,6 @@
 open Kernel
 
-type 'm t = { src : Pid.t; sent : Round.t; payload : 'm }
+type 'm t = { src : Pid.t; mutable sent : Round.t; mutable payload : 'm }
 
 let make ~src ~sent payload = { src; sent; payload }
 let is_current e ~round = Round.equal e.sent round

@@ -23,6 +23,19 @@ let senders_bits inbox ~round =
 let suspected_bits ~n inbox ~round =
   Bitset.diff (Bitset.full ~n) (senders_bits inbox ~round)
 
+(* Array-backed variants for n beyond [Bitset.max_pid]; same one-pass
+   shape, accumulating into a Big set instead. *)
+let senders_bigbits inbox ~round =
+  List.fold_left
+    (fun acc (e : _ Envelope.t) ->
+      if Envelope.is_current e ~round then
+        Bitset.Big.add (Pid.to_int e.src) acc
+      else acc)
+    Bitset.Big.empty inbox
+
+let suspected_bigbits ~n inbox ~round =
+  Bitset.Big.diff (Bitset.Big.full ~n) (senders_bigbits inbox ~round)
+
 let senders inbox ~round = Bitset.to_pid_set (senders_bits inbox ~round)
 
 let suspected ~n inbox ~round =

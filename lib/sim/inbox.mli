@@ -33,6 +33,13 @@ val senders_bits : 'm t -> round:Round.t -> Kernel.Bitset.t
 
 val suspected_bits : n:int -> 'm t -> round:Round.t -> Kernel.Bitset.t
 
+val senders_bigbits : 'm t -> round:Round.t -> Kernel.Bitset.Big.t
+(** {!senders_bits} on the array-backed {!Kernel.Bitset.Big}: for systems
+    with [n > Kernel.Bitset.max_pid], where the unboxed variant cannot
+    represent every pid. *)
+
+val suspected_bigbits : n:int -> 'm t -> round:Round.t -> Kernel.Bitset.Big.t
+
 val payloads : 'm t -> 'm list
 val current_payloads : 'm t -> round:Round.t -> 'm list
 

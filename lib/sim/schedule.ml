@@ -75,16 +75,17 @@ let fate s ~src ~dst ~round =
 
 type compiled_fates =
   | Quiet  (* no losses or delays: every fate is [Same_round] *)
-  | Single_lost of { sl_src : int; sl_dsts : Bitset.t }
+  | Single_lost of { sl_src : int; sl_dsts : Bitset.Big.t }
       (* one sender's messages lost to a destination set, nothing delayed —
-         the shape of every serial-adversary crash plan *)
+         the shape of every serial-adversary crash plan. [Bitset.Big], so
+         the fast path holds at any n. *)
   | Table of fate array  (* [(src-1) * c_n + (dst-1)] *)
 
 type compiled_plan = { source : plan; c_n : int; cfates : compiled_fates }
 
 let single_lost_src plan =
   match (plan.lost, plan.delayed) with
-  | (src0, _) :: rest, [] when Pid.to_int src0 <= Bitset.max_pid ->
+  | (src0, _) :: rest, [] ->
       if List.for_all (fun (src, _) -> Pid.equal src src0) rest then Some src0
       else None
   | _ -> None
@@ -94,11 +95,11 @@ let compile_plan ~n plan =
     { source = plan; c_n = n; cfates = Quiet }
   else
     match single_lost_src plan with
-    | Some src when n <= Bitset.max_pid ->
+    | Some src ->
         let dsts =
           List.fold_left
-            (fun acc (_, dst) -> Bitset.add (Pid.to_int dst) acc)
-            Bitset.empty plan.lost
+            (fun acc (_, dst) -> Bitset.Big.add (Pid.to_int dst) acc)
+            Bitset.Big.empty plan.lost
         in
         {
           source = plan;
@@ -130,8 +131,8 @@ let compiled_fate c ~src ~dst =
   match c.cfates with
   | Quiet -> Same_round
   | Single_lost { sl_src; sl_dsts } ->
-      if Pid.to_int src = sl_src && Bitset.mem (Pid.to_int dst) sl_dsts then
-        Lost
+      if Pid.to_int src = sl_src && Bitset.Big.mem (Pid.to_int dst) sl_dsts
+      then Lost
       else Same_round
   | Table fates -> fates.(((Pid.to_int src - 1) * c.c_n) + (Pid.to_int dst - 1))
 

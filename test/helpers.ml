@@ -73,3 +73,4 @@ let a_ds = Sim.Algorithm.Packed (module Indulgent.A_diamond_s)
 let af2 = Sim.Algorithm.Packed (module Indulgent.Af_plus_2)
 let dls = Sim.Algorithm.Packed (module Baselines.Dls)
 let early_fs = Sim.Algorithm.Packed (module Baselines.Early_floodset)
+let floodmin = Sim.Algorithm.Packed (module Baselines.Floodmin.Std)

@@ -7,7 +7,7 @@ let c52 = config ~n:5 ~t:2
 (* Ws_flood compute(), driven by hand                                  *)
 
 let payload est halt =
-  { Baselines.Ws_flood.p_est = Value.of_int est; p_halt = Pid.Set.of_ints halt }
+  { Baselines.Ws_flood.p_est = Value.of_int est; p_halt = Bitset.of_list halt }
 
 let env src p =
   Sim.Envelope.make ~src:(Pid.of_int src) ~sent:Round.first p
@@ -19,7 +19,7 @@ let test_ws_flood_min () =
       [ env 1 (payload 5 []); env 2 (payload 3 []); env 3 (payload 9 []) ]
   in
   check_int "est is the minimum" 3 (Value.to_int t.Baselines.Ws_flood.est);
-  check_bool "no suspicions" true (Pid.Set.is_empty t.Baselines.Ws_flood.halt)
+  check_bool "no suspicions" true (Bitset.is_empty t.Baselines.Ws_flood.halt)
 
 let test_ws_flood_suspicion () =
   let t = Baselines.Ws_flood.init (Value.of_int 5) in
@@ -29,7 +29,7 @@ let test_ws_flood_suspicion () =
       [ env 1 (payload 5 []); env 2 (payload 7 []) ]
   in
   check_bool "p3 suspected" true
-    (Pid.Set.mem (Pid.of_int 3) t.Baselines.Ws_flood.halt);
+    (Bitset.mem 3 t.Baselines.Ws_flood.halt);
   check_int "est" 5 (Value.to_int t.Baselines.Ws_flood.est)
 
 let test_ws_flood_accusation () =
@@ -45,7 +45,7 @@ let test_ws_flood_accusation () =
       ]
   in
   check_bool "accuser halted" true
-    (Pid.Set.mem (Pid.of_int 2) t.Baselines.Ws_flood.halt);
+    (Bitset.mem 2 t.Baselines.Ws_flood.halt);
   check_int "accuser's estimate excluded" 5
     (Value.to_int t.Baselines.Ws_flood.est)
 
@@ -61,7 +61,7 @@ let test_ws_flood_halt_is_sticky () =
       [ env 1 (payload 5 []); env 2 (payload 7 []); env 3 (payload 0 []) ]
   in
   check_bool "p3 still halted" true
-    (Pid.Set.mem (Pid.of_int 3) t.Baselines.Ws_flood.halt);
+    (Bitset.mem 3 t.Baselines.Ws_flood.halt);
   check_int "est unchanged" 5 (Value.to_int t.Baselines.Ws_flood.est)
 
 let test_ws_flood_false_detection () =
@@ -330,6 +330,76 @@ let test_dls_on_es_runs =
       Sim.Props.check (run dls c52 s) = [])
 
 (* ------------------------------------------------------------------ *)
+(* FloodMin — the scalar flooding baseline and scaling witness         *)
+
+let test_floodmin_quiet () =
+  let trace = run floodmin c52 quiet_es in
+  assert_consensus trace;
+  check_int "decides at t+1" 3 (global_round trace);
+  check_int "minimum" 1 (decided_value trace);
+  check_bool "everyone halts" true trace.Sim.Trace.all_halted
+
+module Floodmin_plus_4 = Baselines.Floodmin.Make (struct
+  let extra_rounds = 4
+end)
+
+let test_floodmin_extra_rounds () =
+  let algo = Sim.Algorithm.Packed (module Floodmin_plus_4) in
+  let trace = run algo c52 quiet_es in
+  assert_consensus trace;
+  check_int "decision shifted by the extra rounds" 7 (global_round trace);
+  check_int "still the minimum" 1 (decided_value trace)
+
+let test_floodmin_exhaustive () =
+  List.iter
+    (fun (n, t) ->
+      let config = config ~n ~t in
+      let r = Mc.Exhaustive.sweep_binary ~algo:floodmin ~config () in
+      check_bool
+        (Printf.sprintf "no violations at (%d,%d)" n t)
+        true
+        (r.Mc.Exhaustive.violations = []);
+      check_int "always decides at t+1" (t + 1) r.Mc.Exhaustive.max_decision)
+    [ (3, 1); (4, 1); (4, 2) ]
+
+(* n beyond max_pid: these runs only work end to end if the schedule and
+   engine paths that index processes use the word-array bitsets. *)
+let test_floodmin_large_n () =
+  List.iter
+    (fun (n, t) ->
+      let cfg = config ~n ~t in
+      let trace = run floodmin cfg quiet_es in
+      assert_consensus trace;
+      check_int
+        (Printf.sprintf "n=%d decides at t+1" n)
+        (t + 1) (global_round trace);
+      check_int "minimum survives the flood" 1 (decided_value trace);
+      check_int "everyone decides" n
+        (List.length (Sim.Trace.decided_values trace)))
+    [ (63, 2); (64, 2); (100, 3); (1_000, 2) ]
+
+let test_floodmin_large_n_with_crash () =
+  let n = 100 in
+  let cfg = config ~n ~t:2 in
+  (* p1 (the minimum's owner) crashes in round 1 and its last broadcast
+     reaches nobody, so the flood settles on the runner-up. *)
+  let s =
+    Sim.Schedule.make ~model:Sim.Model.Scs ~gst:Round.first
+      [
+        {
+          Sim.Schedule.crashes = [ Pid.of_int 1 ];
+          lost =
+            List.init (n - 1) (fun i -> (Pid.of_int 1, Pid.of_int (i + 2)));
+          delayed = [];
+        };
+      ]
+  in
+  assert_valid cfg s;
+  let trace = run floodmin cfg s in
+  assert_consensus trace;
+  check_int "second-smallest value wins" 2 (decided_value trace)
+
+(* ------------------------------------------------------------------ *)
 (* Padding                                                             *)
 
 module Padded_hr =
@@ -401,6 +471,15 @@ let () =
           Alcotest.test_case "broken in ES (Proposition 1)" `Quick
             test_early_fs_broken_in_es;
           test_early_fs_random;
+        ] );
+      ( "floodmin",
+        [
+          Alcotest.test_case "quiet" `Quick test_floodmin_quiet;
+          Alcotest.test_case "extra rounds" `Quick test_floodmin_extra_rounds;
+          Alcotest.test_case "exhaustive" `Quick test_floodmin_exhaustive;
+          Alcotest.test_case "large n" `Quick test_floodmin_large_n;
+          Alcotest.test_case "large n with crash" `Quick
+            test_floodmin_large_n_with_crash;
         ] );
       ( "dls",
         [

@@ -7,7 +7,7 @@ open Helpers
 let test_registry_lookup () =
   check_bool "find" true (Expt.Registry.find "A(t+2)" <> None);
   check_bool "missing" true (Expt.Registry.find "nope" = None);
-  check_int "entries" 12 (List.length Expt.Registry.all)
+  check_int "entries" 13 (List.length Expt.Registry.all)
 
 let test_registry_applicability () =
   let c52 = config ~n:5 ~t:2 in

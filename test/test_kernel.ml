@@ -278,6 +278,113 @@ let test_bitset_bounds () =
   check_bool "max_pid+1 rejected" true
     (raises (fun () -> Bitset.singleton (Bitset.max_pid + 1)))
 
+(* ------------------------------------------------------------------ *)
+(* Bits: popcount / ctz against naive loops                            *)
+
+let naive_popcount x =
+  let rec go acc i =
+    if i = Sys.int_size then acc
+    else go (acc + ((x lsr i) land 1)) (i + 1)
+  in
+  go 0 0
+
+let naive_ctz x =
+  if x = 0 then Sys.int_size
+  else
+    let rec go i = if (x lsr i) land 1 = 1 then i else go (i + 1) in
+    go 0
+
+let test_bits_units () =
+  check_int "popcount 0" 0 (Bits.popcount 0);
+  check_int "popcount 1" 1 (Bits.popcount 1);
+  check_int "popcount -1 is every bit" Sys.int_size (Bits.popcount (-1));
+  check_int "popcount max_int" (Sys.int_size - 1) (Bits.popcount max_int);
+  check_int "ctz 0 is word size" Sys.int_size (Bits.ctz 0);
+  check_int "ctz 1" 0 (Bits.ctz 1);
+  check_int "ctz min_int" (Sys.int_size - 1) (Bits.ctz min_int)
+
+let test_bits_popcount =
+  qtest "popcount matches the naive loop" QCheck.int (fun x ->
+      Bits.popcount x = naive_popcount x)
+
+let test_bits_ctz =
+  qtest "ctz matches the naive loop" QCheck.int (fun x ->
+      Bits.ctz x = naive_ctz x)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset.Big: equivalence with the int variant on n <= max_pid, and   *)
+(* behaviour beyond it                                                 *)
+
+let small_pids = QCheck.(list_of_size Gen.(0 -- 12) (int_range 1 Bitset.max_pid))
+
+(* Big.of_small lifts the int variant's raw bits: the canonical bridge
+   the two representations are pinned to agree across. *)
+let big_of s = Bitset.Big.of_small (Bitset.to_int s)
+
+let test_big_equiv_ops =
+  qtest "Big agrees with the int variant on every operation"
+    QCheck.(pair small_pids small_pids)
+    (fun (xs, ys) ->
+      let a = Bitset.of_list xs and b = Bitset.of_list ys in
+      let ba = Bitset.Big.of_list xs and bb = Bitset.Big.of_list ys in
+      Bitset.Big.equal ba (big_of a)
+      && Bitset.to_list (Bitset.union a b) = Bitset.Big.to_list (Bitset.Big.union ba bb)
+      && Bitset.to_list (Bitset.inter a b) = Bitset.Big.to_list (Bitset.Big.inter ba bb)
+      && Bitset.to_list (Bitset.diff a b) = Bitset.Big.to_list (Bitset.Big.diff ba bb)
+      && Bitset.subset a b = Bitset.Big.subset ba bb
+      && Bitset.cardinal a = Bitset.Big.cardinal ba
+      && Bitset.is_empty a = Bitset.Big.is_empty ba
+      && List.for_all
+           (fun p -> Bitset.mem p a = Bitset.Big.mem p ba)
+           (List.init 16 (fun i -> i + 1))
+      && Bitset.fold (fun p acc -> p :: acc) a []
+         = Bitset.Big.fold (fun p acc -> p :: acc) ba []
+      && compare (Bitset.compare a b) 0 = compare (Bitset.Big.compare ba bb) 0)
+
+let test_big_equiv_full =
+  qtest "Big.full matches full on small n"
+    QCheck.(int_range 0 Bitset.max_pid)
+    (fun n -> Bitset.Big.equal (Bitset.Big.full ~n) (big_of (Bitset.full ~n)))
+
+let test_big_large_n () =
+  List.iter
+    (fun n ->
+      let open Bitset.Big in
+      let f = full ~n in
+      check_int (Printf.sprintf "full cardinal n=%d" n) n (cardinal f);
+      check_bool "low mem" true (mem 1 f);
+      check_bool "high mem" true (mem n f);
+      check_bool "n+1 not mem" false (mem (n + 1) f);
+      check_bool "remove high" false (mem n (remove n f));
+      check_int "remove high cardinal" (n - 1) (cardinal (remove n f));
+      (* removing the top pid must re-canonicalise (trim), so structural
+         equality keeps working *)
+      check_bool "canonical after remove" true
+        (equal (remove n f) (diff f (singleton n)));
+      check_bool "add back round-trips" true
+        (equal f (add n (remove n f)));
+      check_bool "to_list ascending" true
+        (to_list f = List.init n (fun i -> i + 1));
+      check_bool "fold agrees with to_list" true
+        (List.rev (fold (fun p acc -> p :: acc) f []) = to_list f);
+      check_bool "singleton beyond word 0" true (mem n (singleton n));
+      check_bool "union across words" true
+        (equal f (union (of_list (List.init (n / 2) (fun i -> i + 1)))
+                    (of_list (List.init (n - (n / 2)) (fun i -> (n / 2) + i + 1))))))
+    [ 63; 64; 100; 1_000 ]
+
+let test_big_canonical () =
+  let open Bitset.Big in
+  (* empty must be the unique representation of the empty set, whatever
+     operations produced it — Dedup keys rely on structural equality. *)
+  check_bool "remove to empty" true (equal empty (remove 100 (singleton 100)));
+  check_bool "inter disjoint" true
+    (equal empty (inter (singleton 100) (singleton 999)));
+  check_bool "diff self" true
+    (equal empty (diff (full ~n:200) (full ~n:200)));
+  check_bool "of_small zero" true (equal empty (of_small 0));
+  check_bool "compare sign" true (compare (singleton 100) (singleton 99) > 0)
+
 let () =
   Alcotest.run "kernel"
     [
@@ -295,6 +402,19 @@ let () =
           Alcotest.test_case "pid-set round-trip" `Quick
             test_bitset_pid_set_round_trip;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "units" `Quick test_bits_units;
+          test_bits_popcount;
+          test_bits_ctz;
+        ] );
+      ( "bitset-big",
+        [
+          test_big_equiv_ops;
+          test_big_equiv_full;
+          Alcotest.test_case "large n" `Quick test_big_large_n;
+          Alcotest.test_case "canonical" `Quick test_big_canonical;
         ] );
       ( "value",
         [

@@ -177,6 +177,7 @@ let reduction_fixtures =
     (af2, "af2", 4, 1);
     (Fuzz.Faulty.eager_floodset, "eager", 4, 1);
     (Fuzz.Faulty.raising ~at:2, "raising@2", 4, 1);
+    (floodmin, "floodmin", 4, 2);
   ]
 
 let both_policies = [ (Mc.Serial.Prefixes, "pfx"); (Mc.Serial.All_subsets, "all") ]
@@ -207,7 +208,7 @@ let test_dedup_equivalence () =
    assignments (the deterministic test above pins distinct proposals). *)
 let prop_dedup_equivalent_on_random_proposals =
   qtest ~count:40 "dedup == unreduced on random binary assignments"
-    QCheck.(triple (int_range 0 15) (int_range 0 5) bool)
+    QCheck.(triple (int_range 0 15) (int_range 0 6) bool)
     (fun (ones_mask, fixture, all_subsets) ->
       let algo, _, n, t = List.nth reduction_fixtures fixture in
       let policy =
@@ -266,6 +267,7 @@ let test_symmetry_equivalence () =
             (weighted (fun r -> r.Mc.Exhaustive.crashed)))
         [
           (floodset, "floodset", 4, 2);
+          (floodmin, "floodmin", 4, 2);
           (Fuzz.Faulty.eager_floodset, "eager", 4, 1);
           (Fuzz.Faulty.eager_floodset, "eager", 4, 2);
           (Fuzz.Faulty.raising ~at:2, "raising@2", 4, 1);

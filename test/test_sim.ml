@@ -453,28 +453,66 @@ let prop_engine_deterministic =
       in
       run_once () = run_once ())
 
-(* The resumable checker core replays [run] exactly — decisions, crash
-   records, round count and halting flag — on arbitrary ES schedules,
-   which exercise crashes, losses and delayed deliveries. *)
+(* The engine now has three execution paths: the recording batch engine
+   ([~record:true]), the allocation-free fast path (default [run], which
+   delegates to the incremental core and its flat tail), and the explicit
+   resumable checker ([Incremental.start] / [finish]).  All three must
+   replay the same run exactly — decisions, crash records, round count and
+   halting flag — on arbitrary ES schedules, which exercise crashes,
+   losses and delayed deliveries. *)
+let engines_agree cfg s (Sim.Algorithm.Packed (module A)) =
+  let proposals = Sim.Runner.distinct_proposals cfg in
+  let module F = Sim.Engine.Make (A) in
+  let key (t : Sim.Trace.t) =
+    ( t.Sim.Trace.decisions,
+      t.Sim.Trace.crashes,
+      t.Sim.Trace.rounds_executed,
+      t.Sim.Trace.all_halted )
+  in
+  let t_rec = F.run ~record:true cfg ~proposals s in
+  let t_fast = F.run cfg ~proposals s in
+  let t_inc =
+    F.Incremental.finish ~schedule:s (F.Incremental.start cfg ~proposals)
+  in
+  key t_rec = key t_fast && key t_fast = key t_inc
+
 let prop_incremental_matches_run =
   qtest ~count:60 "incremental core equals run" QCheck.int (fun seed ->
       let rng = Rng.create ~seed in
       let cfg = config ~n:4 ~t:2 in
       let s = Workload.Random_runs.eventually_synchronous rng cfg ~gst:4 () in
-      let proposals = Sim.Runner.distinct_proposals cfg in
-      let matches (Sim.Algorithm.Packed (module A)) =
-        let module F = Sim.Engine.Make (A) in
-        let t1 = F.run cfg ~proposals s in
-        let t2 =
-          F.Incremental.finish ~schedule:s
-            (F.Incremental.start cfg ~proposals)
-        in
-        t1.Sim.Trace.decisions = t2.Sim.Trace.decisions
-        && t1.Sim.Trace.crashes = t2.Sim.Trace.crashes
-        && t1.Sim.Trace.rounds_executed = t2.Sim.Trace.rounds_executed
-        && t1.Sim.Trace.all_halted = t2.Sim.Trace.all_halted
+      engines_agree cfg s floodset && engines_agree cfg s floodset_ws)
+
+let prop_cross_engine_equivalence =
+  qtest ~count:40 "recording, fast and incremental engines agree"
+    QCheck.(pair int (int_range 1 5))
+    (fun (seed, gst) ->
+      let rng = Rng.create ~seed in
+      let s =
+        if gst = 1 then Workload.Random_runs.synchronous_with_delays rng c52 ()
+        else Workload.Random_runs.eventually_synchronous rng c52 ~gst ()
       in
-      matches floodset && matches floodset_ws)
+      List.for_all
+        (engines_agree c52 s)
+        [ floodset; floodset_ws; early_fs; at2; floodmin ])
+
+(* Past the schedule horizon the fast path switches to the flat
+   struct-of-arrays tail; holding FloodMin in its steady state for many
+   rounds pins that tail against the recording engine. *)
+module Floodmin_steady = Baselines.Floodmin.Make (struct
+  let extra_rounds = 40
+end)
+
+let test_flat_tail_equivalence () =
+  let algo = Sim.Algorithm.Packed (module Floodmin_steady) in
+  List.iter
+    (fun (n, t) ->
+      let cfg = config ~n ~t in
+      check_bool
+        (Printf.sprintf "flat tail agrees at n=%d" n)
+        true
+        (engines_agree cfg quiet_es algo))
+    [ (5, 2); (63, 2); (64, 2); (100, 3) ]
 
 (* ------------------------------------------------------------------ *)
 (* Trace rendering and queries                                         *)
@@ -670,6 +708,9 @@ let () =
           prop_engine_respects_model;
           prop_engine_deterministic;
           prop_incremental_matches_run;
+          prop_cross_engine_equivalence;
+          Alcotest.test_case "flat tail equivalence" `Quick
+            test_flat_tail_equivalence;
         ] );
       ( "trace",
         [

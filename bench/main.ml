@@ -219,7 +219,24 @@ let reduction_workloads () =
             (Mc.Parallel.sweep_binary_sym ~jobs:mc_jobs ~algo ~config:c52 ()));
     ]
   in
-  single @ binary
+  let omission =
+    (* The omission-fault adversary rides the same no-pessimisation gate:
+       its dedup row (keys extended with the omitter bitsets) must at
+       least match its unreduced sibling. FloodSet at n=5, t=2 under the
+       mixed menu (one crash + one omitter) is large enough that the
+       extended keys must actually collapse states to win. *)
+    let faults = Sim.Model.Mixed in
+    let prefix = "mc-reduction/floodset-n5t2-mixed" in
+    [
+      plain (prefix ^ "/none") (fun () ->
+          ignore
+            (Mc.Exhaustive.sweep_incremental ~faults ~algo ~config:c52
+               ~proposals ()));
+      plain (prefix ^ "/dedup") (fun () ->
+          ignore (Mc.Dedup.sweep ~faults ~algo ~config:c52 ~proposals ()));
+    ]
+  in
+  single @ binary @ omission
 
 (* ------------------------------------------------------------------ *)
 (* The fuzz suite: campaign throughput, online monitors on vs off       *)

@@ -30,6 +30,36 @@ let seed_arg =
   Cmdliner.Arg.(
     value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let faults_arg =
+  Cmdliner.Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("crash", Sim.Model.Crash_only);
+             ("send-omit", Sim.Model.Send_omit_only);
+             ("recv-omit", Sim.Model.Recv_omit_only);
+             ("mixed", Sim.Model.Mixed);
+           ])
+        Sim.Model.Crash_only
+    & info [ "faults" ] ~docv:"MENU"
+        ~doc:
+          "Adversary fault menu: crash (default), send-omit (faulty \
+           processes drop outgoing messages without crashing), recv-omit \
+           (drop incoming), or mixed (crashes and omissions under a split \
+           budget). Omission menus split the resilience bound t into \
+           t_crash + t_omit, keeping the soundness rule t_crash + t_omit \
+           <= t.")
+
+let omit_budget_arg =
+  Cmdliner.Arg.(
+    value & opt int 1
+    & info [ "omit-budget" ] ~docv:"N"
+        ~doc:
+          "Omission budget t_omit for the non-crash fault menus (default \
+           1, clamped to t); with --faults mixed the crash side keeps \
+           t - t_omit.")
+
 let lookup_algo label =
   match Expt.Registry.find label with
   | Some entry -> entry
@@ -488,12 +518,24 @@ let sweep_cmd =
              Perfetto; shards appear as tracks) or jsonl (one span per \
              line).")
   in
-  let run label n t jobs mode binary policy horizon reduce print_metrics
-      show_progress heartbeat trace_file trace_format =
+  let budget_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the sweep. On expiry the sweep stops at \
+             the next run boundary and reports the partial result \
+             (explored runs and everything accounted so far), exiting 3 \
+             instead of 0; violations already found still exit 1.")
+  in
+  let run label n t faults omit_budget jobs mode binary policy horizon reduce
+      budget_s print_metrics show_progress heartbeat trace_file trace_format =
     let config = Config.make ~n ~t in
     let entry = lookup_algo label in
     let algo = entry.Expt.Registry.algo in
     let jobs = if jobs = 0 then Par.default_jobs () else jobs in
+    let deadline = Option.map (fun b -> Unix.gettimeofday () +. b) budget_s in
     let registry = Obs.Metrics.create () in
     let metrics = registry in
     let progress, finish_progress =
@@ -521,33 +563,38 @@ let sweep_cmd =
         | `Sym ->
             let r, s =
               if jobs > 1 then
-                Mc.Parallel.sweep_binary_sym ~policy ~metrics ?prof ~spans
-                  ~progress ~jobs ?horizon ~algo ~config ()
+                Mc.Parallel.sweep_binary_sym ~faults ~omit_budget ?deadline
+                  ~policy ~metrics ?prof ~spans ~progress ~jobs ?horizon
+                  ~algo ~config ()
               else
-                Mc.Symmetry.sweep_binary ~policy ~metrics ?horizon ?prof
-                  ~spans ~progress ~algo ~config ()
+                Mc.Symmetry.sweep_binary ~faults ~omit_budget ?deadline
+                  ~policy ~metrics ?horizon ?prof ~spans ~progress ~algo
+                  ~config ()
             in
             reduced r s
         | `Dedup ->
             let r, s =
               if jobs > 1 then
-                Mc.Parallel.sweep_binary_dedup ~policy ~metrics ?prof ~spans
-                  ~progress ~jobs ?horizon ~algo ~config ()
+                Mc.Parallel.sweep_binary_dedup ~faults ~omit_budget ?deadline
+                  ~policy ~metrics ?prof ~spans ~progress ~jobs ?horizon
+                  ~algo ~config ()
               else
-                Mc.Dedup.sweep_binary ~policy ~metrics ?horizon ?prof ~spans
-                  ~progress ~algo ~config ()
+                Mc.Dedup.sweep_binary ~faults ~omit_budget ?deadline ~policy
+                  ~metrics ?horizon ?prof ~spans ~progress ~algo ~config ()
             in
             reduced r s
         | `None ->
             if jobs > 1 then
-              Mc.Parallel.sweep_binary ~policy ~metrics ?prof ~spans ~progress
-                ~jobs ?horizon ~algo ~config ()
+              Mc.Parallel.sweep_binary ~faults ~omit_budget ?deadline ~policy
+                ~metrics ?prof ~spans ~progress ~jobs ?horizon ~algo ~config
+                ()
             else if mode = `Incremental then
-              Mc.Exhaustive.sweep_binary_incremental ~policy ~metrics ?horizon
-                ?prof ~spans ~progress ~algo ~config ()
+              Mc.Exhaustive.sweep_binary_incremental ~faults ~omit_budget
+                ?deadline ~policy ~metrics ?horizon ?prof ~spans ~progress
+                ~algo ~config ()
             else
-              Mc.Exhaustive.sweep_binary ~policy ~metrics ?horizon ~algo
-                ~config ()
+              Mc.Exhaustive.sweep_binary ~faults ~omit_budget ?deadline
+                ~policy ~metrics ?horizon ~algo ~config ()
       else begin
         let proposals = Sim.Runner.distinct_proposals config in
         match reduce with
@@ -556,23 +603,27 @@ let sweep_cmd =
                assignment dedup+sym degrades to dedup. *)
             let r, s =
               if jobs > 1 then
-                Mc.Parallel.sweep_dedup ~policy ~metrics ?prof ~spans
-                  ~progress ~jobs ?horizon ~algo ~config ~proposals ()
+                Mc.Parallel.sweep_dedup ~faults ~omit_budget ?deadline
+                  ~policy ~metrics ?prof ~spans ~progress ~jobs ?horizon
+                  ~algo ~config ~proposals ()
               else
-                Mc.Dedup.sweep ~policy ~metrics ?horizon ?prof ~spans
-                  ~progress ~algo ~config ~proposals ()
+                Mc.Dedup.sweep ~faults ~omit_budget ?deadline ~policy
+                  ~metrics ?horizon ?prof ~spans ~progress ~algo ~config
+                  ~proposals ()
             in
             reduced r s
         | `None ->
             if jobs > 1 then
-              Mc.Parallel.sweep ~policy ~metrics ?prof ~spans ~progress ~jobs
-                ?horizon ~algo ~config ~proposals ()
-            else if mode = `Incremental then
-              Mc.Exhaustive.sweep_incremental ~policy ~metrics ?horizon ?prof
-                ~spans ~progress ~algo ~config ~proposals ()
-            else
-              Mc.Exhaustive.sweep ~policy ~metrics ?horizon ~algo ~config
+              Mc.Parallel.sweep ~faults ~omit_budget ?deadline ~policy
+                ~metrics ?prof ~spans ~progress ~jobs ?horizon ~algo ~config
                 ~proposals ()
+            else if mode = `Incremental then
+              Mc.Exhaustive.sweep_incremental ~faults ~omit_budget ?deadline
+                ~policy ~metrics ?horizon ?prof ~spans ~progress ~algo
+                ~config ~proposals ()
+            else
+              Mc.Exhaustive.sweep ~faults ~omit_budget ?deadline ~policy
+                ~metrics ?horizon ~algo ~config ~proposals ()
       end
     in
     let result =
@@ -617,7 +668,8 @@ let sweep_cmd =
     | None -> ());
     if print_metrics then
       Format.fprintf std "@.metrics:@.%a@." Obs.Metrics.pp registry;
-    if result.Mc.Exhaustive.violations <> [] then exit 1
+    if result.Mc.Exhaustive.violations <> [] then exit 1;
+    if result.Mc.Exhaustive.expired then exit 3
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "sweep"
@@ -626,9 +678,10 @@ let sweep_cmd =
           and report worst-case decision rounds and violations; non-zero \
           exit if any run violates consensus.")
     Cmdliner.Term.(
-      const run $ algo_arg $ n_arg $ t_arg $ jobs_arg $ mode_arg $ binary_arg
-      $ policy_arg $ horizon_arg $ reduce_arg $ metrics_arg
-      $ progress_flag_arg $ heartbeat_arg $ trace_file_arg $ trace_format_arg)
+      const run $ algo_arg $ n_arg $ t_arg $ faults_arg $ omit_budget_arg
+      $ jobs_arg $ mode_arg $ binary_arg $ policy_arg $ horizon_arg
+      $ reduce_arg $ budget_arg $ metrics_arg $ progress_flag_arg
+      $ heartbeat_arg $ trace_file_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi fuzz                                                             *)
@@ -744,25 +797,33 @@ let fuzz_cmd =
     | Some algo -> algo
     | None -> (lookup_algo label).Expt.Registry.algo
   in
-  let run label n t seed runs jobs fuel budget_s shrink no_monitor gen_name
-      base gst raise_at print_metrics out expect_clean show_progress heartbeat
-      =
+  let run label n t faults omit_budget seed runs jobs fuel budget_s shrink
+      no_monitor gen_name base gst raise_at print_metrics out expect_clean
+      show_progress heartbeat =
     let config = Config.make ~n ~t in
     let algo = lookup_fuzz_algo label ~raise_at in
     let jobs = if jobs = 0 then Par.default_jobs () else jobs in
     let gen : Fuzz.Campaign.gen =
-      match gen_name with
-      | `Mix -> Fuzz.Campaign.default_gen
-      | `Sync -> fun config rng -> Workload.Random_runs.synchronous rng config ()
-      | `Sync_delays ->
-          fun config rng ->
-            Workload.Random_runs.synchronous_with_delays rng config ()
-      | `Es ->
-          fun config rng ->
-            Workload.Random_runs.eventually_synchronous rng config ~gst ()
-      | `Mutate ->
+      match (gen_name, faults) with
+      (* Mutation campaigns keep their seed schedule whatever the menu —
+         the omission operators explore the neighbourhood on their own. *)
+      | `Mutate, _ ->
           Fuzz.Campaign.mutation_gen
             ~base:(schedule_of_name config ~seed ~gst base)
+      | _, (Sim.Model.Send_omit_only | Sim.Model.Recv_omit_only | Sim.Model.Mixed)
+        ->
+          fun config rng ->
+            Workload.Random_runs.with_omissions rng config ~faults ~omit_budget
+              ()
+      | `Mix, Sim.Model.Crash_only -> Fuzz.Campaign.default_gen
+      | `Sync, Sim.Model.Crash_only ->
+          fun config rng -> Workload.Random_runs.synchronous rng config ()
+      | `Sync_delays, Sim.Model.Crash_only ->
+          fun config rng ->
+            Workload.Random_runs.synchronous_with_delays rng config ()
+      | `Es, Sim.Model.Crash_only ->
+          fun config rng ->
+            Workload.Random_runs.eventually_synchronous rng config ~gst ()
     in
     let registry = Obs.Metrics.create () in
     let progress, finish_progress =
@@ -813,10 +874,11 @@ let fuzz_cmd =
           containment and a round budget, optionally shrink every finding \
           to a 1-minimal counterexample.")
     Cmdliner.Term.(
-      const run $ algo_arg $ n_arg $ t_arg $ seed_arg $ runs_arg $ jobs_arg
-      $ fuel_arg $ budget_arg $ shrink_arg $ no_monitor_arg $ gen_arg
-      $ base_arg $ gst_arg $ raise_at_arg $ metrics_arg $ out_arg
-      $ expect_clean_arg $ progress_flag_arg $ heartbeat_arg)
+      const run $ algo_arg $ n_arg $ t_arg $ faults_arg $ omit_budget_arg
+      $ seed_arg $ runs_arg $ jobs_arg $ fuel_arg $ budget_arg $ shrink_arg
+      $ no_monitor_arg $ gen_arg $ base_arg $ gst_arg $ raise_at_arg
+      $ metrics_arg $ out_arg $ expect_clean_arg $ progress_flag_arg
+      $ heartbeat_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi figure1                                                          *)

@@ -1,0 +1,38 @@
+(** Experiment E13 — the omission-fault adversary (DESIGN §13).
+
+    Exhaustive serial sweeps of FloodSet and [A_{t+2}] at [n = 4, t = 1]
+    under all four fault menus (crash, send-omit, recv-omit, mixed),
+    reporting runs, the decision-round interval, and violation counts.
+
+    The expected picture:
+
+    + {e FloodSet breaks under send-omissions}: its [t + 1]-round crash
+      argument needs a crash-free round to equalize views, and a
+      send-omitter falsifies that without spending a crash — uniform
+      agreement violations among the {e correct} processes. Pure
+      receive-omissions leave it safe: a receive-omitter only starves
+      itself, and its own decisions are excluded from the agreement
+      judgment.
+    + {e [A_{t+2}] stays safe under every menu} (indulgence covers
+      omissions: an omitted message is indistinguishable from a slow
+      one), but its decision rounds {e shift}: the crash-only interval
+      [[t+2, t+2]] stretches to a strictly larger maximum as omitters
+      starve the coordinator rotation — the measured "where" of the
+      shift. *)
+
+type row = {
+  algorithm : string;
+  faults : Sim.Model.faults;
+  n : int;
+  t : int;
+  runs : int;
+  min_decision : int;
+  max_decision : int;
+  violations : int;
+  expected_safe : bool;
+}
+
+val measure : unit -> row list
+val run : Format.formatter -> unit
+val name : string
+val title : string

@@ -46,6 +46,11 @@ let all =
       title = E12_crossover.title;
       run = E12_crossover.run;
     };
+    {
+      name = E13_omissions.name;
+      title = E13_omissions.title;
+      run = E13_omissions.run;
+    };
   ]
 
 let find name = List.find_opt (fun e -> String.equal e.name name) all

@@ -13,13 +13,17 @@ let run ?fuel ?(monitor = true) ~algo:(Sim.Algorithm.Packed (module A))
     Option.value fuel ~default:(Sim.Engine.default_max_rounds config schedule)
   in
   let horizon = Sim.Schedule.horizon schedule in
+  let omitters = Sim.Schedule.omitter_set schedule in
   let undecided st =
     let decided = List.map (fun d -> d.Sim.Trace.pid) (E.Incremental.decisions st) in
     let crashed = List.map fst (E.Incremental.crashed st) in
     List.filter
       (fun p ->
         (not (List.exists (Pid.equal p) decided))
-        && not (List.exists (Pid.equal p) crashed))
+        && (not (List.exists (Pid.equal p) crashed))
+        (* Termination, like the post-hoc checker, is owed by correct
+           processes only — a declared omitter may be starved forever. *)
+        && not (Pid.Set.mem p omitters))
       (Config.processes config)
   in
   let completed st ~rounds =
@@ -58,7 +62,8 @@ let run ?fuel ?(monitor = true) ~algo:(Sim.Algorithm.Packed (module A))
     in
     go
       (E.Incremental.start config ~proposals)
-      (Monitor.create ~proposals) ~seen:0 ~round:1
+      (Monitor.create ~omitters ~proposals ())
+      ~seen:0 ~round:1
   with Sim.Engine.Step_error e -> Outcome.Crashed e
 
 let run_contained ?fuel ?monitor ~algo ~config ~proposals schedule =

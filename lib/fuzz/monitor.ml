@@ -2,15 +2,16 @@ open Kernel
 
 type t = {
   proposed : Value.Set.t;
+  omitters : Pid.Set.t;
   first : Sim.Trace.decision option;
   violation : Sim.Props.violation option;
 }
 
-let create ~proposals =
+let create ?(omitters = Pid.Set.empty) ~proposals () =
   let proposed =
     Pid.Map.fold (fun _ v acc -> Value.Set.add v acc) proposals Value.Set.empty
   in
-  { proposed; first = None; violation = None }
+  { proposed; omitters; first = None; violation = None }
 
 let violation m = m.violation
 let tripped m = m.violation <> None
@@ -22,6 +23,11 @@ let observe m (d : Sim.Trace.decision) =
       m with
       violation = Some (Sim.Props.Validity { pid = d.pid; value = d.value });
     }
+  else if Pid.Set.mem d.pid m.omitters then
+    (* An omitter's decision is validity-checked above but takes no part in
+       agreement: the soundness rule (DESIGN §13) judges agreement among
+       correct processes only, exactly like {!Sim.Props.check_agreement}. *)
+    m
   else
     match m.first with
     | None -> { m with first = Some d }

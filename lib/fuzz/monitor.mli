@@ -17,8 +17,13 @@ open Kernel
 
 type t
 
-val create : proposals:Value.t Pid.Map.t -> t
-(** A fresh monitor for a run with the given proposals. *)
+val create : ?omitters:Pid.Set.t -> proposals:Value.t Pid.Map.t -> unit -> t
+(** A fresh monitor for a run with the given proposals. [omitters]
+    (default empty) are the schedule's declared omission-faulty processes:
+    their decisions are still validity-checked, but they neither anchor
+    nor trip the agreement check — mirroring
+    {!Sim.Props.check_agreement}'s judged set, which holds correct
+    processes to account and lets faulty ones disagree (DESIGN §13). *)
 
 val observe : t -> Sim.Trace.decision -> t
 (** Fold one decision in. Once tripped, the monitor is sticky: further

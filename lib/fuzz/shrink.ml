@@ -22,15 +22,19 @@ let trim plans =
 
 (* All one-step reductions of a schedule, in the order the greedy loop
    should try them: empty whole rounds (latest first, so the horizon
-   shrinks as early as possible), then remove single crashes, then single
+   shrinks as early as possible), then remove single crashes, then whole
+   omitter declarations (with the losses they justified), then single
    fate entries, then pull gst one round earlier. Candidates are blind;
    the caller re-validates. *)
 let candidates schedule =
   let plans = Sim.Schedule.plans schedule in
   let gst = Round.to_int (Sim.Schedule.gst schedule) in
   let model = Sim.Schedule.model schedule in
-  let rebuild ?(gst = gst) plans =
-    Sim.Schedule.make ~model ~gst:(Round.of_int gst) (trim plans)
+  let omitters0 = Sim.Schedule.omitters schedule in
+  let budget = Sim.Schedule.budget schedule in
+  let rebuild ?(gst = gst) ?(omitters = omitters0) plans =
+    Sim.Schedule.make ~omitters ?budget ~model ~gst:(Round.of_int gst)
+      (trim plans)
   in
   let horizon = List.length plans in
   let set k p' = List.mapi (fun i p -> if i = k - 1 then p' else p) plans in
@@ -72,6 +76,31 @@ let candidates schedule =
                    })))
           p.Sim.Schedule.crashes)
   in
+  let drop_omitters =
+    (* An omitter declaration leaves with every lost entry it licensed
+       (its outgoing copies for a send-omitter, its incoming ones for a
+       receive-omitter); orphaned omission losses on a now-correct process
+       would just be rejected by the validator. *)
+    List.map
+      (fun (culprit, cls) ->
+        let licensed (src, dst) =
+          match cls with
+          | Sim.Model.Send_omit -> Pid.equal src culprit
+          | Sim.Model.Recv_omit -> Pid.equal dst culprit
+        in
+        rebuild
+          ~omitters:
+            (List.filter (fun (p, _) -> not (Pid.equal p culprit)) omitters0)
+          (List.map
+             (fun (p : Sim.Schedule.plan) ->
+               {
+                 p with
+                 Sim.Schedule.lost =
+                   List.filter (fun e -> not (licensed e)) p.Sim.Schedule.lost;
+               })
+             plans))
+      omitters0
+  in
   let drop_losses =
     per_round (fun k (p : Sim.Schedule.plan) ->
         List.map
@@ -99,7 +128,8 @@ let candidates schedule =
           p.Sim.Schedule.delayed)
   in
   let pull_gst = if gst > 1 then [ rebuild ~gst:(gst - 1) plans ] else [] in
-  empty_rounds @ drop_crashes @ drop_losses @ drop_delays @ pull_gst
+  empty_rounds @ drop_crashes @ drop_omitters @ drop_losses @ drop_delays
+  @ pull_gst
 
 let shrink ?fuel ?(max_steps = max_int) ~algo ~config ~proposals schedule =
   (* One fuel for the original and every candidate: the default bound

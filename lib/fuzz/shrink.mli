@@ -3,14 +3,16 @@
     Starting from any schedule whose {!Harness} outcome is a failure, the
     shrinker repeatedly tries one-step reductions — empty a whole round
     (latest first, so the horizon drops), remove one crash together with
-    the same-round fate entries it justified, remove one lost or delayed
-    entry, pull gst one round earlier — and keeps the first reduction
+    the same-round fate entries it justified, remove one omitter
+    declaration together with the lost entries it licensed, remove one
+    lost or delayed entry, pull gst one round earlier — and keeps the
+    first reduction
     whose result still passes {!Sim.Schedule.validate} {e and} still
     fails with the {e same} {!Outcome.failure} class, until none applies.
 
     The result is therefore 1-minimal modulo model validity: no single
-    remaining round, crash, fate entry or gst step can be removed without
-    losing the violation or leaving the model. That is the strongest
+    remaining round, crash, omitter, fate entry or gst step can be
+    removed without losing the violation or leaving the model. That is the strongest
     guarantee a greedy pass can give, and it is what turns a horizon-12,
     5-crash fuzz hit into evidence a human can read. *)
 

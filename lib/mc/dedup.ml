@@ -50,9 +50,38 @@ let lift choice (frag : Exhaustive.result) =
         frag.Exhaustive.crashed;
   }
 
-let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ~algo:(Sim.Algorithm.Packed (module A))
-    ~config ~proposals ~prefix () =
+(* The per-branch adversary state plus the [Bitset.Big] mirrors the memo
+   keys are built from (canonical, array-backed — meaningful under [( = )]
+   and [Hashtbl.hash] at any [n]). *)
+type frame = {
+  adv : Serial.adversary;
+  aliveb : Bitset.Big.t;
+  sendb : Bitset.Big.t;
+  recvb : Bitset.Big.t;
+}
+
+let initial_frame ?omit_budget ?faults config =
+  {
+    adv = Serial.initial ?omit_budget ?faults config;
+    aliveb = Bitset.Big.full ~n:(Config.n config);
+    sendb = Bitset.Big.empty;
+    recvb = Bitset.Big.empty;
+  }
+
+let advance_frame fr choice =
+  let adv = Serial.advance fr.adv choice in
+  match choice with
+  | Serial.No_crash -> { fr with adv }
+  | Serial.Crash { victim; _ } ->
+      { fr with adv; aliveb = Bitset.Big.remove (Pid.to_int victim) fr.aliveb }
+  | Serial.Send_omit { culprit; _ } ->
+      { fr with adv; sendb = Bitset.Big.add (Pid.to_int culprit) fr.sendb }
+  | Serial.Recv_omit { culprit; _ } ->
+      { fr with adv; recvb = Bitset.Big.add (Pid.to_int culprit) fr.recvb }
+
+let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
+    ?(policy = Serial.Prefixes) ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ~algo:(Sim.Algorithm.Packed (module A)) ~config ~proposals ~prefix () =
   let module E = Sim.Engine.Make (A) in
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let n = Config.n config in
@@ -60,16 +89,38 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
   if depth0 < 0 then
     invalid_arg "Dedup.sweep_prefix: prefix longer than the horizon";
   let max_rounds = Sim.Engine.round_bound config ~horizon ~gst:1 in
+  let budget = Serial.budget_of ?omit_budget ~faults config in
   let leaf_schedule = Serial.to_schedule config [] in
+  (* Omission leaves need their omitter declarations in the trace schedule
+     — the verdict ([Props.check]) judges agreement/termination on the
+     fault-free set. The crash-only shared empty schedule stays as-is. *)
+  let leaf_schedule_of fr =
+    let omitters =
+      List.map
+        (fun p -> (p, Sim.Model.Send_omit))
+        (Pid.Set.elements fr.adv.Serial.send_omitters)
+      @ List.map
+          (fun p -> (p, Sim.Model.Recv_omit))
+          (Pid.Set.elements fr.adv.Serial.recv_omitters)
+    in
+    if omitters = [] then leaf_schedule
+    else
+      Sim.Schedule.make ~omitters ?budget ~model:Sim.Model.Es ~gst:Round.first
+        []
+  in
+  let check = Exhaustive.deadline_check deadline in
   let hits = ref 0 and misses = ref 0 and edges = ref 0 in
   (* The memo key. [k_alive] and [k_left] are NOT derivable from the
      fingerprint: the adversary may "crash" an already-halted process,
      spending budget (and shrinking its victim pool) without changing any
      engine-visible state — two such histories share a fingerprint but face
-     different futures. [k_depth] pins the remaining horizon (hence the
-     round, for [Ok] states). A poisoned ([Error]) subtree is engine-free —
-     its leaves depend only on the choice tree below and the error — so it
-     memoises on the structured error instead of a fingerprint. *)
+     different futures. The same holds for the omitter sets and the
+     remaining omission budget: they gate the legal choices below a node,
+     and at leaves the declared omitters decide the verdict. [k_depth] pins
+     the remaining horizon (hence the round, for [Ok] states). A poisoned
+     ([Error]) subtree is engine-free — its leaves depend only on the
+     choice tree below and the error — so it memoises on the structured
+     error instead of a fingerprint. *)
   let module Key = struct
     type state_key =
       | K_ok of E.Incremental.fingerprint
@@ -79,8 +130,9 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
       k_depth : int;
       k_left : int;
       k_alive : Bitset.Big.t;
-          (* array-backed so transposition keys work at any [n]; canonical
-             form makes [( = )] and [Hashtbl.hash] meaningful on it *)
+      k_send : Bitset.Big.t;
+      k_recv : Bitset.Big.t;
+      k_omit_left : int;
       k_state : state_key;
     }
   end in
@@ -116,14 +168,15 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
   (* Only table misses reach [leaf], so spans and probes record exactly the
      distinct work done — answered-from-table subtrees cost (and show)
      nothing. *)
-  let leaf st =
+  let leaf fr st =
     match st with
     | Error error -> Exhaustive.add_crashed Exhaustive.empty ~choices:[] ~error
     | Ok st ->
         if Obs.Span.enabled spans then Obs.Span.enter spans "run";
         let frag =
           match
-            E.Incremental.finish ~max_rounds ?prof ~schedule:leaf_schedule st
+            E.Incremental.finish ~max_rounds ?prof
+              ~schedule:(leaf_schedule_of fr) st
           with
           | trace -> Exhaustive.add_run Exhaustive.empty ~choices:[] ~trace
           | exception Sim.Engine.Step_error error ->
@@ -135,44 +188,45 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
   (* Returns the subtree's result with choice lists relative to the node
      (the caller lifts them); [distinct_runs] counts the leaves this call
      actually evaluated, so a table hit contributes 0. *)
-  let rec children depth alive aliveb crashes_left st =
+  let rec children depth fr st =
     List.fold_left
       (fun acc choice ->
-        let alive', aliveb', left' =
-          match choice with
-          | Serial.No_crash -> (alive, aliveb, crashes_left)
-          | Serial.Crash { victim; _ } ->
-              ( Pid.Set.remove victim alive,
-                Bitset.Big.remove (Pid.to_int victim) aliveb,
-                crashes_left - 1 )
-        in
         combine acc
           (lift choice
-             (explore (depth - 1) alive' aliveb' left' (extend st choice))))
+             (explore (depth - 1) (advance_frame fr choice) (extend st choice))))
       Exhaustive.empty
-      (Serial.choices ~policy ~alive ~crashes_left)
-  and explore depth alive aliveb crashes_left st =
+      (Serial.adversary_choices ~policy ~faults fr.adv)
+  and explore depth fr st =
     let key =
-      if depth = 0 then
-        (* Leaves memoise on the fingerprint alone: with no choices left,
-           the remaining budget and victim pool cannot influence the run —
-           [finish] is a function of the engine state only. Collapsing
-           them buys hits across histories that differ only in budget
-           spent on already-halted victims. *)
+      if depth = 0 then begin
+        (* Leaves memoise on the fingerprint and the declared omitter sets:
+           with no choices left, the remaining budgets and victim pool
+           cannot influence the run — but the omitter sets still decide the
+           verdict ([finish]'s trace is judged against the fault-free set).
+           Collapsing the budgets buys hits across histories that differ
+           only in budget spent on already-halted victims. *)
+        check ();
         {
           Key.k_depth = 0;
           k_left = 0;
           k_alive = Bitset.Big.empty;
+          k_send = fr.sendb;
+          k_recv = fr.recvb;
+          k_omit_left = 0;
           k_state =
             (match st with
             | Ok s -> Key.K_ok (E.Incremental.fingerprint s)
             | Error e -> Key.K_err e);
         }
+      end
       else
         {
           Key.k_depth = depth;
-          k_left = crashes_left;
-          k_alive = aliveb;
+          k_left = fr.adv.Serial.crashes_left;
+          k_alive = fr.aliveb;
+          k_send = fr.sendb;
+          k_recv = fr.recvb;
+          k_omit_left = fr.adv.Serial.omit_left;
           k_state =
             (match st with
             | Ok s -> Key.K_ok (E.Incremental.fingerprint s)
@@ -185,30 +239,25 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
           { frag with Exhaustive.distinct_runs = 0 }
       | None ->
           incr misses;
-          let frag =
-            if depth = 0 then leaf st
-            else children depth alive aliveb crashes_left st
-          in
+          let frag = if depth = 0 then leaf fr st else children depth fr st in
           Tbl.add tbl key frag;
           frag
   in
   let root =
     List.fold_left extend (Ok (E.Incremental.start config ~proposals)) prefix
   in
-  let alive, aliveb, crashes_left =
-    List.fold_left
-      (fun (alive, aliveb, left) choice ->
-        match choice with
-        | Serial.No_crash -> (alive, aliveb, left)
-        | Serial.Crash { victim; _ } ->
-            ( Pid.Set.remove victim alive,
-              Bitset.Big.remove (Pid.to_int victim) aliveb,
-              left - 1 ))
-      (Pid.Set.universe ~n, Bitset.Big.full ~n, Config.t config)
+  let fr0 =
+    List.fold_left advance_frame (initial_frame ?omit_budget ~faults config)
       prefix
   in
-  let frag = explore depth0 alive aliveb crashes_left root in
-  let result = List.fold_right lift prefix frag in
+  let frag, expired =
+    match explore depth0 fr0 root with
+    | frag -> (frag, false)
+    | exception Exhaustive.Expired -> (Exhaustive.empty, true)
+  in
+  let result =
+    { (List.fold_right lift prefix frag) with Exhaustive.expired }
+  in
   ( result,
     {
       hits = !hits;
@@ -222,21 +271,24 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
    are bit-identical on every field {e including} [distinct_runs] and the
    stats, whatever [--jobs] is. Cross-subtree hits at the root are the
    price; below round 1 is where the state space actually converges. *)
-let first_choices ?policy config =
-  Serial.choices
+let first_choices ?(faults = Sim.Model.Crash_only) ?omit_budget ?policy config =
+  Serial.adversary_choices
     ~policy:(Option.value policy ~default:Serial.Prefixes)
-    ~alive:(Pid.Set.universe ~n:(Config.n config))
-    ~crashes_left:(Config.t config)
+    ~faults
+    (Serial.initial ?omit_budget ~faults config)
 
-let sweep_sharded ?policy ?horizon ?prof ?(spans = Obs.Span.disabled)
-    ?(progress = Obs.Progress.disabled) ~algo ~config ~proposals () =
+let sweep_sharded ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
+    ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
-  let firsts = first_choices ?policy config in
+  let firsts = first_choices ?faults ?omit_budget ?policy config in
   List.fold_left
     (fun (acc, stats) first ->
       let subtree () =
-        sweep_prefix ?policy ~horizon ?prof ~spans ~algo ~config ~proposals
-          ~prefix:[ first ] ()
+        if acc.Exhaustive.expired then (Exhaustive.empty, zero_stats)
+        else
+          sweep_prefix ?faults ?omit_budget ?deadline ?policy ~horizon ?prof
+            ~spans ~algo ~config ~proposals ~prefix:[ first ] ()
       in
       let r, s =
         if Obs.Span.enabled spans then
@@ -252,37 +304,43 @@ let sweep_sharded ?policy ?horizon ?prof ?(spans = Obs.Span.disabled)
     (Exhaustive.empty, zero_stats)
     firsts
 
-let sweep ?policy ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
-    ?(progress = Obs.Progress.disabled) ~algo ~config ~proposals () =
+let sweep ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
+    ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
-  Obs.Progress.set_total progress (List.length (first_choices ?policy config));
+  Obs.Progress.set_total progress
+    (List.length (first_choices ?faults ?omit_budget ?policy config));
   let result, stats =
     Obs.Span.with_ spans "sweep" (fun () ->
-        sweep_sharded ?policy ~horizon ?prof ~spans ~progress ~algo ~config
-          ~proposals ())
+        sweep_sharded ?faults ?omit_budget ?deadline ?policy ~horizon ?prof
+          ~spans ~progress ~algo ~config ~proposals ())
   in
   Exhaustive.report_sweep metrics ~started
     ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.edges)
     ~dedup:(stats.hits, stats.entries) result;
   (result, stats)
 
-let sweep_binary ?policy ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
-    ?(progress = Obs.Progress.disabled) ~algo ~config () =
+let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
+    ?prof ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled)
+    ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
   let assignments = Exhaustive.binary_assignments config in
   Obs.Progress.set_total progress
-    (List.length assignments * List.length (first_choices ?policy config));
+    (List.length assignments
+    * List.length (first_choices ?faults ?omit_budget ?policy config));
   let result, stats =
     Obs.Span.with_ spans "sweep" (fun () ->
         List.fold_left
           (fun (acc, stats) proposals ->
-            let r, s =
-              sweep_sharded ?policy ~horizon ?prof ~spans ~progress ~algo
-                ~config ~proposals ()
-            in
-            (Exhaustive.merge acc r, merge_stats stats s))
+            if acc.Exhaustive.expired then (acc, stats)
+            else
+              let r, s =
+                sweep_sharded ?faults ?omit_budget ?deadline ?policy ~horizon
+                  ?prof ~spans ~progress ~algo ~config ~proposals ()
+              in
+              (Exhaustive.merge acc r, merge_stats stats s))
           (Exhaustive.empty, zero_stats)
           assignments)
   in

@@ -7,7 +7,8 @@
     messages were all delivered anyway. This module memoises whole subtree
     {e results} in a table keyed on
 
-    [(remaining depth, crash budget, alive victim set,
+    [(remaining depth, crash budget, alive victim set, declared
+      send/receive-omitter sets, omission budget,
       {!Sim.Engine.Make.Incremental.fingerprint})]
 
     so each distinct [(key)] subtree is evaluated once. The memoised
@@ -52,13 +53,22 @@ val combine : Exhaustive.result -> Exhaustive.result -> Exhaustive.result
 val hit_rate : stats -> float
 (** [hits / (hits + misses)], [0.] when nothing was explored. *)
 
-val first_choices : ?policy:Serial.policy -> Config.t -> Serial.choice list
+val first_choices :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?policy:Serial.policy ->
+  Config.t ->
+  Serial.choice list
 (** The first-round choices a full sweep shards over (policy default
-    [Prefixes]) — what drivers use to size progress totals. *)
+    [Prefixes], fault menu default [Crash_only]) — what drivers use to
+    size progress totals and {!Parallel} uses as shard roots. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 
 val sweep :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -83,6 +93,9 @@ val sweep :
     deltas, with the total set up front. *)
 
 val sweep_binary :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -99,6 +112,9 @@ val sweep_binary :
     [progress]'s total is [2^n * first-round choices]. *)
 
 val sweep_prefix :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?horizon:int ->
   ?prof:Obs.Prof.acc ->
@@ -117,6 +133,9 @@ val sweep_prefix :
     ["run"] spans, single-domain. *)
 
 val sweep_sharded :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?horizon:int ->
   ?prof:Obs.Prof.acc ->

@@ -20,6 +20,9 @@ type result = {
   undecided_runs : int;
   crashed : crashed_run list;
   shard_failures : shard_failure list;
+  expired : bool;
+      (* the sweep's wall-clock budget ran out: the counts above account
+         for what was explored, not for the whole space *)
 }
 
 let empty =
@@ -33,7 +36,16 @@ let empty =
     undecided_runs = 0;
     crashed = [];
     shard_failures = [];
+    expired = false;
   }
+
+exception Expired
+(* Raised at the next leaf once a sweep deadline has passed; callers catch
+   it, keep what they accounted so far and mark the result [expired]. *)
+
+let deadline_check = function
+  | None -> fun () -> ()
+  | Some d -> fun () -> if Unix.gettimeofday () > d then raise Expired
 
 let add_run acc ~choices ~trace =
   let acc =
@@ -88,6 +100,7 @@ let merge a b =
     undecided_runs = a.undecided_runs + b.undecided_runs;
     crashed = a.crashed @ b.crashed;
     shard_failures = a.shard_failures @ b.shard_failures;
+    expired = a.expired || b.expired;
   }
 
 type stopwatch = { wall_started : float; cpu_started : float }
@@ -142,17 +155,27 @@ let report_sweep ?(domains = 1) ?(prefix_hits = 0) ?dedup ?orbits metrics
           (Obs.Metrics.histogram m "mc.schedules_per_second")
           (float_of_int result.runs /. wall)
 
-let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ~algo ~config
-    ~proposals () =
+let sweep ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes) ?metrics
+    ?horizon ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = stopwatch () in
+  let budget =
+    Serial.budget_of ?omit_budget
+      ~faults:(Option.value faults ~default:Sim.Model.Crash_only)
+      config
+  in
+  let check = deadline_check deadline in
   let acc = ref empty in
-  Serial.enumerate ~policy config ~horizon ~f:(fun choices ->
-      let schedule = Serial.to_schedule config choices in
-      match Sim.Runner.run algo config ~proposals schedule with
-      | trace -> acc := add_run !acc ~choices ~trace
-      | exception Sim.Engine.Step_error error ->
-          acc := add_crashed !acc ~choices ~error);
+  (try
+     Serial.enumerate ?faults ?omit_budget ~policy config ~horizon
+       ~f:(fun choices ->
+         check ();
+         let schedule = Serial.to_schedule ?budget config choices in
+         match Sim.Runner.run algo config ~proposals schedule with
+         | trace -> acc := add_run !acc ~choices ~trace
+         | exception Sim.Engine.Step_error error ->
+             acc := add_crashed !acc ~choices ~error)
+   with Expired -> acc := { !acc with expired = true });
   report_sweep metrics ~started !acc;
   !acc
 
@@ -162,10 +185,15 @@ let binary_assignments config =
     (fun ones -> Sim.Runner.binary_proposals config ~ones:(Pid.Set.of_list ones))
     (Listx.subsets (Pid.all ~n))
 
-let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
+let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
+    ~algo ~config () =
   List.fold_left
     (fun acc proposals ->
-      merge acc (sweep ?policy ?metrics ?horizon ~algo ~config ~proposals ()))
+      if acc.expired then acc
+      else
+        merge acc
+          (sweep ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
+             ~algo ~config ~proposals ()))
     empty (binary_assignments config)
 
 (* ------------------------------------------------------------------ *)
@@ -178,14 +206,31 @@ let sweep_binary ?policy ?metrics ?horizon ~algo ~config () =
    round bound must then be supplied explicitly, computed from the sweep's
    real horizon so that it matches what [Runner.run] would use. *)
 
-let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ~algo:(Sim.Algorithm.Packed (module A))
-    ~config ~proposals ~prefix () =
+let sweep_prefix ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes)
+    ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ~algo:(Sim.Algorithm.Packed (module A)) ~config ~proposals ~prefix () =
   let module E = Sim.Engine.Make (A) in
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let n = Config.n config in
   let max_rounds = Sim.Engine.round_bound config ~horizon ~gst:1 in
+  let budget =
+    Serial.budget_of ?omit_budget
+      ~faults:(Option.value faults ~default:Sim.Model.Crash_only)
+      config
+  in
   let leaf_schedule = Serial.to_schedule config [] in
+  (* Judgment at a leaf needs the run's omitter declarations (validity is
+     checked on everybody, agreement and termination on the fault-free set
+     only), so omission leaves get a plan-free schedule carrying them; the
+     crash-only shared empty schedule is untouched. *)
+  let leaf_schedule_of choices =
+    match Serial.omitters_of choices with
+    | [] -> leaf_schedule
+    | omitters ->
+        Sim.Schedule.make ~omitters ?budget ~model:Sim.Model.Es
+          ~gst:Round.first []
+  in
+  let check = deadline_check deadline in
   let edges = ref 0 in
   (* The DFS state is a [result]: a [Step_error] on an edge poisons the
      whole subtree below it, and every leaf under that edge records the
@@ -210,33 +255,37 @@ let sweep_prefix ?(policy = Serial.Prefixes) ?horizon ?prof
     List.fold_left extend (Ok (E.Incremental.start config ~proposals)) prefix
   in
   let acc = ref empty in
-  Serial.fold ~policy ~prefix config ~horizon ~root ~step:extend
-    ~leaf:(fun choices st ->
-      match st with
-      | Error error -> acc := add_crashed !acc ~choices ~error
-      | Ok st ->
-          if Obs.Span.enabled spans then Obs.Span.enter spans "run";
-          (match
-             E.Incremental.finish ~max_rounds ?prof ~schedule:leaf_schedule st
-           with
-          | trace -> acc := add_run !acc ~choices ~trace
-          | exception Sim.Engine.Step_error error ->
-              acc := add_crashed !acc ~choices ~error);
-          if Obs.Span.enabled spans then Obs.Span.exit spans);
+  (try
+     Serial.fold ?faults ?omit_budget ~policy ~prefix config ~horizon ~root
+       ~step:extend ~leaf:(fun choices st ->
+         check ();
+         match st with
+         | Error error -> acc := add_crashed !acc ~choices ~error
+         | Ok st ->
+             if Obs.Span.enabled spans then Obs.Span.enter spans "run";
+             (match
+                E.Incremental.finish ~max_rounds ?prof
+                  ~schedule:(leaf_schedule_of choices) st
+              with
+             | trace -> acc := add_run !acc ~choices ~trace
+             | exception Sim.Engine.Step_error error ->
+                 acc := add_crashed !acc ~choices ~error);
+             if Obs.Span.enabled spans then Obs.Span.exit spans)
+   with Expired -> acc := { !acc with expired = true });
   (!acc, !edges)
 
 let prefix_hits ~horizon result ~edges = (result.runs * horizon) - edges
 
-let sweep_incremental ?policy ?metrics ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
-    ~config ~proposals () =
+let sweep_incremental ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
+    ?prof ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled)
+    ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = stopwatch () in
   Obs.Progress.set_total progress 1;
   let result, edges =
     Obs.Span.with_ spans "sweep" (fun () ->
-        sweep_prefix ?policy ~horizon ?prof ~spans ~algo ~config ~proposals
-          ~prefix:[] ())
+        sweep_prefix ?faults ?omit_budget ?deadline ?policy ~horizon ?prof
+          ~spans ~algo ~config ~proposals ~prefix:[] ())
   in
   if Obs.Progress.enabled progress then
     Obs.Progress.step progress ~items:1 ~runs:result.runs ~hits:0 ~lookups:0;
@@ -244,9 +293,9 @@ let sweep_incremental ?policy ?metrics ?horizon ?prof
     result;
   result
 
-let sweep_binary_incremental ?policy ?metrics ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
-    ~config () =
+let sweep_binary_incremental ?faults ?omit_budget ?deadline ?policy ?metrics
+    ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = stopwatch () in
   let assignments = binary_assignments config in
@@ -258,8 +307,8 @@ let sweep_binary_incremental ?policy ?metrics ?horizon ?prof
           (fun (acc, edges) proposals ->
             incr i;
             let subtree () =
-              sweep_prefix ?policy ~horizon ?prof ~spans ~algo ~config
-                ~proposals ~prefix:[] ()
+              sweep_prefix ?faults ?omit_budget ?deadline ?policy ~horizon
+                ?prof ~spans ~algo ~config ~proposals ~prefix:[] ()
             in
             let r, e =
               if Obs.Span.enabled spans then
@@ -291,6 +340,10 @@ let pp_result ppf r =
      else string_of_int r.max_decision)
     (List.length r.violations)
     r.undecided_runs;
+  if r.expired then
+    Format.fprintf ppf
+      "@,wall-clock budget expired: PARTIAL results (the counts above \
+       account only for the explored part of the space)";
   if r.crashed <> [] then
     Format.fprintf ppf "@,%d crashed run(s), first: %a"
       (List.length r.crashed)

@@ -52,10 +52,27 @@ type result = {
   shard_failures : shard_failure list;
       (** failed {!Parallel} shards, in shard order; their subtrees'
           runs are not counted anywhere else. *)
+  expired : bool;
+      (** a wall-clock [deadline] passed mid-sweep: every count above is a
+          faithful account of the {e explored} part of the space only.
+          Graceful degradation for interactive sweeps — the CLI maps this
+          to a distinct exit code. *)
 }
 
 val empty : result
 (** The unit of {!merge}: zero runs. *)
+
+exception Expired
+(** Raised by a sweep's per-leaf deadline check once the wall clock passes
+    the [deadline] argument. Drivers catch it, keep what they accounted so
+    far and set [expired]; it only escapes a sweep entry point if a custom
+    caller of {!deadline_check} lets it. *)
+
+val deadline_check : float option -> unit -> unit
+(** [deadline_check deadline ()] raises {!Expired} when [deadline] is
+    [Some d] and [Unix.gettimeofday () > d]; a no-op otherwise. Exposed
+    for the reduction/parallel drivers so every sweep flavour shares one
+    notion of expiry. *)
 
 val merge : result -> result -> result
 (** Aggregate two sweep results. Associative with unit {!empty}; keeps the
@@ -80,6 +97,9 @@ val binary_assignments : Config.t -> Value.t Pid.Map.t list
     {!sweep_binary} enumerates them. *)
 
 val sweep :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -93,6 +113,14 @@ val sweep :
     rounds of any algorithm here) under [policy] (default [Prefixes]).
     Every run is simulated from round 1 — the simple baseline;
     {!sweep_incremental} computes the identical result faster.
+
+    [faults] (default [Crash_only]) selects the adversary's fault menu and
+    [omit_budget] (default 1, clamped per {!Serial.split_budget}) the
+    omission side of its budget; omission runs are judged with agreement
+    and termination restricted to fault-free processes. [deadline] (an
+    absolute [Unix.gettimeofday] time) is the graceful-degradation hook:
+    once it passes, the sweep stops at the next leaf and returns what it
+    accounted with [expired = true].
 
     A schedule whose run raises {!Sim.Engine.Step_error} is recorded as a
     {!crashed_run} and the sweep continues — one poisoned schedule never
@@ -109,6 +137,9 @@ val sweep :
     domains). *)
 
 val sweep_binary :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -119,6 +150,9 @@ val sweep_binary :
 (** {!sweep} over {e all} [2^n] binary proposal assignments, aggregated. *)
 
 val sweep_incremental :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -143,6 +177,9 @@ val sweep_incremental :
     {!Obs.Progress.finish} and the {!Obs.Prof.flush}. *)
 
 val sweep_binary_incremental :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -158,6 +195,9 @@ val sweep_binary_incremental :
     total), [spans] wraps each assignment in a ["shard <i>"] span. *)
 
 val sweep_prefix :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?horizon:int ->
   ?prof:Obs.Prof.acc ->

@@ -89,16 +89,12 @@ let shard_results ?report ~jobs tasks =
   in
   (oks, failures)
 
-let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
-    ~algo ~config ~proposals () =
+let sweep ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes) ?metrics
+    ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~jobs ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
-  let firsts =
-    Serial.choices ~policy
-      ~alive:(Pid.Set.universe ~n:(Config.n config))
-      ~crashes_left:(Config.t config)
-  in
+  let firsts = Dedup.first_choices ?faults ?omit_budget ~policy config in
   Obs.Progress.set_total progress (List.length firsts);
   let span_of, acc_of, finalize =
     shard_instruments ~spans ~prof (List.length firsts)
@@ -117,8 +113,9 @@ let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
                  Obs.Span.with_ sp
                    (Format.asprintf "shard %d: %a" i Serial.pp_choice first)
                    (fun () ->
-                     Exhaustive.sweep_prefix ~policy ~horizon ?prof:(acc_of i)
-                       ~spans:sp ~algo ~config ~proposals ~prefix:[ first ] ())
+                     Exhaustive.sweep_prefix ?faults ?omit_budget ?deadline
+                       ~policy ~horizon ?prof:(acc_of i) ~spans:sp ~algo
+                       ~config ~proposals ~prefix:[ first ] ())
                in
                if Obs.Progress.enabled progress then
                  Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
@@ -136,9 +133,9 @@ let sweep ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
     result;
   result
 
-let sweep_binary ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
-    ~algo ~config () =
+let sweep_binary ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes)
+    ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~jobs ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
   let assignments = Exhaustive.binary_assignments config in
@@ -159,8 +156,9 @@ let sweep_binary ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
                  Obs.Span.with_ sp
                    (Printf.sprintf "shard %d" i)
                    (fun () ->
-                     Exhaustive.sweep_prefix ~policy ~horizon ?prof:(acc_of i)
-                       ~spans:sp ~algo ~config ~proposals ~prefix:[] ())
+                     Exhaustive.sweep_prefix ?faults ?omit_budget ?deadline
+                       ~policy ~horizon ?prof:(acc_of i) ~spans:sp ~algo
+                       ~config ~proposals ~prefix:[] ())
                in
                if Obs.Progress.enabled progress then
                  Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
@@ -208,16 +206,12 @@ let report_reduced ?orbits metrics ~started ~jobs ~horizon ~failures
     ?orbits result;
   (result, stats)
 
-let sweep_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
-    ~algo ~config ~proposals () =
+let sweep_dedup ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes)
+    ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
+    ?(progress = Obs.Progress.disabled) ~jobs ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
-  let firsts =
-    Serial.choices ~policy
-      ~alive:(Pid.Set.universe ~n:(Config.n config))
-      ~crashes_left:(Config.t config)
-  in
+  let firsts = Dedup.first_choices ?faults ?omit_budget ~policy config in
   Obs.Progress.set_total progress (List.length firsts);
   let span_of, acc_of, finalize =
     shard_instruments ~spans ~prof (List.length firsts)
@@ -236,8 +230,9 @@ let sweep_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
                  Obs.Span.with_ sp
                    (Format.asprintf "shard %d: %a" i Serial.pp_choice first)
                    (fun () ->
-                     Dedup.sweep_prefix ~policy ~horizon ?prof:(acc_of i)
-                       ~spans:sp ~algo ~config ~proposals ~prefix:[ first ] ())
+                     Dedup.sweep_prefix ?faults ?omit_budget ?deadline ~policy
+                       ~horizon ?prof:(acc_of i) ~spans:sp ~algo ~config
+                       ~proposals ~prefix:[ first ] ())
                in
                if Obs.Progress.enabled progress then
                  Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
@@ -251,7 +246,8 @@ let sweep_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
   report_reduced metrics ~started ~jobs ~horizon ~failures
     (merge_reduced_in_order shards)
 
-let sweep_binary_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
+let sweep_binary_dedup ?faults ?omit_budget ?deadline
+    ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
     ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~jobs
     ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
@@ -274,8 +270,9 @@ let sweep_binary_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
                  Obs.Span.with_ sp
                    (Printf.sprintf "shard %d" i)
                    (fun () ->
-                     Dedup.sweep_sharded ~policy ~horizon ?prof:(acc_of i)
-                       ~spans:sp ~algo ~config ~proposals ())
+                     Dedup.sweep_sharded ?faults ?omit_budget ?deadline
+                       ~policy ~horizon ?prof:(acc_of i) ~spans:sp ~algo
+                       ~config ~proposals ())
                in
                if Obs.Progress.enabled progress then
                  Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
@@ -297,11 +294,11 @@ let sweep_binary_dedup ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
   in
   report_reduced metrics ~started ~jobs ~horizon ~failures merged
 
-let sweep_binary_sym ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
-    ?spans ?progress ~jobs ~algo ~config () =
+let sweep_binary_sym ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes)
+    ?metrics ?horizon ?prof ?spans ?progress ~jobs ~algo ~config () =
   if not (Sim.Algorithm.symmetric algo) then
-    sweep_binary_dedup ~policy ?metrics ?horizon ?prof ?spans ?progress ~jobs
-      ~algo ~config ()
+    sweep_binary_dedup ?faults ?omit_budget ?deadline ~policy ?metrics ?horizon
+      ?prof ?spans ?progress ~jobs ~algo ~config ()
   else begin
     let spans = Option.value spans ~default:Obs.Span.disabled in
     let progress = Option.value progress ~default:Obs.Progress.disabled in
@@ -328,8 +325,9 @@ let sweep_binary_sym ?(policy = Serial.Prefixes) ?metrics ?horizon ?prof
                      (Printf.sprintf "shard %d: |ones|=%d" i
                         (Pid.Set.cardinal orbit.Symmetry.ones))
                      (fun () ->
-                       Symmetry.sweep_orbit ~policy ~horizon ?prof:(acc_of i)
-                         ~spans:sp ~algo ~config ~orbit ())
+                       Symmetry.sweep_orbit ?faults ?omit_budget ?deadline
+                         ~policy ~horizon ?prof:(acc_of i) ~spans:sp ~algo
+                         ~config ~orbit ())
                  in
                  if Obs.Progress.enabled progress then
                    Obs.Progress.step progress ~items:1

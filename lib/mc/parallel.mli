@@ -27,6 +27,9 @@
 open Kernel
 
 val sweep :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -55,6 +58,9 @@ val sweep :
     variant below. *)
 
 val sweep_binary :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -79,6 +85,9 @@ val sweep_binary :
     {!Dedup.stats} included, for any [jobs]. *)
 
 val sweep_dedup :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -94,6 +103,9 @@ val sweep_dedup :
 (** Parallel {!Dedup.sweep}. *)
 
 val sweep_binary_dedup :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->
@@ -108,6 +120,9 @@ val sweep_binary_dedup :
 (** Parallel {!Dedup.sweep_binary}. *)
 
 val sweep_binary_sym :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->

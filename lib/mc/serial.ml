@@ -1,11 +1,19 @@
 open Kernel
 
-type choice = No_crash | Crash of { victim : Pid.t; receivers : Pid.Set.t }
+type choice =
+  | No_crash
+  | Crash of { victim : Pid.t; receivers : Pid.Set.t }
+  | Send_omit of { culprit : Pid.t; dropped : Pid.Set.t }
+  | Recv_omit of { culprit : Pid.t; dropped : Pid.Set.t }
 
 let pp_choice ppf = function
   | No_crash -> Format.pp_print_string ppf "-"
   | Crash { victim; receivers } ->
       Format.fprintf ppf "%a!%a" Pid.pp victim Pid.Set.pp receivers
+  | Send_omit { culprit; dropped } ->
+      Format.fprintf ppf "%a->x%a" Pid.pp culprit Pid.Set.pp dropped
+  | Recv_omit { culprit; dropped } ->
+      Format.fprintf ppf "%a<-x%a" Pid.pp culprit Pid.Set.pp dropped
 
 type policy = All_subsets | Prefixes
 
@@ -14,20 +22,146 @@ let receiver_sets ~policy ~survivors =
   | All_subsets -> List.map Pid.Set.of_list (Listx.subsets survivors)
   | Prefixes -> List.map Pid.Set.of_list (Listx.prefixes survivors)
 
-let choices ~policy ~alive ~crashes_left =
-  if crashes_left <= 0 then [ No_crash ]
-  else
-    let victims = Pid.Set.elements alive in
-    No_crash
-    :: List.concat_map
-         (fun victim ->
-           let survivors =
-             Pid.Set.elements (Pid.Set.remove victim alive)
-           in
-           List.map
-             (fun receivers -> Crash { victim; receivers })
-             (receiver_sets ~policy ~survivors))
-         victims
+(* Non-empty target sets for an omission act: the empty set would make the
+   choice a round-shaped duplicate of [No_crash]. *)
+let dropped_sets ~policy ~others =
+  List.filter
+    (fun s -> not (Pid.Set.is_empty s))
+    (receiver_sets ~policy ~survivors:others)
+
+let crash_choices ~policy ~alive ~omitters =
+  (* The enumeration keeps crash victims and omitters disjoint: once the
+     adversary fixes a process's fault class it stays in that class, so
+     every budget unit buys one distinct faulty process. *)
+  let victims =
+    Pid.Set.elements
+      (if Pid.Set.is_empty omitters then alive
+       else Pid.Set.diff alive omitters)
+  in
+  List.concat_map
+    (fun victim ->
+      let survivors = Pid.Set.elements (Pid.Set.remove victim alive) in
+      List.map
+        (fun receivers -> Crash { victim; receivers })
+        (receiver_sets ~policy ~survivors))
+    victims
+
+let omission_choices ~policy ~alive ~declared ~all_omitters ~omit_left mk =
+  (* Declared culprits of this class re-offend for free; a fresh culprit
+     (not yet faulty in any class) costs one unit of the omission budget. *)
+  let declared_alive = Pid.Set.inter declared alive in
+  let fresh =
+    if omit_left > 0 then Pid.Set.diff alive all_omitters else Pid.Set.empty
+  in
+  let culprits = Pid.Set.elements (Pid.Set.union declared_alive fresh) in
+  List.concat_map
+    (fun culprit ->
+      let others = Pid.Set.elements (Pid.Set.remove culprit alive) in
+      List.map
+        (fun dropped -> mk culprit dropped)
+        (dropped_sets ~policy ~others))
+    culprits
+
+let choices ?(faults = Sim.Model.Crash_only) ?(send_omitters = Pid.Set.empty)
+    ?(recv_omitters = Pid.Set.empty) ?(omit_left = 0) ~policy ~alive
+    ~crashes_left () =
+  let all_omitters = Pid.Set.union send_omitters recv_omitters in
+  let crashes =
+    match faults with
+    | Sim.Model.Crash_only | Sim.Model.Mixed ->
+        if crashes_left <= 0 then []
+        else crash_choices ~policy ~alive ~omitters:all_omitters
+    | Sim.Model.Send_omit_only | Sim.Model.Recv_omit_only -> []
+  in
+  let send_omits =
+    match faults with
+    | Sim.Model.Send_omit_only | Sim.Model.Mixed ->
+        omission_choices ~policy ~alive ~declared:send_omitters ~all_omitters
+          ~omit_left (fun culprit dropped -> Send_omit { culprit; dropped })
+    | Sim.Model.Crash_only | Sim.Model.Recv_omit_only -> []
+  in
+  let recv_omits =
+    match faults with
+    | Sim.Model.Recv_omit_only | Sim.Model.Mixed ->
+        omission_choices ~policy ~alive ~declared:recv_omitters ~all_omitters
+          ~omit_left (fun culprit dropped -> Recv_omit { culprit; dropped })
+    | Sim.Model.Crash_only | Sim.Model.Send_omit_only -> []
+  in
+  No_crash :: (crashes @ send_omits @ recv_omits)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary state                                                     *)
+
+type adversary = {
+  alive : Pid.Set.t;
+  crashes_left : int;
+  send_omitters : Pid.Set.t;
+  recv_omitters : Pid.Set.t;
+  omit_left : int;
+}
+
+(* How the fault menu splits the algorithm's design threshold [t] into the
+   explicit budget [(t_crash, t_omit)] the sweep runs under. [omit_budget]
+   is clamped so the soundness rule [t_crash + t_omit <= t] always holds. *)
+let split_budget ?(omit_budget = 1) ~faults config =
+  let t = Config.t config in
+  match faults with
+  | Sim.Model.Crash_only -> (t, 0)
+  | Sim.Model.Send_omit_only | Sim.Model.Recv_omit_only ->
+      (0, min omit_budget t)
+  | Sim.Model.Mixed ->
+      let o = min omit_budget t in
+      (t - o, o)
+
+let budget_of ?omit_budget ~faults config =
+  match faults with
+  | Sim.Model.Crash_only -> None
+  | _ ->
+      let t_crash, t_omit = split_budget ?omit_budget ~faults config in
+      Some (Sim.Model.budget ~t_crash ~t_omit)
+
+let initial ?omit_budget ?(faults = Sim.Model.Crash_only) config =
+  let t_crash, t_omit = split_budget ?omit_budget ~faults config in
+  {
+    alive = Pid.Set.universe ~n:(Config.n config);
+    crashes_left = t_crash;
+    send_omitters = Pid.Set.empty;
+    recv_omitters = Pid.Set.empty;
+    omit_left = t_omit;
+  }
+
+let advance adv = function
+  | No_crash -> adv
+  | Crash { victim; _ } ->
+      {
+        adv with
+        alive = Pid.Set.remove victim adv.alive;
+        crashes_left = adv.crashes_left - 1;
+      }
+  | Send_omit { culprit; _ } ->
+      if Pid.Set.mem culprit adv.send_omitters then adv
+      else
+        {
+          adv with
+          send_omitters = Pid.Set.add culprit adv.send_omitters;
+          omit_left = adv.omit_left - 1;
+        }
+  | Recv_omit { culprit; _ } ->
+      if Pid.Set.mem culprit adv.recv_omitters then adv
+      else
+        {
+          adv with
+          recv_omitters = Pid.Set.add culprit adv.recv_omitters;
+          omit_left = adv.omit_left - 1;
+        }
+
+let adversary_choices ~policy ~faults adv =
+  choices ~faults ~send_omitters:adv.send_omitters
+    ~recv_omitters:adv.recv_omitters ~omit_left:adv.omit_left ~policy
+    ~alive:adv.alive ~crashes_left:adv.crashes_left ()
+
+(* ------------------------------------------------------------------ *)
+(* Denotation                                                          *)
 
 let plan_of config = function
   | No_crash -> Sim.Schedule.empty_plan
@@ -41,47 +175,71 @@ let plan_of config = function
             (Pid.others ~n:(Config.n config) victim);
         delayed = [];
       }
+  | Send_omit { culprit; dropped } ->
+      {
+        Sim.Schedule.crashes = [];
+        lost = List.map (fun dst -> (culprit, dst)) (Pid.Set.elements dropped);
+        delayed = [];
+      }
+  | Recv_omit { culprit; dropped } ->
+      {
+        Sim.Schedule.crashes = [];
+        lost = List.map (fun src -> (src, culprit)) (Pid.Set.elements dropped);
+        delayed = [];
+      }
 
-let to_schedule config choices =
-  Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
-    (List.map (plan_of config) choices)
+let omitters_of choices =
+  List.fold_left
+    (fun acc choice ->
+      match choice with
+      | No_crash | Crash _ -> acc
+      | Send_omit { culprit; _ } ->
+          if List.mem_assoc culprit acc then acc
+          else acc @ [ (culprit, Sim.Model.Send_omit) ]
+      | Recv_omit { culprit; _ } ->
+          if List.mem_assoc culprit acc then acc
+          else acc @ [ (culprit, Sim.Model.Recv_omit) ])
+    [] choices
 
-let fold ~policy ?(prefix = []) config ~horizon ~root ~step ~leaf =
-  let rec go depth alive crashes_left prefix_rev state =
+let to_schedule ?budget config choices =
+  match omitters_of choices with
+  | [] ->
+      (* Crash-only sequences take the historical constructor shape so
+         crash-only sweeps stay bit-identical with earlier releases. *)
+      Sim.Schedule.make ?budget ~model:Sim.Model.Es ~gst:Round.first
+        (List.map (plan_of config) choices)
+  | omitters ->
+      Sim.Schedule.make ~omitters ?budget ~model:Sim.Model.Es ~gst:Round.first
+        (List.map (plan_of config) choices)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+
+let fold ?(faults = Sim.Model.Crash_only) ?omit_budget ~policy ?(prefix = [])
+    config ~horizon ~root ~step ~leaf =
+  let rec go depth adv prefix_rev state =
     if depth = 0 then leaf (List.rev prefix_rev) state
     else
       List.iter
         (fun choice ->
-          let alive', crashes_left' =
-            match choice with
-            | No_crash -> (alive, crashes_left)
-            | Crash { victim; _ } ->
-                (Pid.Set.remove victim alive, crashes_left - 1)
-          in
-          go (depth - 1) alive' crashes_left' (choice :: prefix_rev)
+          go (depth - 1) (advance adv choice) (choice :: prefix_rev)
             (step state choice))
-        (choices ~policy ~alive ~crashes_left)
+        (adversary_choices ~policy ~faults adv)
   in
-  let n = Config.n config in
   let depth = horizon - List.length prefix in
-  if depth < 0 then
-    invalid_arg "Serial.fold: prefix longer than the horizon";
-  let alive, crashes_left =
-    List.fold_left
-      (fun (alive, left) choice ->
-        match choice with
-        | No_crash -> (alive, left)
-        | Crash { victim; _ } -> (Pid.Set.remove victim alive, left - 1))
-      (Pid.Set.universe ~n, Config.t config)
-      prefix
+  if depth < 0 then invalid_arg "Serial.fold: prefix longer than the horizon";
+  let adv =
+    List.fold_left advance (initial ?omit_budget ~faults config) prefix
   in
-  go depth alive crashes_left (List.rev prefix) root
+  go depth adv (List.rev prefix) root
 
-let enumerate ~policy config ~horizon ~f =
-  fold ~policy config ~horizon ~root:() ~step:(fun () _ -> ())
+let enumerate ?faults ?omit_budget ~policy config ~horizon ~f =
+  fold ?faults ?omit_budget ~policy config ~horizon ~root:()
+    ~step:(fun () _ -> ())
     ~leaf:(fun choices () -> f choices)
 
-let count ~policy config ~horizon =
+let count ?faults ?omit_budget ~policy config ~horizon =
   let total = ref 0 in
-  enumerate ~policy config ~horizon ~f:(fun _ -> incr total);
+  enumerate ?faults ?omit_budget ~policy config ~horizon ~f:(fun _ ->
+      incr total);
   !total

@@ -32,21 +32,21 @@ let scale m (r : Exhaustive.result) =
     undecided_runs = r.Exhaustive.undecided_runs * m;
   }
 
-let sweep_orbit ?policy ?horizon ?prof ?spans ?progress ~algo ~config ~orbit
-    () =
+let sweep_orbit ?faults ?omit_budget ?deadline ?policy ?horizon ?prof ?spans
+    ?progress ~algo ~config ~orbit () =
   let r, stats =
-    Dedup.sweep_sharded ?policy ?horizon ?prof ?spans ?progress ~algo ~config
-      ~proposals:orbit.proposals ()
+    Dedup.sweep_sharded ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
+      ?spans ?progress ~algo ~config ~proposals:orbit.proposals ()
   in
   (scale orbit.multiplicity r, stats)
 
-let sweep_orbits ?policy ?horizon ?prof ?(spans = Obs.Span.disabled) ?progress
-    ~algo ~config () =
+let sweep_orbits ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
+    ?(spans = Obs.Span.disabled) ?progress ~algo ~config () =
   List.map
     (fun orbit ->
       let one () =
-        sweep_orbit ?policy ?horizon ?prof ~spans ?progress ~algo ~config
-          ~orbit ()
+        sweep_orbit ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
+          ~spans ?progress ~algo ~config ~orbit ()
       in
       let r, stats =
         if Obs.Span.enabled spans then
@@ -58,20 +58,22 @@ let sweep_orbits ?policy ?horizon ?prof ?(spans = Obs.Span.disabled) ?progress
       (orbit, r, stats))
     (orbits config)
 
-let sweep_binary ?policy ?metrics ?horizon ?prof ?(spans = Obs.Span.disabled)
-    ?(progress = Obs.Progress.disabled) ~algo ~config () =
+let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
+    ?prof ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled)
+    ~algo ~config () =
   if not (Sim.Algorithm.symmetric algo) then
-    Dedup.sweep_binary ?policy ?metrics ?horizon ?prof ~spans ~progress ~algo
-      ~config ()
+    Dedup.sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
+      ?prof ~spans ~progress ~algo ~config ()
   else begin
     let horizon = Option.value horizon ~default:(Config.t config + 2) in
     let started = Exhaustive.stopwatch () in
     Obs.Progress.set_total progress
       ((Config.n config + 1)
-      * List.length (Dedup.first_choices ?policy config));
+      * List.length (Dedup.first_choices ?faults ?omit_budget ?policy config));
     let per_orbit =
       Obs.Span.with_ spans "sweep" (fun () ->
-          sweep_orbits ?policy ~horizon ?prof ~spans ~progress ~algo ~config ())
+          sweep_orbits ?faults ?omit_budget ?deadline ?policy ~horizon ?prof
+            ~spans ~progress ~algo ~config ())
     in
     let result, stats =
       List.fold_left

@@ -49,6 +49,9 @@ val scale : int -> Exhaustive.result -> Exhaustive.result
     representative's. *)
 
 val sweep_orbit :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?horizon:int ->
   ?prof:Obs.Prof.acc ->
@@ -66,6 +69,9 @@ val sweep_orbit :
     unscaled). *)
 
 val sweep_orbits :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?horizon:int ->
   ?prof:Obs.Prof.acc ->
@@ -80,6 +86,9 @@ val sweep_orbits :
     orbit in an ["orbit |ones|=k"] span. *)
 
 val sweep_binary :
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?deadline:float ->
   ?policy:Serial.policy ->
   ?metrics:Obs.Metrics.t ->
   ?horizon:int ->

@@ -17,7 +17,8 @@ let after_prefix config prefix =
   List.fold_left
     (fun (alive, left) choice ->
       match choice with
-      | Serial.No_crash -> (alive, left)
+      | Serial.No_crash | Serial.Send_omit _ | Serial.Recv_omit _ ->
+          (alive, left)
       | Serial.Crash { victim; _ } -> (Pid.Set.remove victim alive, left - 1))
     (Pid.Set.universe ~n:(Config.n config), Config.t config)
     prefix
@@ -48,12 +49,13 @@ let of_partial ?(policy = Serial.Prefixes) ?extension_rounds ~algo ~config
         (fun choice ->
           let alive', left' =
             match choice with
-            | Serial.No_crash -> (alive, left)
+            | Serial.No_crash | Serial.Send_omit _ | Serial.Recv_omit _ ->
+                (alive, left)
             | Serial.Crash { victim; _ } ->
                 (Pid.Set.remove victim alive, left - 1)
           in
           explore (depth - 1) alive' left' (choice :: suffix_rev))
-        (Serial.choices ~policy ~alive ~crashes_left:left)
+        (Serial.choices ~policy ~alive ~crashes_left:left ())
   in
   let alive, left = after_prefix config prefix in
   match explore extension_rounds alive left [] with
@@ -97,12 +99,13 @@ let bivalent_at ?(policy = Serial.Prefixes) ~algo ~config ~proposals k =
         (fun choice ->
           let alive', left' =
             match choice with
-            | Serial.No_crash -> (alive, left)
+            | Serial.No_crash | Serial.Send_omit _ | Serial.Recv_omit _ ->
+                (alive, left)
             | Serial.Crash { victim; _ } ->
                 (Pid.Set.remove victim alive, left - 1)
           in
           explore (depth - 1) alive' left' (choice :: prefix_rev))
-        (Serial.choices ~policy ~alive ~crashes_left:left)
+        (Serial.choices ~policy ~alive ~crashes_left:left ())
   in
   match
     explore k

@@ -2,10 +2,29 @@ open Kernel
 
 let encode schedule =
   let buf = Buffer.create 256 in
+  let omit_token =
+    match Schedule.omitters schedule with
+    | [] -> ""
+    | os ->
+        " omit="
+        ^ String.concat ","
+            (List.map
+               (fun (p, cls) ->
+                 Printf.sprintf "%s:%s" (Pid.to_string p)
+                   (Model.omission_to_string cls))
+               os)
+  in
+  let budget_token =
+    match Schedule.budget schedule with
+    | None -> ""
+    | Some { Model.t_crash; t_omit } ->
+        Printf.sprintf " budget=%d+%d" t_crash t_omit
+  in
   Buffer.add_string buf
-    (Printf.sprintf "schedule %s gst=%d\n"
+    (Printf.sprintf "schedule %s gst=%d%s%s\n"
        (Model.to_string (Schedule.model schedule))
-       (Round.to_int (Schedule.gst schedule)));
+       (Round.to_int (Schedule.gst schedule))
+       omit_token budget_token);
   List.iteri
     (fun idx (plan : Schedule.plan) ->
       let groups = ref [] in
@@ -133,9 +152,9 @@ let decode text =
     match lines with
     | [] -> Error "empty schedule text"
     | header :: rest ->
-        let model, gst =
+        let model, gst, omitters, budget =
           match words header with
-          | [ "schedule"; model; gst ] ->
+          | "schedule" :: model :: gst :: extras ->
               let model =
                 match String.uppercase_ascii model with
                 | "ES" -> Model.Es
@@ -151,7 +170,48 @@ let decode text =
                     | _ -> parse_error "bad gst in %S" gst)
                 | _ -> parse_error "expected gst=<round>, got %S" gst
               in
-              (model, gst)
+              (* Optional header tokens, any order:
+                 [omit=p2:send,p4:recv] and [budget=<t_crash>+<t_omit>].
+                 Headers without them (every pre-omission artifact) parse
+                 unchanged. *)
+              let omitters, budget =
+                List.fold_left
+                  (fun (omitters, budget) extra ->
+                    match String.split_on_char '=' extra with
+                    | [ "omit"; decls ] ->
+                        let parse_decl d =
+                          match String.split_on_char ':' d with
+                          | [ pid; cls ] -> (
+                              match Model.omission_of_string cls with
+                              | Some cls -> (parse_pid pid, cls)
+                              | None ->
+                                  parse_error
+                                    "bad omission class in %S (send | recv)" d)
+                          | _ ->
+                              parse_error "expected pid:class, got %S in %S" d
+                                extra
+                        in
+                        ( omitters
+                          @ List.map parse_decl
+                              (String.split_on_char ',' decls),
+                          budget )
+                    | [ "budget"; spec ] -> (
+                        match String.split_on_char '+' spec with
+                        | [ c; o ] -> (
+                            match (int_of_string_opt c, int_of_string_opt o)
+                            with
+                            | Some c, Some o when c >= 0 && o >= 0 ->
+                                (omitters, Some (Model.budget ~t_crash:c ~t_omit:o))
+                            | _ ->
+                                parse_error "bad budget in %S (want c+o)" extra)
+                        | _ -> parse_error "bad budget in %S (want c+o)" extra)
+                    | _ ->
+                        parse_error
+                          "unknown header token %S (omit=... | budget=...)"
+                          extra)
+                  ([], None) extras
+              in
+              (model, gst, omitters, budget)
           | _ ->
               parse_error "expected header 'schedule <ES|SCS> gst=<k>', got %S"
                 header
@@ -170,7 +230,7 @@ let decode text =
               | None -> Schedule.empty_plan)
             (Listx.range 1 horizon)
         in
-        Ok (Schedule.make ~model ~gst plans)
+        Ok (Schedule.make ~omitters ?budget ~model ~gst plans)
   with Parse msg -> Error msg
 
 let decode_exn text =

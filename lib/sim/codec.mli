@@ -9,7 +9,12 @@
       round 2: crash p2 | lose p2->p3 p2->p4
     ]}
 
-    The header names the model ([ES] or [SCS]) and the gst round. Each
+    The header names the model ([ES] or [SCS]) and the gst round, followed
+    by optional tokens in any order: [omit=p2:send,p4:recv] declaring the
+    run's omission-faulty processes and [budget=<t_crash>+<t_omit>] the
+    explicit adversary budget (e.g. [schedule ES gst=1 omit=p2:send
+    budget=1+1]). Headers without the optional tokens — every pre-omission
+    artifact — parse unchanged. Each
     [round k:] line lists that round's plan as [|]-separated groups:
     [crash p...], [lose src->dst ...], [delay src->dst@round ...]. Rounds
     not listed have empty plans; the horizon is the largest round listed

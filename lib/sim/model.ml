@@ -7,3 +7,48 @@ let equal a b =
 
 let to_string = function Scs -> "SCS" | Es -> "ES" | Dls_basic -> "DLS"
 let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+type omission = Send_omit | Recv_omit
+
+let equal_omission a b =
+  match (a, b) with
+  | Send_omit, Send_omit | Recv_omit, Recv_omit -> true
+  | _ -> false
+
+let omission_to_string = function
+  | Send_omit -> "send"
+  | Recv_omit -> "recv"
+
+let omission_of_string = function
+  | "send" -> Some Send_omit
+  | "recv" -> Some Recv_omit
+  | _ -> None
+
+let pp_omission ppf o = Format.pp_print_string ppf (omission_to_string o)
+
+type budget = { t_crash : int; t_omit : int }
+
+let budget ~t_crash ~t_omit =
+  if t_crash < 0 || t_omit < 0 then
+    invalid_arg "Model.budget: negative component";
+  { t_crash; t_omit }
+
+let pp_budget ppf b = Format.fprintf ppf "%d+%d" b.t_crash b.t_omit
+
+type faults = Crash_only | Send_omit_only | Recv_omit_only | Mixed
+
+let faults_to_string = function
+  | Crash_only -> "crash"
+  | Send_omit_only -> "send-omit"
+  | Recv_omit_only -> "recv-omit"
+  | Mixed -> "mixed"
+
+let faults_of_string = function
+  | "crash" -> Some Crash_only
+  | "send-omit" -> Some Send_omit_only
+  | "recv-omit" -> Some Recv_omit_only
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+let pp_faults ppf f = Format.pp_print_string ppf (faults_to_string f)
+let all_faults = [ Crash_only; Send_omit_only; Recv_omit_only; Mixed ]

@@ -31,3 +31,47 @@ type t =
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Fault classes beyond crash-stop}
+
+    The fault-model hierarchy is crash ⊂ omission ⊂ Byzantine (DESIGN
+    §13): a crash is an omission fault that drops {e every} message from
+    its crash round on, and an omission fault is a Byzantine fault that
+    happens to follow the protocol on the messages it does deliver. An
+    omission-faulty process keeps executing its automaton — it may even
+    decide — but the adversary selectively drops messages on one side of
+    it without the process ever knowing. *)
+
+type omission =
+  | Send_omit  (** outgoing messages may be dropped (the culprit sends
+                   into the void); incoming delivery is unaffected *)
+  | Recv_omit  (** incoming messages may be dropped (the culprit hears
+                   only a subset); its own sends are unaffected *)
+
+val equal_omission : omission -> omission -> bool
+val omission_to_string : omission -> string
+val omission_of_string : string -> omission option
+val pp_omission : Format.formatter -> omission -> unit
+
+type budget = { t_crash : int; t_omit : int }
+(** A per-run adversary budget: at most [t_crash] crash victims and at
+    most [t_omit] distinct omission-faulty processes. Soundness rule
+    (DESIGN §13): a schedule under budget [(c, o)] is a legal attack on
+    an algorithm designed for [t] faults only when [c + o <= t] — the
+    validator enforces exactly that when a budget is declared. *)
+
+val budget : t_crash:int -> t_omit:int -> budget
+(** Raises [Invalid_argument] on a negative component. *)
+
+val pp_budget : Format.formatter -> budget -> unit
+(** Renders as ["c+o"], the form the codec and CLI use. *)
+
+type faults = Crash_only | Send_omit_only | Recv_omit_only | Mixed
+(** The fault menu the sweep/fuzz CLIs expose as [--faults]: which
+    classes the adversary may draw on. [Mixed] allows crashes and both
+    omission classes under the same budget. *)
+
+val faults_to_string : faults -> string
+val faults_of_string : string -> faults option
+val pp_faults : Format.formatter -> faults -> unit
+val all_faults : faults list

@@ -44,8 +44,21 @@ let validity_violations (trace : Trace.t) =
       else Some (Validity { pid = d.pid; value = d.value }))
     trace.decisions
 
+(* Agreement is judged among non-omitter deciders only: a send-omitter may
+   decide on information nobody else received (and a receive-omitter on
+   strictly less than a quorum), so uniform agreement over omitters is
+   unattainable by any algorithm — the soundness rule of DESIGN §13.
+   Validity above still covers every decider, omitters included. *)
 let agreement_violations (trace : Trace.t) =
-  match trace.decisions with
+  let omitting = Schedule.omitter_set trace.schedule in
+  let judged =
+    if Pid.Set.is_empty omitting then trace.decisions
+    else
+      List.filter
+        (fun (d : Trace.decision) -> not (Pid.Set.mem d.pid omitting))
+        trace.decisions
+  in
+  match judged with
   | [] -> []
   | first :: rest ->
       List.filter_map

@@ -15,6 +15,8 @@ type t = {
   gst : Round.t;
   plans : plan array;
   crash_rounds : Round.t Pid.Map.t; (* derived index *)
+  omitters : Model.omission Pid.Map.t;
+  budget : Model.budget option;
 }
 
 let derive_crash_rounds plans =
@@ -32,9 +34,15 @@ let derive_crash_rounds plans =
   in
   map
 
-let make ~model ~gst plans =
+let make ?(omitters = []) ?budget ~model ~gst plans =
   let plans = Array.of_list plans in
-  { model; gst; plans; crash_rounds = derive_crash_rounds plans }
+  let omitters =
+    List.fold_left
+      (fun acc (p, cls) -> Pid.Map.add p cls acc)
+      Pid.Map.empty omitters
+  in
+  { model; gst; plans; crash_rounds = derive_crash_rounds plans; omitters;
+    budget }
 
 let model s = s.model
 let gst s = s.gst
@@ -51,6 +59,36 @@ let faulty s =
   Pid.Map.fold (fun p _ acc -> Pid.Set.add p acc) s.crash_rounds Pid.Set.empty
 
 let crash_count s = Pid.Map.cardinal s.crash_rounds
+let omitters s = Pid.Map.bindings s.omitters
+let omitter_class s p = Pid.Map.find_opt p s.omitters
+let omit_count s = Pid.Map.cardinal s.omitters
+let budget s = s.budget
+
+let omitter_set s =
+  Pid.Map.fold (fun p _ acc -> Pid.Set.add p acc) s.omitters Pid.Set.empty
+
+let omitters_of_class cls s =
+  Pid.Map.fold
+    (fun p c acc ->
+      if Model.equal_omission c cls then Pid.Set.add p acc else acc)
+    s.omitters Pid.Set.empty
+
+let send_omitters = omitters_of_class Model.Send_omit
+let recv_omitters = omitters_of_class Model.Recv_omit
+
+(* A lost entry is justified by a declared omission fault when it sits on
+   the faulty side of an omitter: outgoing for a send-omitter, incoming
+   for a receive-omitter. Such losses are the omitter's steady-state
+   behaviour, not asynchrony, so they are legal in any round of any model
+   and do not push {!effective_gst}. *)
+let omission_justified s ~src ~dst =
+  (match Pid.Map.find_opt src s.omitters with
+  | Some Model.Send_omit -> true
+  | Some Model.Recv_omit | None -> false)
+  ||
+  match Pid.Map.find_opt dst s.omitters with
+  | Some Model.Recv_omit -> true
+  | Some Model.Send_omit | None -> false
 
 let crashes_after s round =
   Pid.Map.fold
@@ -142,7 +180,10 @@ let compiled_fate c ~src ~dst =
 let effective_gst s =
   let violates k plan =
     let crashing src = crash_round s src = Some (Round.of_int k) in
-    List.exists (fun (src, _) -> not (crashing src)) plan.lost
+    List.exists
+      (fun (src, dst) ->
+        not (crashing src || omission_justified s ~src ~dst))
+      plan.lost
     || List.exists (fun (src, _, _) -> not (crashing src)) plan.delayed
   in
   let last_violation = ref 0 in
@@ -156,7 +197,8 @@ let synchronous s = Round.equal (effective_gst s) Round.first
 let synchronous_after s round =
   Round.to_int (effective_gst s) <= Round.to_int round + 1
 
-let failure_free_synchronous s = synchronous s && crash_count s = 0
+let failure_free_synchronous s =
+  synchronous s && crash_count s = 0 && omit_count s = 0
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)
@@ -165,10 +207,48 @@ exception Bad of string
 
 let bad fmt = Format.kasprintf (fun msg -> raise (Bad msg)) fmt
 
-let check_pid config what p =
+(* Every out-of-range-pid message names the round the offending entry sits
+   in ([round 0] for round-independent declarations such as omitters), so a
+   rejected generated schedule is diagnosable without dumping it. *)
+let check_pid config ~round:k what p =
   let i = Pid.to_int p in
   if i < 1 || i > Config.n config then
-    bad "%s references %a, outside p1..p%d" what Pid.pp p (Config.n config)
+    bad "round %d: %s references %a, outside p1..p%d" k what Pid.pp p
+      (Config.n config)
+
+let validate_omitters config s =
+  Pid.Map.iter
+    (fun p cls ->
+      let i = Pid.to_int p in
+      if i < 1 || i > Config.n config then
+        bad "%s-omitter declaration references %a, outside p1..p%d"
+          (Model.omission_to_string cls)
+          Pid.pp p (Config.n config))
+    s.omitters;
+  match s.budget with
+  | None ->
+      (* Soundness without an explicit budget: the distinct faulty set —
+         crash victims and omitters together — must fit the algorithm's
+         design threshold t. *)
+      let faulty_or_omitting =
+        Pid.Map.fold
+          (fun p _ acc -> Pid.Set.add p acc)
+          s.crash_rounds (omitter_set s)
+      in
+      let f = Pid.Set.cardinal faulty_or_omitting in
+      if f > Config.t config then
+        bad "%d distinct faulty processes (crashed or omitting) but t = %d" f
+          (Config.t config)
+  | Some { Model.t_crash; t_omit } ->
+      if t_crash + t_omit > Config.t config then
+        bad "budget %d+%d exceeds t = %d (soundness: t_crash + t_omit <= t)"
+          t_crash t_omit (Config.t config);
+      if crash_count s > t_crash then
+        bad "%d crashes but the budget allows t_crash = %d" (crash_count s)
+          t_crash;
+      if omit_count s > t_omit then
+        bad "%d omitters but the budget allows t_omit = %d" (omit_count s)
+          t_omit
 
 let validate_structure config s =
   let n = Config.n config in
@@ -184,14 +264,14 @@ let validate_structure config s =
       in
       List.iter
         (fun victim ->
-          check_pid config "crash" victim;
+          check_pid config ~round:k "crash" victim;
           if Pid.Tbl.mem seen_crash victim then
             bad "%a crashes twice (second time in round %d)" Pid.pp victim k;
           Pid.Tbl.add seen_crash victim round)
         plan.crashes;
       let check_entry what src dst =
-        check_pid config what src;
-        check_pid config what dst;
+        check_pid config ~round:k what src;
+        check_pid config ~round:k what dst;
         if Pid.equal src dst then
           bad "round %d: %s entry for %a's own message (a process always \
                receives its own message)"
@@ -244,31 +324,37 @@ let validate_fates s =
       let crashing src = crash_round s src = Some round in
       let before_gst = Round.(round < s.gst) in
       List.iter
-        (fun (src, _) ->
-          match s.model with
-          | Model.Scs ->
-              if not (crashing src) then
-                bad
-                  "round %d: SCS loses a message from %a which does not \
-                   crash in that round"
-                  k Pid.pp src
-          | Model.Es ->
-              let src_faulty = crash_round s src <> None in
-              if not (crashing src || (before_gst && src_faulty)) then
-                bad
-                  "round %d: ES loses a message from %a, but %a is %s and \
-                   the round is %s gst"
-                  k Pid.pp src Pid.pp src
-                  (if src_faulty then "faulty" else "correct")
-                  (if before_gst then "before" else "at/after")
-          | Model.Dls_basic ->
-              (* No reliable channels before the stabilisation round: any
-                 message may be lost. *)
-              if not (before_gst || crashing src) then
-                bad
-                  "round %d: DLS loses a message from %a after the \
-                   stabilisation round outside its crash round"
-                  k Pid.pp src)
+        (fun (src, dst) ->
+          (* Declared omission faults justify a loss in every model: the
+             message is dropped at the faulty process's doorstep, not by
+             the network. *)
+          if not (omission_justified s ~src ~dst) then
+            match s.model with
+            | Model.Scs ->
+                if not (crashing src) then
+                  bad
+                    "round %d: SCS loses the message %a -> %a, but %a does \
+                     not crash in that round and neither end is a declared \
+                     omitter"
+                    k Pid.pp src Pid.pp dst Pid.pp src
+            | Model.Es ->
+                let src_faulty = crash_round s src <> None in
+                if not (crashing src || (before_gst && src_faulty)) then
+                  bad
+                    "round %d: ES loses the message %a -> %a, but %a is %s, \
+                     the round is %s gst, and neither end is a declared \
+                     omitter"
+                    k Pid.pp src Pid.pp dst Pid.pp src
+                    (if src_faulty then "faulty" else "correct")
+                    (if before_gst then "before" else "at/after")
+            | Model.Dls_basic ->
+                (* No reliable channels before the stabilisation round: any
+                   message may be lost. *)
+                if not (before_gst || crashing src) then
+                  bad
+                    "round %d: DLS loses the message %a -> %a after the \
+                     stabilisation round outside %a's crash round"
+                    k Pid.pp src Pid.pp dst Pid.pp src)
         plan.lost;
       List.iter
         (fun (src, _, _) ->
@@ -312,7 +398,10 @@ let validate_resilience config s =
           let senders = List.filter alive_at_start all in
           List.iter
             (fun dst ->
-              if completes dst then begin
+              (* t-resilience is a promise made to correct processes; a
+                 declared omitter (receive-omitters especially) may be
+                 starved below the quorum without leaving the model. *)
+              if completes dst && not (Pid.Map.mem dst s.omitters) then begin
                 let received =
                   Listx.count
                     (fun src ->
@@ -338,6 +427,7 @@ let validate config s =
         if not (Round.equal s.gst Round.first) then
           bad "SCS schedules must have gst = 1"
     | Model.Es | Model.Dls_basic -> ());
+    validate_omitters config s;
     validate_structure config s;
     validate_fates s;
     validate_resilience config s;
@@ -374,9 +464,28 @@ let pp_plan ppf (k, plan) =
     Format.fprintf ppf " quiet";
   Format.fprintf ppf "@]"
 
+let pp_omitter ppf (p, cls) =
+  Format.fprintf ppf "%a:%a" Pid.pp p Model.pp_omission cls
+
 let pp ppf s =
-  Format.fprintf ppf "@[<v>%a schedule, gst=%d, %d planned round(s)%a@]"
-    Model.pp s.model (Round.to_int s.gst) (horizon s)
+  Format.fprintf ppf "@[<v>%a schedule, gst=%d%a%a, %d planned round(s)%a@]"
+    Model.pp s.model (Round.to_int s.gst)
+    (fun ppf () ->
+      match omitters s with
+      | [] -> ()
+      | os ->
+          Format.fprintf ppf ", omit=[%a]"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+               pp_omitter)
+            os)
+    ()
+    (fun ppf () ->
+      match s.budget with
+      | None -> ()
+      | Some b -> Format.fprintf ppf ", budget=%a" Model.pp_budget b)
+    ()
+    (horizon s)
     (fun ppf () ->
       Array.iteri
         (fun i plan -> Format.fprintf ppf "@,  %a" pp_plan (i + 1, plan))

@@ -41,10 +41,26 @@ val empty_plan : plan
 
 type t
 
-val make : model:Model.t -> gst:Round.t -> plan list -> t
+val make :
+  ?omitters:(Pid.t * Model.omission) list ->
+  ?budget:Model.budget ->
+  model:Model.t ->
+  gst:Round.t ->
+  plan list ->
+  t
 (** [make ~model ~gst plans] is the schedule whose round [k] follows
     [List.nth plans (k-1)] (and {!empty_plan} past the end). [gst] is the
-    round [K] of eventual synchrony; it must be 1 for SCS. *)
+    round [K] of eventual synchrony; it must be 1 for SCS.
+
+    [omitters] declares the run's omission-faulty processes and their
+    class; a declaration {e licenses} [lost] entries on the faulty side
+    (outgoing for {!Model.Send_omit}, incoming for {!Model.Recv_omit}) in
+    any round without breaking synchrony — the plans still spell out
+    exactly which messages drop, so the engine needs no new machinery.
+    Duplicate declarations for a pid keep the last one. [budget] is the
+    optional explicit adversary budget [(t_crash, t_omit)] checked by
+    {!validate}; without it the soundness rule falls back to
+    [|crashed ∪ omitters| <= t]. *)
 
 val model : t -> Model.t
 
@@ -53,9 +69,10 @@ val gst : t -> Round.t
 
 val effective_gst : t -> Round.t
 (** The {e minimal} round [K] such that every round [k >= K] satisfies the
-    synchrony clauses (only messages sent in their sender's crash round may
-    be lost or delayed). A schedule may declare a larger {!gst} than it
-    uses; the run's synchrony class is defined by this minimal value. *)
+    synchrony clauses (only messages sent in their sender's crash round, or
+    dropped by a declared omitter, may be lost; only crash-round messages
+    may be delayed). A schedule may declare a larger {!gst} than it uses;
+    the run's synchrony class is defined by this minimal value. *)
 
 val synchronous : t -> bool
 (** [effective_gst s = 1]: the paper's definition of a synchronous run. *)
@@ -75,7 +92,27 @@ val crash_round : t -> Pid.t -> Round.t option
 (** The round in which a process crashes, if it is faulty. *)
 
 val faulty : t -> Pid.Set.t
+(** Crash victims only; omitters are reported by {!omitter_set}. *)
+
 val crash_count : t -> int
+
+val omitters : t -> (Pid.t * Model.omission) list
+(** Declared omission-faulty processes, ascending by pid. *)
+
+val omitter_class : t -> Pid.t -> Model.omission option
+val omitter_set : t -> Pid.Set.t
+val send_omitters : t -> Pid.Set.t
+val recv_omitters : t -> Pid.Set.t
+val omit_count : t -> int
+
+val budget : t -> Model.budget option
+(** The explicit adversary budget, when one was declared at {!make}. *)
+
+val omission_justified : t -> src:Pid.t -> dst:Pid.t -> bool
+(** The message [src -> dst] sits on the faulty side of a declared
+    omitter: [src] is a send-omitter or [dst] is a receive-omitter. Such
+    losses are legal in every round of every model and do not count
+    against {!effective_gst}. *)
 
 val crashes_after : t -> Round.t -> int
 (** Number of crashes occurring in rounds strictly greater than the given
@@ -132,7 +169,13 @@ val validate : Config.t -> t -> (unit, string) result
       round (assumption 2 of Section 3: no process ever suspects itself);
     - reliable channels: a message is [Lost] only when its sender is faulty,
       and (for ES) only in the sender's crash round or before [gst]; in SCS
-      only in the sender's crash round;
+      only in the sender's crash round; in every model a loss is also legal
+      when justified by a declared omitter ({!omission_justified});
+    - adversary budget: with an explicit budget, [t_crash + t_omit <= t],
+      at most [t_crash] crashes and at most [t_omit] omitters; without
+      one, at most [t] distinct faulty processes (crashed or omitting);
+    - t-resilience is not demanded {e of} omitter receivers (a starved
+      receive-omitter stays inside the model);
     - eventual synchrony: from round [gst] on, only messages sent in their
       sender's crash round may be delayed ([Delayed_until]) — footnote 5; in
       SCS nothing is ever delayed;

@@ -46,8 +46,11 @@ let first_decision_round trace =
 
 let correct trace =
   let faulty = List.map fst trace.crashes in
+  let omitting = Schedule.omitter_set trace.schedule in
   List.filter
-    (fun p -> not (List.exists (Pid.equal p) faulty))
+    (fun p ->
+      (not (List.exists (Pid.equal p) faulty))
+      && not (Pid.Set.mem p omitting))
     (Config.processes trace.config)
 
 let pp_summary ppf trace =
@@ -132,14 +135,37 @@ let pp_diagram ppf trace =
     Format.fprintf ppf
       "  (trace carries no per-round records — run with ~record:true; [?] = \
        sent/halted unknown)@,";
-  (* Off-schedule message fates, from the schedule itself. *)
+  (* Off-schedule message fates, from the schedule itself. Losses caused
+     by a declared omitter are labelled with their culprit so a diagram of
+     an omission counterexample reads as faults, not as network losses. *)
   let sched = trace.schedule in
+  (match Schedule.omitters sched with
+  | [] -> ()
+  | os ->
+      Format.fprintf ppf "  omitters: %a@,"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (p, cls) ->
+             Format.fprintf ppf "%a (%a-omission)" Pid.pp p Model.pp_omission
+               cls))
+        os);
   let horizon = min rounds (Schedule.horizon sched) in
   for k = 1 to horizon do
     let plan = Schedule.plan_at sched (Round.of_int k) in
     List.iter
       (fun (src, dst) ->
-        Format.fprintf ppf "  r%d: %a -> %a lost@," k Pid.pp src Pid.pp dst)
+        match
+          (Schedule.omitter_class sched src, Schedule.omitter_class sched dst)
+        with
+        | Some Model.Send_omit, _ ->
+            Format.fprintf ppf "  r%d: %a -> %a omitted (send-omission by %a)@,"
+              k Pid.pp src Pid.pp dst Pid.pp src
+        | _, Some Model.Recv_omit ->
+            Format.fprintf ppf
+              "  r%d: %a -> %a omitted (receive-omission by %a)@," k Pid.pp src
+              Pid.pp dst Pid.pp dst
+        | _ ->
+            Format.fprintf ppf "  r%d: %a -> %a lost@," k Pid.pp src Pid.pp dst)
       plan.Schedule.lost;
     List.iter
       (fun (src, dst, until) ->

@@ -42,7 +42,8 @@ val global_decision_round : t -> Round.t option
 val first_decision_round : t -> Round.t option
 
 val correct : t -> Pid.t list
-(** Processes that never crash in this run. *)
+(** Processes that are fault-free in this run: they never crash and are
+    not declared omission-faulty in the schedule. *)
 
 val pp_summary : Format.formatter -> t -> unit
 

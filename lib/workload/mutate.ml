@@ -16,6 +16,9 @@ type op =
   | Add_delay
   | Add_loss
   | Shift_gst
+  | Add_omitter
+  | Drop_omitter
+  | Add_omit_loss
 
 let all_ops =
   [
@@ -28,6 +31,9 @@ let all_ops =
     Add_delay;
     Add_loss;
     Shift_gst;
+    Add_omitter;
+    Drop_omitter;
+    Add_omit_loss;
   ]
 
 let pp_op ppf op =
@@ -41,7 +47,10 @@ let pp_op ppf op =
     | Drop_delay -> "drop-delay"
     | Add_delay -> "add-delay"
     | Add_loss -> "add-loss"
-    | Shift_gst -> "shift-gst")
+    | Shift_gst -> "shift-gst"
+    | Add_omitter -> "add-omitter"
+    | Drop_omitter -> "drop-omitter"
+    | Add_omit_loss -> "add-omit-loss")
 
 (* Plans as a mutable-length list: pad so round [k] exists, then edit it. *)
 let pad plans k =
@@ -100,8 +109,10 @@ let apply_op rng config op schedule =
   let horizon = max 1 (Sim.Schedule.horizon schedule) in
   let gst = Round.to_int (Sim.Schedule.gst schedule) in
   let model = Sim.Schedule.model schedule in
-  let rebuild ?(gst = gst) plans =
-    Sim.Schedule.make ~model ~gst:(Round.of_int gst) plans
+  let omitters0 = Sim.Schedule.omitters schedule in
+  let budget = Sim.Schedule.budget schedule in
+  let rebuild ?(gst = gst) ?(omitters = omitters0) plans =
+    Sim.Schedule.make ~omitters ?budget ~model ~gst:(Round.of_int gst) plans
   in
   let random_pid () = Pid.of_int (Rng.int_in rng 1 n) in
   match op with
@@ -243,6 +254,73 @@ let apply_op rng config op schedule =
       let gst' = if Rng.bool rng then gst + 1 else gst - 1 in
       if gst' < 1 || gst' > horizon + 2 then None
       else Some (rebuild ~gst:gst' plans)
+  | Add_omitter -> (
+      (* Declare a currently-correct process an omitter; the validator
+         rejects the candidate when the budget (or [t]) is exhausted. *)
+      let correct =
+        List.filter
+          (fun p ->
+            Sim.Schedule.crash_round schedule p = None
+            && Sim.Schedule.omitter_class schedule p = None)
+          (Config.processes config)
+      in
+      match Rng.pick_opt rng correct with
+      | None -> None
+      | Some culprit ->
+          let cls =
+            if Rng.bool rng then Sim.Model.Send_omit else Sim.Model.Recv_omit
+          in
+          Some (rebuild ~omitters:((culprit, cls) :: omitters0) plans))
+  | Drop_omitter -> (
+      (* The declaration leaves with every lost entry it licensed, like
+         [remove_crash] — orphaned omission losses on a now-correct
+         process would just be rejected. *)
+      match Rng.pick_opt rng omitters0 with
+      | None -> None
+      | Some (culprit, cls) ->
+          let licensed (src, dst) =
+            match cls with
+            | Sim.Model.Send_omit -> Pid.equal src culprit
+            | Sim.Model.Recv_omit -> Pid.equal dst culprit
+          in
+          Some
+            (rebuild
+               ~omitters:
+                 (List.filter
+                    (fun (p, _) -> not (Pid.equal p culprit))
+                    omitters0)
+               (List.map
+                  (fun (p : Sim.Schedule.plan) ->
+                    {
+                      p with
+                      Sim.Schedule.lost =
+                        List.filter
+                          (fun e -> not (licensed e))
+                          p.Sim.Schedule.lost;
+                    })
+                  plans)))
+  | Add_omit_loss -> (
+      (* Lose one more message an existing declaration licenses. *)
+      match Rng.pick_opt rng omitters0 with
+      | None -> None
+      | Some (culprit, cls) ->
+          let peer = Rng.pick rng (Pid.others ~n culprit) in
+          let entry =
+            match cls with
+            | Sim.Model.Send_omit -> (culprit, peer)
+            | Sim.Model.Recv_omit -> (peer, culprit)
+          in
+          let k = Rng.int_in rng 1 horizon in
+          let p = List.nth (pad plans k) (k - 1) in
+          if List.mem entry p.Sim.Schedule.lost then None
+          else
+            Some
+              (rebuild
+                 (update_round plans k (fun p ->
+                      {
+                        p with
+                        Sim.Schedule.lost = entry :: p.Sim.Schedule.lost;
+                      }))))
 
 let mutate ?(tries = 16) rng config schedule =
   let rec attempt k =

@@ -3,7 +3,8 @@
     Where {!Random_runs} draws fresh schedules from scratch, this module
     perturbs an existing one: add, move or drop a crash, flip a lost message
     into a delayed one (or back), add or drop individual fate entries, shift
-    the gst. Mutating a known-interesting seed schedule (a near-violation, a
+    the gst, declare or retire an omission-faulty process, or drop one more
+    message an omitter declaration licenses. Mutating a known-interesting seed schedule (a near-violation, a
     previously shrunk counterexample) explores its neighbourhood much more
     densely than independent sampling can.
 
@@ -25,6 +26,11 @@ type op =
   | Add_delay
   | Add_loss  (** lose one more message of a crashing sender *)
   | Shift_gst  (** move gst one round earlier or later *)
+  | Add_omitter
+      (** declare a correct process a send- or receive-omitter (kept only
+          when the schedule's budget — or [t] — admits it) *)
+  | Drop_omitter  (** retire a declaration and the losses it licensed *)
+  | Add_omit_loss  (** lose one more message a declaration licenses *)
 
 val all_ops : op list
 val pp_op : Format.formatter -> op -> unit

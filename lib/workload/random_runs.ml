@@ -43,6 +43,78 @@ let synchronous_like rng config ~max_crashes ~horizon ~fate =
   Sim.Schedule.make ~model:Sim.Model.Es ~gst:Round.first
     (List.map plan_for (Listx.range 1 horizon))
 
+(* Omission-faulty synchronous runs. Crash victims and declared omitters
+   stay disjoint (the budget buys distinct faulty processes), and every
+   omission loss is licensed by a declaration, so the schedules validate by
+   construction: a correct receiver loses at most (crashes so far +
+   send-omitters) <= t senders per round, which keeps the ES quorum. *)
+let with_omissions rng config ?(faults = Sim.Model.Mixed) ?(omit_budget = 1)
+    ?max_crashes ?horizon () =
+  let t = Config.t config in
+  let t_crash, t_omit =
+    match faults with
+    | Sim.Model.Crash_only -> (t, 0)
+    | Sim.Model.Send_omit_only | Sim.Model.Recv_omit_only ->
+        (0, min omit_budget t)
+    | Sim.Model.Mixed ->
+        let o = min omit_budget t in
+        (t - o, o)
+  in
+  let max_crashes = min (Option.value max_crashes ~default:t_crash) t_crash in
+  let horizon = Option.value horizon ~default:(t + 3) in
+  let crashes = random_crashes rng config ~max_crashes ~horizon in
+  let n = Config.n config in
+  let omitters =
+    let non_victims =
+      List.filter
+        (fun p -> not (List.exists (fun (v, _) -> Pid.equal v p) crashes))
+        (Config.processes config)
+    in
+    let count = if t_omit = 0 then 0 else Rng.int_in rng 1 t_omit in
+    List.map
+      (fun p ->
+        let cls =
+          match faults with
+          | Sim.Model.Send_omit_only -> Sim.Model.Send_omit
+          | Sim.Model.Recv_omit_only -> Sim.Model.Recv_omit
+          | Sim.Model.Crash_only | Sim.Model.Mixed ->
+              if Rng.bool rng then Sim.Model.Send_omit
+              else Sim.Model.Recv_omit
+        in
+        (p, cls))
+      (Rng.sample rng count non_victims)
+  in
+  let plan_for k =
+    let victims = crashing_at crashes k in
+    let lost = ref [] in
+    List.iter
+      (fun victim ->
+        List.iter
+          (fun dst -> if Rng.bool rng then lost := (victim, dst) :: !lost)
+          (Pid.others ~n victim))
+      victims;
+    let alive = alive_at_start crashes config k in
+    List.iter
+      (fun (culprit, cls) ->
+        if Rng.bool rng then
+          List.iter
+            (fun peer ->
+              if (not (Pid.equal peer culprit)) && Rng.bool rng then
+                let entry =
+                  match cls with
+                  | Sim.Model.Send_omit -> (culprit, peer)
+                  | Sim.Model.Recv_omit -> (peer, culprit)
+                in
+                if not (List.mem entry !lost) then lost := entry :: !lost)
+            alive)
+      omitters;
+    { Sim.Schedule.crashes = victims; lost = !lost; delayed = [] }
+  in
+  Sim.Schedule.make ~omitters
+    ~budget:(Sim.Model.budget ~t_crash ~t_omit)
+    ~model:Sim.Model.Es ~gst:Round.first
+    (List.map plan_for (Listx.range 1 horizon))
+
 let synchronous rng config ?max_crashes ?horizon () =
   let max_crashes = Option.value max_crashes ~default:(Config.t config) in
   let horizon = Option.value horizon ~default:(Config.t config + 3) in

@@ -17,6 +17,25 @@ val synchronous :
     each victim's crash-round message reaches a random subset of the others
     and is lost to the rest. *)
 
+val with_omissions :
+  Rng.t ->
+  Config.t ->
+  ?faults:Sim.Model.faults ->
+  ?omit_budget:int ->
+  ?max_crashes:int ->
+  ?horizon:int ->
+  unit ->
+  Sim.Schedule.t
+(** A random synchronous schedule with declared omission faults: the
+    design threshold [t] is split into [(t_crash, t_omit)] per the fault
+    menu (default [Mixed] with [omit_budget = 1], clamped to [t]), up to
+    [t_crash] crashes land as in {!synchronous}, and 1..[t_omit]
+    processes disjoint from the victims are declared send- or
+    receive-omitters whose licensed losses are sprinkled across the
+    horizon. The schedule carries the explicit budget, so
+    {!Sim.Schedule.validate} checks it under the soundness rule
+    [t_crash + t_omit <= t]. *)
+
 val synchronous_with_delays :
   Rng.t -> Config.t -> ?max_crashes:int -> ?horizon:int -> unit -> Sim.Schedule.t
 (** Like {!synchronous}, but part of each victim's crash-round messages are

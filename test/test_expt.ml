@@ -133,12 +133,39 @@ let test_e12 () =
          need not surface it. *)
     rows
 
+let test_e13 () =
+  let rows = Expt.E13_omissions.measure () in
+  check_int "eight rows" 8 (List.length rows);
+  List.iter
+    (fun (r : Expt.E13_omissions.row) ->
+      let label =
+        Printf.sprintf "%s / %s" r.algorithm
+          (Sim.Model.faults_to_string r.faults)
+      in
+      check_bool (label ^ " safety as expected") r.expected_safe
+        (r.violations = 0);
+      check_bool (label ^ " ran") true (r.runs > 0);
+      (* omission menus only enlarge the crash-only space *)
+      if r.faults <> Sim.Model.Crash_only then
+        check_bool (label ^ " bigger than crash-only") true (r.runs > 49);
+      if r.algorithm = "A(t+2)" then (
+        check_int (label ^ " earliest decision at t+2") (r.t + 2)
+          r.min_decision;
+        if r.faults = Sim.Model.Crash_only then
+          check_int (label ^ " crash-only flat at t+2") (r.t + 2)
+            r.max_decision
+        else
+          (* the measured shift: omitters starve the rotation *)
+          check_bool (label ^ " decisions shift later") true
+            (r.max_decision > r.t + 2)))
+    rows
+
 let test_suite_index () =
-  check_int "twelve experiments" 12 (List.length Expt.Suite.all);
+  check_int "thirteen experiments" 13 (List.length Expt.Suite.all);
   check_bool "find e1" true (Expt.Suite.find "e1" <> None);
-  check_bool "find e11" true (Expt.Suite.find "e11" <> None);
   check_bool "find e12" true (Expt.Suite.find "e12" <> None);
-  check_bool "missing" true (Expt.Suite.find "e13" = None)
+  check_bool "find e13" true (Expt.Suite.find "e13" <> None);
+  check_bool "missing" true (Expt.Suite.find "e14" = None)
 
 let test_verify_certificate () =
   let checks = Expt.Verify.run () in
@@ -196,6 +223,7 @@ let () =
           Alcotest.test_case "e10 cost" `Quick test_e10;
           Alcotest.test_case "e11 ablations" `Quick test_e11;
           Alcotest.test_case "e12 crossover" `Slow test_e12;
+          Alcotest.test_case "e13 omissions" `Slow test_e13;
           Alcotest.test_case "suite index" `Quick test_suite_index;
           Alcotest.test_case "reproduction certificate" `Slow
             test_verify_certificate;

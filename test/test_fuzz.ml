@@ -149,6 +149,128 @@ let prop_mutate_valid =
       Sim.Schedule.validate c52 s = Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Omission faults: monitor exclusion, harness survival, shrinking      *)
+
+(* The monitor judges agreement among non-omitters only: an omitter's
+   divergent decision neither anchors nor trips it, while validity still
+   applies to everyone. *)
+let test_monitor_omitter_exclusion () =
+  let proposals = props c41 in
+  let d pid value =
+    {
+      Sim.Trace.pid = Pid.of_int pid;
+      round = Round.of_int 2;
+      value = Value.of_int value;
+    }
+  in
+  let omitters = Pid.Set.of_ints [ 1 ] in
+  (* the omitter disagrees with the anchor: no agreement violation *)
+  let m = Fuzz.Monitor.create ~omitters ~proposals () in
+  let m = Fuzz.Monitor.observe_all m [ d 2 2; d 1 1 ] in
+  check_bool "omitter disagreement tolerated" false (Fuzz.Monitor.tripped m);
+  (* a correct process disagreeing still trips it *)
+  let m = Fuzz.Monitor.observe m (d 3 1) in
+  check_bool "correct disagreement trips" true (Fuzz.Monitor.tripped m);
+  check_bool "as an agreement violation" true
+    (match Fuzz.Monitor.violation m with
+    | Some (Sim.Props.Agreement _) -> true
+    | _ -> false);
+  (* the omitter never anchors: its early decision binds nobody *)
+  let m2 = Fuzz.Monitor.create ~omitters ~proposals () in
+  let m2 = Fuzz.Monitor.observe_all m2 [ d 1 1; d 2 2; d 3 2 ] in
+  check_bool "omitter decision does not anchor" false
+    (Fuzz.Monitor.tripped m2);
+  (* validity still holds omitters to account *)
+  let m3 = Fuzz.Monitor.create ~omitters ~proposals () in
+  let m3 = Fuzz.Monitor.observe m3 (d 1 99) in
+  check_bool "omitter validity checked" true
+    (match Fuzz.Monitor.violation m3 with
+    | Some (Sim.Props.Validity _) -> true
+    | _ -> false)
+
+(* FloodSet survives pure receive-omissions: a receive-omitter only
+   starves itself, and its own (possibly divergent) decision is excluded
+   from the agreement judgment — the e13 asymmetry, via the harness. *)
+let test_harness_recv_omit_starvation () =
+  let starved =
+    Sim.Schedule.make
+      ~omitters:[ (Pid.of_int 4, Sim.Model.Recv_omit) ]
+      ~model:Sim.Model.Es ~gst:Round.first
+      [
+        { Sim.Schedule.empty_plan with
+          lost = [ (Pid.of_int 1, Pid.of_int 4);
+                   (Pid.of_int 2, Pid.of_int 4);
+                   (Pid.of_int 3, Pid.of_int 4) ] };
+        { Sim.Schedule.empty_plan with
+          lost = [ (Pid.of_int 1, Pid.of_int 4);
+                   (Pid.of_int 2, Pid.of_int 4);
+                   (Pid.of_int 3, Pid.of_int 4) ] };
+      ]
+  in
+  assert_valid c41 starved;
+  match
+    Fuzz.Harness.run ~algo:floodset ~config:c41 ~proposals:(props c41) starved
+  with
+  | Fuzz.Outcome.Passed _ -> ()
+  | o ->
+      Alcotest.fail
+        (Format.asprintf "expected Passed under recv-omission: %a"
+           Fuzz.Outcome.pp o)
+
+(* A send-omission counterexample from the exhaustive sweep shrinks to a
+   1-minimal schedule that keeps its omitter declaration: the fault is
+   essential, so no reduction may drop it. *)
+let test_shrink_omission_minimal () =
+  let faults = Sim.Model.Send_omit_only in
+  let proposals = props c41 in
+  let r =
+    Mc.Exhaustive.sweep_incremental ~faults ~algo:floodset ~config:c41
+      ~proposals ()
+  in
+  let choices, _ =
+    match r.Mc.Exhaustive.violations with
+    | w :: _ -> w
+    | [] -> Alcotest.fail "send-omit sweep must find FloodSet violations"
+  in
+  let budget = Mc.Serial.budget_of ~faults c41 in
+  let witness = Mc.Serial.to_schedule ?budget c41 choices in
+  match Fuzz.Shrink.shrink ~algo:floodset ~config:c41 ~proposals witness with
+  | None -> Alcotest.fail "witness must fail under the harness"
+  | Some rep ->
+      check_bool "agreement preserved" true
+        (rep.Fuzz.Shrink.failure = Fuzz.Outcome.Agreement);
+      assert_valid c41 rep.Fuzz.Shrink.schedule;
+      check_int "the omitter survives shrinking" 1
+        (Sim.Schedule.omit_count rep.Fuzz.Shrink.schedule);
+      check_int "no crash is needed" 0
+        (Sim.Schedule.crash_count rep.Fuzz.Shrink.schedule);
+      (* 1-minimality: a second shrink is a fixpoint *)
+      (match
+         Fuzz.Shrink.shrink ~algo:floodset ~config:c41 ~proposals
+           rep.Fuzz.Shrink.schedule
+       with
+      | Some again -> check_int "fixpoint" 0 again.Fuzz.Shrink.steps
+      | None -> Alcotest.fail "shrunken schedule must still fail")
+
+(* The omission generator and the omission-aware mutation operators only
+   emit schedules the validator accepts, whatever the menu. *)
+let prop_omission_workloads_valid =
+  qtest ~count:100 "omission generator and mutations validate"
+    QCheck.(pair (int_bound 99999) (int_bound 2))
+    (fun (seed, menu) ->
+      let faults =
+        match menu with
+        | 0 -> Sim.Model.Send_omit_only
+        | 1 -> Sim.Model.Recv_omit_only
+        | _ -> Sim.Model.Mixed
+      in
+      let rng = Rng.create ~seed in
+      let base = Workload.Random_runs.with_omissions rng c52 ~faults () in
+      let mutated = Workload.Mutate.generator ~base c52 rng in
+      Sim.Schedule.validate c52 base = Ok ()
+      && Sim.Schedule.validate c52 mutated = Ok ())
+
+(* ------------------------------------------------------------------ *)
 (* Shrinking the chain seed: the acceptance criterion                  *)
 
 let test_shrink_chain_minimal () =
@@ -264,6 +386,36 @@ let test_campaign_budget_skips () =
   check_int "nothing executed" 0 r.Fuzz.Campaign.runs;
   check_int "everything skipped" 25 r.Fuzz.Campaign.skipped
 
+(* Seeded omission campaigns: A(t+2) survives the mixed menu (indulgence
+   covers omissions), the campaign is bit-identical across --jobs, and a
+   FloodSet send-omission campaign's findings all shrink to schedules
+   whose violation is licensed by a declared omitter. *)
+let test_campaign_omissions () =
+  let gen faults config rng =
+    Workload.Random_runs.with_omissions rng config ~faults ()
+  in
+  let at2_run jobs =
+    Fuzz.Campaign.run ~jobs ~shrink:true ~seed:42 ~runs:80 ~algo:at2
+      ~config:c52 ~proposals:(props c52)
+      ~gen:(gen Sim.Model.Mixed) ()
+  in
+  let r1 = at2_run 1 and r4 = at2_run 4 in
+  check_int "A(t+2) clean under mixed omissions" 0
+    (List.length r1.Fuzz.Campaign.findings);
+  check_bool "bit-identical across jobs" true (report_equal r1 r4);
+  let fs =
+    Fuzz.Campaign.run ~shrink:true ~seed:42 ~runs:600 ~algo:floodset
+      ~config:c41 ~proposals:(props c41)
+      ~gen:(gen Sim.Model.Send_omit_only) ()
+  in
+  check_bool "floodset campaign finds send-omit violations" true
+    (fs.Fuzz.Campaign.findings <> []);
+  List.iter
+    (fun (f : Fuzz.Campaign.finding) ->
+      check_bool "every finding keeps its omitter" true
+        (Sim.Schedule.omit_count f.Fuzz.Campaign.schedule > 0))
+    fs.Fuzz.Campaign.findings
+
 let test_campaign_json_roundtrips () =
   let r =
     campaign ~jobs:1 ~algo:eager
@@ -322,6 +474,18 @@ let () =
             test_shrink_chain_minimal;
           prop_shrink_preserves_class;
           prop_mutate_valid;
+        ] );
+      ( "omissions",
+        [
+          Alcotest.test_case "monitor excludes omitters from agreement" `Quick
+            test_monitor_omitter_exclusion;
+          Alcotest.test_case "recv-omission starvation passes" `Quick
+            test_harness_recv_omit_starvation;
+          Alcotest.test_case "send-omission witness shrinks 1-minimal" `Quick
+            test_shrink_omission_minimal;
+          prop_omission_workloads_valid;
+          Alcotest.test_case "omission campaigns" `Quick
+            test_campaign_omissions;
         ] );
       ( "campaign",
         [

@@ -10,13 +10,19 @@ let c52 = config ~n:5 ~t:2
 
 let test_serial_choices () =
   let alive = Pid.Set.universe ~n:3 in
-  let all = Mc.Serial.choices ~policy:Mc.Serial.All_subsets ~alive ~crashes_left:1 in
+  let all =
+    Mc.Serial.choices ~policy:Mc.Serial.All_subsets ~alive ~crashes_left:1 ()
+  in
   (* no-crash + 3 victims x 2^2 subsets *)
   check_int "all-subsets branching" 13 (List.length all);
-  let pre = Mc.Serial.choices ~policy:Mc.Serial.Prefixes ~alive ~crashes_left:1 in
+  let pre =
+    Mc.Serial.choices ~policy:Mc.Serial.Prefixes ~alive ~crashes_left:1 ()
+  in
   (* no-crash + 3 victims x 3 prefixes *)
   check_int "prefix branching" 10 (List.length pre);
-  let none = Mc.Serial.choices ~policy:Mc.Serial.Prefixes ~alive ~crashes_left:0 in
+  let none =
+    Mc.Serial.choices ~policy:Mc.Serial.Prefixes ~alive ~crashes_left:0 ()
+  in
   check_int "no budget" 1 (List.length none)
 
 let test_serial_enumerate_count () =
@@ -128,6 +134,7 @@ let result_equal (a : Mc.Exhaustive.result) (b : Mc.Exhaustive.result) =
   && a.Mc.Exhaustive.violations = b.Mc.Exhaustive.violations
   && a.Mc.Exhaustive.crashed = b.Mc.Exhaustive.crashed
   && a.Mc.Exhaustive.shard_failures = b.Mc.Exhaustive.shard_failures
+  && a.Mc.Exhaustive.expired = b.Mc.Exhaustive.expired
 
 let test_sweep_determinism () =
   (* n=4 with t in {1,2} where the algorithm's resilience admits it:
@@ -326,6 +333,154 @@ let test_at2_reduced_t_plus_2 () =
   check_int "sym min = t+2" 3 s.Mc.Exhaustive.min_decision;
   check_int "sym max = t+2" 3 s.Mc.Exhaustive.max_decision;
   check_bool "sym no violations" true (s.Mc.Exhaustive.violations = [])
+
+(* ------------------------------------------------------------------ *)
+(* Omission-fault adversary (DESIGN §13)                               *)
+
+(* One-round branching under each menu, against the closed forms: with
+   [a] alive processes an omission act offers a culprits x (non-empty
+   target subsets of the other a-1), crashes keep their usual branching,
+   and a declared culprit is the only one left once the budget is spent. *)
+let test_serial_omission_choices () =
+  let alive = Pid.Set.universe ~n:3 in
+  let count ?faults ?send_omitters ?omit_left ~crashes_left () =
+    List.length
+      (Mc.Serial.choices ?faults ?send_omitters ?omit_left
+         ~policy:Mc.Serial.All_subsets ~alive ~crashes_left ())
+  in
+  (* 1 no-act + 3 culprits x (2^2 - 1) non-empty target sets *)
+  check_int "send-omit branching" 10
+    (count ~faults:Sim.Model.Send_omit_only ~omit_left:1 ~crashes_left:0 ());
+  check_int "recv-omit branching" 10
+    (count ~faults:Sim.Model.Recv_omit_only ~omit_left:1 ~crashes_left:0 ());
+  (* mixed adds the crash-only branching (3 victims x 2^2 receiver sets)
+     and both omission classes *)
+  check_int "mixed branching" 31
+    (count ~faults:Sim.Model.Mixed ~omit_left:1 ~crashes_left:1 ());
+  (* budget spent: only the declared culprit may re-offend (for free) *)
+  check_int "declared culprit re-offends" 4
+    (count ~faults:Sim.Model.Send_omit_only
+       ~send_omitters:(Pid.Set.of_ints [ 1 ])
+       ~omit_left:0 ~crashes_left:0 ());
+  (* Crash_only ignores any omission budget *)
+  check_int "crash-only unchanged" 13
+    (count ~faults:Sim.Model.Crash_only ~omit_left:1 ~crashes_left:1 ())
+
+(* The e13 anchor numbers: FloodSet n=4 t=1 breaks under send-omissions
+   (its crash-free-round argument fails without a crash being spent)
+   while A(t+2) stays safe with its decision interval stretched past t+2
+   — and every driver reports the same result bit-identically. *)
+let test_omission_sweep_determinism () =
+  List.iter
+    (fun (algo, name, expect_viol, expect_min, expect_max) ->
+      let config = c41 in
+      let proposals = Sim.Runner.distinct_proposals config in
+      let faults = Sim.Model.Send_omit_only in
+      let s = Mc.Exhaustive.sweep ~faults ~algo ~config ~proposals () in
+      let i =
+        Mc.Exhaustive.sweep_incremental ~faults ~algo ~config ~proposals ()
+      in
+      let p1 =
+        Mc.Parallel.sweep ~jobs:1 ~faults ~algo ~config ~proposals ()
+      in
+      let p4 =
+        Mc.Parallel.sweep ~jobs:4 ~faults ~algo ~config ~proposals ()
+      in
+      let d, _ = Mc.Dedup.sweep ~faults ~algo ~config ~proposals () in
+      check_bool (name ^ ": incremental == serial") true (result_equal s i);
+      check_bool (name ^ ": jobs=1 == serial") true (result_equal s p1);
+      check_bool (name ^ ": jobs=4 == serial") true (result_equal s p4);
+      check_bool (name ^ ": dedup == unreduced") true (result_equal i d);
+      check_int (name ^ ": runs") 253 s.Mc.Exhaustive.runs;
+      check_int (name ^ ": violations") expect_viol
+        (List.length s.Mc.Exhaustive.violations);
+      check_int (name ^ ": min decision") expect_min
+        s.Mc.Exhaustive.min_decision;
+      check_int (name ^ ": max decision") expect_max
+        s.Mc.Exhaustive.max_decision)
+    [
+      (floodset, "floodset send-omit", 8, 2, 2);
+      (at2, "at2 send-omit", 0, 3, 7);
+    ]
+
+(* Every schedule an omission sweep enumerates validates, carries the
+   sweep's explicit budget, and a violation witness replays to the same
+   violation outside the sweep. *)
+let test_omission_sweep_witnesses_replay () =
+  let faults = Sim.Model.Mixed in
+  let proposals = Sim.Runner.distinct_proposals c41 in
+  let r =
+    Mc.Exhaustive.sweep_incremental ~faults ~algo:floodset ~config:c41
+      ~proposals ()
+  in
+  check_bool "mixed menu finds violations" true
+    (r.Mc.Exhaustive.violations <> []);
+  let budget = Mc.Serial.budget_of ~faults c41 in
+  List.iter
+    (fun (choices, violations) ->
+      let s = Mc.Serial.to_schedule ?budget c41 choices in
+      assert_valid c41 s;
+      check_bool "witness carries the budget" true
+        (Sim.Schedule.budget s = budget);
+      let replayed =
+        Sim.Props.check (Sim.Runner.run floodset c41 ~proposals s)
+      in
+      check_bool "witness replays its violations" true (violations = replayed))
+    r.Mc.Exhaustive.violations
+
+(* Crash-only sweeps are bit-compatible with the pre-omission enumerator:
+   passing the menu explicitly changes nothing, and no budget is attached
+   to the schedules. *)
+let test_crash_only_bit_compat () =
+  let proposals = Sim.Runner.distinct_proposals c41 in
+  let default_ =
+    Mc.Exhaustive.sweep_incremental ~algo:floodset ~config:c41 ~proposals ()
+  in
+  let explicit =
+    Mc.Exhaustive.sweep_incremental ~faults:Sim.Model.Crash_only ~omit_budget:3
+      ~algo:floodset ~config:c41 ~proposals ()
+  in
+  check_bool "explicit Crash_only == default" true
+    (result_equal default_ explicit);
+  check_bool "crash-only carries no budget" true
+    (Mc.Serial.budget_of ~faults:Sim.Model.Crash_only c41 = None)
+
+(* Wall-clock deadlines: a deadline already in the past yields a partial
+   result flagged [expired]; a generous one changes nothing. *)
+let test_sweep_deadline_expiry () =
+  let proposals = Sim.Runner.distinct_proposals c41 in
+  let past =
+    Mc.Exhaustive.sweep_incremental
+      ~deadline:(Unix.gettimeofday () -. 1.0)
+      ~algo:floodset ~config:c41 ~proposals ()
+  in
+  check_bool "past deadline expires" true past.Mc.Exhaustive.expired;
+  check_bool "partial accounting only" true
+    (past.Mc.Exhaustive.runs < 253);
+  let plain =
+    Mc.Exhaustive.sweep_incremental ~algo:floodset ~config:c41 ~proposals ()
+  in
+  let future =
+    Mc.Exhaustive.sweep_incremental
+      ~deadline:(Unix.gettimeofday () +. 3600.0)
+      ~algo:floodset ~config:c41 ~proposals ()
+  in
+  check_bool "future deadline does not expire" false
+    future.Mc.Exhaustive.expired;
+  check_bool "future deadline == no deadline" true (result_equal plain future);
+  (* the reduced and parallel drivers share the expiry flag *)
+  let d, _ =
+    Mc.Dedup.sweep
+      ~deadline:(Unix.gettimeofday () -. 1.0)
+      ~algo:floodset ~config:c41 ~proposals ()
+  in
+  check_bool "dedup expires too" true d.Mc.Exhaustive.expired;
+  let p =
+    Mc.Parallel.sweep ~jobs:2
+      ~deadline:(Unix.gettimeofday () -. 1.0)
+      ~algo:floodset ~config:c41 ~proposals ()
+  in
+  check_bool "parallel expires too" true p.Mc.Exhaustive.expired
 
 (* ------------------------------------------------------------------ *)
 (* Fault containment                                                   *)
@@ -590,6 +745,16 @@ let () =
             test_symmetry_asymmetric_fallback;
           Alcotest.test_case "reduced sweeps deterministic across jobs" `Quick
             test_reduced_jobs_determinism;
+          Alcotest.test_case "serial omission choices" `Quick
+            test_serial_omission_choices;
+          Alcotest.test_case "omission sweep determinism" `Quick
+            test_omission_sweep_determinism;
+          Alcotest.test_case "omission witnesses replay" `Quick
+            test_omission_sweep_witnesses_replay;
+          Alcotest.test_case "crash-only bit compatibility" `Quick
+            test_crash_only_bit_compat;
+          Alcotest.test_case "sweep deadline expiry" `Quick
+            test_sweep_deadline_expiry;
           Alcotest.test_case "A(t+2) = t+2 under reduction" `Quick
             test_at2_reduced_t_plus_2;
         ] );

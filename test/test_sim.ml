@@ -129,6 +129,143 @@ let test_schedule_effective_gst_sync () =
     (Sim.Schedule.failure_free_synchronous quiet_es)
 
 (* ------------------------------------------------------------------ *)
+(* Omission faults (DESIGN §13)                                        *)
+
+let assert_invalid_msg cfg schedule fragment =
+  match Sim.Schedule.validate cfg schedule with
+  | Ok () -> Alcotest.fail "schedule should be invalid"
+  | Error e ->
+      if not (contains e fragment) then
+        Alcotest.fail
+          (Printf.sprintf "error %S does not mention %S" e fragment)
+
+let es_omit ?budget ~omitters ~gst plans =
+  Sim.Schedule.make
+    ~omitters:(List.map (fun (p, c) -> (Pid.of_int p, c)) omitters)
+    ?budget ~model:Sim.Model.Es ~gst:(Round.of_int gst) plans
+
+let test_schedule_omitters_valid () =
+  (* a send-omitter's losses are legal in any round, even at/after gst *)
+  assert_valid c52
+    (es_omit ~omitters:[ (1, Sim.Model.Send_omit) ] ~gst:1
+       [ plan ~lost:[ (1, 3); (1, 4) ] (); plan ~lost:[ (1, 2) ] () ]);
+  (* t-resilience is not demanded of a receive-omitter: it may be starved
+     below the quorum without leaving the model *)
+  assert_valid c52
+    (es_omit ~omitters:[ (5, Sim.Model.Recv_omit) ] ~gst:1
+       [ plan ~lost:[ (1, 5); (2, 5); (3, 5); (4, 5) ] () ]);
+  (* SCS accepts omission losses too: the drop is at the faulty process's
+     doorstep, not the network's *)
+  assert_valid c52
+    (Sim.Schedule.make
+       ~omitters:[ (Pid.of_int 2, Sim.Model.Send_omit) ]
+       ~model:Sim.Model.Scs ~gst:Round.first
+       [ plan ~lost:[ (2, 4) ] () ]);
+  (* an explicit budget licenses a crash and an omitter side by side *)
+  assert_valid c52
+    (es_omit
+       ~omitters:[ (2, Sim.Model.Send_omit) ]
+       ~budget:(Sim.Model.budget ~t_crash:1 ~t_omit:1)
+       ~gst:1
+       [ plan ~crashes:[ 1 ] ~lost:[ (1, 3); (2, 4) ] () ])
+
+let test_schedule_omitters_invalid () =
+  (* budget soundness: t_crash + t_omit <= t, message pinned *)
+  assert_invalid_msg c52
+    (es_omit ~omitters:[]
+       ~budget:(Sim.Model.budget ~t_crash:2 ~t_omit:1)
+       ~gst:1 [])
+    "budget 2+1 exceeds t = 2 (soundness: t_crash + t_omit <= t)";
+  (* omitter declarations are pid-checked like every other entry *)
+  assert_invalid_msg c52
+    (es_omit ~omitters:[ (9, Sim.Model.Send_omit) ] ~gst:1 [])
+    "send-omitter declaration references p9, outside p1..p5";
+  (* more omitters than the declared budget allows *)
+  assert_invalid_msg c52
+    (es_omit
+       ~omitters:[ (1, Sim.Model.Send_omit); (2, Sim.Model.Recv_omit) ]
+       ~budget:(Sim.Model.budget ~t_crash:0 ~t_omit:1)
+       ~gst:1 [])
+    "2 omitters but the budget allows t_omit = 1";
+  (* more crashes than the declared budget allows *)
+  assert_invalid_msg c52
+    (es_omit
+       ~omitters:[ (1, Sim.Model.Send_omit) ]
+       ~budget:(Sim.Model.budget ~t_crash:0 ~t_omit:1)
+       ~gst:1
+       [ plan ~crashes:[ 2 ] () ])
+    "1 crashes but the budget allows t_crash = 0";
+  (* without a budget the distinct faulty set must still fit t *)
+  assert_invalid_msg c52
+    (es_omit
+       ~omitters:[ (3, Sim.Model.Recv_omit) ]
+       ~gst:1
+       [ plan ~crashes:[ 1; 2 ] () ])
+    "3 distinct faulty processes (crashed or omitting) but t = 2";
+  (* an unjustified loss still names both ends and the omitter rule *)
+  assert_invalid_msg c52
+    (es ~gst:1 [ plan ~lost:[ (1, 2) ] () ])
+    "neither end is a declared omitter";
+  (* a recv-omitter declaration does not license the culprit's outgoing
+     losses (nor a send-omitter its incoming ones) *)
+  assert_invalid_msg c52
+    (es_omit ~omitters:[ (1, Sim.Model.Recv_omit) ] ~gst:1
+       [ plan ~lost:[ (1, 2) ] () ])
+    "neither end is a declared omitter"
+
+let test_schedule_validate_message_context () =
+  (* Other validator refusals carry round/pid/src/dst context too. *)
+  assert_invalid_msg c52
+    (es ~gst:1 [ plan ~lost:[ (1, 7) ] () ])
+    "round 1: lost references p7, outside p1..p5";
+  assert_invalid_msg c52
+    (es ~gst:1 [ plan ~crashes:[ 1 ] (); plan ~crashes:[ 1 ] () ])
+    "p1 crashes twice (second time in round 2)";
+  assert_invalid_msg c52
+    (es ~gst:1
+       [ plan ~crashes:[ 1 ] ~lost:[ (1, 2) ] ~delayed:[ (1, 2, 3) ] () ])
+    "round 1: two fates for the message p1 -> p2";
+  assert_invalid_msg c52
+    (es ~gst:5 [ plan ~delayed:[ (1, 5, 3); (2, 5, 3); (3, 5, 3) ] () ])
+    "round 1: p5 receives only 2 current-round messages, t-resilience \
+     requires 3"
+
+let test_schedule_omission_queries () =
+  let s =
+    es_omit
+      ~omitters:[ (1, Sim.Model.Send_omit); (4, Sim.Model.Recv_omit) ]
+      ~budget:(Sim.Model.budget ~t_crash:0 ~t_omit:2)
+      ~gst:1
+      [ plan ~lost:[ (1, 2); (3, 4) ] () ]
+  in
+  assert_valid c52 s;
+  check_int "omit count" 2 (Sim.Schedule.omit_count s);
+  check_bool "class of p1" true
+    (Sim.Schedule.omitter_class s (Pid.of_int 1) = Some Sim.Model.Send_omit);
+  check_bool "class of p2" true
+    (Sim.Schedule.omitter_class s (Pid.of_int 2) = None);
+  check_bool "send omitters" true
+    (Pid.Set.equal (Sim.Schedule.send_omitters s) (Pid.Set.of_ints [ 1 ]));
+  check_bool "recv omitters" true
+    (Pid.Set.equal (Sim.Schedule.recv_omitters s) (Pid.Set.of_ints [ 4 ]));
+  check_bool "budget carried" true
+    (Sim.Schedule.budget s = Some (Sim.Model.budget ~t_crash:0 ~t_omit:2));
+  check_bool "send side justified" true
+    (Sim.Schedule.omission_justified s ~src:(Pid.of_int 1) ~dst:(Pid.of_int 3));
+  check_bool "recv side justified" true
+    (Sim.Schedule.omission_justified s ~src:(Pid.of_int 2) ~dst:(Pid.of_int 4));
+  check_bool "correct pair not justified" false
+    (Sim.Schedule.omission_justified s ~src:(Pid.of_int 2) ~dst:(Pid.of_int 3));
+  (* crashes are faulty; omitters are reported separately *)
+  check_bool "faulty excludes omitters" true
+    (Pid.Set.is_empty (Sim.Schedule.faulty s));
+  (* omission losses do not break synchrony: effective gst stays 1 *)
+  check_int "effective gst" 1 (Round.to_int (Sim.Schedule.effective_gst s));
+  check_bool "synchronous" true (Sim.Schedule.synchronous s);
+  check_bool "but not failure-free" false
+    (Sim.Schedule.failure_free_synchronous s)
+
+(* ------------------------------------------------------------------ *)
 (* Engine, via a transparent probe algorithm                           *)
 
 (* Echoes the round number; records everything it receives; decides its own
@@ -302,11 +439,17 @@ let test_engine_decision_stability () =
       quiet_es
   with
   | (_ : Sim.Trace.t) -> Alcotest.fail "expected Step_error on decision change"
-  | exception Sim.Engine.Step_error { algorithm; pid = _; round; reason } ->
-      check_bool "faulting algorithm" true (algorithm = "flipper");
-      check_int "faulting round" 2 (Round.to_int round);
+  | exception Sim.Engine.Step_error err ->
+      check_bool "faulting algorithm" true
+        (err.Sim.Engine.algorithm = "flipper");
+      check_int "faulting round" 2 (Round.to_int err.Sim.Engine.round);
       check_bool "reason names the decision change" true
-        (contains reason "decision")
+        (contains err.Sim.Engine.reason "changed its decision");
+      (* the printed error pins algorithm, pid and round context *)
+      check_bool "printable with full context" true
+        (contains
+           (Format.asprintf "%a" Sim.Engine.pp_step_error err)
+           "flipper: p1 failed in round 2: changed its decision")
 
 (* ------------------------------------------------------------------ *)
 (* Props                                                               *)
@@ -514,6 +657,54 @@ let test_flat_tail_equivalence () =
         (engines_agree cfg quiet_es algo))
     [ (5, 2); (63, 2); (64, 2); (100, 3) ]
 
+(* Crash-round edge cases: a victim crashing in its own decision round
+   records no decision (it does not complete the round), and a victim all
+   of whose messages are lost crashed "before sending".  Both must replay
+   identically on all three engine paths and stay safety-clean. *)
+let test_crash_round_edge_cases () =
+  let cfg = config ~n:4 ~t:1 in
+  let silent =
+    es ~gst:1 [ plan ~crashes:[ 2 ] ~lost:[ (2, 1); (2, 3); (2, 4) ] () ]
+  in
+  assert_valid cfg silent;
+  let trace = run floodset cfg silent in
+  assert_consensus trace;
+  check_bool "silent victim records no decision" true
+    (Sim.Trace.decision_of trace (Pid.of_int 2) = None);
+  check_int "survivors decide" 3 (List.length trace.Sim.Trace.decisions);
+  (* FloodSet decides in round t+1 = 2: crash the victim in exactly that
+     round *)
+  let crash_in_decision_round = es ~gst:1 [ plan (); plan ~crashes:[ 2 ] () ] in
+  assert_valid cfg crash_in_decision_round;
+  let trace2 = run floodset cfg crash_in_decision_round in
+  assert_consensus trace2;
+  check_bool "deciding-round victim records no decision" true
+    (Sim.Trace.decision_of trace2 (Pid.of_int 2) = None);
+  check_int "survivors still decide" 3 (List.length trace2.Sim.Trace.decisions);
+  check_bool "engines agree on the silent victim" true
+    (engines_agree cfg silent floodset);
+  check_bool "engines agree on the deciding-round crash" true
+    (engines_agree cfg crash_in_decision_round floodset)
+
+(* The same two edge schedules through the fuzz harness: its online
+   monitor and termination judgment must also treat the victim as faulty,
+   so both runs come back Passed. *)
+let test_crash_round_edge_cases_harness () =
+  let cfg = config ~n:4 ~t:1 in
+  let proposals = Sim.Runner.distinct_proposals cfg in
+  List.iter
+    (fun (name, s) ->
+      match Fuzz.Harness.run ~algo:floodset ~config:cfg ~proposals s with
+      | Fuzz.Outcome.Passed _ -> ()
+      | o ->
+          Alcotest.fail
+            (Format.asprintf "%s: expected Passed: %a" name Fuzz.Outcome.pp o))
+    [
+      ( "silent victim",
+        es ~gst:1 [ plan ~crashes:[ 2 ] ~lost:[ (2, 1); (2, 3); (2, 4) ] () ] );
+      ("deciding-round crash", es ~gst:1 [ plan (); plan ~crashes:[ 2 ] () ]);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Trace rendering and queries                                         *)
 
@@ -553,6 +744,43 @@ let test_trace_rendering () =
     (contains diagram "D=");
   check_bool "diagram lists losses" true
     (contains diagram "lost")
+
+(* Omission fates render distinctly from network losses: the legend names
+   the declared omitters and each dropped message is attributed to its
+   culprit instead of reading as "lost". *)
+let test_trace_omission_rendering () =
+  let cfg = config ~n:4 ~t:1 in
+  let s =
+    es_omit ~omitters:[ (1, Sim.Model.Send_omit) ] ~gst:1
+      [ plan ~lost:[ (1, 2) ] () ]
+  in
+  assert_valid cfg s;
+  let trace =
+    Sim.Runner.run ~record:true floodset cfg
+      ~proposals:(Sim.Runner.distinct_proposals cfg)
+      s
+  in
+  let diagram = Format.asprintf "%a" Sim.Trace.pp_diagram trace in
+  check_bool "legend declares the omitter" true
+    (contains diagram "omitters: p1 (send-omission)");
+  check_bool "fate attributed to the culprit" true
+    (contains diagram "r1: p1 -> p2 omitted (send-omission by p1)");
+  check_bool "no plain loss line" false (contains diagram "p1 -> p2 lost");
+  (* the omitter is excluded from the correct set *)
+  check_bool "correct excludes the omitter" true
+    (List.map Pid.to_int (Sim.Trace.correct trace) = [ 2; 3; 4 ]);
+  let s_recv =
+    es_omit ~omitters:[ (4, Sim.Model.Recv_omit) ] ~gst:1
+      [ plan ~lost:[ (2, 4) ] () ]
+  in
+  let trace_recv =
+    Sim.Runner.run ~record:true floodset cfg
+      ~proposals:(Sim.Runner.distinct_proposals cfg)
+      s_recv
+  in
+  let diagram_recv = Format.asprintf "%a" Sim.Trace.pp_diagram trace_recv in
+  check_bool "receive-omission attributed to the receiver" true
+    (contains diagram_recv "r1: p2 -> p4 omitted (receive-omission by p4)")
 
 let test_engine_max_rounds () =
   let cfg = config ~n:3 ~t:1 in
@@ -621,6 +849,29 @@ let test_codec_example () =
        ~round:(Round.of_int 2)
     = Sim.Schedule.Lost)
 
+let test_codec_omission_example () =
+  let text =
+    "schedule ES gst=1 omit=p1:send,p4:recv budget=1+2\n\
+     round 1: crash p2 | lose p1->p3 p2->p5\n"
+  in
+  let s = Sim.Codec.decode_exn text in
+  check_int "omitters decoded" 2 (Sim.Schedule.omit_count s);
+  check_bool "p1 send class" true
+    (Sim.Schedule.omitter_class s (Pid.of_int 1) = Some Sim.Model.Send_omit);
+  check_bool "p4 recv class" true
+    (Sim.Schedule.omitter_class s (Pid.of_int 4) = Some Sim.Model.Recv_omit);
+  check_bool "budget decoded" true
+    (Sim.Schedule.budget s = Some (Sim.Model.budget ~t_crash:1 ~t_omit:2));
+  (* encoding reproduces both tokens *)
+  let enc = Sim.Codec.encode s in
+  check_bool "omit token re-encoded" true (contains enc "omit=p1:send,p4:recv");
+  check_bool "budget token re-encoded" true (contains enc "budget=1+2");
+  (* backward compat: the bare three-token header still parses, with no
+     omitters and no budget *)
+  let bare = Sim.Codec.decode_exn "schedule ES gst=3\nround 1: crash p1\n" in
+  check_int "no omitters" 0 (Sim.Schedule.omit_count bare);
+  check_bool "no budget" true (Sim.Schedule.budget bare = None)
+
 let test_codec_errors () =
   let bad texts =
     List.iter
@@ -660,6 +911,28 @@ let prop_codec_roundtrip =
       | Ok s' -> schedules_equivalent cfg s s'
       | Error _ -> false)
 
+(* Roundtrip over the omission generator: fates, omitter declarations and
+   the explicit budget all survive encode/decode. *)
+let prop_codec_roundtrip_omissions =
+  qtest ~count:100 "roundtrip preserves omitters and budget"
+    QCheck.(pair int (int_range 0 2))
+    (fun (seed, menu) ->
+      let cfg = config ~n:5 ~t:2 in
+      let rng = Rng.create ~seed in
+      let faults =
+        match menu with
+        | 0 -> Sim.Model.Send_omit_only
+        | 1 -> Sim.Model.Recv_omit_only
+        | _ -> Sim.Model.Mixed
+      in
+      let s = Workload.Random_runs.with_omissions rng cfg ~faults () in
+      match Sim.Codec.decode (Sim.Codec.encode s) with
+      | Ok s' ->
+          schedules_equivalent cfg s s'
+          && Sim.Schedule.omitters s = Sim.Schedule.omitters s'
+          && Sim.Schedule.budget s = Sim.Schedule.budget s'
+      | Error _ -> false)
+
 let test_runner_proposals () =
   let cfg = config ~n:3 ~t:1 in
   let p = Sim.Runner.proposals_of_list (List.map Value.of_int [ 5; 6; 7 ]) in
@@ -686,6 +959,22 @@ let () =
           Alcotest.test_case "queries" `Quick test_schedule_queries;
           Alcotest.test_case "effective gst" `Quick test_schedule_effective_gst_sync;
         ] );
+      ( "omissions",
+        [
+          Alcotest.test_case "valid omitter schedules" `Quick
+            test_schedule_omitters_valid;
+          Alcotest.test_case "invalid omitter schedules (pinned messages)"
+            `Quick test_schedule_omitters_invalid;
+          Alcotest.test_case "validator message context" `Quick
+            test_schedule_validate_message_context;
+          Alcotest.test_case "omission queries" `Quick
+            test_schedule_omission_queries;
+          Alcotest.test_case "omission rendering" `Quick
+            test_trace_omission_rendering;
+          Alcotest.test_case "codec omission tokens" `Quick
+            test_codec_omission_example;
+          prop_codec_roundtrip_omissions;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "full delivery" `Quick test_engine_full_delivery;
@@ -711,6 +1000,10 @@ let () =
           prop_cross_engine_equivalence;
           Alcotest.test_case "flat tail equivalence" `Quick
             test_flat_tail_equivalence;
+          Alcotest.test_case "crash-round edge cases" `Quick
+            test_crash_round_edge_cases;
+          Alcotest.test_case "crash-round edge cases (harness)" `Quick
+            test_crash_round_edge_cases_harness;
         ] );
       ( "trace",
         [

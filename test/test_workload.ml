@@ -159,6 +159,58 @@ let prop_sync_after_valid =
       && Sim.Schedule.synchronous_after s (Round.of_int (max k 1))
       && Sim.Schedule.crash_count s = f)
 
+(* The omission generator: schedules validate, stay synchronous, carry an
+   explicit sound budget, and declare omitters of the class the fault
+   menu permits (disjoint from the crash victims). *)
+let prop_with_omissions_valid =
+  qtest ~count:200 "random omission schedules validate"
+    QCheck.(pair int (int_range 0 2))
+    (fun (seed, menu) ->
+      let faults =
+        match menu with
+        | 0 -> Sim.Model.Send_omit_only
+        | 1 -> Sim.Model.Recv_omit_only
+        | _ -> Sim.Model.Mixed
+      in
+      let rng = Rng.create ~seed in
+      let s = Workload.Random_runs.with_omissions rng c52 ~faults () in
+      let class_ok =
+        List.for_all
+          (fun (_, cls) ->
+            match (faults, cls) with
+            | Sim.Model.Send_omit_only, Sim.Model.Send_omit -> true
+            | Sim.Model.Recv_omit_only, Sim.Model.Recv_omit -> true
+            | Sim.Model.Mixed, _ -> true
+            | _ -> false)
+          (Sim.Schedule.omitters s)
+      in
+      let budget_ok =
+        match Sim.Schedule.budget s with
+        | None -> false
+        | Some b ->
+            b.Sim.Model.t_crash + b.Sim.Model.t_omit <= 2
+            && Sim.Schedule.crash_count s <= b.Sim.Model.t_crash
+            && Sim.Schedule.omit_count s <= b.Sim.Model.t_omit
+      in
+      valid c52 s && Sim.Schedule.synchronous s && class_ok && budget_ok
+      && Pid.Set.is_empty
+           (Pid.Set.inter (Sim.Schedule.faulty s) (Sim.Schedule.omitter_set s)))
+
+(* The omission mutation operators compose with every other operator
+   without ever leaving the model. *)
+let prop_mutate_omissions_valid =
+  qtest ~count:200 "mutations of omission schedules validate" QCheck.int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let base =
+        Workload.Random_runs.with_omissions rng c52 ~faults:Sim.Model.Mixed ()
+      in
+      let s = ref base in
+      for _ = 1 to 5 do
+        s := Workload.Mutate.generator ~base:!s c52 rng
+      done;
+      valid c52 !s)
+
 let prop_split_brain_valid =
   qtest ~count:100 "split-brain schedules validate"
     QCheck.(triple int (int_range 0 6) (int_range 0 2))
@@ -241,6 +293,8 @@ let () =
           prop_sync_delays_valid;
           prop_es_valid;
           prop_sync_after_valid;
+          prop_with_omissions_valid;
+          prop_mutate_omissions_valid;
           prop_split_brain_valid;
           prop_witness_valid;
         ] );

@@ -148,14 +148,14 @@ let read_file path =
     Format.eprintf "cannot read %s: %s@." path msg;
     exit 2
 
+(* All machine-readable artifacts go through Obs.Artifact: the published
+   path either holds the previous complete file or the new complete one,
+   never a truncated prefix — even under SIGKILL or the chaos harness. *)
 let write_file path write =
-  match open_out path with
-  | oc ->
-      write oc;
-      close_out oc
-  | exception Sys_error msg ->
-      Format.eprintf "cannot write %s: %s@." path msg;
-      exit 2
+  try Obs.Artifact.write path write
+  with Sys_error msg | Unix.Unix_error (_, _, msg) ->
+    Format.eprintf "cannot write %s: %s@." path msg;
+    exit 2
 
 (* ------------------------------------------------------------------ *)
 (* Progress/heartbeat wiring shared by sweep and fuzz                   *)
@@ -177,31 +177,27 @@ let heartbeat_arg =
           "Write every progress snapshot to $(docv) as JSONL — a \
            machine-readable heartbeat for CI logs and dashboards.")
 
-(* The meter plus a finalizer that emits the last (final=true) snapshot
-   and closes the heartbeat file. Progress display never affects results
-   — it only observes counts the drivers were already producing. *)
+(* The meter plus a finalizer that emits the last (final=true) snapshot.
+   Progress display never affects results — it only observes counts the
+   drivers were already producing. The heartbeat JSONL is rewritten
+   atomically on every emission: a reader (or `ipi heartbeat-check`) never
+   sees a torn line, only complete snapshots up to some sequence number. *)
 let make_progress ~label ~show ~heartbeat =
   if (not show) && heartbeat = None then (Obs.Progress.disabled, fun () -> ())
   else begin
-    let hb =
-      Option.map
-        (fun path ->
-          match open_out path with
-          | oc -> oc
-          | exception Sys_error msg ->
-              Format.eprintf "cannot write %s: %s@." path msg;
-              exit 2)
-        heartbeat
-    in
+    let hb_lines = Buffer.create 256 in
     let tty = show && Unix.isatty Unix.stderr in
     let emit snap =
       Option.iter
-        (fun oc ->
-          output_string oc
+        (fun path ->
+          Buffer.add_string hb_lines
             (Obs.Json.to_string (Obs.Progress.snapshot_to_json snap));
-          output_char oc '\n';
-          flush oc)
-        hb;
+          Buffer.add_char hb_lines '\n';
+          try Obs.Artifact.write_string path (Buffer.contents hb_lines)
+          with Sys_error msg | Unix.Unix_error (_, _, msg) ->
+            Format.eprintf "cannot write %s: %s@." path msg;
+            exit 2)
+        heartbeat;
       if show then
         let line = Obs.Progress.render snap in
         if tty then begin
@@ -211,10 +207,7 @@ let make_progress ~label ~show ~heartbeat =
         else Printf.eprintf "%s\n%!" line
     in
     let t = Obs.Progress.create ~label ~emit () in
-    ( t,
-      fun () ->
-        Obs.Progress.finish t;
-        Option.iter close_out hb )
+    (t, fun () -> Obs.Progress.finish t)
   end
 
 let read_schedule_file path =
@@ -421,6 +414,142 @@ let attack_cmd =
     Cmdliner.Term.(const run $ algo_arg $ n_arg $ t_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ipi sweep / sweep-worker — shared shape flags and crash-safety
+   plumbing                                                             *)
+
+let binary_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "binary" ]
+        ~doc:
+          "Sweep all 2^n binary proposal assignments instead of the \
+           single distinct-values assignment.")
+
+let policy_arg =
+  Cmdliner.Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("prefixes", Mc.Serial.Prefixes);
+             ("all-subsets", Mc.Serial.All_subsets);
+           ])
+        Mc.Serial.Prefixes
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Receiver sets per crash: prefixes (polynomial branching, \
+           default) or all-subsets (exact, exponential).")
+
+let horizon_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "horizon" ] ~docv:"ROUNDS"
+        ~doc:"Crash horizon in rounds (default t + 2).")
+
+let table_cap_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "table-cap" ] ~docv:"N"
+        ~doc:
+          "Bound the dedup transposition table to $(docv) in-memory \
+           entries; overflow entries go to --spill-dir when given, \
+           otherwise the overflow is not memoized (aggregates are \
+           bit-identical either way). --reduce dedup only.")
+
+let spill_dir_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill-dir" ] ~docv:"DIR"
+        ~doc:
+          "Spill transposition entries over --table-cap to a temporary \
+           file in $(docv), keeping memoization exact under a bounded \
+           heap.")
+
+let faults_flag = function
+  | Sim.Model.Crash_only -> "crash"
+  | Sim.Model.Send_omit_only -> "send-omit"
+  | Sim.Model.Recv_omit_only -> "recv-omit"
+  | Sim.Model.Mixed -> "mixed"
+
+let policy_flag = function
+  | Mc.Serial.Prefixes -> "prefixes"
+  | Mc.Serial.All_subsets -> "all-subsets"
+
+let dreduce_flag = function
+  | Mc.Distrib.Rnone -> "none"
+  | Mc.Distrib.Rdedup -> "dedup"
+
+let distrib_spec ~algo ~config ~faults ~omit_budget ~policy ~horizon ~binary
+    ~reduce ~table_cap ~spill_dir =
+  {
+    Mc.Distrib.faults;
+    omit_budget = Some omit_budget;
+    policy;
+    horizon;
+    algo;
+    config;
+    reduce;
+    scope =
+      (if binary then Mc.Distrib.Binary
+       else Mc.Distrib.Fixed (Sim.Runner.distinct_proposals config));
+    table_cap;
+    spill_dir;
+  }
+
+(* The checkpoint's identity block: everything that shapes the task list
+   or the per-task results. A snapshot resumes only a sweep with the same
+   parameters (canonical JSON equality in Checkpoint.compatible). *)
+let sweep_params ~label ~n ~t ~faults ~omit_budget ~horizon ~binary ~policy
+    ~reduce =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.String "sweep");
+      ("algo", Obs.Json.String label);
+      ("n", Obs.Json.Int n);
+      ("t", Obs.Json.Int t);
+      ("faults", Obs.Json.String (faults_flag faults));
+      ("omit_budget", Obs.Json.Int omit_budget);
+      ("policy", Obs.Json.String (policy_flag policy));
+      ( "horizon",
+        match horizon with Some h -> Obs.Json.Int h | None -> Obs.Json.Null );
+      ("scope", Obs.Json.String (if binary then "binary" else "fixed"));
+      ("reduce", Obs.Json.String (dreduce_flag reduce));
+    ]
+
+(* The supervised driver respawns workers as this exact invocation: the
+   flags mirror the parent's sweep shape, so a worker computes the same
+   tasks the parent would. *)
+let sweep_worker_argv ~label ~n ~t ~faults ~omit_budget ~policy ~horizon
+    ~binary ~reduce ~table_cap ~spill_dir =
+  [
+    Sys.executable_name;
+    "sweep-worker";
+    "-a";
+    label;
+    "-n";
+    string_of_int n;
+    "-t";
+    string_of_int t;
+    "--faults";
+    faults_flag faults;
+    "--omit-budget";
+    string_of_int omit_budget;
+    "--policy";
+    policy_flag policy;
+    "--reduce";
+    dreduce_flag reduce;
+  ]
+  @ (match horizon with Some h -> [ "--horizon"; string_of_int h ] | None -> [])
+  @ (if binary then [ "--binary" ] else [])
+  @ (match table_cap with
+    | Some c -> [ "--table-cap"; string_of_int c ]
+    | None -> [])
+  @ match spill_dir with Some d -> [ "--spill-dir"; d ] | None -> []
+
+(* ------------------------------------------------------------------ *)
 (* ipi sweep                                                            *)
 
 let sweep_cmd =
@@ -443,36 +572,6 @@ let sweep_cmd =
              baseline); incremental (default) shares schedule prefixes. \
              Ignored when --jobs > 1 (parallel sweeps are always \
              incremental).")
-  in
-  let binary_arg =
-    Cmdliner.Arg.(
-      value & flag
-      & info [ "binary" ]
-          ~doc:
-            "Sweep all 2^n binary proposal assignments instead of the \
-             single distinct-values assignment.")
-  in
-  let policy_arg =
-    Cmdliner.Arg.(
-      value
-      & opt
-          (enum
-             [
-               ("prefixes", Mc.Serial.Prefixes);
-               ("all-subsets", Mc.Serial.All_subsets);
-             ])
-          Mc.Serial.Prefixes
-      & info [ "policy" ] ~docv:"POLICY"
-          ~doc:
-            "Receiver sets per crash: prefixes (polynomial branching, \
-             default) or all-subsets (exact, exponential).")
-  in
-  let horizon_arg =
-    Cmdliner.Arg.(
-      value
-      & opt (some int) None
-      & info [ "horizon" ] ~docv:"ROUNDS"
-          ~doc:"Crash horizon in rounds (default t + 2).")
   in
   let reduce_arg =
     Cmdliner.Arg.(
@@ -529,8 +628,83 @@ let sweep_cmd =
              (explored runs and everything accounted so far), exiting 3 \
              instead of 0; violations already found still exit 1.")
   in
+  let checkpoint_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Snapshot completed shards to $(docv) (atomic tmp+rename) \
+             every --checkpoint-every shards and once more on exit — \
+             normal, SIGINT/SIGTERM, or --budget expiry — so an \
+             interrupted sweep resumes with --resume $(docv).")
+  in
+  let checkpoint_every_arg =
+    Cmdliner.Arg.(
+      value & opt int 8
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Shards between periodic checkpoint snapshots (default 8).")
+  in
+  let resume_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Seed completed shards from a checkpoint written by \
+             --checkpoint; only the pending shards are recomputed, and the \
+             final aggregates are bit-identical to an undisturbed sweep. \
+             The snapshot must describe the same sweep parameters.")
+  in
+  let workers_arg =
+    Cmdliner.Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Shard the sweep across $(docv) supervised worker processes \
+             (`ipi sweep-worker`) with heartbeats, per-shard timeouts, \
+             bounded retry and work reassignment on worker death; the \
+             merged aggregates are bit-identical to the serial sweep for \
+             any worker count. 0 or 1 keeps the sweep in-process.")
+  in
+  let chaos_arg =
+    Cmdliner.Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("kill", Mc.Supervise.Kill);
+                  ("stall", Mc.Supervise.Stall);
+                  ("slow", Mc.Supervise.Slow);
+                ]))
+          None
+      & info [ "chaos" ] ~docv:"MODE"
+          ~doc:
+            "Inject seeded faults into the --workers pool to exercise the \
+             supervisor: kill (SIGKILL a worker mid-shard), stall \
+             (SIGSTOP; the chunk timeout must rescue it) or slow (SIGSTOP \
+             then SIGCONT). The fault budget is bounded, so a chaos-ridden \
+             sweep still completes — bit-identical to an undisturbed one.")
+  in
+  let chaos_seed_arg =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the --chaos fault injector (default 1).")
+  in
+  let chunk_timeout_arg =
+    Cmdliner.Arg.(
+      value & opt float 60.
+      & info [ "chunk-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-shard deadline under --workers: a worker silent past it \
+             is killed and its shard reassigned (default 60).")
+  in
   let run label n t faults omit_budget jobs mode binary policy horizon reduce
-      budget_s print_metrics show_progress heartbeat trace_file trace_format =
+      budget_s checkpoint checkpoint_every resume_path workers chaos_mode
+      chaos_seed chunk_timeout table_cap spill_dir print_metrics show_progress
+      heartbeat trace_file trace_format =
     let config = Config.make ~n ~t in
     let entry = lookup_algo label in
     let algo = entry.Expt.Registry.algo in
@@ -541,6 +715,111 @@ let sweep_cmd =
     let progress, finish_progress =
       make_progress ~label:"sweep" ~show:show_progress ~heartbeat
     in
+    let distributed =
+      workers > 1 || checkpoint <> None || resume_path <> None
+      || chaos_mode <> None || table_cap <> None || spill_dir <> None
+    in
+    if distributed then begin
+      (* The crash-safe drivers: checkpointed in-process execution, or a
+         supervised multi-process pool. Both shard at the same granularity
+         as the domain-parallel driver and merge in task order, so the
+         aggregates are bit-identical to the plain serial sweep. *)
+      let reduce =
+        match reduce with
+        | `None -> Mc.Distrib.Rnone
+        | `Dedup -> Mc.Distrib.Rdedup
+        | `Sym ->
+            Format.eprintf
+              "dedup+sym sweeps are not distributed: drop --reduce \
+               dedup+sym or the \
+               --workers/--checkpoint/--resume/--chaos/--table-cap flags@.";
+            exit 2
+      in
+      let spec =
+        distrib_spec ~algo ~config ~faults ~omit_budget ~policy ~horizon
+          ~binary ~reduce ~table_cap ~spill_dir
+      in
+      let params =
+        sweep_params ~label ~n ~t ~faults ~omit_budget ~horizon ~binary
+          ~policy ~reduce
+      in
+      let resume =
+        Option.map
+          (fun path ->
+            match Mc.Checkpoint.load ~path with
+            | Ok ck -> ck
+            | Error e ->
+                Format.eprintf "%a@." Mc.Checkpoint.pp_load_error e;
+                exit 2)
+          resume_path
+      in
+      let ckpt = Option.map (fun p -> (p, checkpoint_every)) checkpoint in
+      (* SIGINT/SIGTERM request a stop; the driver finishes the shard
+         boundary, flushes a final checkpoint, and we exit 3 (PARTIAL)
+         below — the same path --budget expiry takes. *)
+      let stop = ref false in
+      List.iter
+        (fun s ->
+          try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop := true))
+          with Invalid_argument _ | Sys_error _ -> ())
+        [ Sys.sigint; Sys.sigterm ];
+      let should_stop () =
+        !stop
+        ||
+        match deadline with
+        | Some d -> Unix.gettimeofday () > d
+        | None -> false
+      in
+      let chaos =
+        Option.map
+          (fun mode -> Mc.Supervise.default_chaos mode ~seed:chaos_seed)
+          chaos_mode
+      in
+      let outcome =
+        if workers > 1 then
+          Mc.Distrib.run_supervised ?resume ?checkpoint:ckpt ~should_stop
+            ?chaos ~chunk_timeout ~progress ~workers
+            ~worker_argv:
+              (sweep_worker_argv ~label ~n ~t ~faults ~omit_budget ~policy
+                 ~horizon ~binary ~reduce ~table_cap ~spill_dir)
+            ~params spec
+        else
+          Mc.Distrib.run_serial ?resume ?checkpoint:ckpt ~should_stop
+            ?deadline ~progress ~params spec
+      in
+      finish_progress ();
+      match outcome with
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+      | Ok r ->
+          let result = r.Mc.Distrib.result in
+          Format.fprintf std "%a@." Mc.Exhaustive.pp_result result;
+          (match r.Mc.Distrib.stats with
+          | Some s -> Format.fprintf std "reduction: %a@." Mc.Dedup.pp_stats s
+          | None -> ());
+          (match result.Mc.Exhaustive.max_witness with
+          | Some choices ->
+              Format.fprintf std "worst run: %a@."
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+                   Mc.Serial.pp_choice)
+                choices
+          | None -> ());
+          (match r.Mc.Distrib.sup_metrics with
+          | Some m ->
+              Format.fprintf std "supervisor: %a@." Mc.Supervise.pp_metrics m
+          | None -> ());
+          (match checkpoint with
+          | Some path ->
+              Format.fprintf std "checkpoint (%d/%d shards) written to %s@."
+                (List.length r.Mc.Distrib.completed)
+                r.Mc.Distrib.total_tasks path
+          | None -> ());
+          if result.Mc.Exhaustive.violations <> [] then exit 1;
+          if r.Mc.Distrib.partial || result.Mc.Exhaustive.expired then exit 3
+    end
+    else begin
     let spans =
       match trace_file with
       | Some _ -> Obs.Span.recorder ()
@@ -670,6 +949,7 @@ let sweep_cmd =
       Format.fprintf std "@.metrics:@.%a@." Obs.Metrics.pp registry;
     if result.Mc.Exhaustive.violations <> [] then exit 1;
     if result.Mc.Exhaustive.expired then exit 3
+    end
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "sweep"
@@ -680,8 +960,122 @@ let sweep_cmd =
     Cmdliner.Term.(
       const run $ algo_arg $ n_arg $ t_arg $ faults_arg $ omit_budget_arg
       $ jobs_arg $ mode_arg $ binary_arg $ policy_arg $ horizon_arg
-      $ reduce_arg $ budget_arg $ metrics_arg $ progress_flag_arg
-      $ heartbeat_arg $ trace_file_arg $ trace_format_arg)
+      $ reduce_arg $ budget_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ workers_arg $ chaos_arg $ chaos_seed_arg
+      $ chunk_timeout_arg $ table_cap_arg $ spill_dir_arg $ metrics_arg
+      $ progress_flag_arg $ heartbeat_arg $ trace_file_arg
+      $ trace_format_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi sweep-worker                                                     *)
+
+let sweep_worker_cmd =
+  let reduce_arg =
+    Cmdliner.Arg.(
+      value
+      & opt
+          (enum [ ("none", Mc.Distrib.Rnone); ("dedup", Mc.Distrib.Rdedup) ])
+          Mc.Distrib.Rnone
+      & info [ "reduce" ] ~docv:"RED"
+          ~doc:"State-space reduction, as for `ipi sweep` (none or dedup).")
+  in
+  let run label n t faults omit_budget binary policy horizon reduce table_cap
+      spill_dir =
+    let config = Config.make ~n ~t in
+    let algo = (lookup_algo label).Expt.Registry.algo in
+    let spec =
+      distrib_spec ~algo ~config ~faults ~omit_budget ~policy ~horizon ~binary
+        ~reduce ~table_cap ~spill_dir
+    in
+    try Mc.Distrib.worker_loop spec stdin stdout
+    with Failure msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "sweep-worker"
+       ~doc:
+         "One supervised sweep shard executor: read task frames from \
+          stdin, run each shard, write result frames to stdout. Spawned \
+          by `ipi sweep --workers`; not meant for interactive use.")
+    Cmdliner.Term.(
+      const run $ algo_arg $ n_arg $ t_arg $ faults_arg $ omit_budget_arg
+      $ binary_arg $ policy_arg $ horizon_arg $ reduce_arg $ table_cap_arg
+      $ spill_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ipi heartbeat-check                                                  *)
+
+let heartbeat_check_cmd =
+  let file_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"A heartbeat JSONL written by `--heartbeat $(docv)`.")
+  in
+  let max_age_arg =
+    Cmdliner.Arg.(
+      value & opt int 5
+      & info [ "max-age-items" ] ~docv:"N"
+          ~doc:
+            "Staleness budget in work items: the file's age must not \
+             exceed the time the writer needs for $(docv) items at its \
+             own observed rate (default 5).")
+  in
+  let run path max_age_items =
+    if max_age_items < 1 then begin
+      Format.eprintf "--max-age-items must be >= 1@.";
+      exit 2
+    end;
+    let lines =
+      String.split_on_char '\n' (read_file path)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let snaps =
+      List.mapi
+        (fun i line ->
+          let parsed =
+            match Obs.Json.of_string line with
+            | Error _ as e -> e
+            | Ok json -> Obs.Progress.snapshot_of_json json
+          in
+          match parsed with
+          | Ok snap -> snap
+          | Error e ->
+              Format.eprintf "cannot parse %s line %d: %s@." path (i + 1) e;
+              exit 2)
+        lines
+    in
+    let mtime =
+      match Unix.stat path with
+      | st -> st.Unix.st_mtime
+      | exception Unix.Unix_error (e, _, _) ->
+          Format.eprintf "cannot stat %s: %s@." path (Unix.error_message e);
+          exit 2
+    in
+    match
+      Obs.Progress.check_heartbeat
+        ~now:(Unix.gettimeofday ())
+        ~mtime ~max_age_items snaps
+    with
+    | Ok () ->
+        let last = List.nth snaps (List.length snaps - 1) in
+        Format.fprintf std "heartbeat ok: seq %d, %d items%s@."
+          last.Obs.Progress.seq last.Obs.Progress.items
+          (if last.Obs.Progress.final then " (final)" else "")
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 1
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "heartbeat-check"
+       ~doc:
+         "Probe a --heartbeat JSONL file for liveness: sequence numbers \
+          must strictly increase, and unless the stream is final the file \
+          must have been written recently enough for the writer's own \
+          observed rate. Exit 1 on a stale or malformed heartbeat.")
+    Cmdliner.Term.(const run $ file_arg $ max_age_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ipi fuzz                                                             *)
@@ -1023,6 +1417,8 @@ let () =
             run_cmd;
             trace_cmd;
             sweep_cmd;
+            sweep_worker_cmd;
+            heartbeat_check_cmd;
             fuzz_cmd;
             attack_cmd;
             figure1_cmd;

@@ -1,0 +1,101 @@
+type status =
+  | Running
+  | Exited of int
+  | Signaled of int
+
+type child = {
+  c_pid : int;
+  c_to : Unix.file_descr;
+  c_from : Unix.file_descr;
+  mutable reaped : status option;
+}
+
+let pid c = c.c_pid
+let to_child c = c.c_to
+let from_child c = c.c_from
+
+let pp_status ppf = function
+  | Running -> Format.pp_print_string ppf "running"
+  | Exited code -> Format.fprintf ppf "exited %d" code
+  | Signaled sg -> Format.fprintf ppf "signaled %d" sg
+
+let status_of_process_status = function
+  | Unix.WEXITED code -> Exited code
+  | Unix.WSIGNALED sg -> Signaled sg
+  (* waitpid without WUNTRACED never reports stops, but be total. *)
+  | Unix.WSTOPPED _ -> Running
+
+let spawn ~prog ~args =
+  let to_read, to_write = Unix.pipe ~cloexec:false () in
+  let from_read, from_write = Unix.pipe ~cloexec:false () in
+  Unix.set_close_on_exec to_write;
+  Unix.set_close_on_exec from_read;
+  let pid =
+    Unix.create_process prog (Array.of_list args) to_read from_write
+      Unix.stderr
+  in
+  Unix.close to_read;
+  Unix.close from_write;
+  { c_pid = pid; c_to = to_write; c_from = from_read; reaped = None }
+
+let fork f =
+  let to_read, to_write = Unix.pipe ~cloexec:false () in
+  let from_read, from_write = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close to_write;
+      Unix.close from_read;
+      let input = Unix.in_channel_of_descr to_read in
+      let output = Unix.out_channel_of_descr from_write in
+      let code =
+        match f input output with
+        | () -> 0
+        | exception e ->
+            Printf.eprintf "Proc.fork child: %s\n%!" (Printexc.to_string e);
+            125
+      in
+      (try flush output with Sys_error _ -> ());
+      Stdlib.exit code
+  | pid ->
+      Unix.close to_read;
+      Unix.close from_write;
+      Unix.set_close_on_exec to_write;
+      Unix.set_close_on_exec from_read;
+      { c_pid = pid; c_to = to_write; c_from = from_read; reaped = None }
+
+let signal c sg =
+  match c.reaped with
+  | Some _ -> ()
+  | None -> (
+      try Unix.kill c.c_pid sg
+      with Unix.Unix_error (Unix.ESRCH, _, _) -> ())
+
+let reap c flags =
+  match c.reaped with
+  | Some st -> st
+  | None -> (
+      match Unix.waitpid flags c.c_pid with
+      | 0, _ -> Running
+      | _, st ->
+          let st = status_of_process_status st in
+          (match st with Running -> () | _ -> c.reaped <- Some st);
+          st
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> Running)
+
+let poll c = reap c [ Unix.WNOHANG ]
+
+let rec wait c =
+  match reap c [] with Running -> wait c | st -> st
+
+let close_one fd =
+  try Unix.close fd with Unix.Unix_error (Unix.EBADF, _, _) -> ()
+
+let close_pipes c =
+  close_one c.c_to;
+  close_one c.c_from
+
+let kill_and_reap c =
+  signal c Sys.sigkill;
+  let st = wait c in
+  close_pipes c;
+  st

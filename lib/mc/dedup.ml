@@ -1,8 +1,14 @@
 open Kernel
 
-type stats = { hits : int; misses : int; entries : int; edges : int }
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  edges : int;
+  spilled : int;
+}
 
-let zero_stats = { hits = 0; misses = 0; entries = 0; edges = 0 }
+let zero_stats = { hits = 0; misses = 0; entries = 0; edges = 0; spilled = 0 }
 
 let merge_stats a b =
   {
@@ -10,6 +16,7 @@ let merge_stats a b =
     misses = a.misses + b.misses;
     entries = a.entries + b.entries;
     edges = a.edges + b.edges;
+    spilled = a.spilled + b.spilled;
   }
 
 let hit_rate s =
@@ -18,7 +25,8 @@ let hit_rate s =
 
 let pp_stats ppf s =
   Format.fprintf ppf "%d/%d subtrees from table (%.0f%%), %d entries" s.hits
-    (s.hits + s.misses) (100. *. hit_rate s) s.entries
+    (s.hits + s.misses) (100. *. hit_rate s) s.entries;
+  if s.spilled > 0 then Format.fprintf ppf " (+%d spilled)" s.spilled
 
 (* Combine a later sibling subtree into the accumulator, preserving the
    exact list orders of the one-pass serial DFS: the serial sweep conses
@@ -81,7 +89,8 @@ let advance_frame fr choice =
 
 let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
     ?(policy = Serial.Prefixes) ?horizon ?prof ?(spans = Obs.Span.disabled)
-    ~algo:(Sim.Algorithm.Packed (module A)) ~config ~proposals ~prefix () =
+    ?table_cap ?spill_dir ~algo:(Sim.Algorithm.Packed (module A)) ~config
+    ~proposals ~prefix () =
   let module E = Sim.Engine.Make (A) in
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let n = Config.n config in
@@ -151,6 +160,41 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
     let hash (k : t) = Hashtbl.hash k
   end) in
   let tbl = Tbl.create 1024 in
+  (* Disk overflow: once the in-memory table reaches [table_cap], new
+     entries spill to an append-only store instead (or, with no
+     [spill_dir], are simply dropped — bounded memory, fewer future hits).
+     Marshalled with [No_sharing] the bytes of equal keys are equal, since
+     the table's equality is structural; fragments and keys are pure data
+     (see the fingerprint and {!Algorithm.S} docs). *)
+  let spill = ref None in
+  let spilled = ref 0 in
+  let marshal v = Marshal.to_string v [ Marshal.No_sharing ] in
+  let spill_find key =
+    match !spill with
+    | None -> None
+    | Some s ->
+        Option.map
+          (fun b -> (Marshal.from_string b 0 : Exhaustive.result))
+          (Spill.find s ~key:(marshal key))
+  in
+  let table_store key frag =
+    match table_cap with
+    | Some cap when Tbl.length tbl >= cap -> (
+        match spill_dir with
+        | Some dir ->
+            let s =
+              match !spill with
+              | Some s -> s
+              | None ->
+                  let s = Spill.create ~dir in
+                  spill := Some s;
+                  s
+            in
+            Spill.add s ~key:(marshal key) ~data:(marshal frag);
+            incr spilled
+        | None -> ())
+    | _ -> Tbl.add tbl key frag
+  in
   let extend st choice =
     match st with
     | Error _ -> st
@@ -237,11 +281,18 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
       | Some frag ->
           incr hits;
           { frag with Exhaustive.distinct_runs = 0 }
-      | None ->
-          incr misses;
-          let frag = if depth = 0 then leaf fr st else children depth fr st in
-          Tbl.add tbl key frag;
-          frag
+      | None -> (
+          match spill_find key with
+          | Some frag ->
+              incr hits;
+              { frag with Exhaustive.distinct_runs = 0 }
+          | None ->
+              incr misses;
+              let frag =
+                if depth = 0 then leaf fr st else children depth fr st
+              in
+              table_store key frag;
+              frag)
   in
   let root =
     List.fold_left extend (Ok (E.Incremental.start config ~proposals)) prefix
@@ -251,9 +302,13 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
       prefix
   in
   let frag, expired =
-    match explore depth0 fr0 root with
-    | frag -> (frag, false)
-    | exception Exhaustive.Expired -> (Exhaustive.empty, true)
+    Fun.protect
+      ~finally:(fun () ->
+        match !spill with Some s -> Spill.close s | None -> ())
+      (fun () ->
+        match explore depth0 fr0 root with
+        | frag -> (frag, false)
+        | exception Exhaustive.Expired -> (Exhaustive.empty, true))
   in
   let result =
     { (List.fold_right lift prefix frag) with Exhaustive.expired }
@@ -264,6 +319,7 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
       misses = !misses;
       entries = Tbl.length tbl;
       edges = !edges;
+      spilled = !spilled;
     } )
 
 (* One fresh table per first-round subtree — deliberately the same
@@ -278,8 +334,8 @@ let first_choices ?(faults = Sim.Model.Crash_only) ?omit_budget ?policy config =
     (Serial.initial ?omit_budget ~faults config)
 
 let sweep_sharded ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
-    ~config ~proposals () =
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled)
+    ?table_cap ?spill_dir ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let firsts = first_choices ?faults ?omit_budget ?policy config in
   List.fold_left
@@ -288,7 +344,8 @@ let sweep_sharded ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
         if acc.Exhaustive.expired then (Exhaustive.empty, zero_stats)
         else
           sweep_prefix ?faults ?omit_budget ?deadline ?policy ~horizon ?prof
-            ~spans ~algo ~config ~proposals ~prefix:[ first ] ()
+            ~spans ?table_cap ?spill_dir ~algo ~config ~proposals
+            ~prefix:[ first ] ()
       in
       let r, s =
         if Obs.Span.enabled spans then
@@ -305,8 +362,8 @@ let sweep_sharded ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
     firsts
 
 let sweep ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon ?prof
-    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled) ~algo
-    ~config ~proposals () =
+    ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled)
+    ?table_cap ?spill_dir ~algo ~config ~proposals () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
   Obs.Progress.set_total progress
@@ -314,7 +371,7 @@ let sweep ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon ?prof
   let result, stats =
     Obs.Span.with_ spans "sweep" (fun () ->
         sweep_sharded ?faults ?omit_budget ?deadline ?policy ~horizon ?prof
-          ~spans ~progress ~algo ~config ~proposals ())
+          ~spans ~progress ?table_cap ?spill_dir ~algo ~config ~proposals ())
   in
   Exhaustive.report_sweep metrics ~started
     ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.edges)
@@ -323,7 +380,7 @@ let sweep ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon ?prof
 
 let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
     ?prof ?(spans = Obs.Span.disabled) ?(progress = Obs.Progress.disabled)
-    ~algo ~config () =
+    ?table_cap ?spill_dir ~algo ~config () =
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let started = Exhaustive.stopwatch () in
   let assignments = Exhaustive.binary_assignments config in
@@ -338,7 +395,8 @@ let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
             else
               let r, s =
                 sweep_sharded ?faults ?omit_budget ?deadline ?policy ~horizon
-                  ?prof ~spans ~progress ~algo ~config ~proposals ()
+                  ?prof ~spans ~progress ?table_cap ?spill_dir ~algo ~config
+                  ~proposals ()
               in
               (Exhaustive.merge acc r, merge_stats stats s))
           (Exhaustive.empty, zero_stats)

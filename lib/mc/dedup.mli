@@ -37,6 +37,9 @@ type stats = {
   misses : int;  (** subtrees computed and stored *)
   entries : int;  (** keys stored, summed over the per-shard tables *)
   edges : int;  (** engine rounds actually stepped *)
+  spilled : int;
+      (** entries written to the disk overflow ({!Spill}) after the
+          in-memory table reached its cap; 0 for uncapped sweeps *)
 }
 
 val zero_stats : stats
@@ -75,6 +78,8 @@ val sweep :
   ?prof:Obs.Prof.acc ->
   ?spans:Obs.Span.t ->
   ?progress:Obs.Progress.t ->
+  ?table_cap:int ->
+  ?spill_dir:string ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
@@ -90,7 +95,14 @@ val sweep :
     hits cost nothing, so they record nothing); [spans] nests
     ["sweep" > "shard <choice>" > "run"]; [progress] steps once per
     first-round shard with the shard's run count and table hit/lookup
-    deltas, with the total set up front. *)
+    deltas, with the total set up front.
+
+    Memory bounding (default-off, never affects the result): [table_cap]
+    caps each per-shard table's in-memory entries; once reached, new
+    entries go to a {!Spill} store under [spill_dir] (per shard, deleted
+    when the shard finishes) — or, with no [spill_dir], are dropped, which
+    only costs future hits. Both lookups still count as table hits, so
+    [stats] stay comparable across caps. *)
 
 val sweep_binary :
   ?faults:Sim.Model.faults ->
@@ -102,6 +114,8 @@ val sweep_binary :
   ?prof:Obs.Prof.acc ->
   ?spans:Obs.Span.t ->
   ?progress:Obs.Progress.t ->
+  ?table_cap:int ->
+  ?spill_dir:string ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   unit ->
@@ -119,6 +133,8 @@ val sweep_prefix :
   ?horizon:int ->
   ?prof:Obs.Prof.acc ->
   ?spans:Obs.Span.t ->
+  ?table_cap:int ->
+  ?spill_dir:string ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->
@@ -141,6 +157,8 @@ val sweep_sharded :
   ?prof:Obs.Prof.acc ->
   ?spans:Obs.Span.t ->
   ?progress:Obs.Progress.t ->
+  ?table_cap:int ->
+  ?spill_dir:string ->
   algo:Sim.Algorithm.packed ->
   config:Config.t ->
   proposals:Value.t Pid.Map.t ->

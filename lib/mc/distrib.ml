@@ -1,0 +1,341 @@
+open Kernel
+module J = Obs.Json
+
+type reduce = Rnone | Rdedup
+type scope = Fixed of Value.t Pid.Map.t | Binary
+
+type spec = {
+  faults : Sim.Model.faults;
+  omit_budget : int option;
+  policy : Serial.policy;
+  horizon : int option;
+  algo : Sim.Algorithm.packed;
+  config : Config.t;
+  reduce : reduce;
+  scope : scope;
+  table_cap : int option;
+  spill_dir : string option;
+}
+
+let horizon_of spec =
+  Option.value spec.horizon ~default:(Config.t spec.config + 2)
+
+let firsts spec =
+  Dedup.first_choices ~faults:spec.faults ?omit_budget:spec.omit_budget
+    ~policy:spec.policy spec.config
+
+let total_tasks spec =
+  match spec.scope with
+  | Fixed _ -> List.length (firsts spec)
+  | Binary -> List.length (Exhaustive.binary_assignments spec.config)
+
+let task_context spec i =
+  match spec.scope with
+  | Fixed _ ->
+      Format.asprintf "first-round choice %a" Serial.pp_choice
+        (List.nth (firsts spec) i)
+  | Binary -> Printf.sprintf "proposal assignment #%d" i
+
+let run_task ?deadline spec i =
+  let horizon = horizon_of spec in
+  match (spec.scope, spec.reduce) with
+  | Fixed proposals, Rnone ->
+      let first = List.nth (firsts spec) i in
+      let result, edges =
+        Exhaustive.sweep_prefix ~faults:spec.faults
+          ?omit_budget:spec.omit_budget ?deadline ~policy:spec.policy ~horizon
+          ~algo:spec.algo ~config:spec.config ~proposals ~prefix:[ first ] ()
+      in
+      { Checkpoint.task = i; result; stats = None; edges }
+  | Fixed proposals, Rdedup ->
+      let first = List.nth (firsts spec) i in
+      let result, stats =
+        Dedup.sweep_prefix ~faults:spec.faults ?omit_budget:spec.omit_budget
+          ?deadline ~policy:spec.policy ~horizon ?table_cap:spec.table_cap
+          ?spill_dir:spec.spill_dir ~algo:spec.algo ~config:spec.config
+          ~proposals ~prefix:[ first ] ()
+      in
+      {
+        Checkpoint.task = i;
+        result;
+        stats = Some stats;
+        edges = stats.Dedup.edges;
+      }
+  | Binary, Rnone ->
+      let proposals = List.nth (Exhaustive.binary_assignments spec.config) i in
+      let result, edges =
+        Exhaustive.sweep_prefix ~faults:spec.faults
+          ?omit_budget:spec.omit_budget ?deadline ~policy:spec.policy ~horizon
+          ~algo:spec.algo ~config:spec.config ~proposals ~prefix:[] ()
+      in
+      { Checkpoint.task = i; result; stats = None; edges }
+  | Binary, Rdedup ->
+      let proposals = List.nth (Exhaustive.binary_assignments spec.config) i in
+      let result, stats =
+        Dedup.sweep_sharded ~faults:spec.faults ?omit_budget:spec.omit_budget
+          ?deadline ~policy:spec.policy ~horizon ?table_cap:spec.table_cap
+          ?spill_dir:spec.spill_dir ~algo:spec.algo ~config:spec.config
+          ~proposals ()
+      in
+      {
+        Checkpoint.task = i;
+        result;
+        stats = Some stats;
+        edges = stats.Dedup.edges;
+      }
+
+let merge_entries spec entries =
+  let results = List.map (fun e -> e.Checkpoint.result) entries in
+  let edges =
+    List.fold_left (fun acc e -> acc + e.Checkpoint.edges) 0 entries
+  in
+  let stats =
+    match spec.reduce with
+    | Rnone -> None
+    | Rdedup ->
+        Some
+          (List.fold_left
+             (fun acc e ->
+               Dedup.merge_stats acc
+                 (Option.value ~default:Dedup.zero_stats e.Checkpoint.stats))
+             Dedup.zero_stats entries)
+  in
+  let result =
+    match (spec.scope, spec.reduce) with
+    | Fixed _, Rnone -> Parallel.merge_in_order results
+    | Fixed _, Rdedup -> List.fold_left Dedup.combine Exhaustive.empty results
+    | Binary, _ -> List.fold_left Exhaustive.merge Exhaustive.empty results
+  in
+  (result, stats, edges)
+
+type run = {
+  result : Exhaustive.result;
+  stats : Dedup.stats option;
+  edges : int;
+  completed : Checkpoint.entry list;
+  total_tasks : int;
+  partial : bool;
+  sup_metrics : Supervise.metrics option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared driver plumbing                                              *)
+
+let entry_to_frame = Checkpoint.entry_to_json
+let entry_of_frame = Checkpoint.entry_of_json
+
+let validate_resume resume ~params ~total =
+  match resume with
+  | None -> Ok []
+  | Some (ck : Checkpoint.t) -> (
+      match Checkpoint.compatible ck ~params with
+      | Error _ as e -> e
+      | Ok () ->
+          if ck.total_tasks <> total then
+            Error
+              (Printf.sprintf
+                 "checkpoint: task count mismatch (snapshot has %d, this sweep \
+                  has %d)"
+                 ck.total_tasks total)
+          else Ok ck.completed)
+
+let save_checkpoint ~checkpoint ~params ~total completed =
+  match checkpoint with
+  | None -> ()
+  | Some (path, _) ->
+      Checkpoint.save ~path
+        {
+          Checkpoint.commit = Checkpoint.current_commit ();
+          params;
+          total_tasks = total;
+          completed;
+        }
+
+let step_progress progress (e : Checkpoint.entry) =
+  if Obs.Progress.enabled progress then
+    let hits, lookups =
+      match e.stats with
+      | Some s -> (s.Dedup.hits, s.Dedup.hits + s.Dedup.misses)
+      | None -> (0, 0)
+    in
+    Obs.Progress.step progress ~items:1 ~runs:e.result.Exhaustive.runs ~hits
+      ~lookups
+
+(* ------------------------------------------------------------------ *)
+(* Serial checkpointed driver                                          *)
+
+let run_serial ?resume ?checkpoint ?(should_stop = fun () -> false) ?deadline
+    ?(progress = Obs.Progress.disabled) ~params spec =
+  let total = total_tasks spec in
+  match validate_resume resume ~params ~total with
+  | Error _ as e -> e
+  | Ok resumed ->
+      Obs.Progress.set_total progress total;
+      List.iter (step_progress progress) resumed;
+      let done_set = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Checkpoint.entry) -> Hashtbl.replace done_set e.task ())
+        resumed;
+      let completed = ref (List.rev resumed) in
+      (* newest-first; ascending task order is restored on save/merge *)
+      let since_save = ref 0 in
+      let every = match checkpoint with Some (_, n) -> max 1 n | None -> 1 in
+      let save () =
+        save_checkpoint ~checkpoint ~params ~total (List.rev !completed)
+      in
+      let expired_fragment = ref None in
+      let partial = ref false in
+      let i = ref 0 in
+      while (not !partial) && !i < total do
+        let task = !i in
+        incr i;
+        if not (Hashtbl.mem done_set task) then
+          if should_stop () then partial := true
+          else if
+            match deadline with
+            | Some d -> Unix.gettimeofday () > d
+            | None -> false
+          then partial := true
+          else begin
+            let entry = run_task ?deadline spec task in
+            if entry.result.Exhaustive.expired then begin
+              (* Keep the fragment for faithful PARTIAL display, but never
+                 persist it: the task reruns whole on resume. *)
+              expired_fragment := Some entry;
+              partial := true
+            end
+            else begin
+              completed := entry :: !completed;
+              step_progress progress entry;
+              incr since_save;
+              if !since_save >= every then begin
+                save ();
+                since_save := 0
+              end
+            end
+          end
+      done;
+      save ();
+      let entries = List.rev !completed in
+      let display_entries =
+        match !expired_fragment with
+        | Some frag -> entries @ [ frag ]
+        | None -> entries
+      in
+      let result, stats, edges = merge_entries spec display_entries in
+      Ok
+        {
+          result;
+          stats;
+          edges;
+          completed = entries;
+          total_tasks = total;
+          partial = !partial;
+          sup_metrics = None;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Supervised multi-process driver                                     *)
+
+let run_supervised ?resume ?checkpoint ?(should_stop = fun () -> false) ?chaos
+    ?chunk_timeout ?max_retries ?(progress = Obs.Progress.disabled) ~workers
+    ~worker_argv ~params spec =
+  let total = total_tasks spec in
+  match validate_resume resume ~params ~total with
+  | Error _ as e -> e
+  | Ok resumed ->
+      Obs.Progress.set_total progress total;
+      List.iter (step_progress progress) resumed;
+      let done_set = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Checkpoint.entry) -> Hashtbl.replace done_set e.task ())
+        resumed;
+      let pending =
+        List.filter
+          (fun t -> not (Hashtbl.mem done_set t))
+          (List.init total Fun.id)
+      in
+      let entries = ref resumed in
+      let bad_frames = ref [] in
+      let every = match checkpoint with Some (_, n) -> max 1 n | None -> 1 in
+      let since_save = ref 0 in
+      let sorted () =
+        List.sort
+          (fun (a : Checkpoint.entry) (b : Checkpoint.entry) ->
+            compare a.task b.task)
+          !entries
+      in
+      let on_result ~task payload =
+        match entry_of_frame payload with
+        | Error msg -> bad_frames := (task, msg) :: !bad_frames
+        | Ok entry ->
+            entries := entry :: !entries;
+            step_progress progress entry;
+            incr since_save;
+            if !since_save >= every then begin
+              save_checkpoint ~checkpoint ~params ~total (sorted ());
+              since_save := 0
+            end
+      in
+      let prog =
+        match worker_argv with
+        | prog :: _ -> prog
+        | [] -> invalid_arg "Distrib.run_supervised: empty worker_argv"
+      in
+      let spawn () = Proc.spawn ~prog ~args:worker_argv in
+      let outcome =
+        Supervise.run ?chaos ~should_stop ~on_result ?chunk_timeout
+          ?max_retries ~workers ~spawn ~tasks:pending ()
+      in
+      let entries = sorted () in
+      save_checkpoint ~checkpoint ~params ~total entries;
+      let failures =
+        List.sort compare
+          (List.map
+             (fun (task, msg) ->
+               ( task,
+                 Printf.sprintf "bad result frame: %s" msg ))
+             !bad_frames
+          @ outcome.Supervise.failed)
+        |> List.map (fun (task, message) ->
+               {
+                 Exhaustive.shard = task;
+                 context = task_context spec task;
+                 message;
+               })
+      in
+      let result, stats, edges = merge_entries spec entries in
+      let result = { result with Exhaustive.shard_failures = failures } in
+      let partial = outcome.Supervise.interrupted <> [] in
+      Ok
+        {
+          result;
+          stats;
+          edges;
+          completed = entries;
+          total_tasks = total;
+          partial;
+          sup_metrics = Some outcome.Supervise.metrics;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+
+let worker_loop spec ic oc =
+  let total = total_tasks spec in
+  let rec go () =
+    match Obs.Wire.read ic with
+    | Error Obs.Wire.Eof -> ()
+    | Error err ->
+        failwith (Format.asprintf "sweep-worker: %a" Obs.Wire.pp_error err)
+    | Ok json -> (
+        if Option.is_some (J.member "shutdown" json) then ()
+        else
+          match Option.bind (J.member "task" json) J.to_int_opt with
+          | Some i when i >= 0 && i < total ->
+              let entry = run_task spec i in
+              Obs.Wire.write oc (entry_to_frame entry);
+              go ()
+          | _ -> failwith "sweep-worker: malformed task frame")
+  in
+  go ()

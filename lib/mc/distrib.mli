@@ -1,0 +1,137 @@
+(** Crash-safe, resumable, multi-process sweep drivers.
+
+    This is where the crash-safety layer meets the determinism contract.
+    A sweep is cut into {e tasks} at exactly the granularity the serial
+    and domain-parallel drivers already shard at — one first-round choice
+    subtree for a fixed-proposal sweep, one proposal assignment for a
+    binary sweep ({!Parallel}'s shards, {!Dedup}'s fresh-table units) —
+    and every driver here is a fold over task results {e in task order}:
+
+    - {!run_serial} runs tasks in-process, snapshotting completed tasks
+      to a {!Checkpoint} file periodically and on interruption;
+    - {!run_supervised} farms tasks to [ipi sweep-worker] processes via
+      {!Supervise}, merging frames back by task index;
+    - a crashed, chaos-ridden, or budget-expired run resumes from its
+      checkpoint and completes the pending tasks.
+
+    Because the merge is a deterministic fold in task order over
+    per-task results that are themselves bit-identical however computed
+    (the PR 2/PR 4 contracts), {e any} interleaving of workers, deaths,
+    retries, interruptions and resumes yields the same final aggregates
+    as one undisturbed serial sweep. Tasks interrupted mid-subtree are
+    never persisted — they rerun from scratch on resume — so there is no
+    sub-task state to get wrong.
+
+    Symmetry-reduced sweeps are not distributed here: their n+1 orbits
+    are too few to shard across processes and finish in milliseconds —
+    checkpointing them would be pure overhead. *)
+
+open Kernel
+
+type reduce = Rnone | Rdedup
+
+type scope =
+  | Fixed of Value.t Pid.Map.t  (** one proposal assignment *)
+  | Binary  (** all [2^n] binary assignments *)
+
+type spec = {
+  faults : Sim.Model.faults;
+  omit_budget : int option;
+  policy : Serial.policy;
+  horizon : int option;  (** [None]: the usual [t + 2] *)
+  algo : Sim.Algorithm.packed;
+  config : Config.t;
+  reduce : reduce;
+  scope : scope;
+  table_cap : int option;  (** {!Dedup} in-memory entry cap, [Rdedup] only *)
+  spill_dir : string option;  (** disk overflow directory for the cap *)
+}
+
+val total_tasks : spec -> int
+(** Tasks are indexed [0 .. total_tasks - 1] in enumeration order:
+    first-round choices for [Fixed], assignments for [Binary]. *)
+
+val task_context : spec -> int -> string
+(** Human description of task [i] (for shard-failure reports), matching
+    {!Parallel}'s contexts. *)
+
+val run_task : ?deadline:float -> spec -> int -> Checkpoint.entry
+(** Execute one task to completion. The entry's [result] is bit-identical
+    to what the serial or domain-parallel driver computes for the same
+    shard. If [deadline] passes mid-task the entry's result has
+    [expired = true] — such an entry must not be persisted or merged as
+    completed (the drivers here treat it as display-only). *)
+
+val merge_entries :
+  spec -> Checkpoint.entry list -> Exhaustive.result * Dedup.stats option * int
+(** Fold entries (ascending task order, no gaps required) back into an
+    aggregate with each mode's serial merge: {!Parallel.merge_in_order}
+    for [Fixed]+[Rnone], {!Dedup.combine} for [Fixed]+[Rdedup], plain
+    {!Exhaustive.merge} for [Binary] — plus merged stats ([Rdedup]) and
+    summed engine edges. Over the full task range this reproduces the
+    undisturbed serial sweep bit-identically. *)
+
+type run = {
+  result : Exhaustive.result;
+      (** merged aggregates; on a partial run this covers completed tasks
+          plus (serial driver only) the expired task's explored fragment,
+          faithfully flagged [expired] *)
+  stats : Dedup.stats option;  (** [Rdedup] only *)
+  edges : int;
+  completed : Checkpoint.entry list;  (** what a checkpoint would hold *)
+  total_tasks : int;
+  partial : bool;
+      (** stopped, expired or interrupted before all tasks finished *)
+  sup_metrics : Supervise.metrics option;  (** {!run_supervised} only *)
+}
+
+val run_serial :
+  ?resume:Checkpoint.t ->
+  ?checkpoint:string * int ->
+  ?should_stop:(unit -> bool) ->
+  ?deadline:float ->
+  ?progress:Obs.Progress.t ->
+  params:Obs.Json.t ->
+  spec ->
+  (run, string) result
+(** In-process checkpointed driver. [checkpoint = (path, every)] snapshots
+    after every [every] completed tasks and always once more on exit —
+    normal, stopped, or expired — so the file on disk is never staler
+    than [every] tasks. [resume] seeds completed tasks from a loaded
+    snapshot ({!Checkpoint.compatible} is checked against [params]; a
+    mismatch is the [Error]). [should_stop] is polled between tasks
+    (SIGINT/SIGTERM flag); [deadline] is the [--budget] hook, enforced
+    between tasks and inside each task's sweep. [progress] steps once per
+    task with the total set up front. *)
+
+val run_supervised :
+  ?resume:Checkpoint.t ->
+  ?checkpoint:string * int ->
+  ?should_stop:(unit -> bool) ->
+  ?chaos:Supervise.chaos ->
+  ?chunk_timeout:float ->
+  ?max_retries:int ->
+  ?progress:Obs.Progress.t ->
+  workers:int ->
+  worker_argv:string list ->
+  params:Obs.Json.t ->
+  spec ->
+  (run, string) result
+(** Multi-process driver: {!Supervise.run} over the pending tasks with
+    workers spawned as [worker_argv] (an [ipi sweep-worker] invocation
+    carrying the same sweep flags). Task failures (retries exhausted)
+    become {!Exhaustive.shard_failure}s in the merged result, matching
+    the domain-parallel driver's containment. Checkpoints are written in
+    completion order (entries stay sorted by task); a final snapshot is
+    written on stop as with {!run_serial}. *)
+
+val worker_loop : spec -> in_channel -> out_channel -> unit
+(** The [ipi sweep-worker] body: read [{"task": i}] frames off stdin, run
+    each task, write back the entry as a frame
+    [{"task", "result", "stats", "edges"}], loop until [{"shutdown"}] or
+    EOF. Exits the loop (returning) on shutdown; raises on a malformed
+    stream so the supervisor sees a death, not silence. *)
+
+val entry_to_frame : Checkpoint.entry -> Obs.Json.t
+val entry_of_frame : Obs.Json.t -> (Checkpoint.entry, string) result
+(** The worker protocol's result frame — shared with the tests. *)

@@ -26,6 +26,14 @@
 
 open Kernel
 
+val merge_in_order : Exhaustive.result list -> Exhaustive.result
+(** Fold shard results (one per first-round choice, in enumeration order)
+    back into the serial sweep's result: {!Exhaustive.merge} for every
+    scalar, with the violation and crashed-run lists rebuilt by prepending
+    shard lists in shard order — the exact lists the one-pass serial DFS
+    conses up. Shared with {!Distrib}, whose worker processes shard at the
+    same granularity. *)
+
 val sweep :
   ?faults:Sim.Model.faults ->
   ?omit_budget:int ->

@@ -1,0 +1,16 @@
+let write path f =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (match f oc with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_string path s = write path (fun oc -> output_string oc s)

@@ -1,0 +1,21 @@
+(** Atomic artifact writes.
+
+    Every machine-readable artifact the tools leave behind — bench JSON,
+    fuzz counterexamples, heartbeat JSONL, sweep checkpoints — goes through
+    one tmp+rename helper, so a run interrupted at any instant (SIGKILL,
+    power loss, a chaos-harness murder) never leaves a truncated or
+    half-written file at the published path: readers either see the
+    previous complete artifact or the new complete one, never a prefix.
+
+    The temporary file lives in the same directory as the target (rename
+    is only atomic within a filesystem) and carries the writing process's
+    pid, so concurrent writers cannot clobber each other's staging file. *)
+
+val write : string -> (out_channel -> unit) -> unit
+(** [write path f] runs [f] on a channel backed by a staging file next to
+    [path], flushes and closes it, then atomically renames it over [path].
+    On any exception from [f] (or from the filesystem) the staging file is
+    removed and the exception re-raised; [path] is untouched. *)
+
+val write_string : string -> string -> unit
+(** [write_string path s] is [write path (fun oc -> output_string oc s)]. *)

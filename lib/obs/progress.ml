@@ -1,4 +1,5 @@
 type snapshot = {
+  seq : int;
   label : string;
   items : int;
   total : int option;
@@ -16,6 +17,7 @@ type state = {
   started : float;
   emit : snapshot -> unit;
   lock : Mutex.t;
+  mutable seq : int;
   mutable total : int option;
   mutable items : int;
   mutable runs : int;
@@ -37,6 +39,7 @@ let create ?(every = 1) ?total ~label ~emit () =
       started = Unix.gettimeofday ();
       emit;
       lock = Mutex.create ();
+      seq = 0;
       total;
       items = 0;
       runs = 0;
@@ -54,6 +57,7 @@ let set_total t total =
 
 (* Call with [s.lock] held. *)
 let snapshot_locked s ~final =
+  s.seq <- s.seq + 1;
   let elapsed = Unix.gettimeofday () -. s.started in
   let per_s =
     if elapsed <= 0. then None
@@ -73,6 +77,7 @@ let snapshot_locked s ~final =
     else None
   in
   {
+    seq = s.seq;
     label = s.s_label;
     items = s.items;
     total = s.total;
@@ -135,10 +140,11 @@ let render snap =
     Buffer.add_string buf (Printf.sprintf " | done in %.2fs" snap.elapsed_s);
   Buffer.contents buf
 
-let snapshot_to_json snap =
+let snapshot_to_json (snap : snapshot) =
   let opt f = function Some v -> f v | None -> Json.Null in
   Json.Obj
     [
+      ("seq", Json.Int snap.seq);
       ("label", Json.String snap.label);
       ("items", Json.Int snap.items);
       ("total", opt (fun v -> Json.Int v) snap.total);
@@ -149,3 +155,78 @@ let snapshot_to_json snap =
       ("hit_rate", opt (fun v -> Json.Float v) snap.hit_rate);
       ("final", Json.Bool snap.final);
     ]
+
+let snapshot_of_json json =
+  let req name conv =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "heartbeat: bad or missing field %S" name)
+  in
+  let opt name conv =
+    match Json.member name json with
+    | None | Some Json.Null -> None
+    | Some v -> conv v
+  in
+  let ( let* ) = Result.bind in
+  let* seq = req "seq" Json.to_int_opt in
+  let* label = req "label" Json.to_string_opt in
+  let* items = req "items" Json.to_int_opt in
+  let* runs = req "runs" Json.to_int_opt in
+  let* elapsed_s = req "elapsed_s" Json.to_float_opt in
+  let* final = req "final" Json.to_bool_opt in
+  Ok
+    {
+      seq;
+      label;
+      items;
+      total = opt "total" Json.to_int_opt;
+      runs;
+      elapsed_s;
+      per_s = opt "per_s" Json.to_float_opt;
+      eta_s = opt "eta_s" Json.to_float_opt;
+      hit_rate = opt "hit_rate" Json.to_float_opt;
+      final;
+    }
+
+let check_heartbeat ~now ~mtime ~max_age_items (snaps : snapshot list) =
+  if max_age_items < 1 then invalid_arg "Progress.check_heartbeat: max_age_items < 1";
+  match snaps with
+  | [] -> Error "heartbeat: no snapshots"
+  | first :: _ ->
+      let rec monotonic (prev : snapshot) = function
+        | [] -> Ok ()
+        | (s : snapshot) :: rest ->
+            if s.seq <= prev.seq then
+              Error
+                (Printf.sprintf "heartbeat: non-monotonic sequence (%d after %d)"
+                   s.seq prev.seq)
+            else monotonic s rest
+      in
+      let ( let* ) = Result.bind in
+      let* () = monotonic first (List.tl snaps) in
+      let last = List.fold_left (fun _ s -> s) first snaps in
+      if last.final then Ok ()
+      else
+        let rate =
+          match last.per_s with
+          | Some r when r > 0. -> Some r
+          | _ ->
+              if last.items > 0 && last.elapsed_s > 0. then
+                Some (float_of_int last.items /. last.elapsed_s)
+              else None
+        in
+        (* Without an observed rate we cannot convert an item budget into a
+           time budget; the writer has barely started, so give it the
+           benefit of the doubt. *)
+        match rate with
+        | None -> Ok ()
+        | Some rate ->
+            let budget_s = float_of_int max_age_items /. rate in
+            let age_s = now -. mtime in
+            if age_s > budget_s then
+              Error
+                (Printf.sprintf
+                   "heartbeat: stale (last seq %d at %d items; %.1fs since last \
+                    write exceeds the %.1fs budget for %d items)"
+                   last.seq last.items age_s budget_s max_age_items)
+            else Ok ()

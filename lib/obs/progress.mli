@@ -15,6 +15,10 @@
     operation an immediate match, mirroring {!Sink.noop}. *)
 
 type snapshot = {
+  seq : int;
+      (** Monotonic per-meter sequence number, starting at 1. A heartbeat
+          reader uses it to detect truncated or interleaved JSONL streams:
+          sequence numbers in a well-formed heartbeat strictly increase. *)
   label : string;
   items : int;  (** Work items completed so far. *)
   total : int option;  (** Expected items, when the driver knows it. *)
@@ -58,3 +62,23 @@ val render : snapshot -> string
 
 val snapshot_to_json : snapshot -> Json.t
 (** A flat object, for JSONL heartbeat files. *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!snapshot_to_json}, for heartbeat probes reading JSONL
+    files back. Errors name the offending field. *)
+
+val check_heartbeat :
+  now:float ->
+  mtime:float ->
+  max_age_items:int ->
+  snapshot list ->
+  (unit, string) result
+(** Staleness probe over a parsed heartbeat stream. [mtime] is the
+    heartbeat file's last-modified time and [now] the probe time (both
+    [Unix] epoch seconds). The stream is healthy when sequence numbers
+    strictly increase and either the last snapshot is final, or the file
+    was written recently enough: the item budget [max_age_items] is
+    converted to a time budget using the last snapshot's observed rate
+    ([per_s], falling back to [items/elapsed_s]), and the file's age must
+    not exceed it. A stream too young to have a rate is healthy. Errors
+    carry a pinned, human-readable reason. *)

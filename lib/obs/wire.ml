@@ -1,0 +1,111 @@
+type error =
+  | Eof
+  | Truncated
+  | Too_large of int
+  | Malformed of string
+
+let pp_error ppf = function
+  | Eof -> Format.pp_print_string ppf "end of stream"
+  | Truncated -> Format.pp_print_string ppf "truncated frame"
+  | Too_large n -> Format.fprintf ppf "frame length %d exceeds the maximum" n
+  | Malformed msg -> Format.fprintf ppf "malformed frame: %s" msg
+
+let max_frame = 16 * 1024 * 1024
+
+let write oc json =
+  let payload = Json.to_string json in
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  flush oc
+
+(* Blocking reader: header bytes one at a time (headers are tiny), then the
+   payload in one [really_input]. *)
+let read ic =
+  let rec header acc seen_digit =
+    match input_char ic with
+    | '\n' -> if seen_digit then Ok acc else Error (Malformed "empty length")
+    | '0' .. '9' as c ->
+        let acc = (acc * 10) + (Char.code c - Char.code '0') in
+        if acc > max_frame then Error (Too_large acc) else header acc true
+    | c -> Error (Malformed (Printf.sprintf "unexpected header byte %C" c))
+    | exception End_of_file -> if seen_digit then Error Truncated else Error Eof
+  in
+  match header 0 false with
+  | Error _ as e -> e
+  | Ok len -> (
+      match really_input_string ic len with
+      | payload -> (
+          match Json.of_string payload with
+          | Ok json -> Ok json
+          | Error msg -> Error (Malformed msg))
+      | exception End_of_file -> Error Truncated)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoder                                                 *)
+
+type decoder = {
+  buf : Buffer.t;
+  mutable pos : int;  (** consumed prefix of [buf] *)
+  mutable dead : error option;  (** sticky framing error *)
+}
+
+let decoder () = { buf = Buffer.create 4096; pos = 0; dead = None }
+
+let feed d bytes n = Buffer.add_subbytes d.buf bytes 0 n
+
+let pending d = Buffer.length d.buf - d.pos
+
+(* Drop the consumed prefix once it dominates the buffer, so a long-lived
+   decoder does not grow without bound. *)
+let compact d =
+  if d.pos > 4096 && d.pos * 2 > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.pos (Buffer.length d.buf - d.pos) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.pos <- 0
+  end
+
+let next d =
+  match d.dead with
+  | Some e -> Error e
+  | None -> (
+      let len = Buffer.length d.buf in
+      (* Scan the header in place. *)
+      let rec scan i acc seen_digit =
+        if i >= len then Ok None (* header incomplete *)
+        else
+          match Buffer.nth d.buf i with
+          | '\n' ->
+              if not seen_digit then Error (Malformed "empty length")
+              else if len - (i + 1) < acc then Ok None (* payload incomplete *)
+              else begin
+                let payload = Buffer.sub d.buf (i + 1) acc in
+                d.pos <- i + 1 + acc;
+                compact d;
+                match Json.of_string payload with
+                | Ok json -> Ok (Some json)
+                | Error msg -> Error (Malformed msg)
+              end
+          | '0' .. '9' as c ->
+              let acc = (acc * 10) + (Char.code c - Char.code '0') in
+              if acc > max_frame then Error (Too_large acc)
+              else scan (i + 1) acc true
+          | c -> Error (Malformed (Printf.sprintf "unexpected header byte %C" c))
+      in
+      match scan d.pos 0 false with
+      | Ok _ as ok -> ok
+      | Error (Malformed _) as e when (Buffer.length d.buf > d.pos) ->
+          (* A malformed payload was consumed above (pos already advanced
+             past it) — report once but keep framing; a malformed header
+             kills the stream. *)
+          (match e with
+          | Error (Malformed msg)
+            when String.length msg >= 10
+                 && String.sub msg 0 10 = "unexpected" ->
+              d.dead <- Some (Malformed msg)
+          | _ -> ());
+          e
+      | Error err ->
+          d.dead <- Some err;
+          Error err)

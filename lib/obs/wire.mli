@@ -1,0 +1,53 @@
+(** Length-prefixed JSON framing for the supervisor/worker pipe protocol.
+
+    A frame is the decimal byte length of the payload, a newline, then the
+    payload itself: ["17\n{\"type\":\"hello\"}"]. The explicit length makes
+    framing independent of the payload's contents (embedded newlines are
+    fine) and lets a reader detect truncation — a half-written frame from a
+    murdered worker parses as {!Truncated}, never as a shorter valid
+    message.
+
+    Two reader disciplines are provided. {!read} blocks on an
+    [in_channel] — the worker side, which has nothing else to do. The
+    {!decoder} is incremental: the supervisor feeds it whatever bytes
+    [Unix.read] returned after a [select] and drains complete frames, so a
+    worker stopped mid-write (SIGSTOP, chaos stall) can never block the
+    supervisor's event loop on a partial frame. *)
+
+type error =
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Truncated  (** stream ended inside a header or payload *)
+  | Too_large of int  (** declared length exceeds {!max_frame} *)
+  | Malformed of string  (** bad header or payload that is not valid JSON *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val max_frame : int
+(** Upper bound on a single frame's payload (16 MiB): a corrupt header
+    cannot make a reader allocate unboundedly. *)
+
+val write : out_channel -> Json.t -> unit
+(** Emit one frame and flush, so the peer's [select] sees it promptly. *)
+
+val read : in_channel -> (Json.t, error) result
+(** Blocking read of exactly one frame. *)
+
+(** {2 Incremental decoding} *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> bytes -> int -> unit
+(** [feed d buf n] appends the first [n] bytes of [buf] to the decoder's
+    internal buffer. *)
+
+val next : decoder -> (Json.t option, error) result
+(** The next complete frame, [Ok None] when more bytes are needed. Errors
+    are sticky for {!Too_large} and {!Malformed} headers (the stream can no
+    longer be framed); a malformed {e payload} consumes the frame and is
+    reported once, so the caller can keep draining subsequent frames. *)
+
+val pending : decoder -> int
+(** Bytes buffered but not yet consumed — non-zero at worker death means
+    the worker died mid-frame. *)

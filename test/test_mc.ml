@@ -713,6 +713,463 @@ let test_search_clean_for_at2 () =
     (Mc.Attack.search ~samples:120 ~seed:5 ~algo:at2 ~config:c31 ~proposals ()
     = None)
 
+(* ------------------------------------------------------------------ *)
+(* Codec: canonical JSON for everything a worker ships or a checkpoint
+   stores — the wire format and the snapshot format are the same bytes,
+   so one round-trip suite covers both.                                 *)
+
+let json_eq a b = String.equal (Obs.Json.to_string a) (Obs.Json.to_string b)
+
+let pid_set_of_mask mask =
+  Pid.Set.of_ints
+    (List.filter (fun i -> mask land (1 lsl (i - 1)) <> 0) [ 1; 2; 3; 4; 5 ])
+
+let arb_choice =
+  QCheck.map
+    (fun (kind, who, mask) ->
+      let pid = Pid.of_int (1 + who) in
+      let set = pid_set_of_mask mask in
+      match kind with
+      | 0 -> Mc.Serial.No_crash
+      | 1 -> Mc.Serial.Crash { victim = pid; receivers = set }
+      | 2 -> Mc.Serial.Send_omit { culprit = pid; dropped = set }
+      | _ -> Mc.Serial.Recv_omit { culprit = pid; dropped = set })
+    QCheck.(triple (int_range 0 3) (int_range 0 4) (int_range 0 31))
+
+(* Sets decode to the same set but not necessarily the same tree shape, so
+   the property is a fixpoint on the canonical encoding. *)
+let prop_codec_choice_roundtrip =
+  qtest ~count:200 "choice codec round-trip" arb_choice (fun c ->
+      match Mc.Codec.choice_of_json (Mc.Codec.choice_to_json c) with
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg
+      | Ok c' -> json_eq (Mc.Codec.choice_to_json c) (Mc.Codec.choice_to_json c'))
+
+let arb_violation =
+  QCheck.map
+    (fun (kind, a, b, mask) ->
+      let pid i = Pid.of_int (1 + (i mod 5)) in
+      let undecided =
+        List.filter (fun i -> mask land (1 lsl (i - 1)) <> 0) [ 1; 2; 3; 4; 5 ]
+        |> List.map Pid.of_int
+      in
+      match kind with
+      | 0 -> Sim.Props.Validity { pid = pid a; value = Value.of_int b }
+      | 1 ->
+          Sim.Props.Agreement
+            {
+              pid_a = pid a;
+              value_a = Value.of_int a;
+              pid_b = pid b;
+              value_b = Value.of_int b;
+            }
+      | 2 -> Sim.Props.Termination { undecided }
+      | _ -> Sim.Props.Unsettled { undecided })
+    QCheck.(quad (int_range 0 3) (int_range 0 4) (int_range 0 4) (int_range 0 31))
+
+let prop_codec_violation_roundtrip =
+  qtest ~count:200 "violation codec round-trip" arb_violation (fun v ->
+      match Mc.Codec.violation_of_json (Mc.Codec.violation_to_json v) with
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg
+      | Ok v' -> v' = v)
+
+let arb_step_error =
+  QCheck.map
+    (fun (algorithm, reason, p, r) ->
+      {
+        Sim.Engine.algorithm;
+        pid = Pid.of_int (1 + p);
+        round = Round.of_int (1 + r);
+        reason;
+      })
+    QCheck.(quad string_printable string_printable (int_range 0 4) (int_range 0 8))
+
+let prop_codec_step_error_roundtrip =
+  qtest ~count:200 "step_error codec round-trip" arb_step_error (fun e ->
+      Mc.Codec.step_error_of_json (Mc.Codec.step_error_to_json e) = Ok e)
+
+let test_codec_stats_roundtrip () =
+  let s =
+    { Mc.Dedup.hits = 12; misses = 5; entries = 7; edges = 999; spilled = 3 }
+  in
+  check_bool "stats round-trip" true
+    (Mc.Codec.stats_of_json (Mc.Codec.stats_to_json s) = Ok s)
+
+(* Real sweep results — the fixtures deliberately include an algorithm
+   that violates agreement and one that raises mid-run, so the codec is
+   exercised on populated violation lists, witnesses and crashed runs. *)
+let test_codec_result_roundtrip () =
+  List.iter
+    (fun (algo, name, n, t) ->
+      let config = config ~n ~t in
+      let proposals = Sim.Runner.distinct_proposals config in
+      let r = Mc.Exhaustive.sweep_incremental ~algo ~config ~proposals () in
+      match Mc.Codec.result_of_json (Mc.Codec.result_to_json r) with
+      | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+      | Ok r' ->
+          check_bool (name ^ ": decoded result is bit-identical") true
+            (result_equal r r');
+          check_bool (name ^ ": codec equality agrees") true
+            (Mc.Codec.result_equal r r'))
+    reduction_fixtures
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint: versioned snapshots and their pinned failure modes       *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "ipi-test-mc" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ipi-test-mc" ".dir" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let mk_spec ?(faults = Sim.Model.Crash_only) ?omit_budget
+    ?(reduce = Mc.Distrib.Rdedup) ?(binary = false) ?table_cap ?spill_dir
+    ~algo config =
+  {
+    Mc.Distrib.faults;
+    omit_budget;
+    policy = Mc.Serial.Prefixes;
+    horizon = None;
+    algo;
+    config;
+    reduce;
+    scope =
+      (if binary then Mc.Distrib.Binary
+       else Mc.Distrib.Fixed (Sim.Runner.distinct_proposals config));
+    table_cap;
+    spill_dir;
+  }
+
+let run_ok name = function
+  | Ok r -> r
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let entry_equal (a : Mc.Checkpoint.entry) (b : Mc.Checkpoint.entry) =
+  a.task = b.task && a.edges = b.edges && a.stats = b.stats
+  && Mc.Codec.result_equal a.result b.result
+
+let test_checkpoint_roundtrip () =
+  with_temp_file @@ fun path ->
+  let params = Obs.Json.Obj [ ("test", Obs.Json.String "ckpt-roundtrip") ] in
+  let full =
+    run_ok "serial" (Mc.Distrib.run_serial ~params (mk_spec ~algo:floodset c41))
+  in
+  check_bool "fixture produced entries" true (full.Mc.Distrib.completed <> []);
+  let t =
+    {
+      Mc.Checkpoint.commit = "deadbeef";
+      params;
+      total_tasks = full.Mc.Distrib.total_tasks;
+      completed = full.Mc.Distrib.completed;
+    }
+  in
+  Mc.Checkpoint.save ~path t;
+  match Mc.Checkpoint.load ~path with
+  | Error e ->
+      Alcotest.fail (Format.asprintf "%a" Mc.Checkpoint.pp_load_error e)
+  | Ok t' ->
+      check_string "commit survives" "deadbeef" t'.Mc.Checkpoint.commit;
+      check_bool "params survive canonically" true
+        (json_eq params t'.Mc.Checkpoint.params);
+      check_int "total_tasks survives" t.Mc.Checkpoint.total_tasks
+        t'.Mc.Checkpoint.total_tasks;
+      check_int "entry count survives"
+        (List.length t.Mc.Checkpoint.completed)
+        (List.length t'.Mc.Checkpoint.completed);
+      List.iter2
+        (fun a b -> check_bool "entry bit-identical" true (entry_equal a b))
+        t.Mc.Checkpoint.completed t'.Mc.Checkpoint.completed;
+      check_bool "compatible with its own params" true
+        (Mc.Checkpoint.compatible t' ~params = Ok ())
+
+let load_error name path =
+  match Mc.Checkpoint.load ~path with
+  | Ok _ -> Alcotest.fail (name ^ ": expected a load error")
+  | Error e -> (e, Format.asprintf "%a" Mc.Checkpoint.pp_load_error e)
+
+let test_checkpoint_load_errors () =
+  let e, msg = load_error "missing" "/nonexistent/ipi.ckpt" in
+  check_bool "missing file is Unreadable" true
+    (match e with Mc.Checkpoint.Unreadable _ -> true | _ -> false);
+  check_bool "missing-file message pinned" true
+    (contains msg "checkpoint: cannot read file");
+  with_temp_file @@ fun path ->
+  let is_malformed = function Mc.Checkpoint.Malformed _ -> true | _ -> false in
+  Obs.Artifact.write_string path "not json {";
+  let e, msg = load_error "garbage" path in
+  check_bool "garbage is Malformed" true (is_malformed e);
+  check_bool "malformed message pinned" true
+    (contains msg "checkpoint: malformed or truncated file");
+  Obs.Artifact.write_string path "{\"not\":\"a checkpoint\"}";
+  let e, _ = load_error "wrong shape" path in
+  check_bool "JSON without the format marker is Malformed" true (is_malformed e);
+  (* a half-written file: valid snapshot cut mid-byte *)
+  let params = Obs.Json.Obj [ ("test", Obs.Json.String "ckpt-errors") ] in
+  let full =
+    run_ok "serial" (Mc.Distrib.run_serial ~params (mk_spec ~algo:floodset c31))
+  in
+  let snapshot =
+    {
+      Mc.Checkpoint.commit = "c";
+      params;
+      total_tasks = full.Mc.Distrib.total_tasks;
+      completed = full.Mc.Distrib.completed;
+    }
+  in
+  Mc.Checkpoint.save ~path snapshot;
+  let whole = In_channel.with_open_bin path In_channel.input_all in
+  Obs.Artifact.write_string path (String.sub whole 0 (String.length whole / 2));
+  let e, _ = load_error "truncated" path in
+  check_bool "truncated file is Malformed, never an exception" true
+    (is_malformed e);
+  (* the version gate fires before any other field is even looked at *)
+  Obs.Artifact.write_string path
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("format", Obs.Json.String "ipi-checkpoint");
+            ("version", Obs.Json.Int 99);
+          ]));
+  let e, msg = load_error "future version" path in
+  check_bool "future version is Unknown_version" true
+    (e = Mc.Checkpoint.Unknown_version 99);
+  check_string "version message pinned"
+    (Printf.sprintf
+       "checkpoint: unknown format version 99 (this build reads version %d)"
+       Mc.Checkpoint.version)
+    msg;
+  (* hand-edited task lists are refused rather than merged *)
+  let entry = List.hd full.Mc.Distrib.completed in
+  let forged completed total =
+    Obs.Artifact.write_string path
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("format", Obs.Json.String "ipi-checkpoint");
+              ("version", Obs.Json.Int Mc.Checkpoint.version);
+              ("commit", Obs.Json.String "c");
+              ("params", params);
+              ("total_tasks", Obs.Json.Int total);
+              ( "completed",
+                Obs.Json.List (List.map Mc.Checkpoint.entry_to_json completed)
+              );
+            ]))
+  in
+  let at task = { entry with Mc.Checkpoint.task } in
+  forged [ at 0; at 0 ] 2;
+  let e, msg = load_error "duplicate tasks" path in
+  check_bool "duplicate task indices are Malformed" true (is_malformed e);
+  check_bool "duplicate message names the problem" true
+    (contains msg "not ascending");
+  forged [ at 5 ] 2;
+  let e, msg = load_error "out of range" path in
+  check_bool "out-of-range task index is Malformed" true (is_malformed e);
+  check_bool "range message names the problem" true
+    (contains msg "out of range")
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe drivers: checkpoint, interrupt, resume — bit-identical    *)
+
+(* Interrupt after four tasks (deterministically, via the should_stop
+   poll), checkpoint every task, reload, resume, and demand the resumed
+   aggregates equal an undisturbed run on every field. *)
+let serial_resume_cycle name spec =
+  with_temp_file @@ fun path ->
+  let params = Obs.Json.Obj [ ("test", Obs.Json.String name) ] in
+  let full = run_ok name (Mc.Distrib.run_serial ~params spec) in
+  check_bool (name ^ ": undisturbed run completes") false full.Mc.Distrib.partial;
+  check_bool
+    (name ^ ": fixture has enough tasks to interrupt")
+    true
+    (full.Mc.Distrib.total_tasks > 5);
+  let polls = ref 0 in
+  let should_stop () =
+    incr polls;
+    !polls > 4
+  in
+  let part =
+    run_ok name
+      (Mc.Distrib.run_serial ~checkpoint:(path, 1) ~should_stop ~params spec)
+  in
+  check_bool (name ^ ": interrupted run reports PARTIAL") true
+    part.Mc.Distrib.partial;
+  check_int (name ^ ": exactly four tasks persisted") 4
+    (List.length part.Mc.Distrib.completed);
+  let ck =
+    match Mc.Checkpoint.load ~path with
+    | Ok ck -> ck
+    | Error e ->
+        Alcotest.fail
+          (Format.asprintf "%s: %a" name Mc.Checkpoint.pp_load_error e)
+  in
+  check_int (name ^ ": checkpoint holds the persisted tasks") 4
+    (List.length ck.Mc.Checkpoint.completed);
+  let resumed = run_ok name (Mc.Distrib.run_serial ~resume:ck ~params spec) in
+  check_bool (name ^ ": resumed run completes") false resumed.Mc.Distrib.partial;
+  check_bool
+    (name ^ ": aggregates bit-identical after resume")
+    true
+    (result_equal full.Mc.Distrib.result resumed.Mc.Distrib.result);
+  check_bool (name ^ ": reduction stats identical") true
+    (full.Mc.Distrib.stats = resumed.Mc.Distrib.stats);
+  check_int (name ^ ": edge counts identical") full.Mc.Distrib.edges
+    resumed.Mc.Distrib.edges
+
+let test_serial_resume_crash_dedup () =
+  serial_resume_cycle "crash/dedup" (mk_spec ~algo:floodset c41)
+
+let test_serial_resume_crash_unreduced () =
+  serial_resume_cycle "crash/unreduced"
+    (mk_spec ~reduce:Mc.Distrib.Rnone ~algo:floodset c41)
+
+let test_serial_resume_mixed_faults () =
+  serial_resume_cycle "mixed/dedup"
+    (mk_spec ~faults:Sim.Model.Mixed ~omit_budget:1 ~algo:floodset c31)
+
+let test_serial_resume_binary_scope () =
+  serial_resume_cycle "binary/dedup" (mk_spec ~binary:true ~algo:floodset c41)
+
+(* The --budget expiry path: a deadline already in the past stops the
+   sweep before any task runs, still flushes a (resumable) checkpoint. *)
+let test_serial_deadline_checkpoint_resume () =
+  with_temp_file @@ fun path ->
+  let params = Obs.Json.Obj [ ("test", Obs.Json.String "deadline") ] in
+  let spec = mk_spec ~algo:floodset c41 in
+  let full = run_ok "deadline" (Mc.Distrib.run_serial ~params spec) in
+  let part =
+    run_ok "deadline"
+      (Mc.Distrib.run_serial ~checkpoint:(path, 1)
+         ~deadline:(Unix.gettimeofday () -. 1.)
+         ~params spec)
+  in
+  check_bool "expired budget reports PARTIAL" true part.Mc.Distrib.partial;
+  check_int "nothing ran, nothing persisted" 0
+    (List.length part.Mc.Distrib.completed);
+  let ck =
+    match Mc.Checkpoint.load ~path with
+    | Ok ck -> ck
+    | Error e ->
+        Alcotest.fail (Format.asprintf "%a" Mc.Checkpoint.pp_load_error e)
+  in
+  let resumed = run_ok "deadline" (Mc.Distrib.run_serial ~resume:ck ~params spec) in
+  check_bool "resume from an empty checkpoint is the full sweep" true
+    (result_equal full.Mc.Distrib.result resumed.Mc.Distrib.result)
+
+(* A checkpoint can never silently seed a different sweep. *)
+let test_resume_validation_errors () =
+  let params = Obs.Json.Obj [ ("test", Obs.Json.String "resume-validate") ] in
+  let spec = mk_spec ~algo:floodset c31 in
+  let full = run_ok "validate" (Mc.Distrib.run_serial ~params spec) in
+  let ck params total_tasks =
+    { Mc.Checkpoint.commit = "c"; params; total_tasks; completed = [] }
+  in
+  (match
+     Mc.Distrib.run_serial
+       ~resume:
+         (ck
+            (Obs.Json.Obj [ ("test", Obs.Json.String "another sweep") ])
+            full.Mc.Distrib.total_tasks)
+       ~params spec
+   with
+  | Ok _ -> Alcotest.fail "foreign params must be refused"
+  | Error msg ->
+      check_bool "params mismatch is named" true (contains msg "parameter mismatch"));
+  match
+    Mc.Distrib.run_serial
+      ~resume:(ck params (full.Mc.Distrib.total_tasks + 1))
+      ~params spec
+  with
+  | Ok _ -> Alcotest.fail "wrong task count must be refused"
+  | Error msg ->
+      check_bool "task count mismatch is named" true
+        (contains msg "task count mismatch")
+
+(* The checkpointed serial driver is the classic incremental sweeps in a
+   new harness: with no interruption it must be bit-identical to them. *)
+let test_distrib_serial_matches_classic_drivers () =
+  let params = Obs.Json.Obj [ ("test", Obs.Json.String "distrib-eq") ] in
+  let config = c41 in
+  let proposals = Sim.Runner.distinct_proposals config in
+  let horizon = Config.t config + 2 in
+  let classic =
+    Mc.Exhaustive.sweep_incremental ~horizon ~algo:floodset ~config ~proposals
+      ()
+  in
+  let d =
+    run_ok "fixed/unreduced"
+      (Mc.Distrib.run_serial ~params
+         (mk_spec ~reduce:Mc.Distrib.Rnone ~algo:floodset config))
+  in
+  check_bool "fixed/unreduced == incremental sweep" true
+    (result_equal classic d.Mc.Distrib.result);
+  let dedup_classic, dedup_stats =
+    Mc.Dedup.sweep ~horizon ~algo:floodset ~config ~proposals ()
+  in
+  let dd =
+    run_ok "fixed/dedup"
+      (Mc.Distrib.run_serial ~params (mk_spec ~algo:floodset config))
+  in
+  check_bool "fixed/dedup == dedup sweep" true
+    (result_equal dedup_classic dd.Mc.Distrib.result);
+  check_bool "fixed/dedup stats match" true
+    (dd.Mc.Distrib.stats = Some dedup_stats);
+  let classic_bin =
+    Mc.Exhaustive.sweep_binary_incremental ~horizon ~algo:floodset ~config ()
+  in
+  let db =
+    run_ok "binary/unreduced"
+      (Mc.Distrib.run_serial ~params
+         (mk_spec ~reduce:Mc.Distrib.Rnone ~binary:true ~algo:floodset config))
+  in
+  check_bool "binary/unreduced == binary incremental sweep" true
+    (result_equal classic_bin db.Mc.Distrib.result)
+
+(* Out-of-core dedup: capping the table and spilling to disk must change
+   memory behaviour only — same aggregates, same lookup profile, and
+   every key accounted for either in memory or on disk. *)
+let test_spill_equivalence () =
+  with_temp_dir @@ fun dir ->
+  let params = Obs.Json.Obj [ ("test", Obs.Json.String "spill") ] in
+  let full =
+    run_ok "uncapped" (Mc.Distrib.run_serial ~params (mk_spec ~algo:floodset c52))
+  in
+  let spilled =
+    run_ok "spilling"
+      (Mc.Distrib.run_serial ~params
+         (mk_spec ~table_cap:16 ~spill_dir:dir ~algo:floodset c52))
+  in
+  check_bool "spilling sweep is bit-identical" true
+    (result_equal full.Mc.Distrib.result spilled.Mc.Distrib.result);
+  (match (full.Mc.Distrib.stats, spilled.Mc.Distrib.stats) with
+  | Some a, Some b ->
+      check_bool "cap actually forced spilling" true (b.Mc.Dedup.spilled > 0);
+      check_int "resident + spilled = uncapped entries" a.Mc.Dedup.entries
+        (b.Mc.Dedup.entries + b.Mc.Dedup.spilled);
+      check_int "lookup profile unchanged"
+        (a.Mc.Dedup.hits + a.Mc.Dedup.misses)
+        (b.Mc.Dedup.hits + b.Mc.Dedup.misses)
+  | _ -> Alcotest.fail "dedup sweeps must report stats");
+  (* no spill_dir: overflow entries are dropped, which may cost repeat
+     work but never changes the answer *)
+  let dropped =
+    run_ok "dropping"
+      (Mc.Distrib.run_serial ~params (mk_spec ~table_cap:16 ~algo:floodset c52))
+  in
+  check_bool "dropping sweep is bit-identical" true
+    (result_equal full.Mc.Distrib.result dropped.Mc.Distrib.result)
+
 let () =
   Alcotest.run "mc"
     [
@@ -790,5 +1247,41 @@ let () =
             test_figure1_against_floodset_ws;
           Alcotest.test_case "five runs vs A(t+2)" `Quick
             test_figure1_against_at2;
+        ] );
+      ( "codec",
+        [
+          prop_codec_choice_roundtrip;
+          prop_codec_violation_roundtrip;
+          prop_codec_step_error_roundtrip;
+          Alcotest.test_case "stats round-trip" `Quick
+            test_codec_stats_roundtrip;
+          Alcotest.test_case "real results round-trip" `Quick
+            test_codec_result_roundtrip;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "load error taxonomy" `Quick
+            test_checkpoint_load_errors;
+        ] );
+      ( "crash-safety",
+        [
+          Alcotest.test_case "resume crash/dedup" `Quick
+            test_serial_resume_crash_dedup;
+          Alcotest.test_case "resume crash/unreduced" `Quick
+            test_serial_resume_crash_unreduced;
+          Alcotest.test_case "resume mixed faults" `Quick
+            test_serial_resume_mixed_faults;
+          Alcotest.test_case "resume binary scope" `Quick
+            test_serial_resume_binary_scope;
+          Alcotest.test_case "budget expiry checkpoint" `Quick
+            test_serial_deadline_checkpoint_resume;
+          Alcotest.test_case "resume validation" `Quick
+            test_resume_validation_errors;
+          Alcotest.test_case "distrib == classic drivers" `Quick
+            test_distrib_serial_matches_classic_drivers;
+          Alcotest.test_case "spill equivalence" `Quick
+            test_spill_equivalence;
         ] );
     ]

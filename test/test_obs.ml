@@ -623,6 +623,249 @@ let test_par_report () =
            0 stats)
 
 (* ------------------------------------------------------------------ *)
+(* Wire: length-prefixed JSON framing for the worker pipe protocol      *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "ipi-test-obs" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ipi-test-obs" ".dir" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let wire_frames =
+  [
+    Obs.Json.Obj [ ("task", Obs.Json.Int 3) ];
+    Obs.Json.String "newlines\nare\npayload,\nnot framing";
+    Obs.Json.List [ Obs.Json.Null; Obs.Json.Bool true; Obs.Json.Float 0.5 ];
+  ]
+
+let test_wire_blocking_roundtrip () =
+  with_temp_file @@ fun path ->
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter (Obs.Wire.write oc) wire_frames);
+  In_channel.with_open_bin path @@ fun ic ->
+  let rec drain acc =
+    match Obs.Wire.read ic with
+    | Ok j -> drain (j :: acc)
+    | Error e -> (List.rev acc, e)
+  in
+  let decoded, stop = drain [] in
+  check_bool "stream ends in a clean Eof at a frame boundary" true
+    (stop = Obs.Wire.Eof);
+  check_int "all frames decoded" (List.length wire_frames)
+    (List.length decoded);
+  List.iter2
+    (fun a b ->
+      check_string "frame round-trips" (Obs.Json.to_string a)
+        (Obs.Json.to_string b))
+    wire_frames decoded
+
+let test_wire_truncated_stream () =
+  with_temp_file @@ fun path ->
+  (* A murdered writer: one whole frame, then a header promising more
+     bytes than the stream holds. *)
+  Out_channel.with_open_bin path (fun oc ->
+      Obs.Wire.write oc (Obs.Json.Int 1);
+      output_string oc "50\n{\"cut");
+  In_channel.with_open_bin path @@ fun ic ->
+  (match Obs.Wire.read ic with
+  | Ok j -> check_string "frame before the cut is intact" "1" (Obs.Json.to_string j)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Obs.Wire.pp_error e));
+  check_bool "half-written frame reads as Truncated, never a value" true
+    (Obs.Wire.read ic = Error Obs.Wire.Truncated)
+
+let test_wire_decoder_chunked () =
+  (* The supervisor's discipline: feed whatever bytes arrived — here the
+     worst case, one at a time — and drain complete frames. *)
+  with_temp_file @@ fun path ->
+  Out_channel.with_open_bin path (fun oc ->
+      List.iter (Obs.Wire.write oc) wire_frames);
+  let stream = In_channel.with_open_bin path In_channel.input_all in
+  let d = Obs.Wire.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Obs.Wire.feed d (Bytes.make 1 c) 1;
+      match Obs.Wire.next d with
+      | Ok (Some j) -> got := j :: !got
+      | Ok None -> ()
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Obs.Wire.pp_error e))
+    stream;
+  let got = List.rev !got in
+  check_int "every frame surfaced from 1-byte feeds" (List.length wire_frames)
+    (List.length got);
+  check_int "no bytes left buffered" 0 (Obs.Wire.pending d);
+  List.iter2
+    (fun a b ->
+      check_string "chunked frame round-trips" (Obs.Json.to_string a)
+        (Obs.Json.to_string b))
+    wire_frames got
+
+let test_wire_decoder_bad_header_sticky () =
+  let d = Obs.Wire.decoder () in
+  let junk = Bytes.of_string "notalength\n{}" in
+  Obs.Wire.feed d junk (Bytes.length junk);
+  let malformed = function
+    | Error (Obs.Wire.Malformed _) -> true
+    | _ -> false
+  in
+  check_bool "unframeable header is Malformed" true (malformed (Obs.Wire.next d));
+  (* The stream can never be re-framed after a bad header: the error must
+     stick rather than let the decoder resynchronise on garbage. *)
+  check_bool "header error is sticky" true (malformed (Obs.Wire.next d))
+
+let test_wire_decoder_too_large () =
+  let d = Obs.Wire.decoder () in
+  let header = Printf.sprintf "%d\n" (Obs.Wire.max_frame + 1) in
+  Obs.Wire.feed d (Bytes.of_string header) (String.length header);
+  check_bool "oversized declared length is refused before allocation" true
+    (Obs.Wire.next d = Error (Obs.Wire.Too_large (Obs.Wire.max_frame + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Artifact: atomic tmp+rename writes                                   *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_artifact_write_and_overwrite () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "out.json" in
+  Obs.Artifact.write_string path "first";
+  check_string "content lands at the published path" "first" (read_file path);
+  Obs.Artifact.write path (fun oc -> output_string oc "second");
+  check_string "overwrite replaces the whole content" "second" (read_file path);
+  check_bool "no staging files left behind" true
+    (Sys.readdir dir = [| "out.json" |])
+
+let test_artifact_failed_write_leaves_target () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "out.json" in
+  Obs.Artifact.write_string path "intact";
+  (match
+     Obs.Artifact.write path (fun oc ->
+         output_string oc "partial garbage";
+         failwith "boom")
+   with
+  | exception Failure msg -> check_string "writer exception re-raised" "boom" msg
+  | () -> Alcotest.fail "write should have re-raised the writer's exception");
+  check_string "published path untouched by the failed write" "intact"
+    (read_file path);
+  check_bool "staging file removed on failure" true
+    (Sys.readdir dir = [| "out.json" |])
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat: snapshot codec and the staleness probe                    *)
+
+let snap ?(seq = 1) ?(items = 0) ?total ?(runs = 0) ?(elapsed_s = 0.) ?per_s
+    ?eta_s ?hit_rate ?(final = false) () =
+  {
+    Obs.Progress.seq;
+    label = "test";
+    items;
+    total;
+    runs;
+    elapsed_s;
+    per_s;
+    eta_s;
+    hit_rate;
+    final;
+  }
+
+let test_snapshot_json_roundtrip () =
+  let cases =
+    [
+      snap ();
+      snap ~seq:3 ~items:12 ~total:84 ~runs:900 ~elapsed_s:1.5 ~per_s:600.
+        ~eta_s:0.125 ~hit_rate:0.5 ~final:true ();
+    ]
+  in
+  List.iter
+    (fun s ->
+      let json = Obs.Progress.snapshot_to_json s in
+      match Obs.Progress.snapshot_of_json json with
+      | Error msg -> Alcotest.fail msg
+      | Ok s' ->
+          check_bool "snapshot decodes to the original" true (s' = s);
+          (* Fixpoint on the canonical JSON: what a heartbeat file holds. *)
+          check_string "canonical JSON is a fixpoint"
+            (Obs.Json.to_string json)
+            (Obs.Json.to_string (Obs.Progress.snapshot_to_json s')))
+    cases;
+  match Obs.Progress.snapshot_of_json (Obs.Json.Obj [ ("seq", Obs.Json.Int 1) ]) with
+  | Ok _ -> Alcotest.fail "snapshot with missing fields must not decode"
+  | Error msg -> check_bool "decode error names a field" true (msg <> "")
+
+let test_heartbeat_check_verdicts () =
+  let check_hb name expected result =
+    match (expected, result) with
+    | `Ok, Ok () -> ()
+    | `Err needle, Error msg ->
+        check_bool
+          (Printf.sprintf "%s: %S mentions %S" name msg needle)
+          true (contains msg needle)
+    | `Ok, Error msg -> Alcotest.fail (name ^ ": unexpectedly stale: " ^ msg)
+    | `Err _, Ok () -> Alcotest.fail (name ^ ": unexpectedly healthy")
+  in
+  let now = 1000. in
+  check_hb "empty stream" (`Err "no snapshots")
+    (Obs.Progress.check_heartbeat ~now ~mtime:now ~max_age_items:5 []);
+  check_hb "non-monotonic seq" (`Err "non-monotonic")
+    (Obs.Progress.check_heartbeat ~now ~mtime:now ~max_age_items:5
+       [ snap ~seq:2 (); snap ~seq:2 () ]);
+  check_hb "final snapshot is healthy however old the file" `Ok
+    (Obs.Progress.check_heartbeat ~now ~mtime:0. ~max_age_items:1
+       [ snap ~seq:1 (); snap ~seq:9 ~final:true () ]);
+  (* 100 items/s and a 5-item budget = 0.05s; a 10s-old file is stale. *)
+  let running =
+    [ snap ~seq:1 ~items:50 ~per_s:100. (); snap ~seq:2 ~items:100 ~per_s:100. () ]
+  in
+  check_hb "old file vs observed rate" (`Err "stale")
+    (Obs.Progress.check_heartbeat ~now ~mtime:(now -. 10.) ~max_age_items:5
+       running);
+  check_hb "freshly-written file" `Ok
+    (Obs.Progress.check_heartbeat ~now ~mtime:now ~max_age_items:5 running);
+  check_hb "rate from items/elapsed when per_s is missing" (`Err "stale")
+    (Obs.Progress.check_heartbeat ~now ~mtime:(now -. 10.) ~max_age_items:5
+       [ snap ~seq:1 ~items:100 ~elapsed_s:1. () ]);
+  check_hb "too young to have a rate gets the benefit of the doubt" `Ok
+    (Obs.Progress.check_heartbeat ~now ~mtime:0. ~max_age_items:1
+       [ snap ~seq:1 ~items:0 () ])
+
+let test_heartbeat_accepts_live_meter_stream () =
+  let seen = ref [] in
+  let p =
+    Obs.Progress.create ~every:1 ~total:4 ~label:"hb"
+      ~emit:(fun s -> seen := s :: !seen)
+      ()
+  in
+  for _ = 1 to 4 do
+    Obs.Progress.step p ~items:1 ~runs:2 ~hits:1 ~lookups:2
+  done;
+  Obs.Progress.finish p;
+  let snaps = List.rev !seen in
+  let rec strictly_increasing = function
+    | (a : Obs.Progress.snapshot) :: (b :: _ as rest) ->
+        a.seq < b.seq && strictly_increasing rest
+    | _ -> true
+  in
+  check_bool "meter emits strictly increasing sequence numbers" true
+    (strictly_increasing snaps);
+  check_bool "a finished stream is healthy whatever the file age" true
+    (Obs.Progress.check_heartbeat ~now:1e9 ~mtime:0. ~max_age_items:1 snaps
+    = Ok ())
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -709,5 +952,34 @@ let () =
             test_diagram_without_records_is_honest;
           Alcotest.test_case "optional costs" `Quick
             test_summary_costs_are_optional;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "blocking round-trip" `Quick
+            test_wire_blocking_roundtrip;
+          Alcotest.test_case "truncated stream" `Quick
+            test_wire_truncated_stream;
+          Alcotest.test_case "decoder 1-byte feeds" `Quick
+            test_wire_decoder_chunked;
+          Alcotest.test_case "bad header is sticky" `Quick
+            test_wire_decoder_bad_header_sticky;
+          Alcotest.test_case "oversized frame refused" `Quick
+            test_wire_decoder_too_large;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "write and overwrite" `Quick
+            test_artifact_write_and_overwrite;
+          Alcotest.test_case "failed write leaves target" `Quick
+            test_artifact_failed_write_leaves_target;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "snapshot json round-trip" `Quick
+            test_snapshot_json_roundtrip;
+          Alcotest.test_case "staleness verdicts" `Quick
+            test_heartbeat_check_verdicts;
+          Alcotest.test_case "live meter stream" `Quick
+            test_heartbeat_accepts_live_meter_stream;
         ] );
     ]

@@ -1,0 +1,315 @@
+(* The process supervisor under hostility: scripted workers (forked
+   closures speaking the real wire protocol) that die, stall or behave on
+   cue, and the genuine `ipi sweep-worker` binary driven through a
+   checkpoint/interrupt/resume cycle with chaos injection. All scripting
+   is deterministic — workers misbehave on instruction, never on a
+   timer — so every assertion here is exact, not statistical. *)
+
+open Kernel
+open Helpers
+module J = Obs.Json
+
+let payload task = J.Obj [ ("task", J.Int task); ("sq", J.Int (task * task)) ]
+
+(* A worker that reads assignment frames and consults [behave] (with its
+   own per-process frame count) before answering: [`Reply] echoes the
+   task with a recomputable payload, [`Die] exits without answering,
+   [`Stall] wedges forever so only a chunk timeout can rescue the task. *)
+let scripted_worker ?(behave = fun ~count:_ ~task:_ -> `Reply) () =
+  Proc.fork (fun ic oc ->
+      let count = ref 0 in
+      let rec go () =
+        match Obs.Wire.read ic with
+        | Error _ -> ()
+        | Ok json ->
+            if Option.is_some (J.member "shutdown" json) then ()
+            else (
+              match Option.bind (J.member "task" json) J.to_int_opt with
+              | None -> exit 9
+              | Some task -> (
+                  incr count;
+                  match behave ~count:!count ~task with
+                  | `Reply ->
+                      Obs.Wire.write oc (payload task);
+                      go ()
+                  | `Die -> exit 7
+                  | `Stall ->
+                      Unix.sleep 1000;
+                      exit 8))
+      in
+      go ())
+
+let test_supervise_completes_in_order () =
+  let tasks = List.init 20 Fun.id in
+  let outcome =
+    Mc.Supervise.run ~workers:3
+      ~spawn:(fun () -> scripted_worker ())
+      ~tasks ()
+  in
+  check_bool "every task completed, in ascending order" true
+    (List.map fst outcome.Mc.Supervise.completed = tasks);
+  check_bool "payloads ferried back verbatim" true
+    (List.for_all
+       (fun (t, j) -> Option.bind (J.member "sq" j) J.to_int_opt = Some (t * t))
+       outcome.Mc.Supervise.completed);
+  check_bool "nothing failed or interrupted" true
+    (outcome.Mc.Supervise.failed = [] && outcome.Mc.Supervise.interrupted = []);
+  check_int "one frame per task" 20 outcome.Mc.Supervise.metrics.Mc.Supervise.frames;
+  check_int "no deaths on a calm run" 0
+    outcome.Mc.Supervise.metrics.Mc.Supervise.deaths
+
+let test_supervise_death_and_retry () =
+  (* The first spawned worker dies on its first assignment; every
+     replacement behaves. The murdered task must be reassigned and the
+     sweep must converge with no failures. *)
+  let spawns = ref 0 in
+  let spawn () =
+    incr spawns;
+    let doomed = !spawns = 1 in
+    scripted_worker
+      ~behave:(fun ~count ~task:_ ->
+        if doomed && count = 1 then `Die else `Reply)
+      ()
+  in
+  let tasks = List.init 8 Fun.id in
+  let outcome =
+    Mc.Supervise.run ~workers:2 ~max_retries:3 ~backoff:0.01 ~spawn ~tasks ()
+  in
+  check_bool "all tasks complete despite the death" true
+    (List.map fst outcome.Mc.Supervise.completed = tasks);
+  check_bool "no task failed" true (outcome.Mc.Supervise.failed = []);
+  let m = outcome.Mc.Supervise.metrics in
+  check_bool "the death was seen" true (m.Mc.Supervise.deaths >= 1);
+  check_bool "the task was retried" true (m.Mc.Supervise.retries >= 1);
+  (* the surviving worker may drain the queue before the backoff respawn
+     fires, so only the initial pool size is guaranteed *)
+  check_bool "spawn count covers the pool" true (m.Mc.Supervise.spawned >= 2)
+
+let test_supervise_poison_task_bounded_retry () =
+  (* Task 5 kills every worker that touches it: after max_retries + 1
+     attempts it must land in [failed] — and the rest of the sweep must
+     survive it. *)
+  let spawn () =
+    scripted_worker
+      ~behave:(fun ~count:_ ~task -> if task = 5 then `Die else `Reply)
+      ()
+  in
+  let outcome =
+    Mc.Supervise.run ~workers:2 ~max_retries:1 ~backoff:0.01 ~spawn
+      ~tasks:(List.init 8 Fun.id) ()
+  in
+  check_bool "the healthy tasks all complete" true
+    (List.map fst outcome.Mc.Supervise.completed = [ 0; 1; 2; 3; 4; 6; 7 ]);
+  (match outcome.Mc.Supervise.failed with
+  | [ (5, _) ] -> ()
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly task 5 to fail, got %d failures"
+           (List.length other)));
+  check_bool "attempts were bounded" true
+    (outcome.Mc.Supervise.metrics.Mc.Supervise.deaths >= 2)
+
+let test_supervise_stall_rescued_by_timeout () =
+  (* The first worker wedges on task 2 (SIGSTOP-style, via sleep); the
+     chunk timeout must kill it and reassign the task to a replacement. *)
+  let spawns = ref 0 in
+  let spawn () =
+    incr spawns;
+    let wedged = !spawns = 1 in
+    scripted_worker
+      ~behave:(fun ~count:_ ~task ->
+        if wedged && task = 2 then `Stall else `Reply)
+      ()
+  in
+  let tasks = List.init 5 Fun.id in
+  let outcome =
+    Mc.Supervise.run ~workers:1 ~chunk_timeout:0.4 ~max_retries:3 ~backoff:0.01
+      ~spawn ~tasks ()
+  in
+  check_bool "all tasks complete despite the stall" true
+    (List.map fst outcome.Mc.Supervise.completed = tasks);
+  check_bool "no task failed" true (outcome.Mc.Supervise.failed = []);
+  check_bool "the stall was a chunk timeout" true
+    (outcome.Mc.Supervise.metrics.Mc.Supervise.timeouts >= 1)
+
+let test_supervise_should_stop_partitions () =
+  let finished = ref 0 in
+  let outcome =
+    Mc.Supervise.run ~workers:2
+      ~should_stop:(fun () -> !finished >= 3)
+      ~on_result:(fun ~task:_ _ -> incr finished)
+      ~spawn:(fun () -> scripted_worker ())
+      ~tasks:(List.init 30 Fun.id) ()
+  in
+  check_bool "stop leaves unfinished work in interrupted" true
+    (outcome.Mc.Supervise.interrupted <> []);
+  check_bool "completed + interrupted + failed partition the tasks" true
+    (List.sort compare
+       (List.map fst outcome.Mc.Supervise.completed
+       @ outcome.Mc.Supervise.interrupted
+       @ List.map fst outcome.Mc.Supervise.failed)
+    = List.init 30 Fun.id)
+
+let test_supervise_chaos_converges () =
+  (* Seeded chaos murders workers mid-assignment, but with budget <
+     retries every task survives at least one undisturbed attempt. *)
+  let chaos = Mc.Supervise.default_chaos Mc.Supervise.Kill ~seed:7 in
+  let tasks = List.init 16 Fun.id in
+  let outcome =
+    Mc.Supervise.run ~chaos ~workers:2 ~backoff:0.01
+      ~spawn:(fun () -> scripted_worker ())
+      ~tasks ()
+  in
+  check_bool "chaos-ridden run still completes every task" true
+    (List.map fst outcome.Mc.Supervise.completed = tasks);
+  check_bool "no task failed" true (outcome.Mc.Supervise.failed = []);
+  check_bool "injections stayed within budget" true
+    (outcome.Mc.Supervise.metrics.Mc.Supervise.chaos_injected
+    <= chaos.Mc.Supervise.budget)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: the real `ipi sweep-worker` binary                       *)
+
+(* dune's (deps ../bin/ipi.exe) guarantees the binary exists and is
+   fresh; resolve it relative to this test binary so the path holds under
+   both `dune runtest` and `dune exec` from the repository root. *)
+let ipi_exe =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "..")
+    (Filename.concat "bin" "ipi.exe")
+
+let result_equal = Mc.Codec.result_equal
+
+let e2e_spec config =
+  {
+    Mc.Distrib.faults = Sim.Model.Crash_only;
+    omit_budget = None;
+    policy = Mc.Serial.Prefixes;
+    horizon = None;
+    algo = Expt.Registry.floodset.Expt.Registry.algo;
+    config;
+    reduce = Mc.Distrib.Rdedup;
+    scope = Mc.Distrib.Fixed (Sim.Runner.distinct_proposals config);
+    table_cap = None;
+    spill_dir = None;
+  }
+
+let e2e_worker_argv config =
+  [
+    ipi_exe;
+    "sweep-worker";
+    "-a";
+    Expt.Registry.floodset.Expt.Registry.label;
+    "-n";
+    string_of_int (Config.n config);
+    "-t";
+    string_of_int (Config.t config);
+    "--faults";
+    "crash";
+    "--policy";
+    "prefixes";
+    "--reduce";
+    "dedup";
+  ]
+
+let run_ok name = function
+  | Ok r -> r
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let test_sweep_worker_end_to_end () =
+  let cfg = config ~n:5 ~t:2 in
+  let spec = e2e_spec cfg in
+  let worker_argv = e2e_worker_argv cfg in
+  let params = J.Obj [ ("test", J.String "supervise-e2e") ] in
+  let serial = run_ok "serial" (Mc.Distrib.run_serial ~params spec) in
+  (* 1. chaos-ridden supervised sweep, straight through *)
+  let sup =
+    run_ok "supervised"
+      (Mc.Distrib.run_supervised ~workers:2
+         ~chaos:(Mc.Supervise.default_chaos Mc.Supervise.Kill ~seed:11)
+         ~worker_argv ~params spec)
+  in
+  check_bool "supervised run completes" false sup.Mc.Distrib.partial;
+  check_bool "chaos-ridden 2-worker sweep is bit-identical to serial" true
+    (result_equal serial.Mc.Distrib.result sup.Mc.Distrib.result);
+  check_bool "reduction stats identical across the process boundary" true
+    (serial.Mc.Distrib.stats = sup.Mc.Distrib.stats);
+  check_int "edge counts identical" serial.Mc.Distrib.edges
+    sup.Mc.Distrib.edges;
+  check_bool "supervisor metrics are reported" true
+    (sup.Mc.Distrib.sup_metrics <> None);
+  (* 2. interrupt a serial sweep deterministically, then finish the job
+     under supervision, with chaos, from its checkpoint *)
+  let path = Filename.temp_file "ipi-test-supervise" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let polls = ref 0 in
+  let part =
+    run_ok "interrupted"
+      (Mc.Distrib.run_serial ~checkpoint:(path, 1)
+         ~should_stop:(fun () ->
+           incr polls;
+           !polls > 6)
+         ~params spec)
+  in
+  check_bool "interrupted run reports PARTIAL" true part.Mc.Distrib.partial;
+  check_int "six tasks persisted before the interrupt" 6
+    (List.length part.Mc.Distrib.completed);
+  let ck =
+    match Mc.Checkpoint.load ~path with
+    | Ok ck -> ck
+    | Error e ->
+        Alcotest.fail (Format.asprintf "%a" Mc.Checkpoint.pp_load_error e)
+  in
+  let resumed =
+    run_ok "resumed"
+      (Mc.Distrib.run_supervised ~resume:ck ~workers:2
+         ~chaos:(Mc.Supervise.default_chaos Mc.Supervise.Kill ~seed:5)
+         ~worker_argv ~params spec)
+  in
+  check_bool "resumed supervised run completes" false resumed.Mc.Distrib.partial;
+  check_bool "interrupt + chaos resume is bit-identical to serial" true
+    (result_equal serial.Mc.Distrib.result resumed.Mc.Distrib.result);
+  check_bool "stats identical after the full cycle" true
+    (serial.Mc.Distrib.stats = resumed.Mc.Distrib.stats)
+
+let test_supervised_immediate_stop () =
+  let cfg = config ~n:5 ~t:2 in
+  let spec = e2e_spec cfg in
+  let params = J.Obj [ ("test", J.String "supervise-stop") ] in
+  let stopped =
+    run_ok "stopped"
+      (Mc.Distrib.run_supervised
+         ~should_stop:(fun () -> true)
+         ~workers:2 ~worker_argv:(e2e_worker_argv cfg) ~params spec)
+  in
+  check_bool "immediate stop reports PARTIAL" true stopped.Mc.Distrib.partial;
+  check_int "nothing completed" 0 (List.length stopped.Mc.Distrib.completed)
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "scripted workers",
+        [
+          Alcotest.test_case "completes in order" `Quick
+            test_supervise_completes_in_order;
+          Alcotest.test_case "death and retry" `Quick
+            test_supervise_death_and_retry;
+          Alcotest.test_case "poison task bounded retry" `Quick
+            test_supervise_poison_task_bounded_retry;
+          Alcotest.test_case "stall rescued by timeout" `Quick
+            test_supervise_stall_rescued_by_timeout;
+          Alcotest.test_case "should_stop partitions tasks" `Quick
+            test_supervise_should_stop_partitions;
+          Alcotest.test_case "chaos converges" `Quick
+            test_supervise_chaos_converges;
+        ] );
+      ( "sweep-worker binary",
+        [
+          Alcotest.test_case "chaos / interrupt / resume cycle" `Quick
+            test_sweep_worker_end_to_end;
+          Alcotest.test_case "immediate stop" `Quick
+            test_supervised_immediate_stop;
+        ] );
+    ]

@@ -594,9 +594,10 @@ let sweep_cmd =
       & info [ "metrics" ]
           ~doc:
             "Print the sweep's metrics registry, including the \
-             allocation-probe histograms (sim.minor_words_per_round, \
-             mc.minor_words_per_sweep) and — with --jobs > 1 — the \
-             par.* worker-utilization gauges.")
+             allocation-probe histograms (mc.minor_words_per_round — the \
+             checker-core rate, one interval per arena DFS round over the \
+             distinct work — and mc.minor_words_per_sweep) and — with \
+             --jobs > 1 — the par.* worker-utilization gauges.")
   in
   let trace_file_arg =
     Cmdliner.Arg.(
@@ -927,8 +928,11 @@ let sweep_cmd =
         Format.fprintf std "trace (%d spans) written to %s@."
           (List.length records) path
     | None -> ());
+    (* The per-round histogram lands under [mc]: these are checker-core
+       branch rounds (arena DFS steps over the distinct work), not plain
+       simulator runs — [ipi run --metrics] keeps [sim] for those. *)
     (match round_acc with
-    | Some a -> Obs.Prof.flush a ~metrics:registry ~prefix:"sim" ~per:"round"
+    | Some a -> Obs.Prof.flush a ~metrics:registry ~prefix:"mc" ~per:"round"
     | None -> ());
     (match sweep_acc with
     | Some a -> Obs.Prof.flush a ~metrics:registry ~prefix:"mc" ~per:"sweep"

@@ -1,12 +1,32 @@
 open Kernel
 
-type msg = Flood of Value.Set.t | Decide of Value.t
+type msg = Flood of Value.Set.t * int | Decide of Value.t
 
 type state = {
   config : Config.t;
   seen : Value.Set.t;
+  mask : int;
+      (* [seen] as a bitmask when every value fits in a 62-bit word
+         ([mask_of]), [-1] otherwise; a function of [seen], kept so the
+         steady-state subset test is one [land] with no allocation *)
+  msg_out : msg;
+      (* the message [on_send] returns, cached so steady-state sends
+         allocate nothing; always [Flood (seen, mask)] before deciding and
+         [Decide v] after, so it is a function of the other fields and
+         states stay canonical (equal behaviour iff equal structure) *)
   decision : Value.t option;
   halted : bool;
+  next : state option;
+      (* precomputed successor, again a function of the other fields:
+         an undecided state holds the decided state it becomes at
+         [last_flood_round] {e if no new value arrives by then} (true on
+         every clean run: floods converge in one round), a decided state
+         holds its halted successor, a halted state holds [None]. Under
+         DFS snapshot/restore the same record is stepped once per sibling
+         branch, so returning [next] instead of rebuilding makes decision
+         and halt rounds allocation-free. The chain is finite — no
+         [let rec] cycles, which polymorphic [(=)] (dedup's key equality)
+         could not terminate on. *)
 }
 
 let name = "FloodSet"
@@ -16,53 +36,107 @@ let model = Sim.Model.Scs
    id except through pid sets. *)
 let symmetric = true
 
+let mask_of seen =
+  Value.Set.fold
+    (fun v m ->
+      let v = Value.to_int v in
+      if m < 0 || v < 0 || v > 61 then -1 else m lor (1 lsl v))
+    seen 0
+
+(* The decided state reached at [last_flood_round] from [seen], carrying
+   its own halted successor. *)
+let decided_state config seen mask =
+  let v = Value.Set.min_elt seen in
+  let halted_st =
+    {
+      config;
+      seen;
+      mask;
+      msg_out = Decide v;
+      decision = Some v;
+      halted = true;
+      next = None;
+    }
+  in
+  { halted_st with halted = false; next = Some halted_st }
+
+let flood_state config seen mask =
+  {
+    config;
+    seen;
+    mask;
+    msg_out = Flood (seen, mask);
+    decision = None;
+    halted = false;
+    next = Some (decided_state config seen mask);
+  }
+
 let init config _pid v =
-  { config; seen = Value.Set.singleton v; decision = None; halted = false }
+  let seen = Value.Set.singleton v in
+  flood_state config seen (mask_of seen)
 
 let last_flood_round st = Config.t st.config + 1
 
-let on_send st _round =
-  match st.decision with
-  | Some v -> Decide v
-  | None -> Flood st.seen
+let on_send st _round = st.msg_out
+
+(* A toplevel recursive loop rather than [List.fold_left f]: a closure over
+   [round] would be allocated once per process per round. Once estimates
+   converge every incoming set is a subset of [acc]; the mask test (or, for
+   unmaskable values, [Value.Set.subset]) keeps that steady state free of
+   set rebuilds and their allocations. *)
+let rec absorb acc macc round inbox =
+  match inbox with
+  | [] -> acc
+  | (e : msg Sim.Envelope.t) :: rest -> (
+      match e.payload with
+      | Flood (values, vmask) when Sim.Envelope.is_current e ~round ->
+          if
+            values == acc
+            || (vmask >= 0 && macc >= 0 && vmask land macc = vmask)
+            || Value.Set.subset values acc
+          then absorb acc macc round rest
+          else
+            let acc = Value.Set.union values acc in
+            absorb acc (mask_of acc) round rest
+      | Flood _ ->
+          (* Only same-round messages: SCS has no delayed deliveries, so on
+             an ES schedule a synchronous run must look exactly like an SCS
+             run to this algorithm (DECIDE echoes are accepted whenever
+             they arrive). *)
+          absorb acc macc round rest
+      | Decide v ->
+          if Value.Set.mem v acc then absorb acc macc round rest
+          else
+            let acc = Value.Set.add v acc in
+            absorb acc (mask_of acc) round rest)
 
 let on_receive st round inbox =
   match st.decision with
-  | Some _ ->
-      (* Decision already broadcast in this round's send phase; return. *)
-      { st with halted = true }
+  | Some _ -> (
+      (* Decision already broadcast in this round's send phase; halt. *)
+      match st.next with
+      | Some halted_st -> halted_st
+      | None -> st (* already halted; engines never step a halted process *))
   | None ->
-      (* Only same-round messages: SCS has no delayed deliveries, so on an
-         ES schedule a synchronous run must look exactly like an SCS run to
-         this algorithm (DECIDE echoes are accepted whenever they arrive). *)
-      let seen =
-        List.fold_left
-          (fun acc (e : msg Sim.Envelope.t) ->
-            match e.payload with
-            | Flood values when Sim.Envelope.is_current e ~round ->
-                (* Once estimates converge every incoming set is a subset of
-                   [acc]: checking first keeps the steady state free of set
-                   rebuilds (and their allocations). *)
-                if Value.Set.subset values acc then acc
-                else Value.Set.union values acc
-            | Flood _ -> acc
-            | Decide v -> if Value.Set.mem v acc then acc else Value.Set.add v acc)
-          st.seen inbox
-      in
+      let seen = absorb st.seen st.mask round inbox in
       if Round.to_int round >= last_flood_round st then
-        { st with seen; decision = Some (Value.Set.min_elt seen) }
+        if seen == st.seen then
+          match st.next with
+          | Some d -> d
+          | None -> decided_state st.config seen st.mask
+        else decided_state st.config seen (mask_of seen)
       else if seen == st.seen then st
-      else { st with seen }
+      else flood_state st.config seen (mask_of seen)
 
 let decision st = st.decision
 let halted st = st.halted
 
 let wire_size = function
-  | Flood values -> 4 + (8 * Value.Set.cardinal values)
+  | Flood (values, _) -> 4 + (8 * Value.Set.cardinal values)
   | Decide _ -> 8
 
 let pp_msg ppf = function
-  | Flood values ->
+  | Flood (values, _) ->
       Format.fprintf ppf "flood{%a}"
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")

@@ -181,7 +181,16 @@ let stats_to_json (s : Dedup.stats) =
       ("entries", J.Int s.entries);
       ("edges", J.Int s.edges);
       ("spilled", J.Int s.spilled);
+      ("snapshots", J.Int s.snapshots);
+      ("restores", J.Int s.restores);
     ]
+
+(* Absent in checkpoints written before the arena counters existed;
+   decode as 0 so old sweep state stays resumable. *)
+let opt_int_field name json =
+  match J.member name json with
+  | None -> Ok 0
+  | Some _ -> int_field name json
 
 let stats_of_json json =
   let* hits = int_field "hits" json in
@@ -189,7 +198,9 @@ let stats_of_json json =
   let* entries = int_field "entries" json in
   let* edges = int_field "edges" json in
   let* spilled = int_field "spilled" json in
-  Ok { Dedup.hits; misses; entries; edges; spilled }
+  let* snapshots = opt_int_field "snapshots" json in
+  let* restores = opt_int_field "restores" json in
+  Ok { Dedup.hits; misses; entries; edges; spilled; snapshots; restores }
 
 let choices_to_json cs = J.List (List.map choice_to_json cs)
 

@@ -6,9 +6,20 @@ type stats = {
   entries : int;
   edges : int;
   spilled : int;
+  snapshots : int;
+  restores : int;
 }
 
-let zero_stats = { hits = 0; misses = 0; entries = 0; edges = 0; spilled = 0 }
+let zero_stats =
+  {
+    hits = 0;
+    misses = 0;
+    entries = 0;
+    edges = 0;
+    spilled = 0;
+    snapshots = 0;
+    restores = 0;
+  }
 
 let merge_stats a b =
   {
@@ -17,6 +28,8 @@ let merge_stats a b =
     entries = a.entries + b.entries;
     edges = a.edges + b.edges;
     spilled = a.spilled + b.spilled;
+    snapshots = a.snapshots + b.snapshots;
+    restores = a.restores + b.restores;
   }
 
 let hit_rate s =
@@ -26,7 +39,10 @@ let hit_rate s =
 let pp_stats ppf s =
   Format.fprintf ppf "%d/%d subtrees from table (%.0f%%), %d entries" s.hits
     (s.hits + s.misses) (100. *. hit_rate s) s.entries;
-  if s.spilled > 0 then Format.fprintf ppf " (+%d spilled)" s.spilled
+  if s.spilled > 0 then Format.fprintf ppf " (+%d spilled)" s.spilled;
+  if s.snapshots > 0 then
+    Format.fprintf ppf "; %d arena snapshots, %d restores" s.snapshots
+      s.restores
 
 (* Combine a later sibling subtree into the accumulator, preserving the
    exact list orders of the one-pass serial DFS: the serial sweep conses
@@ -58,35 +74,6 @@ let lift choice (frag : Exhaustive.result) =
         frag.Exhaustive.crashed;
   }
 
-(* The per-branch adversary state plus the [Bitset.Big] mirrors the memo
-   keys are built from (canonical, array-backed — meaningful under [( = )]
-   and [Hashtbl.hash] at any [n]). *)
-type frame = {
-  adv : Serial.adversary;
-  aliveb : Bitset.Big.t;
-  sendb : Bitset.Big.t;
-  recvb : Bitset.Big.t;
-}
-
-let initial_frame ?omit_budget ?faults config =
-  {
-    adv = Serial.initial ?omit_budget ?faults config;
-    aliveb = Bitset.Big.full ~n:(Config.n config);
-    sendb = Bitset.Big.empty;
-    recvb = Bitset.Big.empty;
-  }
-
-let advance_frame fr choice =
-  let adv = Serial.advance fr.adv choice in
-  match choice with
-  | Serial.No_crash -> { fr with adv }
-  | Serial.Crash { victim; _ } ->
-      { fr with adv; aliveb = Bitset.Big.remove (Pid.to_int victim) fr.aliveb }
-  | Serial.Send_omit { culprit; _ } ->
-      { fr with adv; sendb = Bitset.Big.add (Pid.to_int culprit) fr.sendb }
-  | Serial.Recv_omit { culprit; _ } ->
-      { fr with adv; recvb = Bitset.Big.add (Pid.to_int culprit) fr.recvb }
-
 let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
     ?(policy = Serial.Prefixes) ?horizon ?prof ?(spans = Obs.Span.disabled)
     ?table_cap ?spill_dir ~algo:(Sim.Algorithm.Packed (module A)) ~config
@@ -98,25 +85,7 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
   if depth0 < 0 then
     invalid_arg "Dedup.sweep_prefix: prefix longer than the horizon";
   let max_rounds = Sim.Engine.round_bound config ~horizon ~gst:1 in
-  let budget = Serial.budget_of ?omit_budget ~faults config in
-  let leaf_schedule = Serial.to_schedule config [] in
-  (* Omission leaves need their omitter declarations in the trace schedule
-     — the verdict ([Props.check]) judges agreement/termination on the
-     fault-free set. The crash-only shared empty schedule stays as-is. *)
-  let leaf_schedule_of fr =
-    let omitters =
-      List.map
-        (fun p -> (p, Sim.Model.Send_omit))
-        (Pid.Set.elements fr.adv.Serial.send_omitters)
-      @ List.map
-          (fun p -> (p, Sim.Model.Recv_omit))
-          (Pid.Set.elements fr.adv.Serial.recv_omitters)
-    in
-    if omitters = [] then leaf_schedule
-    else
-      Sim.Schedule.make ~omitters ?budget ~model:Sim.Model.Es ~gst:Round.first
-        []
-  in
+  let menu = Menu.create ~faults ?omit_budget ~policy config in
   let check = Exhaustive.deadline_check deadline in
   let hits = ref 0 and misses = ref 0 and edges = ref 0 in
   (* The memo key. [k_alive] and [k_left] are NOT derivable from the
@@ -129,26 +98,38 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
      the remaining horizon (hence the round, for [Ok] states). A poisoned
      ([Error]) subtree is engine-free — its leaves depend only on the
      choice tree below and the error — so it memoises on the structured
-     error instead of a fingerprint. *)
+     error instead of a fingerprint.
+
+     The fields are mutable only so one probe key can be refreshed in
+     place per lookup (mutability is invisible to structural [( = )] and
+     [Hashtbl.hash]); stored keys are immutable clones taken before the
+     subtree is explored. *)
   let module Key = struct
     type state_key =
-      | K_ok of E.Incremental.fingerprint
+      | K_ok of E.Arena.fingerprint
       | K_err of Sim.Engine.step_error
 
     type t = {
-      k_depth : int;
-      k_left : int;
-      k_alive : Bitset.Big.t;
-      k_send : Bitset.Big.t;
-      k_recv : Bitset.Big.t;
-      k_omit_left : int;
-      k_state : state_key;
+      mutable k_depth : int;
+      mutable k_left : int;
+      mutable k_alive : Bitset.Big.t;
+      mutable k_send : Bitset.Big.t;
+      mutable k_recv : Bitset.Big.t;
+      mutable k_omit_left : int;
+      mutable k_state : state_key;
     }
   end in
   let module Tbl = Hashtbl.Make (struct
     type t = Key.t
 
-    let equal = ( = )
+    (* [compare]-based equality, not [( = )]: the runtime's total-order
+       comparison short-circuits on physically equal subterms, which the
+       arena produces constantly — snapshot/restore shares state records
+       across branches, so a probe against the matching stored key walks
+       pointers, not structure. [( = )] must descend even through shared
+       records (NaN forbids the shortcut); keys are float-free pure data,
+       so the two agree on every key this table can hold. *)
+    let equal a b = Stdlib.compare (a : t) b = 0
 
     (* The default [Hashtbl.hash] reads only a bounded prefix of the key,
        so distinct fingerprints can share buckets — but [equal] resolves
@@ -195,32 +176,82 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
         | None -> ())
     | _ -> Tbl.add tbl key frag
   in
-  let extend st choice =
-    match st with
-    | Error _ -> st
-    | Ok st -> (
-        incr edges;
-        let cplan = Sim.Schedule.compile_plan ~n (Serial.plan_of config choice) in
-        match
-          match prof with
-          | None -> E.Incremental.step st cplan
-          | Some a -> Obs.Prof.measure a (fun () -> E.Incremental.step st cplan)
-        with
-        | st -> Ok st
-        | exception Sim.Engine.Step_error e -> Error e)
+  let arena = E.Arena.create config ~proposals in
+  let step_arena cplan =
+    match prof with
+    | None -> E.Arena.step arena cplan
+    | Some a -> Obs.Prof.measure a (fun () -> E.Arena.step arena cplan)
+  in
+  (* One probe key, refreshed in place per lookup: [probe_ok] wraps the
+     arena's reusable probe fingerprint, so a warm lookup allocates
+     nothing at all. *)
+  let probe_ok = Key.K_ok (E.Arena.probe_fingerprint arena) in
+  let probe =
+    {
+      Key.k_depth = 0;
+      k_left = 0;
+      k_alive = Bitset.Big.empty;
+      k_send = Bitset.Big.empty;
+      k_recv = Bitset.Big.empty;
+      k_omit_left = 0;
+      k_state = probe_ok;
+    }
+  in
+  let set_probe depth (node : Menu.node) err =
+    (match err with
+    | None ->
+        ignore (E.Arena.probe_fingerprint arena : E.Arena.fingerprint);
+        probe.Key.k_state <- probe_ok
+    | Some e -> probe.Key.k_state <- Key.K_err e);
+    (* Leaves memoise on the fingerprint and the declared omitter sets:
+       with no choices left, the remaining budgets and victim pool cannot
+       influence the run — but the omitter sets still decide the verdict
+       ([finish]'s trace is judged against the fault-free set). Collapsing
+       the budgets buys hits across histories that differ only in budget
+       spent on already-halted victims. *)
+    if depth = 0 then (
+      probe.Key.k_depth <- 0;
+      probe.Key.k_left <- 0;
+      probe.Key.k_alive <- Bitset.Big.empty;
+      probe.Key.k_omit_left <- 0)
+    else (
+      probe.Key.k_depth <- depth;
+      probe.Key.k_left <- node.Menu.adv.Serial.crashes_left;
+      probe.Key.k_alive <- node.Menu.aliveb;
+      probe.Key.k_omit_left <- node.Menu.adv.Serial.omit_left);
+    probe.Key.k_send <- node.Menu.sendb;
+    probe.Key.k_recv <- node.Menu.recvb
+  in
+  (* An immutable snapshot of the probe, safe to store: the scalar fields
+     and bitsets are copied/shared, the fingerprint deep-copied out of the
+     arena's loaned buffers. Taken BEFORE the subtree below is explored —
+     recursive lookups overwrite the probe. *)
+  let clone_probe () =
+    {
+      Key.k_depth = probe.Key.k_depth;
+      k_left = probe.Key.k_left;
+      k_alive = probe.Key.k_alive;
+      k_send = probe.Key.k_send;
+      k_recv = probe.Key.k_recv;
+      k_omit_left = probe.Key.k_omit_left;
+      k_state =
+        (match probe.Key.k_state with
+        | Key.K_ok fp -> Key.K_ok (E.Arena.copy_fingerprint fp)
+        | Key.K_err _ as e -> e);
+    }
   in
   (* Only table misses reach [leaf], so spans and probes record exactly the
      distinct work done — answered-from-table subtrees cost (and show)
      nothing. *)
-  let leaf fr st =
-    match st with
-    | Error error -> Exhaustive.add_crashed Exhaustive.empty ~choices:[] ~error
-    | Ok st ->
+  let leaf (node : Menu.node) err =
+    match err with
+    | Some error -> Exhaustive.add_crashed Exhaustive.empty ~choices:[] ~error
+    | None ->
         if Obs.Span.enabled spans then Obs.Span.enter spans "run";
         let frag =
           match
-            E.Incremental.finish ~max_rounds ?prof
-              ~schedule:(leaf_schedule_of fr) st
+            E.Arena.finish ~max_rounds ?prof ~schedule:node.Menu.leaf_schedule
+              arena
           with
           | trace -> Exhaustive.add_run Exhaustive.empty ~choices:[] ~trace
           | exception Sim.Engine.Step_error error ->
@@ -231,82 +262,91 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
   in
   (* Returns the subtree's result with choice lists relative to the node
      (the caller lifts them); [distinct_runs] counts the leaves this call
-     actually evaluated, so a table hit contributes 0. *)
-  let rec children depth fr st =
-    List.fold_left
-      (fun acc choice ->
-        combine acc
-          (lift choice
-             (explore (depth - 1) (advance_frame fr choice) (extend st choice))))
-      Exhaustive.empty
-      (Serial.adversary_choices ~policy ~faults fr.adv)
-  and explore depth fr st =
-    let key =
-      if depth = 0 then begin
-        (* Leaves memoise on the fingerprint and the declared omitter sets:
-           with no choices left, the remaining budgets and victim pool
-           cannot influence the run — but the omitter sets still decide the
-           verdict ([finish]'s trace is judged against the fault-free set).
-           Collapsing the budgets buys hits across histories that differ
-           only in budget spent on already-halted victims. *)
-        check ();
-        {
-          Key.k_depth = 0;
-          k_left = 0;
-          k_alive = Bitset.Big.empty;
-          k_send = fr.sendb;
-          k_recv = fr.recvb;
-          k_omit_left = 0;
-          k_state =
-            (match st with
-            | Ok s -> Key.K_ok (E.Incremental.fingerprint s)
-            | Error e -> Key.K_err e);
-        }
-      end
-      else
-        {
-          Key.k_depth = depth;
-          k_left = fr.adv.Serial.crashes_left;
-          k_alive = fr.aliveb;
-          k_send = fr.sendb;
-          k_recv = fr.recvb;
-          k_omit_left = fr.adv.Serial.omit_left;
-          k_state =
-            (match st with
-            | Ok s -> Key.K_ok (E.Incremental.fingerprint s)
-            | Error e -> Key.K_err e);
-        }
-    in
-      match Tbl.find_opt tbl key with
-      | Some frag ->
-          incr hits;
-          { frag with Exhaustive.distinct_runs = 0 }
+     actually evaluated, so a table hit contributes 0.
+
+     Branch discipline mirrors [Exhaustive.sweep_prefix]: one snapshot per
+     expanded node, taken before the first child and restored before every
+     later sibling; the last child leaves the arena wherever it ran to
+     (end of a leaf run, or mid-round after a raise) and the parent's own
+     snapshot covers the residue. Poisoned ([Some err]) subtrees never
+     touch the arena. *)
+  let rec children depth (node : Menu.node) err =
+    let acc = ref Exhaustive.empty in
+    let k = Array.length node.Menu.choices in
+    (match err with
+    | Some _ ->
+        for i = 0 to k - 1 do
+          acc :=
+            combine !acc
+              (lift node.Menu.choices.(i)
+                 (explore (depth - 1) (Menu.child menu node i) err))
+        done
+    | None ->
+        E.Arena.save arena;
+        for i = 0 to k - 1 do
+          if i > 0 then E.Arena.restore arena;
+          incr edges;
+          let err' =
+            try
+              step_arena node.Menu.plans.(i);
+              None
+            with Sim.Engine.Step_error e -> Some e
+          in
+          acc :=
+            combine !acc
+              (lift node.Menu.choices.(i)
+                 (explore (depth - 1) (Menu.child menu node i) err'))
+        done;
+        E.Arena.drop arena);
+    !acc
+  and explore depth node err =
+    if depth = 0 then check ();
+    set_probe depth node err;
+    match Tbl.find_opt tbl probe with
+    | Some frag ->
+        incr hits;
+        { frag with Exhaustive.distinct_runs = 0 }
+    | None -> (
+        match spill_find probe with
+        | Some frag ->
+            incr hits;
+            { frag with Exhaustive.distinct_runs = 0 }
+        | None ->
+            incr misses;
+            let key = clone_probe () in
+            let frag =
+              if depth = 0 then leaf node err else children depth node err
+            in
+            table_store key frag;
+            frag)
+  in
+  (* Replay the prefix once, into the arena; a [Step_error] on a prefix
+     round poisons the whole subtree below. *)
+  let root_err = ref None in
+  List.iter
+    (fun choice ->
+      match !root_err with
+      | Some _ -> ()
       | None -> (
-          match spill_find key with
-          | Some frag ->
-              incr hits;
-              { frag with Exhaustive.distinct_runs = 0 }
-          | None ->
-              incr misses;
-              let frag =
-                if depth = 0 then leaf fr st else children depth fr st
-              in
-              table_store key frag;
-              frag)
-  in
-  let root =
-    List.fold_left extend (Ok (E.Incremental.start config ~proposals)) prefix
-  in
-  let fr0 =
-    List.fold_left advance_frame (initial_frame ?omit_budget ~faults config)
-      prefix
+          incr edges;
+          let cplan =
+            Sim.Schedule.compile_plan ~n (Serial.plan_of config choice)
+          in
+          try step_arena cplan
+          with Sim.Engine.Step_error e -> root_err := Some e))
+    prefix;
+  let root_node =
+    Menu.node_of menu
+      (List.fold_left Serial.advance
+         (Serial.initial ?omit_budget ~faults config)
+         prefix)
   in
   let frag, expired =
     Fun.protect
       ~finally:(fun () ->
         match !spill with Some s -> Spill.close s | None -> ())
       (fun () ->
-        match explore depth0 fr0 root with
+        match explore depth0 root_node !root_err with
         | frag -> (frag, false)
         | exception Exhaustive.Expired -> (Exhaustive.empty, true))
   in
@@ -320,6 +360,8 @@ let sweep_prefix ?(faults = Sim.Model.Crash_only) ?omit_budget ?deadline
       entries = Tbl.length tbl;
       edges = !edges;
       spilled = !spilled;
+      snapshots = E.Arena.snapshots arena;
+      restores = E.Arena.restores arena;
     } )
 
 (* One fresh table per first-round subtree — deliberately the same
@@ -355,8 +397,9 @@ let sweep_sharded ?faults ?omit_budget ?deadline ?policy ?horizon ?prof
         else subtree ()
       in
       if Obs.Progress.enabled progress then
-        Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
-          ~hits:s.hits ~lookups:(s.hits + s.misses);
+        Obs.Progress.step progress ~distinct:r.Exhaustive.distinct_runs
+          ~items:1 ~runs:r.Exhaustive.runs ~hits:s.hits
+          ~lookups:(s.hits + s.misses);
       (combine acc r, merge_stats stats s))
     (Exhaustive.empty, zero_stats)
     firsts
@@ -375,7 +418,8 @@ let sweep ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon ?prof
   in
   Exhaustive.report_sweep metrics ~started
     ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.edges)
-    ~dedup:(stats.hits, stats.entries) result;
+    ~dedup:(stats.hits, stats.entries)
+    ~arena:(stats.snapshots, stats.restores) result;
   (result, stats)
 
 let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
@@ -404,5 +448,6 @@ let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
   in
   Exhaustive.report_sweep metrics ~started
     ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.edges)
-    ~dedup:(stats.hits, stats.entries) result;
+    ~dedup:(stats.hits, stats.entries)
+    ~arena:(stats.snapshots, stats.restores) result;
   (result, stats)

@@ -40,6 +40,10 @@ type stats = {
   spilled : int;
       (** entries written to the disk overflow ({!Spill}) after the
           in-memory table reached its cap; 0 for uncapped sweeps *)
+  snapshots : int;
+      (** arena branch-point snapshots taken
+          ({!Sim.Engine.Make.Arena.save}), summed over shards *)
+  restores : int;  (** arena rewinds ({!Sim.Engine.Make.Arena.restore}) *)
 }
 
 val zero_stats : stats

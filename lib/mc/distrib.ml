@@ -158,8 +158,15 @@ let step_progress progress (e : Checkpoint.entry) =
       | Some s -> (s.Dedup.hits, s.Dedup.hits + s.Dedup.misses)
       | None -> (0, 0)
     in
-    Obs.Progress.step progress ~items:1 ~runs:e.result.Exhaustive.runs ~hits
-      ~lookups
+    (* [distinct] only when a reduction ran: unreduced entries have
+       [distinct_runs = runs], which would merely relabel the rate. *)
+    let distinct =
+      match e.stats with
+      | Some _ -> e.result.Exhaustive.distinct_runs
+      | None -> 0
+    in
+    Obs.Progress.step progress ~distinct ~items:1
+      ~runs:e.result.Exhaustive.runs ~hits ~lookups
 
 (* ------------------------------------------------------------------ *)
 (* Serial checkpointed driver                                          *)

@@ -108,8 +108,8 @@ type stopwatch = { wall_started : float; cpu_started : float }
 let stopwatch () =
   { wall_started = Unix.gettimeofday (); cpu_started = Sys.time () }
 
-let report_sweep ?(domains = 1) ?(prefix_hits = 0) ?dedup ?orbits metrics
-    ~started result =
+let report_sweep ?(domains = 1) ?(prefix_hits = 0) ?dedup ?arena ?orbits
+    metrics ~started result =
   match metrics with
   | None -> ()
   | Some m ->
@@ -121,6 +121,13 @@ let report_sweep ?(domains = 1) ?(prefix_hits = 0) ?dedup ?orbits metrics
       | Some (hits, entries) ->
           Obs.Metrics.incr ~by:hits (Obs.Metrics.counter m "mc.dedup_hits");
           Obs.Metrics.set (Obs.Metrics.gauge m "mc.dedup_entries") entries);
+      (match arena with
+      | None -> ()
+      | Some (snapshots, restores) ->
+          Obs.Metrics.incr ~by:snapshots
+            (Obs.Metrics.counter m "mc.arena_snapshots");
+          Obs.Metrics.incr ~by:restores
+            (Obs.Metrics.counter m "mc.arena_restores"));
       (match orbits with
       | None -> ()
       | Some k -> Obs.Metrics.set (Obs.Metrics.gauge m "mc.orbits") k);
@@ -213,64 +220,92 @@ let sweep_prefix ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes)
   let horizon = Option.value horizon ~default:(Config.t config + 2) in
   let n = Config.n config in
   let max_rounds = Sim.Engine.round_bound config ~horizon ~gst:1 in
-  let budget =
-    Serial.budget_of ?omit_budget
-      ~faults:(Option.value faults ~default:Sim.Model.Crash_only)
-      config
-  in
-  let leaf_schedule = Serial.to_schedule config [] in
-  (* Judgment at a leaf needs the run's omitter declarations (validity is
-     checked on everybody, agreement and termination on the fault-free set
-     only), so omission leaves get a plan-free schedule carrying them; the
-     crash-only shared empty schedule is untouched. *)
-  let leaf_schedule_of choices =
-    match Serial.omitters_of choices with
-    | [] -> leaf_schedule
-    | omitters ->
-        Sim.Schedule.make ~omitters ?budget ~model:Sim.Model.Es
-          ~gst:Round.first []
-  in
+  let faults_v = Option.value faults ~default:Sim.Model.Crash_only in
+  let depth0 = horizon - List.length prefix in
+  if depth0 < 0 then invalid_arg "Serial.fold: prefix longer than the horizon";
+  let menu = Menu.create ~faults:faults_v ?omit_budget ~policy config in
   let check = deadline_check deadline in
   let edges = ref 0 in
-  (* The DFS state is a [result]: a [Step_error] on an edge poisons the
-     whole subtree below it, and every leaf under that edge records the
-     same crashed run — exactly what the from-scratch [sweep] observes,
-     since a raise in round [r] depends only on the choice prefix up to
-     [r]. The poisoned state is shared, so the subtree costs nothing. *)
-  let extend st choice =
-    match st with
-    | Error _ -> st
-    | Ok st -> (
-        incr edges;
-        let cplan = Sim.Schedule.compile_plan ~n (Serial.plan_of config choice) in
-        match
-          match prof with
-          | None -> E.Incremental.step st cplan
-          | Some a -> Obs.Prof.measure a (fun () -> E.Incremental.step st cplan)
-        with
-        | st -> Ok st
-        | exception Sim.Engine.Step_error e -> Error e)
+  let arena = E.Arena.create config ~proposals in
+  let step_arena cplan =
+    match prof with
+    | None -> E.Arena.step arena cplan
+    | Some a -> Obs.Prof.measure a (fun () -> E.Arena.step arena cplan)
   in
-  let root =
-    List.fold_left extend (Ok (E.Incremental.start config ~proposals)) prefix
+  (* Replay the prefix once, into the arena. A [Step_error] on a prefix
+     round poisons the whole sweep: every leaf records the same crashed
+     run, exactly what the from-scratch [sweep] observes, since a raise in
+     round [r] depends only on the choice prefix up to [r]. *)
+  let root_err = ref None in
+  List.iter
+    (fun choice ->
+      match !root_err with
+      | Some _ -> ()
+      | None -> (
+          incr edges;
+          let cplan =
+            Sim.Schedule.compile_plan ~n (Serial.plan_of config choice)
+          in
+          try step_arena cplan
+          with Sim.Engine.Step_error e -> root_err := Some e))
+    prefix;
+  let root_node =
+    Menu.node_of menu
+      (List.fold_left Serial.advance
+         (Serial.initial ?omit_budget ~faults:faults_v config)
+         prefix)
   in
   let acc = ref empty in
-  (try
-     Serial.fold ?faults ?omit_budget ~policy ~prefix config ~horizon ~root
-       ~step:extend ~leaf:(fun choices st ->
-         check ();
-         match st with
-         | Error error -> acc := add_crashed !acc ~choices ~error
-         | Ok st ->
-             if Obs.Span.enabled spans then Obs.Span.enter spans "run";
-             (match
-                E.Incremental.finish ~max_rounds ?prof
-                  ~schedule:(leaf_schedule_of choices) st
-              with
-             | trace -> acc := add_run !acc ~choices ~trace
-             | exception Sim.Engine.Step_error error ->
-                 acc := add_crashed !acc ~choices ~error);
-             if Obs.Span.enabled spans then Obs.Span.exit spans)
+  (* The choice path below the prefix, filled in place as the DFS
+     descends; a leaf materialises [prefix @ path] exactly once, like the
+     per-leaf list [Serial.fold] used to build. *)
+  let path = Array.make (max depth0 1) Serial.No_crash in
+  let leaf_choices () = prefix @ Array.to_list (Array.sub path 0 depth0) in
+  (* Branch discipline: one snapshot per expanded node, taken before its
+     first child and restored before every later sibling; the last child
+     leaves the arena wherever it ran to (possibly mid-round after a
+     raise) and the parent's own snapshot covers the residue. Poisoned
+     subtrees touch the arena not at all. *)
+  let rec go depth node err =
+    if depth = 0 then (
+      check ();
+      match err with
+      | Some error -> acc := add_crashed !acc ~choices:(leaf_choices ()) ~error
+      | None ->
+          if Obs.Span.enabled spans then Obs.Span.enter spans "run";
+          (match
+             E.Arena.finish ~max_rounds ?prof
+               ~schedule:node.Menu.leaf_schedule arena
+           with
+          | trace -> acc := add_run !acc ~choices:(leaf_choices ()) ~trace
+          | exception Sim.Engine.Step_error error ->
+              acc := add_crashed !acc ~choices:(leaf_choices ()) ~error);
+          if Obs.Span.enabled spans then Obs.Span.exit spans)
+    else
+      let k = Array.length node.Menu.choices in
+      match err with
+      | Some _ ->
+          for i = 0 to k - 1 do
+            path.(depth0 - depth) <- node.Menu.choices.(i);
+            go (depth - 1) (Menu.child menu node i) err
+          done
+      | None ->
+          E.Arena.save arena;
+          for i = 0 to k - 1 do
+            if i > 0 then E.Arena.restore arena;
+            path.(depth0 - depth) <- node.Menu.choices.(i);
+            incr edges;
+            let err' =
+              try
+                step_arena node.Menu.plans.(i);
+                None
+              with Sim.Engine.Step_error e -> Some e
+            in
+            go (depth - 1) (Menu.child menu node i) err'
+          done;
+          E.Arena.drop arena
+  in
+  (try go depth0 root_node !root_err
    with Expired -> acc := { !acc with expired = true });
   (!acc, !edges)
 

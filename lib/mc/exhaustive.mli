@@ -236,6 +236,7 @@ val report_sweep :
   ?domains:int ->
   ?prefix_hits:int ->
   ?dedup:int * int ->
+  ?arena:int * int ->
   ?orbits:int ->
   Obs.Metrics.t option ->
   started:stopwatch ->
@@ -246,10 +247,12 @@ val report_sweep :
     (default 1) and [prefix_hits] (default 0, omitted when 0) as
     annotations from the caller's driver. Reduced sweeps also pass
     [dedup] (transposition-table [(hits, entries)], reported as the
-    [mc.dedup_hits] counter and [mc.dedup_entries] gauge) and [orbits]
-    (assignment classes actually swept, the [mc.orbits] gauge); the
-    [mc.distinct_runs] counter is always reported and equals [mc.runs]
-    for unreduced sweeps. *)
+    [mc.dedup_hits] counter and [mc.dedup_entries] gauge), [arena]
+    (branch-execution [(snapshots, restores)], the [mc.arena_snapshots]
+    and [mc.arena_restores] counters) and [orbits] (assignment classes
+    actually swept, the [mc.orbits] gauge); the [mc.distinct_runs]
+    counter is always reported and equals [mc.runs] for unreduced
+    sweeps. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** Prints [[-, -]] for the decision-round interval when no run decided. *)

@@ -203,6 +203,7 @@ let report_reduced ?orbits metrics ~started ~jobs ~horizon ~failures
   Exhaustive.report_sweep metrics ~started ~domains:(max jobs 1)
     ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.Dedup.edges)
     ~dedup:(stats.Dedup.hits, stats.Dedup.entries)
+    ~arena:(stats.Dedup.snapshots, stats.Dedup.restores)
     ?orbits result;
   (result, stats)
 
@@ -235,8 +236,9 @@ let sweep_dedup ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes)
                        ~proposals ~prefix:[ first ] ())
                in
                if Obs.Progress.enabled progress then
-                 Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
-                   ~hits:s.Dedup.hits
+                 Obs.Progress.step progress
+                   ~distinct:r.Exhaustive.distinct_runs ~items:1
+                   ~runs:r.Exhaustive.runs ~hits:s.Dedup.hits
                    ~lookups:(s.Dedup.hits + s.Dedup.misses);
                (r, s)))
          firsts)
@@ -275,8 +277,9 @@ let sweep_binary_dedup ?faults ?omit_budget ?deadline
                        ~config ~proposals ())
                in
                if Obs.Progress.enabled progress then
-                 Obs.Progress.step progress ~items:1 ~runs:r.Exhaustive.runs
-                   ~hits:s.Dedup.hits
+                 Obs.Progress.step progress
+                   ~distinct:r.Exhaustive.distinct_runs ~items:1
+                   ~runs:r.Exhaustive.runs ~hits:s.Dedup.hits
                    ~lookups:(s.Dedup.hits + s.Dedup.misses);
                (r, s)))
          assignments)
@@ -330,7 +333,8 @@ let sweep_binary_sym ?faults ?omit_budget ?deadline ?(policy = Serial.Prefixes)
                          ~config ~orbit ())
                  in
                  if Obs.Progress.enabled progress then
-                   Obs.Progress.step progress ~items:1
+                   Obs.Progress.step progress
+                     ~distinct:r.Exhaustive.distinct_runs ~items:1
                      ~runs:r.Exhaustive.runs ~hits:s.Dedup.hits
                      ~lookups:(s.Dedup.hits + s.Dedup.misses);
                  (r, s)))

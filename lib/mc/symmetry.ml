@@ -85,6 +85,7 @@ let sweep_binary ?faults ?omit_budget ?deadline ?policy ?metrics ?horizon
     Exhaustive.report_sweep metrics ~started
       ~prefix_hits:((result.Exhaustive.runs * horizon) - stats.Dedup.edges)
       ~dedup:(stats.Dedup.hits, stats.Dedup.entries)
+      ~arena:(stats.Dedup.snapshots, stats.Dedup.restores)
       ~orbits:(List.length per_orbit) result;
     (result, stats)
   end

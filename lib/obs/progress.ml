@@ -4,6 +4,7 @@ type snapshot = {
   items : int;
   total : int option;
   runs : int;
+  distinct : int;
   elapsed_s : float;
   per_s : float option;
   eta_s : float option;
@@ -21,6 +22,7 @@ type state = {
   mutable total : int option;
   mutable items : int;
   mutable runs : int;
+  mutable distinct : int;
   mutable hits : int;
   mutable lookups : int;
 }
@@ -43,6 +45,7 @@ let create ?(every = 1) ?total ~label ~emit () =
       total;
       items = 0;
       runs = 0;
+      distinct = 0;
       hits = 0;
       lookups = 0;
     }
@@ -59,8 +62,14 @@ let set_total t total =
 let snapshot_locked s ~final =
   s.seq <- s.seq + 1;
   let elapsed = Unix.gettimeofday () -. s.started in
+  (* Under a reduction the distinct (post-dedup) count is the real work
+     driver — raw [runs] inflate with every table hit — so the rate, and
+     with it the ETA extrapolation below (elapsed scaled by remaining
+     items at the observed per-item cost), follow distinct work whenever
+     any was recorded. *)
   let per_s =
     if elapsed <= 0. then None
+    else if s.distinct > 0 then Some (float_of_int s.distinct /. elapsed)
     else if s.runs > 0 then Some (float_of_int s.runs /. elapsed)
     else if s.items > 0 then Some (float_of_int s.items /. elapsed)
     else None
@@ -82,6 +91,7 @@ let snapshot_locked s ~final =
     items = s.items;
     total = s.total;
     runs = s.runs;
+    distinct = s.distinct;
     elapsed_s = elapsed;
     per_s;
     eta_s;
@@ -89,7 +99,7 @@ let snapshot_locked s ~final =
     final;
   }
 
-let step t ~items ~runs ~hits ~lookups =
+let step ?(distinct = 0) t ~items ~runs ~hits ~lookups =
   match t with
   | Disabled -> ()
   | Enabled s ->
@@ -97,6 +107,7 @@ let step t ~items ~runs ~hits ~lookups =
       let before = s.items in
       s.items <- s.items + items;
       s.runs <- s.runs + runs;
+      s.distinct <- s.distinct + distinct;
       s.hits <- s.hits + hits;
       s.lookups <- s.lookups + lookups;
       let crossed = s.items / s.every > before / s.every in
@@ -123,10 +134,17 @@ let render snap =
            (snap.items * 100 / total))
   | _ -> Buffer.add_string buf (Printf.sprintf " %d" snap.items));
   if snap.runs > 0 then
-    Buffer.add_string buf (Printf.sprintf " | %d runs" snap.runs);
+    if snap.distinct > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf " | %d runs (%d distinct)" snap.runs snap.distinct)
+    else Buffer.add_string buf (Printf.sprintf " | %d runs" snap.runs);
   (match snap.per_s with
   | Some r ->
-      let unit = if snap.runs > 0 then "runs/s" else "items/s" in
+      let unit =
+        if snap.distinct > 0 then "distinct/s"
+        else if snap.runs > 0 then "runs/s"
+        else "items/s"
+      in
       Buffer.add_string buf (Printf.sprintf " | %.0f %s" r unit)
   | None -> ());
   (match snap.hit_rate with
@@ -149,6 +167,7 @@ let snapshot_to_json (snap : snapshot) =
       ("items", Json.Int snap.items);
       ("total", opt (fun v -> Json.Int v) snap.total);
       ("runs", Json.Int snap.runs);
+      ("distinct", Json.Int snap.distinct);
       ("elapsed_s", Json.Float snap.elapsed_s);
       ("per_s", opt (fun v -> Json.Float v) snap.per_s);
       ("eta_s", opt (fun v -> Json.Float v) snap.eta_s);
@@ -172,6 +191,9 @@ let snapshot_of_json json =
   let* label = req "label" Json.to_string_opt in
   let* items = req "items" Json.to_int_opt in
   let* runs = req "runs" Json.to_int_opt in
+  (* Absent in heartbeats written before reductions reported distinct
+     work; old files stay readable. *)
+  let distinct = Option.value (opt "distinct" Json.to_int_opt) ~default:0 in
   let* elapsed_s = req "elapsed_s" Json.to_float_opt in
   let* final = req "final" Json.to_bool_opt in
   Ok
@@ -181,6 +203,7 @@ let snapshot_of_json json =
       items;
       total = opt "total" Json.to_int_opt;
       runs;
+      distinct;
       elapsed_s;
       per_s = opt "per_s" Json.to_float_opt;
       eta_s = opt "eta_s" Json.to_float_opt;

@@ -23,11 +23,19 @@ type snapshot = {
   items : int;  (** Work items completed so far. *)
   total : int option;  (** Expected items, when the driver knows it. *)
   runs : int;  (** Schedules executed so far (0 if the driver doesn't count them). *)
+  distinct : int;
+      (** Post-dedup runs actually executed, when a reduction reports
+          them (0 otherwise). *)
   elapsed_s : float;
   per_s : float option;
-      (** Runs per second when [runs > 0], else items per second; [None]
-          until the clock has measurably advanced. *)
-  eta_s : float option;  (** Estimated seconds remaining; needs [total]. *)
+      (** Distinct runs per second when a reduction reports them
+          ([distinct > 0] — raw [runs] inflate with every table hit),
+          else runs per second when [runs > 0], else items per second;
+          [None] until the clock has measurably advanced. *)
+  eta_s : float option;
+      (** Estimated seconds remaining; needs [total]. Extrapolates the
+          per-item cost observed so far, which under a reduction is the
+          {e distinct} (post-dedup) work per shard. *)
   hit_rate : float option;
       (** Dedup hits / lookups, when the driver reports lookups. *)
   final : bool;  (** [true] only for the snapshot {!finish} emits. *)
@@ -47,10 +55,12 @@ val set_total : t -> int -> unit
 (** Drivers that only learn the item count after sharding call this before
     stepping. No-op on {!disabled}. *)
 
-val step : t -> items:int -> runs:int -> hits:int -> lookups:int -> unit
+val step :
+  ?distinct:int -> t -> items:int -> runs:int -> hits:int -> lookups:int -> unit
 (** Add completed work. Emits a snapshot if the item count crossed a
-    multiple of [every]. All four arguments are deltas; pass 0 for
-    dimensions the driver doesn't track. No-op on {!disabled}. *)
+    multiple of [every]. All arguments are deltas; pass 0 (the [distinct]
+    default) for dimensions the driver doesn't track. No-op on
+    {!disabled}. *)
 
 val finish : t -> unit
 (** Emit one last snapshot ([final = true]) regardless of throttling.

@@ -736,6 +736,521 @@ module Make (A : Algorithm.S) = struct
       loop t
   end
 
+  (* ---------------------------------------------------------------- *)
+  (* The mutable arena.
+
+     [Incremental.step] is immutable so the DFS can fork — at the cost of
+     a fresh system value (procs array, decision list node, envelopes) per
+     round, ≈140 minor words. The arena takes the opposite trade: it is
+     the flat-tail representation (status slab, state array, reusable
+     envelope spine, see [Incremental.flat_tail]) promoted to a first-class
+     value with explicit branch-point snapshots, so the DFS mutates one
+     arena in place and rewinds it on backtrack instead of forking.
+
+     Snapshots are copy-on-branch, not an undo log: a snapshot is two
+     blits (n status bytes, n state words) plus four scalar stores into a
+     preallocated slot, independent of how much the subtree below mutates,
+     while an undo log costs a heap cell per mutation on the hot path —
+     exactly the allocation this module exists to remove (measurements in
+     DESIGN §16). Slots live in a stack grown once to the DFS depth and
+     reused for the rest of the sweep.
+
+     Round semantics are bit-identical to [Incremental.step]: same
+     [on_send] call order (n downto 1), same ascending-pid receive phase,
+     same decision-stability errors, same decision-list shape. The spine
+     cells are loaned to receivers within a round only (the {!Envelope}
+     loan contract); delayed envelopes are always fresh and never mutated,
+     so fingerprints may reference them across rounds. *)
+
+  module Arena = struct
+    let st_running = '\000'
+    let st_done = '\001'
+    let st_crashed = '\002'
+
+    (* A reusable branch-point slot. [sn_status]/[sn_states] are owned
+       buffers (blitted both ways); the decision list and late map are
+       immutable values captured by pointer. Crash rounds are {e not}
+       snapshotted: the status byte is authoritative, a crash-round slot is
+       written exactly when [st_running -> st_crashed] fires, and a stale
+       value under a restored-to-running status is never read. *)
+    type snap = {
+      sn_status : Bytes.t;
+      sn_states : A.state array;
+      mutable sn_live : int;
+      mutable sn_next : int;
+      mutable sn_decisions : Trace.decision list;
+      mutable sn_late : A.msg Envelope.t list Pid.Map.t Int_map.t;
+    }
+
+    type fingerprint = {
+      fp_status : Bytes.t;  (* running / done / crashed per slot *)
+      fp_states : A.state array;  (* non-running slots hold the filler *)
+      mutable fp_late : (int * (int * A.msg Envelope.t list) list) list;
+      mutable fp_decisions : Trace.decision list;
+    }
+
+    type t = {
+      a_config : Config.t;
+      a_proposals : Value.t Pid.Map.t;
+      a_n : int;
+      a_status : Bytes.t;  (* process [p] at byte [p - 1] *)
+      a_states : A.state array;
+      a_crash_round : int array;  (* meaningful only under [st_crashed] *)
+      mutable a_live : int;
+      mutable a_next : int;  (* next round to execute *)
+      mutable a_decisions : Trace.decision list;  (* newest first *)
+      mutable a_late : A.msg Envelope.t list Pid.Map.t Int_map.t;
+      (* Spine: one reusable envelope cell per process, created at first
+         use and refreshed in place each fast round; [a_spine] is the
+         ascending list of the running cells, relinked only when the
+         running set drifts from [a_spine_status]. *)
+      a_cells : A.msg Envelope.t option array;
+      mutable a_spine : A.msg Envelope.t list;
+      a_spine_status : Bytes.t;
+      (* DFS branches revisit the same (status, fault) pairs constantly, so
+         spines and reduced inboxes are interned by status byte-string:
+         after the first visit a faulty round performs two hash lookups
+         ([Hashtbl.find] with a constant-constructor [Not_found] on miss —
+         no [option] box) and allocates nothing. Sound because the cached
+         lists are alternative cons-chains over the {e same} reusable
+         cells, which are only ever refreshed in place, never replaced. *)
+      a_spines : (Bytes.t, A.msg Envelope.t list) Hashtbl.t;
+      a_lost : (Bytes.t, A.msg Envelope.t list) Hashtbl.t array;
+          (* indexed by [sl_src - 1] *)
+      a_dst_srcs : (Bitset.Big.t, (Bytes.t, A.msg Envelope.t list) Hashtbl.t) Hashtbl.t;
+      mutable a_stack : snap array;
+      mutable a_depth : int;
+      mutable a_snapshots : int;
+      mutable a_restores : int;
+      a_filler : A.state;
+      a_fp : fingerprint;  (* reusable probe buffers *)
+    }
+
+    let create config ~proposals =
+      let n = Config.n config in
+      let states =
+        Array.init n (fun i ->
+            let p = Pid.of_int (i + 1) in
+            match Pid.Map.find_opt p proposals with
+            | Some v -> A.init config p v
+            | None ->
+                invalid_arg
+                  (Format.asprintf "Engine.Arena.create: no proposal for %a"
+                     Pid.pp p))
+      in
+      let filler = states.(0) in
+      {
+        a_config = config;
+        a_proposals = proposals;
+        a_n = n;
+        a_status = Bytes.make n st_running;
+        a_states = states;
+        a_crash_round = Array.make n 0;
+        a_live = n;
+        a_next = 1;
+        a_decisions = [];
+        a_late = Int_map.empty;
+        a_cells = Array.make n None;
+        a_spine = [];
+        a_spine_status = Bytes.make n '\255' (* never a valid status *);
+        a_spines = Hashtbl.create 64;
+        a_lost = Array.init n (fun _ -> Hashtbl.create 16);
+        a_dst_srcs = Hashtbl.create 8;
+        a_stack = [||];
+        a_depth = 0;
+        a_snapshots = 0;
+        a_restores = 0;
+        a_filler = filler;
+        a_fp =
+          {
+            fp_status = Bytes.make n st_running;
+            fp_states = Array.make n filler;
+            fp_late = [];
+            fp_decisions = [];
+          };
+      }
+
+    let next_round t = Round.of_int t.a_next
+    let all_halted t = t.a_live = 0
+    let decisions t = List.rev t.a_decisions
+    let snapshots t = t.a_snapshots
+    let restores t = t.a_restores
+
+    let crashed t =
+      let acc = ref [] in
+      for i = t.a_n - 1 downto 0 do
+        if Bytes.get t.a_status i = st_crashed then
+          acc :=
+            (Pid.of_int (i + 1), Round.of_int t.a_crash_round.(i)) :: !acc
+      done;
+      !acc
+
+    (* ---------------------------------------------------------------- *)
+    (* Snapshots *)
+
+    let save t =
+      let n = t.a_n in
+      if t.a_depth = Array.length t.a_stack then begin
+        let depth = t.a_depth in
+        let grown =
+          Array.init
+            (max 8 (2 * depth))
+            (fun i ->
+              if i < depth then t.a_stack.(i)
+              else
+                {
+                  sn_status = Bytes.make n st_done;
+                  sn_states = Array.make n t.a_filler;
+                  sn_live = 0;
+                  sn_next = 0;
+                  sn_decisions = [];
+                  sn_late = Int_map.empty;
+                })
+        in
+        t.a_stack <- grown
+      end;
+      let s = t.a_stack.(t.a_depth) in
+      Bytes.blit t.a_status 0 s.sn_status 0 n;
+      Array.blit t.a_states 0 s.sn_states 0 n;
+      s.sn_live <- t.a_live;
+      s.sn_next <- t.a_next;
+      s.sn_decisions <- t.a_decisions;
+      s.sn_late <- t.a_late;
+      t.a_depth <- t.a_depth + 1;
+      t.a_snapshots <- t.a_snapshots + 1
+
+    let restore t =
+      if t.a_depth = 0 then invalid_arg "Engine.Arena.restore: no snapshot";
+      let n = t.a_n in
+      let s = t.a_stack.(t.a_depth - 1) in
+      Bytes.blit s.sn_status 0 t.a_status 0 n;
+      Array.blit s.sn_states 0 t.a_states 0 n;
+      t.a_live <- s.sn_live;
+      t.a_next <- s.sn_next;
+      t.a_decisions <- s.sn_decisions;
+      t.a_late <- s.sn_late;
+      t.a_restores <- t.a_restores + 1
+
+    let drop t =
+      if t.a_depth = 0 then invalid_arg "Engine.Arena.drop: no snapshot";
+      t.a_depth <- t.a_depth - 1
+
+    (* ---------------------------------------------------------------- *)
+    (* Fingerprints *)
+
+    let canon_late late =
+      Int_map.fold
+        (fun k per acc ->
+          ( k,
+            List.map (fun (p, q) -> (Pid.to_int p, q)) (Pid.Map.bindings per)
+          )
+          :: acc)
+        late []
+
+    (* Same equivalence classes as [Incremental.fingerprint]: the status
+       byte plays the [Fp_running]/[Fp_done]/[Fp_crashed] tag and
+       non-running state slots are pinned to one filler, so two arena
+       fingerprints are structurally equal exactly when the corresponding
+       incremental fingerprints are — Dedup's hit/miss sequence is
+       unchanged. *)
+    let probe_fingerprint t =
+      let fp = t.a_fp in
+      Bytes.blit t.a_status 0 fp.fp_status 0 t.a_n;
+      for i = 0 to t.a_n - 1 do
+        fp.fp_states.(i) <-
+          (if Bytes.get t.a_status i = st_running then t.a_states.(i)
+           else t.a_filler)
+      done;
+      fp.fp_late <-
+        (if Int_map.is_empty t.a_late then [] else canon_late t.a_late);
+      fp.fp_decisions <- t.a_decisions;
+      fp
+
+    let copy_fingerprint fp =
+      {
+        fp_status = Bytes.copy fp.fp_status;
+        fp_states = Array.copy fp.fp_states;
+        fp_late = fp.fp_late;
+        fp_decisions = fp.fp_decisions;
+      }
+
+    let fingerprint t = copy_fingerprint (probe_fingerprint t)
+
+    (* ---------------------------------------------------------------- *)
+    (* Round execution *)
+
+    let rec apply_crashes t round = function
+      | [] -> ()
+      | victim :: rest ->
+          let i = Pid.to_int victim - 1 in
+          if Bytes.get t.a_status i = st_running then begin
+            Bytes.set t.a_status i st_crashed;
+            t.a_crash_round.(i) <- Round.to_int round;
+            t.a_live <- t.a_live - 1
+          end;
+          apply_crashes t round rest
+
+    (* Refresh every running sender's cell in place — [n] downto 1, the
+       same [on_send] call order as [Incremental.step], so a raising
+       callback is attributed to the same process. Cells are created at
+       first use (a process not running at one branch's first fast round
+       may be running after a restore in another). *)
+    let refresh_cells t round =
+      for src = t.a_n downto 1 do
+        if Bytes.get t.a_status (src - 1) = st_running then begin
+          let srcp = Pid.of_int src in
+          match t.a_cells.(src - 1) with
+          | Some e ->
+              e.Envelope.sent <- round;
+              e.Envelope.payload <-
+                send_guarded t.a_states.(src - 1) ~pid:srcp round
+          | None ->
+              t.a_cells.(src - 1) <-
+                Some
+                  (Envelope.make ~src:srcp ~sent:round
+                     (send_guarded t.a_states.(src - 1) ~pid:srcp round))
+        end
+      done
+
+    let cell t src =
+      match t.a_cells.(src - 1) with Some e -> e | None -> assert false
+
+    let spine_for t =
+      match Hashtbl.find t.a_spines t.a_status with
+      | spine -> spine
+      | exception Not_found ->
+          let all = ref [] in
+          for src = t.a_n downto 1 do
+            if Bytes.get t.a_status (src - 1) = st_running then
+              all := cell t src :: !all
+          done;
+          Hashtbl.add t.a_spines (Bytes.copy t.a_status) !all;
+          !all
+
+    let relink_spine t =
+      if not (Bytes.equal t.a_status t.a_spine_status) then begin
+        t.a_spine <- spine_for t;
+        Bytes.blit t.a_status 0 t.a_spine_status 0 t.a_n
+      end
+
+    (* Reduced inboxes ([sl_src]'s or [sd_srcs]'s messages removed) keyed
+       the same way; [Single_lost] nests by source in an array,
+       [Single_dst] by the canonical omitter bitset. *)
+    let reduced_lost t sl_src =
+      let tbl = t.a_lost.(sl_src - 1) in
+      match Hashtbl.find tbl t.a_status with
+      | l -> l
+      | exception Not_found ->
+          let acc = ref [] in
+          for src = t.a_n downto 1 do
+            if src <> sl_src && Bytes.get t.a_status (src - 1) = st_running
+            then acc := cell t src :: !acc
+          done;
+          Hashtbl.add tbl (Bytes.copy t.a_status) !acc;
+          !acc
+
+    let reduced_dst t sd_srcs =
+      let tbl =
+        match Hashtbl.find t.a_dst_srcs sd_srcs with
+        | tbl -> tbl
+        | exception Not_found ->
+            let tbl = Hashtbl.create 16 in
+            Hashtbl.add t.a_dst_srcs sd_srcs tbl;
+            tbl
+      in
+      match Hashtbl.find tbl t.a_status with
+      | l -> l
+      | exception Not_found ->
+          let acc = ref [] in
+          for src = t.a_n downto 1 do
+            if
+              Bytes.get t.a_status (src - 1) = st_running
+              && not (Bitset.Big.mem src sd_srcs)
+            then acc := cell t src :: !acc
+          done;
+          Hashtbl.add tbl (Bytes.copy t.a_status) !acc;
+          !acc
+
+    let receive_one t p round inbox =
+      let i = Pid.to_int p - 1 in
+      let st = t.a_states.(i) in
+      let before = A.decision st in
+      let st' = receive_guarded st ~pid:p round inbox in
+      let after = A.decision st' in
+      (match (before, after) with
+      | Some v, Some w when not (Value.equal v w) ->
+          fail ~pid:p ~round
+            (Format.asprintf "changed its decision from %a to %a" Value.pp v
+               Value.pp w)
+      | Some _, None -> fail ~pid:p ~round "retracted its decision"
+      | None, Some v ->
+          (* Consing in ascending-pid order leaves this round's decisions
+             descending by pid at the front — the same shape
+             [Incremental.step] produces. *)
+          t.a_decisions <-
+            { Trace.pid = p; round; value = v } :: t.a_decisions
+      | None, None | Some _, Some _ -> ());
+      if A.halted st' then begin
+        Bytes.set t.a_status i st_done;
+        t.a_live <- t.a_live - 1
+      end
+      else t.a_states.(i) <- st'
+
+    (* A raising step leaves the arena mid-round (dirty); the DFS contract
+       is that the caller rewinds to a snapshot before touching it again. *)
+    let step t cplan =
+      let n = t.a_n in
+      let round = Round.of_int t.a_next in
+      let plan = Schedule.compiled_source cplan in
+      let fates = Schedule.compiled_fates cplan in
+      let late_due =
+        if Int_map.is_empty t.a_late then None
+        else Int_map.find_opt t.a_next t.a_late
+      in
+      match fates with
+      | (Schedule.Quiet | Schedule.Single_lost _ | Schedule.Single_dst _)
+        when late_due = None ->
+          (* Fast path: refresh the spine in place; at most one reduced
+             inbox (the victim's messages removed, or the starved
+             receiver's view) is built per round — ~n conses on faulty
+             rounds, nothing at all on steady quiet rounds. *)
+          refresh_cells t round;
+          relink_spine t;
+          let m_dsts =
+            match fates with
+            | Schedule.Single_lost { sl_dsts; _ } -> sl_dsts
+            | _ -> Bitset.Big.empty
+          in
+          let m_dst =
+            match fates with
+            | Schedule.Single_dst { sd_dst; _ } -> sd_dst
+            | _ -> 0
+          in
+          let reduced =
+            match fates with
+            | Schedule.Quiet | Schedule.Table _ -> []
+            | Schedule.Single_lost { sl_src; _ } -> reduced_lost t sl_src
+            | Schedule.Single_dst { sd_srcs; _ } -> reduced_dst t sd_srcs
+          in
+          let quiet =
+            match fates with Schedule.Quiet -> true | _ -> false
+          in
+          apply_crashes t round plan.Schedule.crashes;
+          for i = 0 to n - 1 do
+            if Bytes.get t.a_status i = st_running then begin
+              let inbox =
+                if quiet then t.a_spine
+                else if m_dst > 0 then
+                  if i + 1 = m_dst then reduced else t.a_spine
+                else if Bitset.Big.mem (i + 1) m_dsts then reduced
+                else t.a_spine
+              in
+              receive_one t (Pid.of_int (i + 1)) round inbox
+            end
+          done;
+          t.a_next <- t.a_next + 1
+      | _ ->
+          (* General path (fate tables, delayed messages, late deliveries
+             due this round): fresh envelopes per sender — late envelopes
+             outlive the round and must never alias the mutable spine
+             cells. Mirrors [Incremental.step]'s general branch. *)
+          if late_due <> None then
+            t.a_late <- Int_map.remove t.a_next t.a_late;
+          let ib = Array.make n [] in
+          for src = n downto 1 do
+            if Bytes.get t.a_status (src - 1) = st_running then begin
+              let srcp = Pid.of_int src in
+              let env =
+                Envelope.make ~src:srcp ~sent:round
+                  (send_guarded t.a_states.(src - 1) ~pid:srcp round)
+              in
+              for dst = 1 to n do
+                if dst = src then ib.(dst - 1) <- env :: ib.(dst - 1)
+                else
+                  match
+                    Schedule.compiled_fate cplan ~src:srcp
+                      ~dst:(Pid.of_int dst)
+                  with
+                  | Schedule.Same_round ->
+                      ib.(dst - 1) <- env :: ib.(dst - 1)
+                  | Schedule.Lost -> ()
+                  | Schedule.Delayed_until until ->
+                      let k = Round.to_int until in
+                      let dstp = Pid.of_int dst in
+                      let per =
+                        Option.value
+                          (Int_map.find_opt k t.a_late)
+                          ~default:Pid.Map.empty
+                      in
+                      let q =
+                        Option.value (Pid.Map.find_opt dstp per) ~default:[]
+                      in
+                      t.a_late <-
+                        Int_map.add k (Pid.Map.add dstp (env :: q) per)
+                          t.a_late
+              done
+            end
+          done;
+          (match late_due with
+          | None -> ()
+          | Some per ->
+              (* Late arrivals break the by-construction sender order:
+                 merge and re-sort exactly like the batch engine. *)
+              Pid.Map.iter
+                (fun dst q ->
+                  let i = Pid.to_int dst - 1 in
+                  ib.(i) <-
+                    List.sort Envelope.compare_src
+                      (List.rev_append q ib.(i)))
+                per);
+          apply_crashes t round plan.Schedule.crashes;
+          for i = 0 to n - 1 do
+            if Bytes.get t.a_status i = st_running then
+              receive_one t (Pid.of_int (i + 1)) round ib.(i)
+          done;
+          t.a_next <- t.a_next + 1
+
+    let trace ~schedule t =
+      {
+        Trace.algorithm = A.name;
+        config = t.a_config;
+        proposals = t.a_proposals;
+        schedule;
+        decisions = List.rev t.a_decisions;
+        crashes = crashed t;
+        rounds_executed = t.a_next - 1;
+        all_halted = t.a_live = 0;
+        records = [];
+      }
+
+    let finish ?max_rounds ?prof ~schedule t =
+      let max_rounds =
+        Option.value max_rounds
+          ~default:(default_max_rounds t.a_config schedule)
+      in
+      let n = t.a_n in
+      let horizon = Schedule.horizon schedule in
+      (* One preallocated thunk: [measure] per round must not cost a
+         closure per round. *)
+      let step_once () =
+        if t.a_next <= horizon then
+          step t
+            (Schedule.compile_plan ~n
+               (Schedule.plan_at schedule (Round.of_int t.a_next)))
+        else step t Schedule.compiled_empty_plan
+      in
+      (match prof with
+      | None ->
+          while t.a_live > 0 && t.a_next <= max_rounds do
+            step_once ()
+          done
+      | Some a ->
+          while t.a_live > 0 && t.a_next <= max_rounds do
+            Obs.Prof.measure a step_once
+          done);
+      trace ~schedule t
+  end
+
   let run ?(record = false) ?(sink = Obs.Sink.noop) ?max_rounds ?prof config
       ~proposals schedule =
     if (not record) && not (Obs.Sink.enabled sink) then

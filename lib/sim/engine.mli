@@ -135,6 +135,98 @@ module Make (A : Algorithm.S) : sig
         right. *)
   end
 
+  (** The mutable checker arena.
+
+      The flat struct-of-arrays round representation (status slab, state
+      array, reusable envelope spine — the same machinery as the
+      record-free run path's post-horizon tail) promoted to a first-class
+      value with explicit branch-point snapshots, so a DFS over adversary
+      choices mutates {e one} arena in place and rewinds it on backtrack
+      instead of forking an immutable value per round. Round semantics are
+      bit-identical to {!Incremental.step}: same [on_send]/[on_receive]
+      call orders, same decision-stability errors, same decision-list and
+      crash-list shapes.
+
+      Ownership: an arena (and everything loaned out of it — the probe
+      fingerprint, inbox spines) belongs to one DFS on one domain. Sharded
+      sweeps create one arena per shard. *)
+  module Arena : sig
+    type t
+    (** Mutable system state. Steps advance it in place; {!save} /
+        {!restore} rewind it. *)
+
+    val create : Config.t -> proposals:Value.t Pid.Map.t -> t
+    (** Fresh arena at round 1; [proposals] must bind exactly [p1..pn]. *)
+
+    val step : t -> Schedule.compiled_plan -> unit
+    (** Execute one full round in place. Raises {!Step_error} exactly like
+        {!Incremental.step}; a raising step leaves the arena mid-round, and
+        the caller must {!restore} a snapshot before using it again.
+        Allocation-free on quiet rounds once the spine is built; ~n list
+        cells on single-sender-loss / single-receiver-loss rounds (the
+        serial-adversary fault shapes). *)
+
+    val save : t -> unit
+    (** Push a branch-point snapshot: two blits (status bytes, state
+        words) plus four scalar stores into a preallocated, reused slot —
+        cost independent of the subtree explored below it. *)
+
+    val restore : t -> unit
+    (** Rewind to the top snapshot, keeping it on the stack (one snapshot
+        serves every sibling branch). Raises [Invalid_argument] if no
+        snapshot is live. *)
+
+    val drop : t -> unit
+    (** Pop the top snapshot without rewinding (the arena is left wherever
+        the last branch put it — the parent's own snapshot covers the
+        residue). Raises [Invalid_argument] if no snapshot is live. *)
+
+    val snapshots : t -> int
+    (** Total {!save} calls over the arena's lifetime. *)
+
+    val restores : t -> int
+    (** Total {!restore} calls over the arena's lifetime. *)
+
+    val next_round : t -> Round.t
+    val all_halted : t -> bool
+    val decisions : t -> Trace.decision list
+    val crashed : t -> (Pid.t * Round.t) list
+
+    type fingerprint
+    (** Same verdict-equivalence contract and the same equality classes as
+        {!Incremental.fingerprint} — a sweep keyed on arena fingerprints
+        reproduces the incremental engine's dedup hit/miss sequence
+        exactly — built directly from the flat arrays (status slab copy,
+        state array with halted/crashed slots pinned to one filler) with
+        no intermediate maps. Polymorphic [(=)] and [Hashtbl.hash] are the
+        intended equality and hash, and a {!probe_fingerprint} compares
+        equal to the {!fingerprint} copy of the same state. *)
+
+    val probe_fingerprint : t -> fingerprint
+    (** The arena's reusable probe fingerprint, refreshed in place —
+        allocation-free when no delayed messages are in flight. Valid only
+        until the next arena mutation or [probe_fingerprint] call; use it
+        for table lookups, never for storage. *)
+
+    val fingerprint : t -> fingerprint
+    (** An owned copy, safe to store in a table. *)
+
+    val copy_fingerprint : fingerprint -> fingerprint
+    (** Deep-copies the buffers a probe loans out (status bytes, state
+        array); the late-message and decision lists are immutable and
+        shared. *)
+
+    val finish :
+      ?max_rounds:int -> ?prof:Obs.Prof.acc -> schedule:Schedule.t -> t -> Trace.t
+    (** Step with [schedule]'s remaining plans (empty past the horizon)
+        until all processes halt or [max_rounds] rounds have executed
+        (default {!default_max_rounds}), then package the trace — the same
+        trace {!Incremental.finish} produces from the same state. Leaves
+        the arena at the end of the run; the caller rewinds via
+        {!restore}. [prof], when given, records one {!Obs.Prof} interval
+        per executed round. *)
+  end
+
   val run :
     ?record:bool ->
     ?sink:Obs.Sink.t ->

@@ -117,6 +117,9 @@ type compiled_fates =
       (* one sender's messages lost to a destination set, nothing delayed —
          the shape of every serial-adversary crash plan. [Bitset.Big], so
          the fast path holds at any n. *)
+  | Single_dst of { sd_dst : int; sd_srcs : Bitset.Big.t }
+      (* one receiver loses messages from a source set, nothing delayed —
+         the shape of every serial-adversary receive-omission plan. *)
   | Table of fate array  (* [(src-1) * c_n + (dst-1)] *)
 
 type compiled_plan = { source : plan; c_n : int; cfates : compiled_fates }
@@ -125,6 +128,13 @@ let single_lost_src plan =
   match (plan.lost, plan.delayed) with
   | (src0, _) :: rest, [] ->
       if List.for_all (fun (src, _) -> Pid.equal src src0) rest then Some src0
+      else None
+  | _ -> None
+
+let single_lost_dst plan =
+  match (plan.lost, plan.delayed) with
+  | (_, dst0) :: rest, [] ->
+      if List.for_all (fun (_, dst) -> Pid.equal dst dst0) rest then Some dst0
       else None
   | _ -> None
 
@@ -144,32 +154,52 @@ let compile_plan ~n plan =
           c_n = n;
           cfates = Single_lost { sl_src = Pid.to_int src; sl_dsts = dsts };
         }
-    | _ ->
-        let fates = Array.make (n * n) Same_round in
-        let slot src dst =
-          ((Pid.to_int src - 1) * n) + (Pid.to_int dst - 1)
-        in
-        List.iter (fun (src, dst) -> fates.(slot src dst) <- Lost) plan.lost;
-        List.iter
-          (fun (src, dst, until) ->
-            fates.(slot src dst) <- Delayed_until until)
-          plan.delayed;
-        { source = plan; c_n = n; cfates = Table fates }
+    | None -> (
+        match single_lost_dst plan with
+        | Some dst ->
+            let srcs =
+              List.fold_left
+                (fun acc (src, _) -> Bitset.Big.add (Pid.to_int src) acc)
+                Bitset.Big.empty plan.lost
+            in
+            {
+              source = plan;
+              c_n = n;
+              cfates = Single_dst { sd_dst = Pid.to_int dst; sd_srcs = srcs };
+            }
+        | None ->
+            let fates = Array.make (n * n) Same_round in
+            let slot src dst =
+              ((Pid.to_int src - 1) * n) + (Pid.to_int dst - 1)
+            in
+            List.iter
+              (fun (src, dst) -> fates.(slot src dst) <- Lost)
+              plan.lost;
+            List.iter
+              (fun (src, dst, until) ->
+                fates.(slot src dst) <- Delayed_until until)
+              plan.delayed;
+            { source = plan; c_n = n; cfates = Table fates })
 
 let compiled_empty_plan = { source = empty_plan; c_n = 0; cfates = Quiet }
 let compiled_source c = c.source
+let compiled_fates c = c.cfates
 let compiled_quiet c = c.cfates = Quiet
 
 let compiled_single_lost c =
   match c.cfates with
   | Single_lost { sl_src; sl_dsts } -> Some (Pid.of_int sl_src, sl_dsts)
-  | Quiet | Table _ -> None
+  | Quiet | Single_dst _ | Table _ -> None
 
 let compiled_fate c ~src ~dst =
   match c.cfates with
   | Quiet -> Same_round
   | Single_lost { sl_src; sl_dsts } ->
       if Pid.to_int src = sl_src && Bitset.Big.mem (Pid.to_int dst) sl_dsts
+      then Lost
+      else Same_round
+  | Single_dst { sd_dst; sd_srcs } ->
+      if Pid.to_int dst = sd_dst && Bitset.Big.mem (Pid.to_int src) sd_srcs
       then Lost
       else Same_round
   | Table fates -> fates.(((Pid.to_int src - 1) * c.c_n) + (Pid.to_int dst - 1))

@@ -122,6 +122,19 @@ val fate : t -> src:Pid.t -> dst:Pid.t -> round:Round.t -> fate
 (** What happens to the message sent by [src] to [dst] in [round] (assuming
     [src] is alive to send it). *)
 
+type compiled_fates =
+  | Quiet  (** no losses or delays: every fate is [Same_round] *)
+  | Single_lost of { sl_src : int; sl_dsts : Kernel.Bitset.Big.t }
+      (** one sender's messages lost to a destination set, nothing
+          delayed — the shape of every serial-adversary crash and
+          send-omission plan *)
+  | Single_dst of { sd_dst : int; sd_srcs : Kernel.Bitset.Big.t }
+      (** one receiver loses messages from a source set, nothing
+          delayed — the shape of every serial-adversary receive-omission
+          plan *)
+  | Table of fate array
+      (** general case, indexed by [(src - 1) * n + (dst - 1)] *)
+
 type compiled_plan
 (** A {!plan} precompiled into an O(1) per-[(src, dst)] fate lookup — the
     engine routes [n * n] copies per round, so the checker hot path must
@@ -134,14 +147,21 @@ val compile_plan : n:int -> plan -> compiled_plan
     general case, O(1) per {!compiled_fate} query afterwards; O(1) and
     allocation-free for quiet plans, and O(lost) — no [n * n] table — for
     plans whose only disruptions are one sender's messages being lost
-    (every serial-adversary crash plan has this shape: the victim's
-    round-[k] messages miss a subset of the survivors). *)
+    (every serial-adversary crash and send-omission plan has this shape:
+    the victim's round-[k] messages miss a subset of the survivors) or
+    one receiver's messages being lost (every serial-adversary
+    receive-omission plan). *)
 
 val compiled_empty_plan : compiled_plan
 (** {!empty_plan}, compiled; valid for any [n]. *)
 
 val compiled_source : compiled_plan -> plan
 (** The plan it was compiled from (crash list, original fate lists). *)
+
+val compiled_fates : compiled_plan -> compiled_fates
+(** The stored compiled shape, returned without allocating — the arena
+    engine's round dispatch matches on this directly so the quiet path
+    stays allocation-free. *)
 
 val compiled_quiet : compiled_plan -> bool
 (** No losses and no delays: every fate is [Same_round]. *)

@@ -3,6 +3,7 @@ type entry = {
   e_mean_s : float;
   e_stddev_s : float;
   e_minor_words : float option;
+  e_speedup : float option;
 }
 
 type artifact = {
@@ -21,8 +22,11 @@ type row = {
   old_minor_words : float option;
   new_minor_words : float option;
   alloc_ratio : float option;
+  old_speedup : float option;
+  new_speedup : float option;
   time_regressed : bool;
   alloc_regressed : bool;
+  speedup_lost : bool;
 }
 
 type report = {
@@ -47,7 +51,10 @@ let entry_of_json j =
   let e_minor_words =
     Option.bind (Obs.Json.member "minor_words" j) Obs.Json.to_float_opt
   in
-  Ok { e_name; e_mean_s; e_stddev_s; e_minor_words }
+  let e_speedup =
+    Option.bind (Obs.Json.member "speedup_vs_none" j) Obs.Json.to_float_opt
+  in
+  Ok { e_name; e_mean_s; e_stddev_s; e_minor_words; e_speedup }
 
 let rec map_result f = function
   | [] -> Ok []
@@ -120,6 +127,20 @@ let diff ?(threshold = 1.25) ?(alloc_threshold = 1.10) ?(noise_sigma = 2.0)
                   )
               | _ -> (None, false)
             in
+            (* A reduced row whose speedup over its unreduced sibling was a
+               win (>= 1x) in the old artifact must still be one: ratios
+               compress legitimately when the shared core speeds the
+               sibling up, but a reduction inverting into a pessimisation
+               is a regression no matter what the absolute times did. The
+               inversion must clear [threshold], for the same reason the
+               time verdict does: overhead-style rows (instrumentation,
+               checkpointing) sit at ~1x by design and would flip sign on
+               boundary noise. *)
+            let speedup_lost =
+              match (o.e_speedup, n.e_speedup) with
+              | Some os, Some ns -> os >= 1.0 && ns *. threshold < 1.0
+              | _ -> false
+            in
             Some
               {
                 suite;
@@ -132,8 +153,11 @@ let diff ?(threshold = 1.25) ?(alloc_threshold = 1.10) ?(noise_sigma = 2.0)
                 old_minor_words = o.e_minor_words;
                 new_minor_words = n.e_minor_words;
                 alloc_ratio;
+                old_speedup = o.e_speedup;
+                new_speedup = n.e_speedup;
                 time_regressed;
                 alloc_regressed;
+                speedup_lost;
               })
       new_keys
   in
@@ -154,7 +178,9 @@ let diff ?(threshold = 1.25) ?(alloc_threshold = 1.10) ?(noise_sigma = 2.0)
   }
 
 let regressions report =
-  List.filter (fun r -> r.time_regressed || r.alloc_regressed) report.rows
+  List.filter
+    (fun r -> r.time_regressed || r.alloc_regressed || r.speedup_lost)
+    report.rows
 
 let cell_seconds s =
   if s >= 1. then Printf.sprintf "%.3fs"s
@@ -167,27 +193,45 @@ let cell_ratio = function
   | Some r -> Printf.sprintf "%.3fx" r
 
 let verdict r =
-  match (r.time_regressed, r.alloc_regressed) with
-  | true, true -> "TIME+ALLOC"
-  | true, false -> "TIME"
-  | false, true -> "ALLOC"
-  | false, false -> "ok"
+  let parts =
+    (if r.time_regressed then [ "TIME" ] else [])
+    @ (if r.alloc_regressed then [ "ALLOC" ] else [])
+    @ if r.speedup_lost then [ "SPEEDUP" ] else []
+  in
+  if parts = [] then "ok" else String.concat "+" parts
+
+let cell_speedups old_ new_ =
+  match (old_, new_) with
+  | None, None -> "-"
+  | o, n ->
+      let one = function None -> "-" | Some s -> Printf.sprintf "%.2fx" s in
+      one o ^ "->" ^ one n
 
 let pp ppf report =
+  let speedups =
+    List.exists
+      (fun r -> r.old_speedup <> None || r.new_speedup <> None)
+      report.rows
+  in
   let table =
     List.fold_left
       (fun t r ->
         Table.add_row t
-          [
-            r.suite ^ "/" ^ r.name;
-            cell_seconds r.old_mean_s;
-            cell_seconds r.new_mean_s;
-            cell_ratio (Some r.time_ratio);
-            cell_ratio r.alloc_ratio;
-            verdict r;
-          ])
+          ([
+             r.suite ^ "/" ^ r.name;
+             cell_seconds r.old_mean_s;
+             cell_seconds r.new_mean_s;
+             cell_ratio (Some r.time_ratio);
+             cell_ratio r.alloc_ratio;
+           ]
+          @ (if speedups then [ cell_speedups r.old_speedup r.new_speedup ]
+             else [])
+          @ [ verdict r ]))
       (Table.make
-         ~headers:[ "workload"; "old"; "new"; "time"; "alloc"; "verdict" ])
+         ~headers:
+           ([ "workload"; "old"; "new"; "time"; "alloc" ]
+           @ (if speedups then [ "vs-none" ] else [])
+           @ [ "verdict" ]))
       report.rows
   in
   Table.render ppf table;
@@ -200,7 +244,9 @@ let pp ppf report =
   note "only in old" report.only_old;
   note "only in new" report.only_new;
   let n = List.length (regressions report) in
-  Format.fprintf ppf "@,%d regression(s) at time>%.2fx alloc>%.2fx over %d matched row(s)"
+  Format.fprintf ppf
+    "@,%d regression(s) at time>%.2fx alloc>%.2fx speedup-vs-none<1x over %d \
+     matched row(s)"
     n report.threshold report.alloc_threshold
     (List.length report.rows);
   Format.pp_close_box ppf ()
@@ -220,8 +266,11 @@ let row_to_json r =
       ("old_minor_words", opt_float r.old_minor_words);
       ("new_minor_words", opt_float r.new_minor_words);
       ("alloc_ratio", opt_float r.alloc_ratio);
+      ("old_speedup", opt_float r.old_speedup);
+      ("new_speedup", opt_float r.new_speedup);
       ("time_regressed", Obs.Json.Bool r.time_regressed);
       ("alloc_regressed", Obs.Json.Bool r.alloc_regressed);
+      ("speedup_lost", Obs.Json.Bool r.speedup_lost);
     ]
 
 let to_json report =

@@ -14,13 +14,24 @@
     An {e alloc} regression ([minor_words] ratio) only fires when both
     sides report at least [min_words] words: allocation counts are
     deterministic, but tiny rows ratio wildly on a few boxed floats.
-    Old artifacts without alloc columns simply have no alloc verdicts. *)
+    Old artifacts without alloc columns simply have no alloc verdicts.
+
+    Rows carrying [speedup_vs_none] (the reduced sweeps, measured against
+    their unreduced sibling in the same artifact) get one more verdict:
+    a row whose reduction was a win ([>= 1x]) in the old artifact must
+    still be one in the new. The ratio itself is allowed to compress —
+    speeding up the shared checker core legitimately shrinks every
+    reduction's edge — but a reduction inverting into a pessimisation
+    regresses the diff even when the row's absolute time improved. The
+    inversion must clear [threshold] ([new * threshold < 1]), shielding
+    overhead-style rows that sit at ~1x by design from boundary noise. *)
 
 type entry = {
   e_name : string;
   e_mean_s : float;
   e_stddev_s : float;
   e_minor_words : float option;  (** mean minor words per run, if recorded *)
+  e_speedup : float option;  (** [speedup_vs_none], reduced rows only *)
 }
 
 type artifact = {
@@ -39,8 +50,12 @@ type row = {
   old_minor_words : float option;
   new_minor_words : float option;
   alloc_ratio : float option;  (** only when both sides report words *)
+  old_speedup : float option;
+  new_speedup : float option;
   time_regressed : bool;
   alloc_regressed : bool;
+  speedup_lost : bool;
+      (** old speedup [>= 1x] but new clearly below [1x] (past [threshold]) *)
 }
 
 type report = {

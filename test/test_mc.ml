@@ -789,10 +789,42 @@ let prop_codec_step_error_roundtrip =
 
 let test_codec_stats_roundtrip () =
   let s =
-    { Mc.Dedup.hits = 12; misses = 5; entries = 7; edges = 999; spilled = 3 }
+    {
+      Mc.Dedup.hits = 12;
+      misses = 5;
+      entries = 7;
+      edges = 999;
+      spilled = 3;
+      snapshots = 41;
+      restores = 29;
+    }
   in
   check_bool "stats round-trip" true
-    (Mc.Codec.stats_of_json (Mc.Codec.stats_to_json s) = Ok s)
+    (Mc.Codec.stats_of_json (Mc.Codec.stats_to_json s) = Ok s);
+  (* Checkpoints written before the arena counters existed decode with
+     both counters at 0. *)
+  let legacy =
+    Obs.Json.Obj
+      [
+        ("hits", Obs.Json.Int 1);
+        ("misses", Obs.Json.Int 2);
+        ("entries", Obs.Json.Int 3);
+        ("edges", Obs.Json.Int 4);
+        ("spilled", Obs.Json.Int 0);
+      ]
+  in
+  check_bool "legacy stats decode" true
+    (Mc.Codec.stats_of_json legacy
+    = Ok
+        {
+          Mc.Dedup.hits = 1;
+          misses = 2;
+          entries = 3;
+          edges = 4;
+          spilled = 0;
+          snapshots = 0;
+          restores = 0;
+        })
 
 (* Real sweep results — the fixtures deliberately include an algorithm
    that violates agreement and one that raises mid-run, so the codec is

@@ -767,14 +767,15 @@ let test_artifact_failed_write_leaves_target () =
 (* ------------------------------------------------------------------ *)
 (* Heartbeat: snapshot codec and the staleness probe                    *)
 
-let snap ?(seq = 1) ?(items = 0) ?total ?(runs = 0) ?(elapsed_s = 0.) ?per_s
-    ?eta_s ?hit_rate ?(final = false) () =
+let snap ?(seq = 1) ?(items = 0) ?total ?(runs = 0) ?(distinct = 0)
+    ?(elapsed_s = 0.) ?per_s ?eta_s ?hit_rate ?(final = false) () =
   {
     Obs.Progress.seq;
     label = "test";
     items;
     total;
     runs;
+    distinct;
     elapsed_s;
     per_s;
     eta_s;

@@ -596,10 +596,11 @@ let prop_engine_deterministic =
       in
       run_once () = run_once ())
 
-(* The engine now has three execution paths: the recording batch engine
+(* The engine now has four execution paths: the recording batch engine
    ([~record:true]), the allocation-free fast path (default [run], which
-   delegates to the incremental core and its flat tail), and the explicit
-   resumable checker ([Incremental.start] / [finish]).  All three must
+   delegates to the incremental core and its flat tail), the explicit
+   resumable checker ([Incremental.start] / [finish]), and the mutable
+   snapshot/restore arena the model checker's DFS drives. All four must
    replay the same run exactly — decisions, crash records, round count and
    halting flag — on arbitrary ES schedules, which exercise crashes,
    losses and delayed deliveries. *)
@@ -617,7 +618,8 @@ let engines_agree cfg s (Sim.Algorithm.Packed (module A)) =
   let t_inc =
     F.Incremental.finish ~schedule:s (F.Incremental.start cfg ~proposals)
   in
-  key t_rec = key t_fast && key t_fast = key t_inc
+  let t_arena = F.Arena.finish ~schedule:s (F.Arena.create cfg ~proposals) in
+  key t_rec = key t_fast && key t_fast = key t_inc && key t_inc = key t_arena
 
 let prop_incremental_matches_run =
   qtest ~count:60 "incremental core equals run" QCheck.int (fun seed ->
@@ -638,6 +640,72 @@ let prop_cross_engine_equivalence =
       List.for_all
         (engines_agree c52 s)
         [ floodset; floodset_ws; early_fs; at2; floodmin ])
+
+(* Every registered algorithm, every fault menu: random SCS schedules with
+   declared crash/send-omission/receive-omission/mixed faults, plus random
+   ES schedules, must replay identically on all four engine paths. This is
+   the contract the arena-backed sweeps lean on — the DFS re-executes
+   exactly these schedule shapes branch by branch. *)
+let prop_all_algorithms_all_menus =
+  qtest ~count:40 "all engines agree for every algorithm and fault menu"
+    QCheck.(pair int (int_range 0 4))
+    (fun (seed, menu) ->
+      let rng = Rng.create ~seed in
+      (* n = 7, t = 2 satisfies every registered algorithm's resilience
+         guard: indulgent entries need 2t < n, the A_{f+2} family 3t < n. *)
+      let cfg = config ~n:7 ~t:2 in
+      let s =
+        match menu with
+        | 0 -> Workload.Random_runs.with_omissions rng cfg
+                 ~faults:Sim.Model.Crash_only ()
+        | 1 -> Workload.Random_runs.with_omissions rng cfg
+                 ~faults:Sim.Model.Send_omit_only ()
+        | 2 -> Workload.Random_runs.with_omissions rng cfg
+                 ~faults:Sim.Model.Recv_omit_only ()
+        | 3 -> Workload.Random_runs.with_omissions rng cfg
+                 ~faults:Sim.Model.Mixed ()
+        | _ -> Workload.Random_runs.eventually_synchronous rng cfg ~gst:3 ()
+      in
+      List.for_all
+        (fun (e : Expt.Registry.entry) -> engines_agree cfg s e.algo)
+        Expt.Registry.all)
+
+(* The arena's branch-point contract, the exact discipline the DFS relies
+   on: snapshot anywhere, run any number of further rounds, restore — the
+   rewound arena must be indistinguishable (same fingerprint, structural
+   equality) from the moment of the save. *)
+let prop_arena_snapshot_restore =
+  qtest ~count:100 "snapshot, k steps, restore is a fingerprint no-op"
+    QCheck.(triple int (int_range 0 4) (int_range 1 5))
+    (fun (seed, before, after) ->
+      let rng = Rng.create ~seed in
+      let cfg = c52 in
+      let n = Config.n cfg in
+      let s = Workload.Random_runs.synchronous rng cfg () in
+      List.for_all
+        (fun (Sim.Algorithm.Packed (module A)) ->
+          let module F = Sim.Engine.Make (A) in
+          let arena =
+            F.Arena.create cfg ~proposals:(Sim.Runner.distinct_proposals cfg)
+          in
+          let step_round a =
+            if not (F.Arena.all_halted a) then
+              F.Arena.step a
+                (Sim.Schedule.compile_plan ~n
+                   (Sim.Schedule.plan_at s (F.Arena.next_round a)))
+          in
+          for _ = 1 to before do
+            step_round arena
+          done;
+          F.Arena.save arena;
+          let fp_saved = F.Arena.fingerprint arena in
+          for _ = 1 to after do
+            step_round arena
+          done;
+          F.Arena.restore arena;
+          let fp_restored = F.Arena.fingerprint arena in
+          fp_saved = fp_restored)
+        [ floodset; floodmin; at2 ])
 
 (* Past the schedule horizon the fast path switches to the flat
    struct-of-arrays tail; holding FloodMin in its steady state for many
@@ -998,6 +1066,8 @@ let () =
           prop_engine_deterministic;
           prop_incremental_matches_run;
           prop_cross_engine_equivalence;
+          prop_all_algorithms_all_menus;
+          prop_arena_snapshot_restore;
           Alcotest.test_case "flat tail equivalence" `Quick
             test_flat_tail_equivalence;
           Alcotest.test_case "crash-round edge cases" `Quick

@@ -2,12 +2,13 @@
 
 open Helpers
 
-let entry ?minor name mean stddev =
+let entry ?minor ?speedup name mean stddev =
   {
     Stats.Bench_diff.e_name = name;
     e_mean_s = mean;
     e_stddev_s = stddev;
     e_minor_words = minor;
+    e_speedup = speedup;
   }
 
 let artifact ?date suites = { Stats.Bench_diff.a_date = date; a_suites = suites }
@@ -91,6 +92,55 @@ let test_missing_minor_words_means_no_alloc_verdict () =
   let r = row (diff ~old_ ~new_ ()) "s" "w" in
   check_bool "no alloc ratio" true (r.alloc_ratio = None);
   check_bool "no alloc verdict" false r.alloc_regressed
+
+let test_speedup_lost_policy () =
+  (* A reduction may compress (7.9x -> 5.6x: the unreduced sibling got
+     faster) without regressing, but clearly inverting below 1x fails even
+     if the row's own time improved; rows that never were a win stay
+     exempt, and overhead-style rows hovering at ~1x are shielded by the
+     threshold. *)
+  let old_ =
+    artifact
+      [
+        ( "s",
+          [
+            entry ~speedup:7.9 "compressed" 1.0 0.001;
+            entry ~speedup:1.2 "inverted" 1.0 0.001;
+            entry ~speedup:1.01 "hovering" 1.0 0.001;
+            entry ~speedup:0.9 "never-won" 1.0 0.001;
+            entry "no-speedup" 1.0 0.001;
+          ] );
+      ]
+  in
+  let new_ =
+    artifact
+      [
+        ( "s",
+          [
+            entry ~speedup:5.6 "compressed" 0.8 0.001;
+            entry ~speedup:0.8 "inverted" 0.7 0.001;
+            entry ~speedup:0.99 "hovering" 1.0 0.001;
+            entry ~speedup:0.85 "never-won" 1.0 0.001;
+            entry "no-speedup" 1.0 0.001;
+          ] );
+      ]
+  in
+  let report = diff ~threshold:1.03 ~old_ ~new_ () in
+  check_bool "compression is not a regression" false
+    (row report "s" "compressed").speedup_lost;
+  check_bool "inversion regresses despite a faster absolute time" true
+    (row report "s" "inverted").speedup_lost;
+  check_bool "a ~1x overhead row crossing the boundary is shielded" false
+    (row report "s" "hovering").speedup_lost;
+  check_bool "a row that never won is exempt" false
+    (row report "s" "never-won").speedup_lost;
+  check_bool "rows without the column have no verdict" false
+    (row report "s" "no-speedup").speedup_lost;
+  check_int "one regression" 1
+    (List.length (Stats.Bench_diff.regressions report));
+  let text = Format.asprintf "%a" Stats.Bench_diff.pp report in
+  check_bool "table shows old->new speedups" true (contains text "7.90x->5.60x");
+  check_bool "verdict names the loss" true (contains text "SPEEDUP")
 
 let test_only_old_and_only_new_never_fail () =
   let old_ = artifact [ ("s", [ entry "kept" 1.0 0.001; entry "dropped" 1.0 0.001 ]) ] in
@@ -180,6 +230,7 @@ let () =
             test_alloc_regression_and_min_words_floor;
           Alcotest.test_case "old artifacts" `Quick
             test_missing_minor_words_means_no_alloc_verdict;
+          Alcotest.test_case "speedup lost" `Quick test_speedup_lost_policy;
           Alcotest.test_case "unmatched rows" `Quick
             test_only_old_and_only_new_never_fail;
         ] );
